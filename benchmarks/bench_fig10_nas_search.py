@@ -1,0 +1,68 @@
+"""Figure 10: automatic-search results across the NAS suite.
+
+Paper columns: candidates, configurations tested, static %, dynamic %,
+final verification.  Shape to reproduce (not absolute numbers — our
+analogues are interpreter-scale):
+
+* ft admits almost no dynamic replacement; cg very little; ep/mg a
+  moderate share; bt/lu a large share;
+* some final (union) configurations fail even though every piece passed
+  individually — the paper's non-composability observation;
+* the search evaluates far fewer configurations than candidates-level
+  exhaustion (2^n).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, full_scale
+
+from repro.experiments import fig10
+from repro.experiments.tables import format_table
+
+
+def test_fig10_search_table(benchmark):
+    classes = ("W", "A") if full_scale() else ("W",)
+
+    rows = benchmark.pedantic(
+        lambda: fig10.run(classes=classes), rounds=1, iterations=1
+    )
+
+    by_bench = {row["benchmark"]: row for row in rows}
+    suffix = classes[0]
+
+    # Sensitivity ordering (the paper's spectrum).
+    assert by_bench[f"ft.{suffix}"]["dynamic_pct"] < 10.0
+    assert by_bench[f"cg.{suffix}"]["dynamic_pct"] < 50.0
+    assert by_bench[f"bt.{suffix}"]["dynamic_pct"] > 60.0
+    assert by_bench[f"lu.{suffix}"]["dynamic_pct"] > 60.0
+    assert (
+        by_bench[f"ft.{suffix}"]["dynamic_pct"]
+        < by_bench[f"ep.{suffix}"]["dynamic_pct"]
+        < by_bench[f"bt.{suffix}"]["dynamic_pct"]
+    )
+    # At least one final union fails (non-composability).
+    assert any(row["final"] == "fail" for row in rows)
+    # And most benchmarks still produce a passing mixed configuration.
+    assert sum(1 for row in rows if row["final"] == "pass") >= len(rows) // 2
+
+    for row in rows:
+        paper = fig10.PAPER_VALUES[row["benchmark"]]
+        row["paper_dyn"] = paper[3]
+        row["paper_final"] = paper[4]
+    emit(
+        "fig10_nas_search",
+        format_table(
+            rows,
+            columns=[
+                ("benchmark", "benchmark"),
+                ("candidates", "candidates"),
+                ("tested", "tested"),
+                ("static_pct", "static %"),
+                ("dynamic_pct", "dynamic %"),
+                ("final", "final"),
+                ("paper_dyn", "paper dyn %"),
+                ("paper_final", "paper final"),
+            ],
+            title="Figure 10 — automatic search results",
+        ),
+    )

@@ -1,0 +1,50 @@
+"""Figure 8: NAS MPI scaling of the instrumentation overhead.
+
+Paper: "the overall overhead decreases as the number of threads on a
+single core increases" — EP/CG/FT/MG at 1..8 MPI ranks, class A.  The
+shape to reproduce: overhead is highest serial and falls with rank count
+as (uninstrumented) communication takes a larger runtime share; EP, which
+barely communicates, stays nearly flat.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, full_scale
+
+from repro.experiments import fig8
+from repro.experiments.tables import format_table
+
+
+def test_fig8_scaling(benchmark):
+    klass = "A" if full_scale() else "W"
+    ranks = (1, 2, 4, 8)
+
+    rows = benchmark.pedantic(
+        lambda: fig8.run(klass=klass, ranks=ranks), rounds=1, iterations=1
+    )
+
+    for row in rows:
+        assert fig8.trend_is_nonincreasing(row, ranks), (
+            f"{row['benchmark']}: overhead grew with rank count"
+        )
+    if full_scale():
+        # At class A the comm-light benchmarks (ep and ft: a handful of
+        # scalar reductions each) stay nearly flat, while the comm-heavy
+        # ones (cg and mg: vector all-reduces every iteration) dilute
+        # fastest — the contrast the paper's figure shows.
+        def spread(row):
+            return row["_raw_P1"] - row["_raw_P8"]
+
+        by_name = {r["benchmark"].split(".")[0]: r for r in rows}
+        light = max(spread(by_name["ep"]), spread(by_name["ft"]))
+        heavy = min(spread(by_name["cg"]), spread(by_name["mg"]))
+        assert light <= heavy + 0.05
+
+    emit(
+        "fig8_mpi_scaling",
+        format_table(
+            rows,
+            columns=[("benchmark", "benchmark")] + [(f"P{p}", f"P={p}") for p in ranks],
+            title=f"Figure 8 — overhead vs MPI ranks (class {klass})",
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Figure 9: base-case instrumentation overhead (plus the Section 3.1
+bit-for-bit correctness checks).
+
+Paper: overheads of 3.4X-14.7X for ep/cg/ft/mg at classes A and C,
+"in most cases ... under 20X, making this technique viable for test and
+trial runs on real data".
+"""
+
+from __future__ import annotations
+
+from conftest import emit, full_scale
+
+from repro.experiments import fig9
+from repro.experiments.tables import format_table
+
+
+def test_fig9_overhead_table(benchmark):
+    classes = ("A", "C") if full_scale() else ("A",)
+
+    rows = benchmark.pedantic(
+        lambda: fig9.run(classes=classes), rounds=1, iterations=1
+    )
+    for row in rows:
+        assert row["bit_identical"], f"{row['benchmark']}: results changed!"
+        overhead = float(row["overhead"].rstrip("X"))
+        assert 1.0 < overhead < 20.0, "outside the paper's feasibility band"
+        row["paper"] = f"{fig9.PAPER_VALUES[row['benchmark']]}X"
+    emit(
+        "fig9_overhead",
+        format_table(
+            rows,
+            columns=[
+                ("benchmark", "benchmark"),
+                ("overhead", "overhead (ours)"),
+                ("paper", "overhead (paper)"),
+                ("bit_identical", "bit-identical"),
+                ("text_growth", "text growth"),
+            ],
+            title="Figure 9 — base-case overhead (all-double snippets)",
+        ),
+    )
+
+
+def test_bitforbit_replacement(benchmark):
+    """Section 3.1: instrumented all-single == manually converted build,
+    for every benchmark in the suite."""
+
+    def check():
+        return {
+            bench: fig9.check_single_bitforbit(bench, "W")
+            for bench in ("bt", "cg", "ep", "ft", "lu", "mg", "sp")
+        }
+
+    results = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert all(results.values()), f"bit-for-bit mismatches: {results}"
+    emit(
+        "bitforbit",
+        format_table(
+            [{"benchmark": b, "bit_for_bit": ok} for b, ok in results.items()],
+            title="Section 3.1 — instrumented all-single vs manual conversion",
+        ),
+    )

@@ -1,0 +1,42 @@
+"""Substrate micro-benchmarks: VM dispatch, instrumentation, compilation.
+
+Not a paper figure — these track the performance of the reproduction's
+own machinery (useful when modifying the interpreter or the rewriter).
+"""
+
+from __future__ import annotations
+
+from repro.config import Config, build_tree
+from repro.instrument import instrument
+from repro.vm import VM, run_program
+from repro.workloads import make_nas
+
+
+def test_vm_dispatch_rate(benchmark):
+    workload = make_nas("ep", "W")
+    program = workload.program
+
+    result = benchmark(lambda: run_program(program).steps)
+    assert result > 10_000
+
+
+def test_vm_load_precompile(benchmark):
+    program = make_nas("cg", "W").program
+    vm = benchmark(lambda: VM(program))
+    assert vm.entry_index() >= 0
+
+
+def test_instrumentation_rewrite(benchmark):
+    program = make_nas("mg", "W").program
+    tree = build_tree(program)
+    config = Config.all_single(tree)
+
+    instrumented = benchmark(lambda: instrument(program, config))
+    assert instrumented.growth > 1.0
+
+
+def test_compile_pipeline(benchmark):
+    from repro.workloads.nas import cg
+
+    workload = benchmark(lambda: cg.make("W").program)
+    assert workload.stats()["instructions"] > 100

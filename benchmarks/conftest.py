@@ -1,0 +1,29 @@
+"""Benchmark-harness helpers.
+
+Every ``bench_fig*.py`` regenerates one table/figure of the paper: it
+prints the reproduced table next to the paper's numbers and appends it to
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from a run.
+
+Set ``REPRO_BENCH_FULL=1`` to run the paper-scale parameters (both
+problem classes, full threshold sweeps); the default keeps a full
+``pytest benchmarks/ --benchmark-only`` run in the minutes range.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)

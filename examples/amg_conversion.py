@@ -1,0 +1,51 @@
+"""AMG microkernel end-to-end conversion (paper Section 3.2).
+
+The paper's workflow on the ASC Sequoia AMG microkernel:
+
+1. the automatic analysis verifies the *whole kernel* can run in single
+   precision (the adaptive multigrid iteration corrects rounding);
+2. a developer then converts the source manually ("recompiling" — here,
+   the compiler's ``real = f32`` build) and gets a ~2X speedup.
+
+Run:  python examples/amg_conversion.py
+"""
+
+from repro import Config, SearchEngine, build_tree, instrument
+from repro.workloads import amg
+
+
+def main() -> None:
+    workload = amg.make("A")
+    base = workload.baseline()
+    print(f"workload: {workload.name}")
+    print(f"double build: residual={base.values()[0]:.3e} in "
+          f"{base.values()[1]} V-cycles  [{base.cycles} cycles]\n")
+
+    # Step 1: the analysis — whole-kernel single configuration.
+    tree = build_tree(workload.program)
+    instrumented = instrument(workload.program, Config.all_single(tree))
+    analysis = workload.run(instrumented.program)
+    print("analysis (instrumented, everything single):")
+    print(f"  residual={analysis.values()[0]:.3e} in {analysis.values()[1]} cycles"
+          f" -> verification {'PASSES' if workload.verify(analysis) else 'fails'}")
+    print(f"  analysis overhead: {analysis.cycles / base.cycles:.2f}X"
+          "   (paper: 1.2X)\n")
+
+    # The search reaches the same conclusion at module granularity.
+    result = SearchEngine(workload).run()
+    print(f"automatic search: {result.configs_tested} configuration(s) tested, "
+          f"static {result.static_pct * 100:.0f}% replaced, "
+          f"final {'pass' if result.final_verified else 'fail'}\n")
+
+    # Step 2: the manual conversion (the f32 build of the same source).
+    manual = workload.run(workload.program_single)
+    print("manually converted (real = f32) build:")
+    print(f"  residual={manual.values()[0]:.3e} in {manual.values()[1]} V-cycles")
+    print(f"  verification {'PASSES' if workload.verify(manual) else 'fails'}"
+          " (the convergence check self-corrects, as the paper exploits)")
+    print(f"  speedup: {base.cycles / manual.cycles:.2f}X"
+          "   (paper: 175.48s -> 95.25s, 1.84X)")
+
+
+if __name__ == "__main__":
+    main()

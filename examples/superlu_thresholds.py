@@ -1,0 +1,45 @@
+"""SuperLU threshold sweep (paper Section 3.3, Figure 11).
+
+"To run an automated search on the linear solver program, we wrote a
+driver script that ran the program and compared the reported error
+against a predefined threshold error bound."  This example *is* that
+driver script for the SuperLU analogue: it sweeps the bound and shows
+how the replaceable fraction collapses as the bound tightens.
+
+Run:  python examples/superlu_thresholds.py
+"""
+
+from repro.experiments import fig11
+from repro.experiments.tables import format_table
+
+
+def main() -> None:
+    meta = fig11.solver_errors("W")
+    print("SuperLU analogue on the synthetic memplus-like system:")
+    print(f"  double-build reported error: {meta['double_error']:.2e}"
+          "   (paper memplus: 2.16e-12)")
+    print(f"  single-build reported error: {meta['single_error']:.2e}"
+          "   (paper memplus: 5.86e-04)")
+    print(f"  single-build speedup:        {meta['single_speedup']:.2f}X"
+          "   (paper: 1.16X)\n")
+
+    thresholds = (1e-3, 1e-4, 1e-5, 3e-6, 1e-6, 1e-7)
+    rows = fig11.run(klass="W", thresholds=thresholds)
+    print(format_table(
+        rows,
+        columns=[
+            ("threshold", "threshold"),
+            ("static_pct", "static %"),
+            ("dynamic_pct", "dynamic %"),
+            ("final_error", "final error"),
+            ("final", "final"),
+            ("tested", "configs tested"),
+        ],
+        title="Figure 11 — threshold sweep (ours)",
+    ))
+    print("paper (memplus): 99.1/99.9 @1e-3 ... 72.6/1.6 @1e-6; the final "
+          "error stays below the search threshold whenever the union verifies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Assembler and disassembler for the virtual ISA.
+
+:class:`~repro.asm.builder.AsmBuilder` is the programmatic assembler used
+by the compiler back end and by the instrumentation snippet generator; it
+handles label resolution, function extents, global data allocation, and
+final layout into a :class:`~repro.binary.model.Program`.
+
+:mod:`repro.asm.parser` assembles human-written text, and
+:mod:`repro.asm.disassembler` produces listings; together they give the
+same round-trip capability the paper gets from XED plus Dyninst's
+instruction API.
+"""
+
+from repro.asm.builder import AsmBuilder, AsmError, LabelRef
+from repro.asm.disassembler import disassemble_program, disassemble_function
+from repro.asm.parser import assemble_text
+
+__all__ = [
+    "AsmBuilder",
+    "AsmError",
+    "LabelRef",
+    "disassemble_program",
+    "disassemble_function",
+    "assemble_text",
+]

@@ -1,0 +1,32 @@
+"""Listing generation: Program -> human-readable assembly text."""
+
+from __future__ import annotations
+
+from repro.binary.model import FunctionInfo, Program
+
+
+def disassemble_function(program: Program, fn: FunctionInfo, show_blocks: bool = True) -> str:
+    """Disassemble one function as a text listing."""
+    lines = [f".func {fn.name}  ; module {fn.module}  [{fn.entry:#x},{fn.end:#x})"]
+    blocks = fn.blocks
+    for bi, block in enumerate(blocks):
+        if show_blocks:
+            succs = ", ".join(f"{s:#x}" for s in block.successors)
+            lines.append(f"  ; block {bi} @ {block.start:#x} -> [{succs}]")
+        for instr in block.instructions:
+            src = f"  ; line {instr.line}" if instr.line else ""
+            lines.append(f"    {instr.addr:#08x}: {instr.render()}{src}")
+    lines.append(".endfunc")
+    return "\n".join(lines)
+
+
+def disassemble_program(program: Program) -> str:
+    """Full listing of *program*, grouped by module and function."""
+    parts = [f"; program {program.name}: {len(program.text)} text bytes, "
+             f"{program.data_words} data words, entry {program.entry:#x}"]
+    for module in program.modules:
+        parts.append(f"\n.module {module}")
+        for fn in program.functions:
+            if fn.module == module:
+                parts.append(disassemble_function(program, fn))
+    return "\n".join(parts)

@@ -1,0 +1,175 @@
+"""Text assembler: parse human-written assembly into a Program.
+
+Directives::
+
+    .module NAME                 ; attribution for following functions
+    .global NAME WORDS [v ...]   ; reserve data, optional init cell values
+    .entry NAME                  ; entry function (default _start)
+    .func NAME / .endfunc        ; function extent
+    LABEL:                       ; local label
+
+Operands (Intel order, destination first)::
+
+    %r0 .. %r15, %sp, %fp        ; GPRs
+    %x0 .. %x15                  ; XMM registers
+    $123, $-5, $0x7ff4dead       ; integer immediates
+    $d:1.5                       ; immediate = binary64 bit pattern of 1.5
+    $s:1.5                       ; immediate = binary32 bit pattern of 1.5
+    @name                        ; immediate = address of global `name`
+    8(%r1), (%r1,%r2), 4(%r1,%r2,8), (100)   ; memory
+    [name], [name+4]             ; memory at a global (+word offset)
+    identifier                   ; label reference (branch/call targets)
+
+Comments start with ``;`` or ``#``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.asm.builder import AsmBuilder, AsmError, LabelRef
+from repro.binary.model import Program
+from repro.fpbits.ieee import double_to_bits, single_to_bits
+from repro.isa.opcodes import MNEMONIC_TO_OP
+from repro.isa.operands import Imm, Mem, Reg, Xmm
+from repro.isa.registers import GPR_BY_NAME, XMM_BY_NAME
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*):$")
+_MEM_RE = re.compile(
+    r"^(-?\d+|0x[0-9a-fA-F]+)?\(\s*(%[\w]+)?\s*(?:,\s*(%[\w]+)\s*(?:,\s*(\d+)\s*)?)?\)$"
+)
+_GLOBAL_MEM_RE = re.compile(r"^\[([A-Za-z_]\w*)(?:\s*\+\s*(\d+))?\]$")
+
+
+class _ParserState:
+    def __init__(self, name: str) -> None:
+        self.builder = AsmBuilder(name)
+        self.entry = "_start"
+        self.pending_globals: dict[str, int] = {}
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def _parse_reg(token: str):
+    name = token[1:].lower()
+    if name in GPR_BY_NAME:
+        return Reg(GPR_BY_NAME[name])
+    if name in XMM_BY_NAME:
+        return Xmm(XMM_BY_NAME[name])
+    raise AsmError(f"unknown register {token!r}")
+
+
+def _parse_operand(token: str, builder: AsmBuilder):
+    token = token.strip()
+    if not token:
+        raise AsmError("empty operand")
+    if token.startswith("%"):
+        return _parse_reg(token)
+    if token.startswith("$d:"):
+        return Imm(double_to_bits(float(token[3:])))
+    if token.startswith("$s:"):
+        return Imm(single_to_bits(float(token[3:])))
+    if token.startswith("$"):
+        return Imm(_parse_int(token[1:]))
+    if token.startswith("@"):
+        return Imm(builder.global_addr(token[1:]))
+    m = _GLOBAL_MEM_RE.match(token)
+    if m:
+        addr = builder.global_addr(m.group(1))
+        offset = int(m.group(2)) if m.group(2) else 0
+        return Mem(disp=addr + offset)
+    m = _MEM_RE.match(token)
+    if m:
+        disp = _parse_int(m.group(1)) if m.group(1) else 0
+        base = index = None
+        if m.group(2):
+            reg = _parse_reg(m.group(2))
+            if not isinstance(reg, Reg):
+                raise AsmError(f"memory base must be a GPR: {token!r}")
+            base = reg.index
+        if m.group(3):
+            reg = _parse_reg(m.group(3))
+            if not isinstance(reg, Reg):
+                raise AsmError(f"memory index must be a GPR: {token!r}")
+            index = reg.index
+        scale = int(m.group(4)) if m.group(4) else 1
+        return Mem(base=base, index=index, scale=scale, disp=disp)
+    if re.fullmatch(r"[A-Za-z_.][\w.]*", token):
+        return LabelRef(token)
+    raise AsmError(f"cannot parse operand {token!r}")
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split on commas not inside parentheses/brackets."""
+    parts, depth, current = [], 0, []
+    for ch in rest:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def assemble_text(source: str, name: str = "a.out") -> Program:
+    """Assemble *source* and return the linked Program."""
+    state = _ParserState(name)
+    builder = state.builder
+    in_func = False
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        try:
+            if line.startswith(".module"):
+                builder.module(line.split()[1])
+                continue
+            if line.startswith(".entry"):
+                state.entry = line.split()[1]
+                continue
+            if line.startswith(".global"):
+                parts = line.split()
+                if len(parts) < 3:
+                    raise AsmError(".global needs NAME WORDS")
+                init = [_parse_int(p) for p in parts[3:]] or None
+                builder.global_(parts[1], int(parts[2]), init)
+                continue
+            if line.startswith(".func"):
+                builder.func(line.split()[1])
+                in_func = True
+                continue
+            if line.startswith(".endfunc"):
+                builder.endfunc()
+                in_func = False
+                continue
+            m = _LABEL_RE.match(line)
+            if m:
+                builder.mark(m.group(1))
+                continue
+            if not in_func:
+                raise AsmError(f"instruction outside .func: {line!r}")
+            fields = line.split(None, 1)
+            mnemonic = fields[0].lower()
+            if mnemonic not in MNEMONIC_TO_OP:
+                raise AsmError(f"unknown mnemonic {mnemonic!r}")
+            operands = (
+                [_parse_operand(t, builder) for t in _split_operands(fields[1])]
+                if len(fields) > 1
+                else []
+            )
+            builder.emit(MNEMONIC_TO_OP[mnemonic], *operands, line=lineno)
+        except AsmError as exc:
+            raise AsmError(f"line {lineno}: {exc}") from exc
+        except (KeyError, ValueError, IndexError) as exc:
+            raise AsmError(f"line {lineno}: {exc}") from exc
+
+    return builder.link(entry=state.entry)

@@ -1,0 +1,26 @@
+"""Program container and control-flow analysis.
+
+A :class:`~repro.binary.model.Program` is the unit everything else
+operates on: the instrumentation engine patches it, the VM executes it,
+the search instruments-and-runs many variants of it.  It plays the role
+of the ELF binary in the paper: a text section of encoded instructions,
+an initialized data image, a symbol table, function extents, per-module
+attribution, and debug line information.
+"""
+
+from repro.binary.model import (
+    BasicBlock,
+    FunctionInfo,
+    GlobalSymbol,
+    Program,
+)
+from repro.binary.cfg import build_cfg, function_blocks
+
+__all__ = [
+    "BasicBlock",
+    "FunctionInfo",
+    "GlobalSymbol",
+    "Program",
+    "build_cfg",
+    "function_blocks",
+]

@@ -1,0 +1,99 @@
+"""Intra-procedural control-flow graph construction.
+
+This is the parsing half of what the paper gets from Dyninst: given a
+function's extent in the text section, decode it, find basic-block
+leaders, and connect blocks by their branch/fallthrough edges.  Calls are
+*not* block terminators (the CFG is intra-procedural); unconditional
+jumps, conditional jumps, returns and halts are.
+
+Leaders are: the function entry, every branch target inside the function,
+and every instruction following a terminator or conditional branch.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encode import decode_instruction, encoded_length
+from repro.isa.instruction import Instruction
+
+from repro.binary.model import BasicBlock, FunctionInfo, Program
+
+
+class CfgError(Exception):
+    """Ill-formed control flow (e.g. a branch into another function)."""
+
+
+def _decode_range(text: bytes, start: int, end: int) -> list[Instruction]:
+    out = []
+    offset = start
+    while offset < end:
+        instr, size = decode_instruction(text, offset)
+        out.append(instr)
+        offset += size
+    if offset != end:
+        raise CfgError(f"function extent [{start:#x},{end:#x}) splits an instruction")
+    return out
+
+
+def function_blocks(program: Program, fn: FunctionInfo) -> list[BasicBlock]:
+    """Build and return the basic blocks of *fn* (does not mutate *fn*)."""
+    instrs = _decode_range(program.text, fn.entry, fn.end)
+    if not instrs:
+        return []
+
+    leaders: set[int] = {fn.entry}
+    for instr in instrs:
+        inf = instr.info
+        target = instr.branch_target()
+        if target is not None and not inf.is_call:
+            if not (fn.entry <= target < fn.end):
+                raise CfgError(
+                    f"{fn.name}: branch at {instr.addr:#x} targets {target:#x} "
+                    f"outside the function"
+                )
+            leaders.add(target)
+        if inf.is_terminator or inf.is_cond_branch:
+            next_addr = instr.addr + encoded_length(instr)
+            if next_addr < fn.end:
+                leaders.add(next_addr)
+
+    ordered = sorted(leaders)
+    leader_set = set(ordered)
+
+    blocks: list[BasicBlock] = []
+    current: list[Instruction] = []
+    for instr in instrs:
+        if instr.addr in leader_set and current:
+            blocks.append(BasicBlock(current[0].addr, current))
+            current = []
+        current.append(instr)
+    if current:
+        blocks.append(BasicBlock(current[0].addr, current))
+
+    # Successor edges.
+    for i, block in enumerate(blocks):
+        last = block.instructions[-1]
+        inf = last.info
+        succs: list[int] = []
+        target = last.branch_target()
+        if inf.is_cond_branch:
+            assert target is not None
+            succs.append(target)
+            if i + 1 < len(blocks):
+                succs.append(blocks[i + 1].start)
+        elif inf.is_branch:  # unconditional jmp
+            assert target is not None
+            succs.append(target)
+        elif inf.is_terminator:  # ret / halt
+            pass
+        else:  # fallthrough (includes calls)
+            if i + 1 < len(blocks):
+                succs.append(blocks[i + 1].start)
+        block.successors = tuple(succs)
+
+    return blocks
+
+
+def build_cfg(program: Program) -> None:
+    """Populate ``fn.blocks`` for every function in *program* (idempotent)."""
+    for fn in program.functions:
+        fn.blocks = function_blocks(program, fn)

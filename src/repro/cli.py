@@ -1,0 +1,304 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI mirrors how the paper's tool chain was driven: compile (or take)
+a binary, generate a configuration template, edit flags, instrument, run,
+and let the automatic search do the whole loop on a benchmark.
+
+Commands
+--------
+compile     MH sources -> executable image (pickled Program)
+run         execute a program (optionally multi-rank / profiled)
+disasm      disassemble a program
+config      emit the initial configuration exchange file (paper Fig. 3)
+instrument  rewrite a program under a configuration file
+view        render the configuration tree (paper Fig. 4, as text)
+search      automatic mixed-precision search on a built-in workload
+experiment  regenerate one of the paper's tables/figures
+
+Program images are plain pickles of :class:`repro.binary.model.Program`;
+anything ending in ``.mh`` (or any readable text) is compiled on the fly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+
+from repro.asm.disassembler import disassemble_program
+from repro.binary.model import Program
+from repro.compiler import CompileOptions, compile_program
+from repro.config.fileformat import dump_config, load_config
+from repro.config.generator import build_tree
+from repro.config.model import Config
+from repro.instrument.engine import instrument
+from repro.mpi.runner import run_mpi_program
+from repro.search.bfs import SearchEngine, SearchOptions
+from repro.viewer.tree import render_config_tree, render_search_summary
+from repro.vm.machine import run_program
+from repro.workloads import make_workload
+
+
+def _load_program(paths: list[str], options: CompileOptions) -> Program:
+    """Load a pickled image, or compile one or more MH sources."""
+    if len(paths) == 1 and paths[0].endswith((".rpx", ".bin", ".pickle")):
+        with open(paths[0], "rb") as handle:
+            program = pickle.load(handle)
+        if not isinstance(program, Program):
+            raise SystemExit(f"{paths[0]}: not a program image")
+        return program
+    sources = []
+    for path in paths:
+        with open(path, "r") as handle:
+            sources.append(handle.read())
+    return compile_program(sources, options)
+
+
+def _save_program(program: Program, path: str) -> None:
+    with open(path, "wb") as handle:
+        pickle.dump(program, handle)
+
+
+def _compile_options(args) -> CompileOptions:
+    return CompileOptions(
+        name=getattr(args, "name", "a.out") or "a.out",
+        real_type=getattr(args, "real", "f64"),
+        transcendentals=getattr(args, "transcendentals", "instruction"),
+    )
+
+
+def cmd_compile(args) -> int:
+    program = _load_program(args.sources, _compile_options(args))
+    _save_program(program, args.output)
+    stats = program.stats()
+    print(f"{args.output}: {stats['instructions']} instructions, "
+          f"{stats['candidates']} candidates, {stats['functions']} functions, "
+          f"{stats['data_words']} data words")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args.target, _compile_options(args))
+    if args.mpi > 1:
+        result = run_mpi_program(
+            program, args.mpi, seed=args.seed, stack_words=args.stack
+        )
+        print(f"[{args.mpi} ranks, makespan {result.elapsed} cycles, "
+              f"{result.collectives} collectives]")
+        values = result.values()
+    else:
+        run = run_program(
+            program, seed=args.seed, stack_words=args.stack, profile=args.profile
+        )
+        print(f"[{run.cycles} cycles, {run.steps} instructions]")
+        values = run.values()
+        if args.profile:
+            hot = sorted(run.exec_counts.items(), key=lambda kv: -kv[1])[:10]
+            print("hottest instructions:")
+            for addr, count in hot:
+                print(f"  {addr:#08x}: {count}")
+    for value in values:
+        print(value)
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    program = _load_program(args.target, _compile_options(args))
+    print(disassemble_program(program))
+    return 0
+
+
+def cmd_config(args) -> int:
+    program = _load_program(args.target, _compile_options(args))
+    tree = build_tree(program)
+    text = dump_config(Config.all_double(tree))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {tree.candidate_count} candidates to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_instrument(args) -> int:
+    program = _load_program(args.target, _compile_options(args))
+    tree = build_tree(program)
+    if args.config:
+        with open(args.config) as handle:
+            config = load_config(tree, handle.read())
+    else:
+        config = Config.all_single(tree) if args.all_single else Config.all_double(tree)
+    result = instrument(
+        program, config, mode=args.mode, optimize_checks=args.optimize_checks,
+        streamline=args.streamline,
+    )
+    _save_program(result.program, args.output)
+    stats = result.stats
+    print(f"{args.output}: {stats.replaced_single} single snippets, "
+          f"{stats.wrapped_double} double guards, {stats.ignored} ignored; "
+          f"text growth {result.growth:.2f}x")
+    return 0
+
+
+def cmd_view(args) -> int:
+    program = _load_program(args.target, _compile_options(args))
+    tree = build_tree(program)
+    if args.config:
+        with open(args.config) as handle:
+            config = load_config(tree, handle.read())
+    else:
+        config = Config.all_double(tree)
+    profile = None
+    if args.profile:
+        profile = run_program(program, profile=True).exec_counts
+    print(render_config_tree(config, profile=profile), end="")
+    return 0
+
+
+def cmd_search(args) -> int:
+    workload = make_workload(args.workload, args.klass)
+    options = SearchOptions(
+        stop_level=args.stop_level,
+        workers=args.workers,
+        refine=args.refine,
+    )
+    result = SearchEngine(workload, options).run()
+    print(render_search_summary(result), end="")
+    row = result.row()
+    print(f"\nstatic {row['static_pct']}%  dynamic {row['dynamic_pct']}%  "
+          f"final {row['final']}")
+    if result.refined_config is not None:
+        print(f"refined: static {result.refined_static_pct * 100:.1f}%  "
+              f"dynamic {result.refined_dynamic_pct * 100:.1f}%  "
+              f"verified {result.refined_verified}")
+    if args.report:
+        from repro.viewer.report import render_markdown_report
+
+        with open(args.report, "w") as handle:
+            handle.write(render_markdown_report(result, workload))
+        print(f"wrote report to {args.report}")
+    if args.output and result.final_config is not None:
+        best = (
+            result.refined_config
+            if result.refined_config is not None and result.refined_verified
+            else result.final_config
+        )
+        with open(args.output, "w") as handle:
+            handle.write(dump_config(best))
+        print(f"wrote configuration to {args.output}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import amg, fig8, fig9, fig10, fig11
+    from repro.experiments.tables import format_table
+
+    name = args.figure
+    if name == "fig8":
+        print(format_table(fig8.run(klass=args.klass), title="Figure 8"), end="")
+    elif name == "fig9":
+        print(format_table(fig9.run(classes=(args.klass,)), title="Figure 9"), end="")
+    elif name == "fig10":
+        print(format_table(fig10.run(classes=(args.klass,)), title="Figure 10"), end="")
+    elif name == "fig11":
+        print(format_table(fig11.run(klass=args.klass), title="Figure 11"), end="")
+    elif name == "amg":
+        row = {k: v for k, v in amg.run(args.klass).items() if not k.startswith("_")}
+        print(format_table([row], title="AMG (Section 3.2)"), end="")
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {name}")
+    return 0
+
+
+def _add_compile_flags(parser) -> None:
+    parser.add_argument("--real", choices=("f64", "f32"), default="f64",
+                        help="meaning of the 'real' type (default f64)")
+    parser.add_argument("--transcendentals", choices=("instruction", "library"),
+                        default="instruction")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mixed-precision binary analysis on the virtual ISA "
+        "(reproduction of Lam et al.)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile MH sources to a program image")
+    p.add_argument("sources", nargs="+")
+    p.add_argument("-o", "--output", default="a.rpx")
+    p.add_argument("--name", default="a.out")
+    _add_compile_flags(p)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="run a program (source or image)")
+    p.add_argument("target", nargs="+")
+    p.add_argument("--mpi", type=int, default=1, metavar="RANKS")
+    p.add_argument("--seed", type=lambda s: int(s, 0), default=0x9E3779B97F4A7C15)
+    p.add_argument("--stack", type=int, default=8192)
+    p.add_argument("--profile", action="store_true")
+    _add_compile_flags(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("disasm", help="disassemble a program")
+    p.add_argument("target", nargs="+")
+    _add_compile_flags(p)
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("config", help="emit the initial configuration file")
+    p.add_argument("target", nargs="+")
+    p.add_argument("-o", "--output")
+    _add_compile_flags(p)
+    p.set_defaults(func=cmd_config)
+
+    p = sub.add_parser("instrument", help="rewrite a program under a configuration")
+    p.add_argument("target", nargs="+")
+    p.add_argument("--config", help="configuration exchange file")
+    p.add_argument("--all-single", action="store_true",
+                   help="shortcut: replace everything (no --config needed)")
+    p.add_argument("--mode", choices=("auto", "all", "none"), default="auto")
+    p.add_argument("--optimize-checks", action="store_true",
+                   help="redundant-check elimination (Section 2.5)")
+    p.add_argument("--streamline", action="store_true",
+                   help="compact snippets without scratch save/restore "
+                        "(Section 2.5; needs a scratch-free program)")
+    p.add_argument("-o", "--output", default="a.instr.rpx")
+    _add_compile_flags(p)
+    p.set_defaults(func=cmd_instrument)
+
+    p = sub.add_parser("view", help="render the configuration tree")
+    p.add_argument("target", nargs="+")
+    p.add_argument("--config")
+    p.add_argument("--profile", action="store_true")
+    _add_compile_flags(p)
+    p.set_defaults(func=cmd_view)
+
+    p = sub.add_parser("search", help="automatic search on a built-in workload")
+    p.add_argument("workload", help="bt|cg|ep|ft|lu|mg|sp|amg|superlu")
+    p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
+    p.add_argument("--stop-level", default="instruction",
+                   choices=("module", "function", "block", "instruction"))
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--refine", action="store_true",
+                   help="second search phase when the union fails")
+    p.add_argument("-o", "--output", help="write the best configuration here")
+    p.add_argument("--report", help="write a Markdown analysis report here")
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("figure", choices=("fig8", "fig9", "fig10", "fig11", "amg"))
+    p.add_argument("klass", nargs="?", default="W")
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

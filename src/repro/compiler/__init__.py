@@ -1,0 +1,33 @@
+"""The mini-language compiler.
+
+The paper analyzes Fortran/C programs compiled to x86; this package is
+the equivalent front end for the virtual ISA.  It compiles a small
+statically-typed language ("MH") with ``i64`` / ``f64`` / ``f32``
+scalars, global arrays, functions, control flow, MPI intrinsics and
+transcendentals into :class:`~repro.binary.model.Program` executables
+with full function/block structure and source-line debug info.
+
+Precision genericity: the ``real`` type resolves to ``f64`` or ``f32``
+at compile time (like Fortran's ``-r8``/``-r4``), which is how we build
+the "manually converted" single-precision versions of every workload —
+the paper did this with a source translation script; we do it with a
+compiler flag.
+
+Transcendental handling (paper Section 2.5): with
+``transcendentals="instruction"`` the compiler emits dedicated
+``sinsd``-style instructions (the tool's special handling, making the
+call replaceable as a unit); with ``"library"`` it emits calls to a
+compiled math library whose internals are ordinary instructions (the
+situation the paper describes where lookup/bitwise code inside ``libm``
+resists replacement).
+"""
+
+from repro.compiler.driver import CompileOptions, compile_program, compile_source
+from repro.compiler.errors import CompileError
+
+__all__ = [
+    "CompileOptions",
+    "compile_program",
+    "compile_source",
+    "CompileError",
+]

@@ -1,0 +1,191 @@
+"""AST node definitions for the MH mini-language.
+
+Types are plain strings — ``"i64"``, ``"f64"``, ``"f32"`` — plus array
+reference types ``("arr", elem)`` used for parameters and array-valued
+expressions.  The source-level ``real`` keyword is resolved to ``f64`` or
+``f32`` by the parser according to the compile options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Type = str | tuple  # "i64" | "f64" | "f32" | ("arr", elem)
+
+
+def is_fp(t: Type) -> bool:
+    return t in ("f64", "f32")
+
+
+def is_arr(t: Type) -> bool:
+    return isinstance(t, tuple) and t[0] == "arr"
+
+
+def type_name(t: Type) -> str:
+    if is_arr(t):
+        return f"{t[1]}[]"
+    return str(t)
+
+
+# --- expressions -----------------------------------------------------------
+
+
+@dataclass(slots=True)
+class IntLit:
+    value: int
+    line: int
+
+
+@dataclass(slots=True)
+class FloatLit:
+    value: float
+    line: int
+
+
+@dataclass(slots=True)
+class NameRef:
+    name: str
+    line: int
+
+
+@dataclass(slots=True)
+class Index:
+    base: object  # expression of array type
+    index: object
+    line: int
+
+
+@dataclass(slots=True)
+class Unary:
+    op: str  # "-" | "not"
+    operand: object
+    line: int
+
+
+@dataclass(slots=True)
+class Binary:
+    op: str  # + - * / % << >> & | ^  == != < <= > >=  and or
+    left: object
+    right: object
+    line: int
+
+
+@dataclass(slots=True)
+class Call:
+    name: str
+    args: list
+    line: int
+
+
+@dataclass(slots=True)
+class Cast:
+    target: Type
+    operand: object
+    line: int
+
+
+# --- statements --------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class VarDecl:
+    name: str
+    type: Type
+    init: object | None
+    line: int
+
+
+@dataclass(slots=True)
+class Assign:
+    target: object  # NameRef or Index
+    value: object
+    line: int
+
+
+@dataclass(slots=True)
+class If:
+    cond: object
+    then_body: list
+    else_body: list
+    line: int
+
+
+@dataclass(slots=True)
+class While:
+    cond: object
+    body: list
+    line: int
+
+
+@dataclass(slots=True)
+class For:
+    var: str
+    lo: object
+    hi: object
+    body: list
+    line: int
+
+
+@dataclass(slots=True)
+class Return:
+    value: object | None
+    line: int
+
+
+@dataclass(slots=True)
+class Out:
+    value: object
+    line: int
+
+
+@dataclass(slots=True)
+class Break:
+    line: int
+
+
+@dataclass(slots=True)
+class Continue:
+    line: int
+
+
+@dataclass(slots=True)
+class ExprStmt:
+    expr: object
+    line: int
+
+
+# --- top level -----------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Param:
+    name: str
+    type: Type
+
+
+@dataclass(slots=True)
+class FuncDef:
+    name: str
+    params: list
+    ret: Type | None
+    body: list
+    line: int
+    module: str = ""
+
+
+@dataclass(slots=True)
+class GlobalVar:
+    name: str
+    type: Type
+    size: int  # 1 for scalars, element count for arrays
+    init: list = field(default_factory=list)  # constant cell values (bit patterns)
+    line: int = 0
+    module: str = ""
+
+
+@dataclass(slots=True)
+class ModuleAst:
+    name: str
+    consts: dict
+    globals: list
+    functions: list

@@ -1,0 +1,904 @@
+"""Code generation: MH AST -> virtual-ISA assembly via AsmBuilder.
+
+Conventions
+-----------
+* Calling convention: the caller evaluates arguments left to right and
+  pushes each one (so argument *i* of *n* lives at ``[fp + 2 + (n-1-i)]``
+  in the callee), then ``call``.  The callee prologue is
+  ``push fp; mov fp, sp; sub sp, #locals``.  Integer results return in
+  ``r0``, floating-point results in ``x0``.  The caller pops the argument
+  area and restores any live expression temporaries it saved.
+* Expression temporaries: integers use ``r1..r10``, floats ``x1..x11``,
+  allocated as a stack per expression tree; ``r11`` is address/move
+  scratch.  ``r12/r13`` and ``x14/x15`` are never touched — they belong
+  to the instrumentation snippets.
+* All locals and arguments occupy one 64-bit stack cell.  ``f32`` values
+  live in the low word of their cell, exactly like a single stored to an
+  8-byte slot on x86.
+
+Floating-point comparisons follow IEEE semantics: any comparison with a
+NaN is false except ``!=``, implemented with the unordered flag the same
+way x86 code uses ``jp`` after ``ucomisd``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.builder import AsmBuilder, LabelRef
+from repro.compiler import ast_nodes as A
+from repro.compiler.ast_nodes import is_arr, is_fp, type_name
+from repro.compiler.errors import CompileError
+from repro.fpbits.ieee import double_to_bits, single_to_bits
+from repro.isa.opcodes import Op, RED_MAX, RED_MIN, RED_SUM
+from repro.isa.operands import Imm, Mem, Reg, Xmm
+
+_FP = 14   # frame pointer
+_SP = 15   # stack pointer
+_SCRATCH = 11  # address/move scratch GPR
+
+_MAX_INT_TEMP = 10   # r1..r10
+_MAX_FP_TEMP = 11    # x1..x11
+
+# Opcode selection by FP width.
+_OPS64 = {
+    "+": Op.ADDSD, "-": Op.SUBSD, "*": Op.MULSD, "/": Op.DIVSD,
+    "sqrt": Op.SQRTSD, "abs": Op.ABSSD, "neg": Op.NEGSD,
+    "min": Op.MINSD, "max": Op.MAXSD, "ucomi": Op.UCOMISD,
+    "sin": Op.SINSD, "cos": Op.COSSD, "exp": Op.EXPSD, "log": Op.LOGSD,
+    "mov": Op.MOVSD, "out": Op.OUTSD, "cvtsi": Op.CVTSI2SD,
+    "cvttsi": Op.CVTTSD2SI, "allred": Op.ALLRED,
+}
+_OPS32 = {
+    "+": Op.ADDSS, "-": Op.SUBSS, "*": Op.MULSS, "/": Op.DIVSS,
+    "sqrt": Op.SQRTSS, "abs": Op.ABSSS, "neg": Op.NEGSS,
+    "min": Op.MINSS, "max": Op.MAXSS, "ucomi": Op.UCOMISS,
+    "sin": Op.SINSS, "cos": Op.COSSS, "exp": Op.EXPSS, "log": Op.LOGSS,
+    "mov": Op.MOVSS, "out": Op.OUTSS, "cvtsi": Op.CVTSI2SS,
+    "cvttsi": Op.CVTTSS2SI, "allred": Op.ALLREDSS,
+}
+
+_INT_BIN = {
+    "+": Op.ADD, "-": Op.SUB, "*": Op.IMUL, "/": Op.IDIV, "%": Op.IREM,
+    "&": Op.AND, "|": Op.OR, "^": Op.XOR, "<<": Op.SHL, ">>": Op.SHR,
+}
+
+# branch-if-true / branch-if-false opcode pairs for integer comparisons
+_INT_CMP_TRUE = {
+    "==": Op.JE, "!=": Op.JNE, "<": Op.JL, "<=": Op.JLE, ">": Op.JG, ">=": Op.JGE,
+}
+_INT_CMP_FALSE = {
+    "==": Op.JNE, "!=": Op.JE, "<": Op.JGE, "<=": Op.JG, ">": Op.JLE, ">=": Op.JL,
+}
+
+_TRANSCENDENTALS = ("sin", "cos", "exp", "log")
+
+
+def _fp_ops(t: str) -> dict:
+    return _OPS64 if t == "f64" else _OPS32
+
+
+@dataclass(slots=True)
+class _FuncCtx:
+    func: A.FuncDef
+    module: str
+    nargs: int
+    locals: list  # list of scope dicts: name -> (kind, offset/addr, type)
+    n_locals: int
+    next_local: int = 0
+    int_top: int = 1
+    fp_top: int = 1
+    loop_stack: list = field(default_factory=list)  # (break_label, continue_label)
+
+
+class CodeGen:
+    def __init__(self, modules: list[A.ModuleAst], options) -> None:
+        self.modules = modules
+        self.options = options
+        self.builder = AsmBuilder(options.name)
+        self.funcs: dict[str, A.FuncDef] = {}
+        self.global_syms: dict[str, tuple] = {}  # name -> (addr, type)
+        self.consts_by_module: dict[str, dict] = {}
+
+    # -- driver -----------------------------------------------------------------
+
+    def generate(self):
+        for mod in self.modules:
+            self.consts_by_module[mod.name] = mod.consts
+            for g in mod.globals:
+                if g.name in self.global_syms:
+                    raise CompileError(f"duplicate global {g.name!r}", g.line, mod.name)
+                addr = self.builder.global_(g.name, g.size, g.init)
+                self.global_syms[g.name] = (addr, g.type)
+            for fn in mod.functions:
+                if fn.name in self.funcs:
+                    raise CompileError(f"duplicate function {fn.name!r}", fn.line, mod.name)
+                self.funcs[fn.name] = fn
+
+        if self.options.entry not in self.funcs:
+            raise CompileError(f"no {self.options.entry!r} function defined")
+        entry_fn = self.funcs[self.options.entry]
+        if entry_fn.params:
+            raise CompileError(
+                f"{self.options.entry!r} must take no parameters", entry_fn.line
+            )
+
+        b = self.builder
+        b.module(self.modules[0].name if self.modules else "main")
+        b.func("_start")
+        b.emit(Op.CALL, LabelRef(self.options.entry))
+        b.emit(Op.HALT)
+        b.endfunc()
+
+        for mod in self.modules:
+            b.module(mod.name)
+            for fn in mod.functions:
+                self._gen_func(fn, mod)
+
+        return b.link(entry="_start")
+
+    # -- function ------------------------------------------------------------------
+
+    def _count_locals(self, body: list) -> int:
+        count = 0
+        for stmt in body:
+            if isinstance(stmt, A.VarDecl):
+                count += 1
+            elif isinstance(stmt, A.For):
+                count += 2 + self._count_locals(stmt.body)
+            elif isinstance(stmt, A.If):
+                count += self._count_locals(stmt.then_body)
+                count += self._count_locals(stmt.else_body)
+            elif isinstance(stmt, A.While):
+                count += self._count_locals(stmt.body)
+        return count
+
+    def _gen_func(self, fn: A.FuncDef, mod: A.ModuleAst) -> None:
+        b = self.builder
+        n_locals = self._count_locals(fn.body)
+        scope: dict[str, tuple] = {}
+        nargs = len(fn.params)
+        for i, p in enumerate(fn.params):
+            if p.name in scope:
+                raise CompileError(f"duplicate parameter {p.name!r}", fn.line, mod.name)
+            offset = 2 + (nargs - 1 - i)
+            scope[p.name] = ("arg", offset, p.type)
+        ctx = _FuncCtx(fn, mod.name, nargs, [scope], n_locals)
+
+        b.func(fn.name)
+        b.emit(Op.PUSH, Reg(_FP), line=fn.line)
+        b.emit(Op.MOV, Reg(_FP), Reg(_SP), line=fn.line)
+        if n_locals:
+            b.emit(Op.SUB, Reg(_SP), Imm(n_locals), line=fn.line)
+        self._gen_body(fn.body, ctx)
+        # Implicit epilogue for control paths that fall off the end.
+        self._emit_epilogue(ctx, fn.line)
+        b.endfunc()
+
+    def _emit_epilogue(self, ctx: _FuncCtx, line: int) -> None:
+        b = self.builder
+        b.emit(Op.MOV, Reg(_SP), Reg(_FP), line=line)
+        b.emit(Op.POP, Reg(_FP), line=line)
+        b.emit(Op.RET, line=line)
+
+    # -- scopes & lookup ----------------------------------------------------------------
+
+    def _lookup(self, name: str, ctx: _FuncCtx, line: int):
+        for scope in reversed(ctx.locals):
+            if name in scope:
+                return scope[name]
+        if name in self.global_syms:
+            addr, gtype = self.global_syms[name]
+            return ("global", addr, gtype)
+        consts = self.consts_by_module.get(ctx.module, {})
+        if name in consts:
+            ctype, value = consts[name]
+            return ("const", value, ctype)
+        raise CompileError(f"undefined name {name!r}", line, ctx.module)
+
+    def _alloc_local(self, name: str, vtype, ctx: _FuncCtx, line: int) -> int:
+        if name in ctx.locals[-1]:
+            raise CompileError(f"duplicate variable {name!r}", line, ctx.module)
+        if ctx.next_local >= ctx.n_locals:
+            raise CompileError("internal: local slot overflow", line, ctx.module)
+        offset = -(1 + ctx.next_local)
+        ctx.next_local += 1
+        ctx.locals[-1][name] = ("local", offset, vtype)
+        return offset
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _gen_body(self, body: list, ctx: _FuncCtx) -> None:
+        ctx.locals.append({})
+        for stmt in body:
+            self._gen_stmt(stmt, ctx)
+        ctx.locals.pop()
+
+    def _gen_stmt(self, stmt, ctx: _FuncCtx) -> None:
+        b = self.builder
+        if isinstance(stmt, A.VarDecl):
+            offset = self._alloc_local(stmt.name, stmt.type, ctx, stmt.line)
+            if stmt.init is not None:
+                t, slot = self._expr(stmt.init, ctx, want=stmt.type)
+                self._coerce(t, stmt.type, stmt.line, ctx)
+                self._store_cell(Mem(base=_FP, disp=offset), stmt.type, slot, stmt.line)
+                self._release(t, ctx)
+            else:
+                b.emit(Op.MOV, Mem(base=_FP, disp=offset), Imm(0), line=stmt.line)
+            return
+        if isinstance(stmt, A.Assign):
+            self._gen_assign(stmt, ctx)
+            return
+        if isinstance(stmt, A.If):
+            l_else = b.fresh_label("else")
+            l_end = b.fresh_label("endif")
+            self._branch_false(stmt.cond, l_else, ctx)
+            self._gen_body(stmt.then_body, ctx)
+            if stmt.else_body:
+                b.emit(Op.JMP, LabelRef(l_end), line=stmt.line)
+                b.mark(l_else)
+                self._gen_body(stmt.else_body, ctx)
+                b.mark(l_end)
+            else:
+                b.mark(l_else)
+            return
+        if isinstance(stmt, A.While):
+            l_cond = b.fresh_label("while")
+            l_end = b.fresh_label("wend")
+            b.mark(l_cond)
+            self._branch_false(stmt.cond, l_end, ctx)
+            ctx.loop_stack.append((l_end, l_cond))
+            self._gen_body(stmt.body, ctx)
+            ctx.loop_stack.pop()
+            b.emit(Op.JMP, LabelRef(l_cond), line=stmt.line)
+            b.mark(l_end)
+            return
+        if isinstance(stmt, A.For):
+            self._gen_for(stmt, ctx)
+            return
+        if isinstance(stmt, A.Return):
+            fn = ctx.func
+            if stmt.value is None:
+                if fn.ret is not None:
+                    raise CompileError("missing return value", stmt.line, ctx.module)
+            else:
+                if fn.ret is None:
+                    raise CompileError(
+                        f"{fn.name!r} returns no value", stmt.line, ctx.module
+                    )
+                t, slot = self._expr(stmt.value, ctx, want=fn.ret)
+                self._coerce(t, fn.ret, stmt.line, ctx)
+                if is_fp(fn.ret):
+                    b.emit(_fp_ops(fn.ret)["mov"], Xmm(0), Xmm(slot), line=stmt.line)
+                else:
+                    b.emit(Op.MOV, Reg(0), Reg(slot), line=stmt.line)
+                self._release(t, ctx)
+            self._emit_epilogue(ctx, stmt.line)
+            return
+        if isinstance(stmt, A.Out):
+            t, slot = self._expr(stmt.value, ctx)
+            if is_fp(t):
+                b.emit(_fp_ops(t)["out"], Xmm(slot), line=stmt.line)
+            elif t == "i64":
+                b.emit(Op.OUTI, Reg(slot), line=stmt.line)
+            else:
+                raise CompileError(f"cannot out a {type_name(t)}", stmt.line, ctx.module)
+            self._release(t, ctx)
+            return
+        if isinstance(stmt, A.Break):
+            if not ctx.loop_stack:
+                raise CompileError("break outside a loop", stmt.line, ctx.module)
+            b.emit(Op.JMP, LabelRef(ctx.loop_stack[-1][0]), line=stmt.line)
+            return
+        if isinstance(stmt, A.Continue):
+            if not ctx.loop_stack:
+                raise CompileError("continue outside a loop", stmt.line, ctx.module)
+            b.emit(Op.JMP, LabelRef(ctx.loop_stack[-1][1]), line=stmt.line)
+            return
+        if isinstance(stmt, A.ExprStmt):
+            t = self._expr_void(stmt.expr, ctx)
+            return
+        raise CompileError(f"unhandled statement {stmt!r}")
+
+    def _gen_for(self, stmt: A.For, ctx: _FuncCtx) -> None:
+        b = self.builder
+        ctx.locals.append({})
+        var_off = self._alloc_local(stmt.var, "i64", ctx, stmt.line)
+        hi_off = self._alloc_local(f".hi{stmt.line}.{var_off}", "i64", ctx, stmt.line)
+
+        t, slot = self._expr(stmt.lo, ctx)
+        if t != "i64":
+            raise CompileError("for bounds must be i64", stmt.line, ctx.module)
+        b.emit(Op.MOV, Mem(base=_FP, disp=var_off), Reg(slot), line=stmt.line)
+        self._release(t, ctx)
+        t, slot = self._expr(stmt.hi, ctx)
+        if t != "i64":
+            raise CompileError("for bounds must be i64", stmt.line, ctx.module)
+        b.emit(Op.MOV, Mem(base=_FP, disp=hi_off), Reg(slot), line=stmt.line)
+        self._release(t, ctx)
+
+        l_cond = b.fresh_label("for")
+        l_cont = b.fresh_label("fcont")
+        l_end = b.fresh_label("fend")
+        b.mark(l_cond)
+        r = Reg(self._claim_int(ctx, stmt.line))
+        r2 = Reg(self._claim_int(ctx, stmt.line))
+        b.emit(Op.MOV, r, Mem(base=_FP, disp=var_off), line=stmt.line)
+        b.emit(Op.MOV, r2, Mem(base=_FP, disp=hi_off), line=stmt.line)
+        b.emit(Op.CMP, r, r2, line=stmt.line)
+        ctx.int_top -= 2
+        b.emit(Op.JGE, LabelRef(l_end), line=stmt.line)
+
+        ctx.loop_stack.append((l_end, l_cont))
+        self._gen_body(stmt.body, ctx)
+        ctx.loop_stack.pop()
+
+        b.mark(l_cont)
+        r = Reg(self._claim_int(ctx, stmt.line))
+        b.emit(Op.MOV, r, Mem(base=_FP, disp=var_off), line=stmt.line)
+        b.emit(Op.INC, r, line=stmt.line)
+        b.emit(Op.MOV, Mem(base=_FP, disp=var_off), r, line=stmt.line)
+        ctx.int_top -= 1
+        b.emit(Op.JMP, LabelRef(l_cond), line=stmt.line)
+        b.mark(l_end)
+        ctx.locals.pop()
+
+    def _gen_assign(self, stmt: A.Assign, ctx: _FuncCtx) -> None:
+        b = self.builder
+        target = stmt.target
+        if isinstance(target, A.NameRef):
+            kind, where, ttype = self._lookup(target.name, ctx, target.line)
+            if kind == "const":
+                raise CompileError(
+                    f"cannot assign to const {target.name!r}", stmt.line, ctx.module
+                )
+            if is_arr(ttype):
+                raise CompileError(
+                    f"cannot assign whole array {target.name!r}", stmt.line, ctx.module
+                )
+            t, slot = self._expr(stmt.value, ctx, want=ttype)
+            self._coerce(t, ttype, stmt.line, ctx)
+            dest = (
+                Mem(disp=where) if kind == "global" else Mem(base=_FP, disp=where)
+            )
+            self._store_cell(dest, ttype, slot, stmt.line)
+            self._release(t, ctx)
+            return
+        if isinstance(target, A.Index):
+            base_t, addr_slot = self._gen_element_addr(target, ctx)
+            t, vslot = self._expr(stmt.value, ctx, want=base_t)
+            self._coerce(t, base_t, stmt.line, ctx)
+            self._store_cell(Mem(base=addr_slot), base_t, vslot, stmt.line)
+            self._release(t, ctx)
+            ctx.int_top -= 1  # release addr_slot
+            return
+        raise CompileError("bad assignment target", stmt.line, ctx.module)
+
+    # -- element addressing ------------------------------------------------------------
+
+    def _gen_element_addr(self, node: A.Index, ctx: _FuncCtx) -> tuple:
+        """Evaluate &base[index]; returns (elem_type, int slot holding address)."""
+        base_t, base_slot = self._expr(node.base, ctx)
+        if not is_arr(base_t):
+            raise CompileError(
+                f"cannot index a {type_name(base_t)}", node.line, ctx.module
+            )
+        idx_t, idx_slot = self._expr(node.index, ctx)
+        if idx_t != "i64":
+            raise CompileError("array index must be i64", node.line, ctx.module)
+        self.builder.emit(Op.ADD, Reg(base_slot), Reg(idx_slot), line=node.line)
+        ctx.int_top -= 1  # release idx_slot; base_slot now holds the address
+        return base_t[1], base_slot
+
+    # -- cell load/store helpers -----------------------------------------------------------
+
+    def _store_cell(self, dest: Mem, t, slot: int, line: int) -> None:
+        b = self.builder
+        if t == "f64":
+            b.emit(Op.MOVSD, dest, Xmm(slot), line=line)
+        elif t == "f32":
+            b.emit(Op.MOVSS, dest, Xmm(slot), line=line)
+        else:
+            b.emit(Op.MOV, dest, Reg(slot), line=line)
+
+    def _load_cell(self, src: Mem, t, slot: int, line: int) -> None:
+        b = self.builder
+        if t == "f64":
+            b.emit(Op.MOVSD, Xmm(slot), src, line=line)
+        elif t == "f32":
+            b.emit(Op.MOVSS, Xmm(slot), src, line=line)
+        else:
+            b.emit(Op.MOV, Reg(slot), src, line=line)
+
+    # -- temp management --------------------------------------------------------------------
+
+    def _claim_int(self, ctx: _FuncCtx, line: int) -> int:
+        if ctx.int_top > _MAX_INT_TEMP:
+            raise CompileError("expression too deep (integer temps)", line, ctx.module)
+        slot = ctx.int_top
+        ctx.int_top += 1
+        return slot
+
+    def _claim_fp(self, ctx: _FuncCtx, line: int) -> int:
+        if ctx.fp_top > _MAX_FP_TEMP:
+            raise CompileError("expression too deep (fp temps)", line, ctx.module)
+        slot = ctx.fp_top
+        ctx.fp_top += 1
+        return slot
+
+    def _release(self, t, ctx: _FuncCtx) -> None:
+        if is_fp(t):
+            ctx.fp_top -= 1
+        else:  # i64 and array references live in the int bank
+            ctx.int_top -= 1
+
+    def _coerce(self, actual, expected, line: int, ctx: _FuncCtx) -> None:
+        if expected is not None and actual != expected:
+            raise CompileError(
+                f"type mismatch: expected {type_name(expected)}, got {type_name(actual)}"
+                " (use an explicit cast)",
+                line,
+                ctx.module,
+            )
+
+    # -- expressions ----------------------------------------------------------------------------
+
+    def _expr_void(self, expr, ctx: _FuncCtx):
+        """Expression statement: allow void calls, discard other values."""
+        if isinstance(expr, A.Call):
+            t = self._gen_call(expr, ctx, void_ok=True)
+            if t is not None:
+                self._release(t, ctx)
+            return None
+        t, _slot = self._expr(expr, ctx)
+        self._release(t, ctx)
+        return None
+
+    def _expr(self, expr, ctx: _FuncCtx, want=None) -> tuple:
+        """Generate *expr*; returns (type, slot).  The slot is claimed —
+        the caller must ``_release`` it.  *want* guides literal typing."""
+        b = self.builder
+        if isinstance(expr, A.IntLit):
+            if want in ("f64", "f32"):
+                return self._materialize_fp(float(expr.value), want, ctx, expr.line)
+            slot = self._claim_int(ctx, expr.line)
+            b.emit(Op.MOV, Reg(slot), Imm(expr.value), line=expr.line)
+            return "i64", slot
+        if isinstance(expr, A.FloatLit):
+            t = want if want in ("f64", "f32") else self.options.real_type
+            return self._materialize_fp(expr.value, t, ctx, expr.line)
+        if isinstance(expr, A.NameRef):
+            kind, where, t = self._lookup(expr.name, ctx, expr.line)
+            if kind == "const":
+                if t == "i64":
+                    slot = self._claim_int(ctx, expr.line)
+                    b.emit(Op.MOV, Reg(slot), Imm(where), line=expr.line)
+                    return "i64", slot
+                return self._materialize_fp(float(where), t, ctx, expr.line)
+            if is_arr(t):
+                slot = self._claim_int(ctx, expr.line)
+                if kind == "global":
+                    b.emit(Op.MOV, Reg(slot), Imm(where), line=expr.line)
+                else:  # array parameter: cell holds the base address
+                    b.emit(Op.MOV, Reg(slot), Mem(base=_FP, disp=where), line=expr.line)
+                return t, slot
+            src = Mem(disp=where) if kind == "global" else Mem(base=_FP, disp=where)
+            slot = self._claim_fp(ctx, expr.line) if is_fp(t) else self._claim_int(ctx, expr.line)
+            self._load_cell(src, t, slot, expr.line)
+            return t, slot
+        if isinstance(expr, A.Index):
+            elem_t, addr_slot = self._gen_element_addr(expr, ctx)
+            if is_fp(elem_t):
+                slot = self._claim_fp(ctx, expr.line)
+                self._load_cell(Mem(base=addr_slot), elem_t, slot, expr.line)
+                ctx.int_top -= 1  # release address
+                return elem_t, slot
+            # integer element: reuse the address slot as the value slot
+            self._load_cell(Mem(base=addr_slot), elem_t, addr_slot, expr.line)
+            return elem_t, addr_slot
+        if isinstance(expr, A.Unary):
+            if expr.op == "not":
+                raise CompileError(
+                    "boolean expressions are only allowed in conditions",
+                    expr.line, ctx.module,
+                )
+            t, slot = self._expr(expr.operand, ctx, want=want)
+            if is_fp(t):
+                b.emit(_fp_ops(t)["neg"], Xmm(slot), Xmm(slot), line=expr.line)
+            elif t == "i64":
+                b.emit(Op.NEG, Reg(slot), line=expr.line)
+            else:
+                raise CompileError("cannot negate an array", expr.line, ctx.module)
+            return t, slot
+        if isinstance(expr, A.Binary):
+            return self._gen_binary(expr, ctx, want)
+        if isinstance(expr, A.Cast):
+            return self._gen_cast(expr, ctx)
+        if isinstance(expr, A.Call):
+            t = self._gen_call(expr, ctx, void_ok=False)
+            assert t is not None
+            slot = (ctx.fp_top if is_fp(t) else ctx.int_top) - 1
+            return t, slot
+        raise CompileError(f"unhandled expression {expr!r}")
+
+    def _materialize_fp(self, value: float, t: str, ctx: _FuncCtx, line: int) -> tuple:
+        b = self.builder
+        slot = self._claim_fp(ctx, line)
+        bits = double_to_bits(value) if t == "f64" else single_to_bits(value)
+        b.emit(Op.MOV, Reg(_SCRATCH), Imm(bits), line=line)
+        b.emit(Op.MOVQXR, Xmm(slot), Reg(_SCRATCH), line=line)
+        return t, slot
+
+    def _gen_binary(self, expr: A.Binary, ctx: _FuncCtx, want) -> tuple:
+        b = self.builder
+        op = expr.op
+        if op in ("and", "or") or op in _INT_CMP_TRUE:
+            raise CompileError(
+                "boolean expressions are only allowed in conditions",
+                expr.line, ctx.module,
+            )
+        lt, lslot = self._expr(expr.left, ctx, want=want)
+        # Array pointer arithmetic: arr + i64 offset.
+        if is_arr(lt):
+            if op != "+":
+                raise CompileError(
+                    f"only '+' is defined on arrays, not {op!r}", expr.line, ctx.module
+                )
+            rt, rslot = self._expr(expr.right, ctx)
+            if rt != "i64":
+                raise CompileError("array offset must be i64", expr.line, ctx.module)
+            b.emit(Op.ADD, Reg(lslot), Reg(rslot), line=expr.line)
+            ctx.int_top -= 1
+            return lt, lslot
+        rt, rslot = self._expr(expr.right, ctx, want=lt)
+        if rt != lt:
+            raise CompileError(
+                f"operand types differ: {type_name(lt)} vs {type_name(rt)}"
+                " (use an explicit cast)",
+                expr.line, ctx.module,
+            )
+        if is_fp(lt):
+            if op not in ("+", "-", "*", "/"):
+                raise CompileError(
+                    f"operator {op!r} is not defined on {lt}", expr.line, ctx.module
+                )
+            b.emit(_fp_ops(lt)[op], Xmm(lslot), Xmm(rslot), line=expr.line)
+            ctx.fp_top -= 1
+            return lt, lslot
+        if op not in _INT_BIN:
+            raise CompileError(f"operator {op!r} is not defined on i64", expr.line, ctx.module)
+        b.emit(_INT_BIN[op], Reg(lslot), Reg(rslot), line=expr.line)
+        ctx.int_top -= 1
+        return "i64", lslot
+
+    def _gen_cast(self, expr: A.Cast, ctx: _FuncCtx) -> tuple:
+        b = self.builder
+        target = expr.target
+        t, slot = self._expr(expr.operand, ctx)
+        if t == target:
+            return t, slot
+        line = expr.line
+        if target == "i64" and is_fp(t):
+            islot = self._claim_int(ctx, line)
+            b.emit(_fp_ops(t)["cvttsi"], Reg(islot), Xmm(slot), line=line)
+            ctx.fp_top -= 1
+            # value slot ordering: released fp slot, claimed int slot
+            return "i64", islot
+        if is_fp(target) and t == "i64":
+            fslot = self._claim_fp(ctx, line)
+            b.emit(_fp_ops(target)["cvtsi"], Xmm(fslot), Reg(slot), line=line)
+            ctx.int_top -= 1
+            return target, fslot
+        if target == "f64" and t == "f32":
+            b.emit(Op.CVTSS2SD, Xmm(slot), Xmm(slot), line=line)
+            return "f64", slot
+        if target == "f32" and t == "f64":
+            b.emit(Op.CVTSD2SS, Xmm(slot), Xmm(slot), line=line)
+            return "f32", slot
+        raise CompileError(
+            f"cannot cast {type_name(t)} to {type_name(target)}", line, ctx.module
+        )
+
+    # -- conditions --------------------------------------------------------------------------------
+    #
+    # Conditions never materialize booleans; they compile to compare-and-
+    # branch sequences.  FP comparisons handle the unordered case with the
+    # JP/JNP flag exactly as x86 code does after ucomisd: every comparison
+    # with NaN is false, except !=, which is true.
+
+    def _branch_false(self, cond, label: str, ctx: _FuncCtx) -> None:
+        b = self.builder
+        if isinstance(cond, A.Unary) and cond.op == "not":
+            self._branch_true(cond.operand, label, ctx)
+            return
+        if isinstance(cond, A.Binary) and cond.op == "and":
+            self._branch_false(cond.left, label, ctx)
+            self._branch_false(cond.right, label, ctx)
+            return
+        if isinstance(cond, A.Binary) and cond.op == "or":
+            l_true = b.fresh_label("ct")
+            self._branch_true(cond.left, l_true, ctx)
+            self._branch_false(cond.right, label, ctx)
+            b.mark(l_true)
+            return
+        if isinstance(cond, A.Binary) and cond.op in _INT_CMP_TRUE:
+            fp = self._emit_compare(cond, ctx)
+            line = cond.line
+            if fp:
+                if cond.op == "!=":
+                    l_skip = b.fresh_label("cs")
+                    b.emit(Op.JP, LabelRef(l_skip), line=line)
+                    b.emit(Op.JE, LabelRef(label), line=line)
+                    b.mark(l_skip)
+                else:
+                    b.emit(Op.JP, LabelRef(label), line=line)
+                    b.emit(_INT_CMP_FALSE[cond.op], LabelRef(label), line=line)
+            else:
+                b.emit(_INT_CMP_FALSE[cond.op], LabelRef(label), line=line)
+            return
+        raise CompileError(
+            "condition must be a comparison or a boolean combination",
+            getattr(cond, "line", 0), ctx.module,
+        )
+
+    def _branch_true(self, cond, label: str, ctx: _FuncCtx) -> None:
+        b = self.builder
+        if isinstance(cond, A.Unary) and cond.op == "not":
+            self._branch_false(cond.operand, label, ctx)
+            return
+        if isinstance(cond, A.Binary) and cond.op == "or":
+            self._branch_true(cond.left, label, ctx)
+            self._branch_true(cond.right, label, ctx)
+            return
+        if isinstance(cond, A.Binary) and cond.op == "and":
+            l_false = b.fresh_label("cf")
+            self._branch_false(cond.left, l_false, ctx)
+            self._branch_true(cond.right, label, ctx)
+            b.mark(l_false)
+            return
+        if isinstance(cond, A.Binary) and cond.op in _INT_CMP_TRUE:
+            fp = self._emit_compare(cond, ctx)
+            line = cond.line
+            if fp:
+                if cond.op == "!=":
+                    b.emit(Op.JP, LabelRef(label), line=line)
+                    b.emit(Op.JNE, LabelRef(label), line=line)
+                elif cond.op in ("==", "<="):
+                    l_skip = b.fresh_label("cs")
+                    b.emit(Op.JP, LabelRef(l_skip), line=line)
+                    b.emit(_INT_CMP_TRUE[cond.op], LabelRef(label), line=line)
+                    b.mark(l_skip)
+                else:  # <, >, >= have !unord built into their conditions
+                    b.emit(_INT_CMP_TRUE[cond.op], LabelRef(label), line=line)
+            else:
+                b.emit(_INT_CMP_TRUE[cond.op], LabelRef(label), line=line)
+            return
+        raise CompileError(
+            "condition must be a comparison or a boolean combination",
+            getattr(cond, "line", 0), ctx.module,
+        )
+
+    def _emit_compare(self, cond: A.Binary, ctx: _FuncCtx) -> bool:
+        """Emit the compare for a condition; returns True if floating-point."""
+        b = self.builder
+        lt, lslot = self._expr(cond.left, ctx)
+        rt, rslot = self._expr(cond.right, ctx, want=lt)
+        if lt != rt:
+            raise CompileError(
+                f"comparison types differ: {type_name(lt)} vs {type_name(rt)}",
+                cond.line, ctx.module,
+            )
+        if is_fp(lt):
+            b.emit(_fp_ops(lt)["ucomi"], Xmm(lslot), Xmm(rslot), line=cond.line)
+            ctx.fp_top -= 2
+            return True
+        if lt != "i64":
+            raise CompileError("cannot compare arrays", cond.line, ctx.module)
+        b.emit(Op.CMP, Reg(lslot), Reg(rslot), line=cond.line)
+        ctx.int_top -= 2
+        return False
+
+    # -- calls -----------------------------------------------------------------------------------
+
+    def _gen_call(self, call: A.Call, ctx: _FuncCtx, void_ok: bool):
+        builtin = self._try_builtin(call, ctx, void_ok)
+        if builtin is not NotImplemented:
+            return builtin
+        fd = self.funcs.get(call.name)
+        if fd is None:
+            raise CompileError(f"undefined function {call.name!r}", call.line, ctx.module)
+        if len(call.args) != len(fd.params):
+            raise CompileError(
+                f"{call.name!r} expects {len(fd.params)} arguments, got {len(call.args)}",
+                call.line, ctx.module,
+            )
+        b = self.builder
+        line = call.line
+
+        saved_int = ctx.int_top
+        saved_fp = ctx.fp_top
+        # Save live expression temporaries across the call.
+        for r in range(1, saved_int):
+            b.emit(Op.PUSH, Reg(r), line=line)
+        for x in range(1, saved_fp):
+            b.emit(Op.MOVQRX, Reg(_SCRATCH), Xmm(x), line=line)
+            b.emit(Op.PUSH, Reg(_SCRATCH), line=line)
+
+        ctx.int_top = 1
+        ctx.fp_top = 1
+        for arg, param in zip(call.args, fd.params):
+            t, slot = self._expr(arg, ctx, want=param.type if not is_arr(param.type) else None)
+            if is_arr(param.type):
+                if t != param.type:
+                    raise CompileError(
+                        f"argument for {param.name!r} must be {type_name(param.type)},"
+                        f" got {type_name(t)}",
+                        call.line, ctx.module,
+                    )
+                b.emit(Op.PUSH, Reg(slot), line=line)
+            elif is_fp(param.type):
+                self._coerce(t, param.type, call.line, ctx)
+                b.emit(Op.MOVQRX, Reg(_SCRATCH), Xmm(slot), line=line)
+                b.emit(Op.PUSH, Reg(_SCRATCH), line=line)
+            else:
+                self._coerce(t, param.type, call.line, ctx)
+                b.emit(Op.PUSH, Reg(slot), line=line)
+            self._release(t, ctx)
+
+        b.emit(Op.CALL, LabelRef(call.name), line=line)
+        if fd.params:
+            b.emit(Op.ADD, Reg(_SP), Imm(len(fd.params)), line=line)
+
+        # Restore saved temporaries (reverse order).
+        for x in range(saved_fp - 1, 0, -1):
+            b.emit(Op.POP, Reg(_SCRATCH), line=line)
+            b.emit(Op.MOVQXR, Xmm(x), Reg(_SCRATCH), line=line)
+        for r in range(saved_int - 1, 0, -1):
+            b.emit(Op.POP, Reg(r), line=line)
+        ctx.int_top = saved_int
+        ctx.fp_top = saved_fp
+
+        if fd.ret is None:
+            if not void_ok:
+                raise CompileError(
+                    f"{call.name!r} returns no value", call.line, ctx.module
+                )
+            return None
+        if is_fp(fd.ret):
+            slot = self._claim_fp(ctx, line)
+            b.emit(_fp_ops(fd.ret)["mov"], Xmm(slot), Xmm(0), line=line)
+        else:
+            slot = self._claim_int(ctx, line)
+            b.emit(Op.MOV, Reg(slot), Reg(0), line=line)
+        return fd.ret
+
+    # -- builtins ------------------------------------------------------------------------------------
+
+    def _try_builtin(self, call: A.Call, ctx: _FuncCtx, void_ok: bool):
+        name = call.name
+        b = self.builder
+        line = call.line
+        rt = self.options.real_type
+
+        def arity(n: int) -> None:
+            if len(call.args) != n:
+                raise CompileError(
+                    f"{name}() expects {n} argument(s)", line, ctx.module
+                )
+
+        if name == "sqrt" or name == "abs":
+            arity(1)
+            t, slot = self._expr(call.args[0], ctx, want=rt)
+            if not is_fp(t):
+                raise CompileError(f"{name}() needs a float", line, ctx.module)
+            b.emit(_fp_ops(t)[name], Xmm(slot), Xmm(slot), line=line)
+            return t
+        if name in ("min", "max"):
+            arity(2)
+            t, slot = self._expr(call.args[0], ctx, want=rt)
+            t2, slot2 = self._expr(call.args[1], ctx, want=t)
+            if not is_fp(t) or t2 != t:
+                raise CompileError(f"{name}() needs two matching floats", line, ctx.module)
+            b.emit(_fp_ops(t)[name], Xmm(slot), Xmm(slot2), line=line)
+            ctx.fp_top -= 1
+            return t
+        if name in _TRANSCENDENTALS:
+            arity(1)
+            if self.options.transcendentals == "library":
+                lib_call = A.Call(f"mh_{name}", call.args, line)
+                if f"mh_{name}" not in self.funcs:
+                    raise CompileError(
+                        f"transcendentals='library' requires an mh_{name} function "
+                        "(include the mlib module)",
+                        line, ctx.module,
+                    )
+                return self._gen_call(lib_call, ctx, void_ok=False)
+            t, slot = self._expr(call.args[0], ctx, want=rt)
+            if not is_fp(t):
+                raise CompileError(f"{name}() needs a float", line, ctx.module)
+            b.emit(_fp_ops(t)[name], Xmm(slot), Xmm(slot), line=line)
+            return t
+        if name == "rand_u64":
+            arity(0)
+            slot = self._claim_int(ctx, line)
+            b.emit(Op.RAND, Reg(slot), line=line)
+            return "i64"
+        if name == "frand":
+            arity(0)
+            # Uniform in [0, 1): top bits of a xorshift64* draw, scaled.
+            islot = self._claim_int(ctx, line)
+            b.emit(Op.RAND, Reg(islot), line=line)
+            fslot = self._claim_fp(ctx, line)
+            if rt == "f64":
+                b.emit(Op.SHR, Reg(islot), Imm(11), line=line)
+                b.emit(Op.CVTSI2SD, Xmm(fslot), Reg(islot), line=line)
+                scale = double_to_bits(2.0 ** -53)
+                b.emit(Op.MOV, Reg(_SCRATCH), Imm(scale), line=line)
+                slot2 = self._claim_fp(ctx, line)
+                b.emit(Op.MOVQXR, Xmm(slot2), Reg(_SCRATCH), line=line)
+                b.emit(Op.MULSD, Xmm(fslot), Xmm(slot2), line=line)
+                ctx.fp_top -= 1
+            else:
+                # Same draw geometry as the f64 path (53 significant bits
+                # rounded into the single, then an exact power-of-two
+                # scale), so the manually converted build is bit-for-bit
+                # identical to the instrumented all-single build.
+                b.emit(Op.SHR, Reg(islot), Imm(11), line=line)
+                b.emit(Op.CVTSI2SS, Xmm(fslot), Reg(islot), line=line)
+                scale = single_to_bits(2.0 ** -53)
+                b.emit(Op.MOV, Reg(_SCRATCH), Imm(scale), line=line)
+                slot2 = self._claim_fp(ctx, line)
+                b.emit(Op.MOVQXR, Xmm(slot2), Reg(_SCRATCH), line=line)
+                b.emit(Op.MULSS, Xmm(fslot), Xmm(slot2), line=line)
+                ctx.fp_top -= 1
+            # release the integer draw; move fp value down to its slot
+            ctx.int_top -= 1
+            return rt
+        if name == "mpi_rank" or name == "mpi_size":
+            arity(0)
+            slot = self._claim_int(ctx, line)
+            b.emit(Op.MPIRANK if name == "mpi_rank" else Op.MPISIZE, Reg(slot), line=line)
+            return "i64"
+        if name in ("allreduce_sum", "allreduce_min", "allreduce_max"):
+            arity(1)
+            red = {"allreduce_sum": RED_SUM, "allreduce_min": RED_MIN,
+                   "allreduce_max": RED_MAX}[name]
+            t, slot = self._expr(call.args[0], ctx, want=rt)
+            if not is_fp(t):
+                raise CompileError(f"{name}() needs a float", line, ctx.module)
+            b.emit(_fp_ops(t)["allred"], Xmm(slot), Imm(red), line=line)
+            return t
+        if name == "barrier":
+            arity(0)
+            b.emit(Op.BARRIER, line=line)
+            return None if void_ok else self._void_error(name, line, ctx)
+        if name == "bcast":
+            arity(2)
+            root = call.args[1]
+            if not isinstance(root, A.IntLit):
+                raise CompileError(
+                    "bcast() root must be an integer literal", line, ctx.module
+                )
+            t, slot = self._expr(call.args[0], ctx, want=rt)
+            if not is_fp(t):
+                raise CompileError("bcast() needs a float", line, ctx.module)
+            b.emit(Op.BCASTSD, Xmm(slot), Imm(root.value), line=line)
+            return t
+        if name == "allreduce_sum_vec":
+            arity(2)
+            at, aslot = self._expr(call.args[0], ctx)
+            if not is_arr(at) or not is_fp(at[1]):
+                raise CompileError(
+                    f"{name}() needs a float array", line, ctx.module
+                )
+            nt, nslot = self._expr(call.args[1], ctx)
+            if nt != "i64":
+                raise CompileError(f"{name}() count must be i64", line, ctx.module)
+            opcode = Op.ALLREDV if at[1] == "f64" else Op.ALLREDVSS
+            b.emit(opcode, Mem(base=aslot), Imm(RED_SUM), Reg(nslot), line=line)
+            ctx.int_top -= 2
+            return None if void_ok else self._void_error(name, line, ctx)
+        return NotImplemented
+
+    def _void_error(self, name: str, line: int, ctx: _FuncCtx):
+        raise CompileError(f"{name}() returns no value", line, ctx.module)

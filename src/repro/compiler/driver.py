@@ -1,0 +1,69 @@
+"""Compiler driver: sources -> linked Program.
+
+``compile_program`` accepts a list of module sources (each may carry its
+own ``module name;`` header) and produces one executable.  Multi-module
+programs matter here: the paper's automatic search descends module ->
+function -> basic block -> instruction, so workloads are deliberately
+split across modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.binary.model import Program
+from repro.compiler.codegen import CodeGen
+from repro.compiler.errors import CompileError
+from repro.compiler.parser import parse_source
+
+
+@dataclass(frozen=True, slots=True)
+class CompileOptions:
+    """Compilation switches.
+
+    real_type:
+        What the source-level ``real`` type means: ``"f64"`` builds the
+        original double-precision program, ``"f32"`` the "manually
+        converted" single-precision one (the paper's Fortran translation
+        script, as a compiler flag).
+    transcendentals:
+        ``"instruction"`` emits dedicated transcendental opcodes (the
+        tool's special handling of libm, Section 2.5); ``"library"``
+        emits calls to ``mh_sin``-style functions that must be linked in.
+    entry:
+        Name of the program's entry function.
+    """
+
+    name: str = "a.out"
+    real_type: str = "f64"
+    transcendentals: str = "instruction"
+    entry: str = "main"
+
+    def __post_init__(self) -> None:
+        if self.real_type not in ("f64", "f32"):
+            raise CompileError(f"bad real_type {self.real_type!r}")
+        if self.transcendentals not in ("instruction", "library"):
+            raise CompileError(f"bad transcendentals {self.transcendentals!r}")
+
+
+def compile_program(
+    sources: list[str],
+    options: CompileOptions | None = None,
+) -> Program:
+    """Compile and link *sources* (one string per module)."""
+    options = options or CompileOptions()
+    modules = []
+    seen = set()
+    for index, source in enumerate(sources):
+        default_name = "main" if index == 0 else f"mod{index}"
+        mod = parse_source(source, default_name, real_type=options.real_type)
+        if mod.name in seen:
+            raise CompileError(f"duplicate module name {mod.name!r}")
+        seen.add(mod.name)
+        modules.append(mod)
+    return CodeGen(modules, options).generate()
+
+
+def compile_source(source: str, options: CompileOptions | None = None) -> Program:
+    """Compile a single-module program."""
+    return compile_program([source], options)

@@ -1,0 +1,19 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """Lexing, parsing, type, or code-generation error with location."""
+
+    def __init__(self, message: str, line: int = 0, module: str = "") -> None:
+        self.line = line
+        self.module = module
+        where = ""
+        if module:
+            where = f"{module}:"
+        if line:
+            where += f"{line}: "
+        elif where:
+            where += " "
+        super().__init__(where + message)

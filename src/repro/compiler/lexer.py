@@ -1,0 +1,97 @@
+"""Tokenizer for the MH mini-language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.errors import CompileError
+
+KEYWORDS = {
+    "module", "const", "var", "fn", "return", "if", "else", "while", "for",
+    "in", "break", "continue", "and", "or", "not", "out",
+    "i64", "f64", "f32", "real",
+}
+
+# Multi-character operators first (longest match wins).
+_OPERATORS = [
+    "<<", ">>", "==", "!=", "<=", ">=", "->", "..",
+    "+", "-", "*", "/", "%", "&", "|", "^",
+    "<", ">", "=", "(", ")", "{", "}", "[", "]", ",", ":", ";",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str       # "ident" | "int" | "float" | "op" | "kw" | "eof"
+    value: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.value!r},l{self.line})"
+
+
+def tokenize(source: str, module: str = "") -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            tokens.append(Token("kw" if word in KEYWORDS else "ident", word, line))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source[j] == "0" and j + 1 < n and source[j + 1] in "xX":
+                j += 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                tokens.append(Token("int", source[i:j], line))
+                i = j
+                continue
+            while j < n and source[j].isdigit():
+                j += 1
+            # Careful: ".." is a range operator, not part of a float.
+            if j < n and source[j] == "." and not (j + 1 < n and source[j + 1] == "."):
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    is_float = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            tokens.append(Token("float" if is_float else "int", source[i:j], line))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line, module)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,466 @@
+"""Recursive-descent parser for the MH mini-language.
+
+Grammar sketch::
+
+    module      := ["module" IDENT ";"] toplevel*
+    toplevel    := constdecl | globaldecl | funcdef
+    constdecl   := "const" IDENT ":" scalartype "=" constexpr ";"
+    globaldecl  := "var" IDENT ":" type ["=" init] ";"
+    funcdef     := "fn" IDENT "(" params ")" ["->" scalartype] block
+    type        := scalartype | scalartype "[" constexpr "]"
+    paramtype   := scalartype | scalartype "[" "]"
+    block       := "{" statement* "}"
+    statement   := vardecl | assign | if | while | for | return | out |
+                   break | continue | exprstmt
+    for         := "for" IDENT "in" expr ".." expr block
+
+Expression precedence (low to high): ``or``, ``and``, ``not``,
+comparisons, ``| ^``, ``&``, ``<< >>``, ``+ -``, ``* / %``, unary ``-``,
+postfix call/index.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ast_nodes import (
+    Assign,
+    Binary,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDef,
+    GlobalVar,
+    If,
+    Index,
+    IntLit,
+    ModuleAst,
+    NameRef,
+    Out,
+    Param,
+    Return,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.compiler.errors import CompileError
+from repro.compiler.lexer import Token, tokenize
+from repro.fpbits.ieee import double_to_bits, single_to_bits
+
+_SCALAR_TYPES = ("i64", "f64", "f32", "real")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class Parser:
+    def __init__(self, source: str, module: str, real_type: str = "f64") -> None:
+        if real_type not in ("f64", "f32"):
+            raise CompileError(f"bad real type {real_type!r}")
+        self.tokens = tokenize(source, module)
+        self.pos = 0
+        self.module = module
+        self.real_type = real_type
+        self.consts: dict[str, tuple] = {}  # name -> (type, value)
+
+    # -- token helpers -----------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def _error(self, message: str, line: int | None = None) -> CompileError:
+        return CompileError(message, line if line is not None else self.cur.line, self.module)
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.cur
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value or kind
+            raise self._error(f"expected {want!r}, got {tok.value!r}")
+        return self._advance()
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        tok = self.cur
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self._advance()
+        return None
+
+    # -- types ---------------------------------------------------------------------
+
+    def _scalar_type(self) -> str:
+        tok = self.cur
+        if tok.kind == "kw" and tok.value in _SCALAR_TYPES:
+            self._advance()
+            return self.real_type if tok.value == "real" else tok.value
+        raise self._error(f"expected a type, got {tok.value!r}")
+
+    # -- module ----------------------------------------------------------------------
+
+    def parse_module(self) -> ModuleAst:
+        name = self.module
+        if self._accept("kw", "module"):
+            name = self._expect("ident").value
+            self._expect("op", ";")
+        consts: dict[str, tuple] = self.consts
+        globals_: list[GlobalVar] = []
+        functions: list[FuncDef] = []
+        while self.cur.kind != "eof":
+            if self.cur.kind == "kw" and self.cur.value == "const":
+                self._parse_const()
+            elif self.cur.kind == "kw" and self.cur.value == "var":
+                globals_.append(self._parse_global())
+            elif self.cur.kind == "kw" and self.cur.value == "fn":
+                functions.append(self._parse_func(name))
+            else:
+                raise self._error(f"unexpected {self.cur.value!r} at top level")
+        return ModuleAst(name, dict(consts), globals_, functions)
+
+    def _parse_const(self) -> None:
+        line = self._expect("kw", "const").line
+        name = self._expect("ident").value
+        self._expect("op", ":")
+        ctype = self._scalar_type()
+        self._expect("op", "=")
+        expr = self._expression()
+        self._expect("op", ";")
+        value = self._const_eval(expr)
+        if ctype == "i64":
+            if not isinstance(value, int):
+                raise self._error(f"const {name} needs an integer value", line)
+        else:
+            value = float(value)
+        if name in self.consts:
+            raise self._error(f"duplicate const {name!r}", line)
+        self.consts[name] = (ctype, value)
+
+    def _parse_global(self) -> GlobalVar:
+        line = self._expect("kw", "var").line
+        name = self._expect("ident").value
+        self._expect("op", ":")
+        etype = self._scalar_type()
+        size = 1
+        is_array = False
+        if self._accept("op", "["):
+            size_expr = self._expression()
+            self._expect("op", "]")
+            size = self._const_eval(size_expr)
+            if not isinstance(size, int) or size <= 0:
+                raise self._error(f"array {name!r} needs a positive constant size", line)
+            is_array = True
+        init_cells: list[int] = []
+        if self._accept("op", "="):
+            if is_array:
+                self._expect("op", "[")
+                while True:
+                    init_cells.append(self._const_cell(self._expression(), etype))
+                    if not self._accept("op", ","):
+                        break
+                self._expect("op", "]")
+                if len(init_cells) > size:
+                    raise self._error(f"too many initializers for {name!r}", line)
+            else:
+                init_cells.append(self._const_cell(self._expression(), etype))
+        self._expect("op", ";")
+        gtype = ("arr", etype) if is_array else etype
+        return GlobalVar(name, gtype, size, init_cells, line, self.module)
+
+    def _const_cell(self, expr, etype: str) -> int:
+        value = self._const_eval(expr)
+        if etype == "i64":
+            if not isinstance(value, int):
+                raise self._error("integer initializer required")
+            return value & 0xFFFFFFFFFFFFFFFF
+        if etype == "f64":
+            return double_to_bits(float(value))
+        return single_to_bits(float(value))
+
+    def _parse_func(self, module: str) -> FuncDef:
+        line = self._expect("kw", "fn").line
+        name = self._expect("ident").value
+        self._expect("op", "(")
+        params: list[Param] = []
+        if not self._accept("op", ")"):
+            while True:
+                pname = self._expect("ident").value
+                self._expect("op", ":")
+                ptype = self._scalar_type()
+                if self._accept("op", "["):
+                    self._expect("op", "]")
+                    ptype = ("arr", ptype)
+                params.append(Param(pname, ptype))
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", ")")
+        ret = None
+        if self._accept("op", "->"):
+            ret = self._scalar_type()
+        body = self._block()
+        return FuncDef(name, params, ret, body, line, module)
+
+    # -- statements ----------------------------------------------------------------------
+
+    def _block(self) -> list:
+        self._expect("op", "{")
+        body = []
+        while not self._accept("op", "}"):
+            body.append(self._statement())
+        return body
+
+    def _statement(self):
+        tok = self.cur
+        if tok.kind == "kw":
+            if tok.value == "var":
+                return self._var_stmt()
+            if tok.value == "if":
+                return self._if_stmt()
+            if tok.value == "while":
+                return self._while_stmt()
+            if tok.value == "for":
+                return self._for_stmt()
+            if tok.value == "return":
+                self._advance()
+                value = None
+                if not (self.cur.kind == "op" and self.cur.value == ";"):
+                    value = self._expression()
+                self._expect("op", ";")
+                return Return(value, tok.line)
+            if tok.value == "out":
+                self._advance()
+                self._expect("op", "(")
+                value = self._expression()
+                self._expect("op", ")")
+                self._expect("op", ";")
+                return Out(value, tok.line)
+            if tok.value == "break":
+                self._advance()
+                self._expect("op", ";")
+                return Break(tok.line)
+            if tok.value == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return Continue(tok.line)
+        # assignment or expression statement
+        expr = self._expression()
+        if self._accept("op", "="):
+            value = self._expression()
+            self._expect("op", ";")
+            if not isinstance(expr, (NameRef, Index)):
+                raise self._error("assignment target must be a variable or element", tok.line)
+            return Assign(expr, value, tok.line)
+        self._expect("op", ";")
+        return ExprStmt(expr, tok.line)
+
+    def _var_stmt(self) -> VarDecl:
+        line = self._expect("kw", "var").line
+        name = self._expect("ident").value
+        self._expect("op", ":")
+        vtype: object = self._scalar_type()
+        if self._accept("op", "["):
+            # Array *reference* local (holds a base address), e.g.
+            # ``var u: real[] = uu + off;``.
+            self._expect("op", "]")
+            vtype = ("arr", vtype)
+        init = None
+        if self._accept("op", "="):
+            init = self._expression()
+        self._expect("op", ";")
+        if isinstance(vtype, tuple) and init is None:
+            raise self._error("array reference variables need an initializer", line)
+        return VarDecl(name, vtype, init, line)
+
+    def _if_stmt(self) -> If:
+        line = self._expect("kw", "if").line
+        cond = self._expression()
+        then_body = self._block()
+        else_body: list = []
+        if self._accept("kw", "else"):
+            if self.cur.kind == "kw" and self.cur.value == "if":
+                else_body = [self._if_stmt()]
+            else:
+                else_body = self._block()
+        return If(cond, then_body, else_body, line)
+
+    def _while_stmt(self) -> While:
+        line = self._expect("kw", "while").line
+        cond = self._expression()
+        body = self._block()
+        return While(cond, body, line)
+
+    def _for_stmt(self) -> For:
+        line = self._expect("kw", "for").line
+        var = self._expect("ident").value
+        self._expect("kw", "in")
+        lo = self._expression()
+        self._expect("op", "..")
+        hi = self._expression()
+        body = self._block()
+        return For(var, lo, hi, body, line)
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def _expression(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self.cur.kind == "kw" and self.cur.value == "or":
+            line = self._advance().line
+            right = self._and_expr()
+            left = Binary("or", left, right, line)
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self.cur.kind == "kw" and self.cur.value == "and":
+            line = self._advance().line
+            right = self._not_expr()
+            left = Binary("and", left, right, line)
+        return left
+
+    def _not_expr(self):
+        if self.cur.kind == "kw" and self.cur.value == "not":
+            line = self._advance().line
+            return Unary("not", self._not_expr(), line)
+        return self._comparison()
+
+    def _comparison(self):
+        left = self._bitor()
+        if self.cur.kind == "op" and self.cur.value in _CMP_OPS:
+            op = self._advance()
+            right = self._bitor()
+            return Binary(op.value, left, right, op.line)
+        return left
+
+    def _bitor(self):
+        left = self._bitand()
+        while self.cur.kind == "op" and self.cur.value in ("|", "^"):
+            op = self._advance()
+            left = Binary(op.value, left, self._bitand(), op.line)
+        return left
+
+    def _bitand(self):
+        left = self._shift()
+        while self.cur.kind == "op" and self.cur.value == "&":
+            op = self._advance()
+            left = Binary("&", left, self._shift(), op.line)
+        return left
+
+    def _shift(self):
+        left = self._additive()
+        while self.cur.kind == "op" and self.cur.value in ("<<", ">>"):
+            op = self._advance()
+            left = Binary(op.value, left, self._additive(), op.line)
+        return left
+
+    def _additive(self):
+        left = self._multiplicative()
+        while self.cur.kind == "op" and self.cur.value in ("+", "-"):
+            op = self._advance()
+            left = Binary(op.value, left, self._multiplicative(), op.line)
+        return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while self.cur.kind == "op" and self.cur.value in ("*", "/", "%"):
+            op = self._advance()
+            left = Binary(op.value, left, self._unary(), op.line)
+        return left
+
+    def _unary(self):
+        if self.cur.kind == "op" and self.cur.value == "-":
+            line = self._advance().line
+            return Unary("-", self._unary(), line)
+        return self._postfix()
+
+    def _postfix(self):
+        expr = self._primary()
+        while True:
+            if self._accept("op", "["):
+                index = self._expression()
+                self._expect("op", "]")
+                expr = Index(expr, index, self.cur.line)
+            else:
+                return expr
+
+    def _primary(self):
+        tok = self.cur
+        if tok.kind == "int":
+            self._advance()
+            return IntLit(int(tok.value, 0), tok.line)
+        if tok.kind == "float":
+            self._advance()
+            return FloatLit(float(tok.value), tok.line)
+        if tok.kind == "kw" and tok.value in _SCALAR_TYPES:
+            self._advance()
+            resolved = self.real_type if tok.value == "real" else tok.value
+            self._expect("op", "(")
+            operand = self._expression()
+            self._expect("op", ")")
+            return Cast(resolved, operand, tok.line)
+        if tok.kind == "ident":
+            self._advance()
+            if self._accept("op", "("):
+                args = []
+                if not self._accept("op", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._accept("op", ","):
+                            break
+                    self._expect("op", ")")
+                return Call(tok.value, args, tok.line)
+            return NameRef(tok.value, tok.line)
+        if self._accept("op", "("):
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        raise self._error(f"unexpected token {tok.value!r} in expression")
+
+    # -- compile-time constant folding -------------------------------------------------------
+
+    def _const_eval(self, expr):
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, FloatLit):
+            return expr.value
+        if isinstance(expr, NameRef):
+            if expr.name in self.consts:
+                return self.consts[expr.name][1]
+            raise self._error(f"{expr.name!r} is not a compile-time constant", expr.line)
+        if isinstance(expr, Unary) and expr.op == "-":
+            return -self._const_eval(expr.operand)
+        if isinstance(expr, Binary):
+            a = self._const_eval(expr.left)
+            b = self._const_eval(expr.right)
+            op = expr.op
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                if isinstance(a, int) and isinstance(b, int):
+                    if b == 0:
+                        raise self._error("constant division by zero", expr.line)
+                    q = abs(a) // abs(b)
+                    return -q if (a < 0) != (b < 0) else q
+                return a / b
+            if op == "%" and isinstance(a, int) and isinstance(b, int):
+                return a - b * (abs(a) // abs(b)) * (1 if (a < 0) == (b < 0) else -1)
+            if op == "<<" and isinstance(a, int):
+                return a << b
+            if op == ">>" and isinstance(a, int):
+                return a >> b
+        if isinstance(expr, Cast):
+            value = self._const_eval(expr.operand)
+            return int(value) if expr.target == "i64" else float(value)
+        raise self._error("expression is not a compile-time constant")
+
+
+def parse_source(source: str, module: str, real_type: str = "f64") -> ModuleAst:
+    return Parser(source, module, real_type).parse_module()

@@ -1,0 +1,27 @@
+"""Precision configurations (paper Section 2.1).
+
+A configuration maps every double-precision (candidate) instruction to
+``single``, ``double``, or ``ignore``.  Decisions can also be made at
+aggregate levels — module, function, basic block — and an aggregate's
+flag *overrides* flags on its children, exactly as in the paper's
+exchange file format (its Figure 3).
+"""
+
+from repro.config.model import (
+    Policy,
+    ConfigNode,
+    ProgramTree,
+    Config,
+)
+from repro.config.generator import build_tree
+from repro.config.fileformat import dump_config, load_config
+
+__all__ = [
+    "Policy",
+    "ConfigNode",
+    "ProgramTree",
+    "Config",
+    "build_tree",
+    "dump_config",
+    "load_config",
+]

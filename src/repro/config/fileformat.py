@@ -1,0 +1,91 @@
+"""The human-readable configuration exchange file format (paper Figure 3).
+
+Example::
+
+    # program: cg.A   candidates: 934
+    MODL01: main
+      FUNC01: main()
+        BBLK01: 0x0f
+     s      INSN01: 0x0031 "addsd %x0, %x1"
+     d      INSN02: 0x0038 "mulsd %x1, %x2"
+      FUNC02: solve()
+     s   BBLK02: 0x54
+            INSN03: 0x0054 "addsd %x0, %x1"
+
+The first column holds the precision flag — ``s`` (single), ``d``
+(double), ``i`` (ignore) — or a space when the entry has no explicit
+flag.  Indentation shows containment; an aggregate's flag overrides its
+children's flags.  Lines beginning with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from repro.config.model import (
+    Config,
+    ConfigNode,
+    LEVEL_INSN,
+    Policy,
+    ProgramTree,
+)
+
+
+class ConfigFormatError(Exception):
+    """Malformed configuration file."""
+
+
+def _render_node(node: ConfigNode, config: Config, depth: int, lines: list[str]) -> None:
+    flag = config.flags.get(node.node_id)
+    col = flag.value if flag is not None else " "
+    indent = "  " * depth
+    if node.level == LEVEL_INSN:
+        body = f'{node.node_id}: {node.addr:#06x} "{node.text}"'
+        if node.line:
+            body += f"  ; line {node.line}"
+    else:
+        body = f"{node.node_id}: {node.label}"
+    lines.append(f"{col} {indent}{body}")
+    for child in node.children:
+        _render_node(child, config, depth + 1, lines)
+
+
+def dump_config(config: Config, header: str | None = None) -> str:
+    """Serialize *config* to the exchange text format."""
+    tree = config.tree
+    lines = [
+        f"# program: {tree.program_name}   candidates: {tree.candidate_count}"
+    ]
+    if header:
+        for extra in header.splitlines():
+            lines.append(f"# {extra}")
+    for root in tree.roots:
+        _render_node(root, config, 0, lines)
+    return "\n".join(lines) + "\n"
+
+
+def load_config(tree: ProgramTree, text: str) -> Config:
+    """Parse exchange-format *text* into a Config over *tree*.
+
+    IDs must match the tree (they are deterministic for a given program).
+    Unknown IDs raise :class:`ConfigFormatError`.
+    """
+    flags: dict[str, Policy] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip() or raw.lstrip().startswith("#"):
+            continue
+        col = raw[0]
+        rest = raw[1:].strip()
+        if ":" in rest:
+            node_id = rest.split(":", 1)[0].strip()
+        else:
+            node_id = rest.split()[0]
+        if node_id not in tree.by_id:
+            raise ConfigFormatError(f"line {lineno}: unknown structure id {node_id!r}")
+        if col == " ":
+            continue
+        try:
+            flags[node_id] = Policy(col)
+        except ValueError as exc:
+            raise ConfigFormatError(
+                f"line {lineno}: bad flag {col!r} (expected s/d/i or space)"
+            ) from exc
+    return Config(tree, flags)

@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+========  ==========================================================
+fig8      NAS MPI scaling of instrumentation overhead (EP CG FT MG
+          at 1/2/4/8 ranks)
+fig9      NAS overhead table (ep/cg/ft/mg at two classes)
+fig10     NAS automatic-search results table (7 benchmarks x 2
+          classes: candidates, configs tested, static %, dynamic %,
+          final verification)
+fig11     SuperLU error-threshold sweep (static %, dynamic %, final
+          error per threshold)
+amg       AMG microkernel: whole-kernel replacement, analysis
+          overhead, converted speedup
+ablation  Search-optimization and engine ablations (Section 2.2
+          optimizations, Section 2.5 future-work features)
+========  ==========================================================
+
+Every driver returns plain data structures (lists of row dicts) and has
+a ``format_*`` helper that renders the paper-style table; the benchmark
+harness under ``benchmarks/`` and the examples call these.
+"""
+
+from repro.experiments import ablation, amg, fig8, fig9, fig10, fig11
+from repro.experiments.tables import format_table
+
+__all__ = ["ablation", "amg", "fig8", "fig9", "fig10", "fig11", "format_table"]

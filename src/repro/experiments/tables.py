@@ -1,0 +1,40 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+
+def format_table(rows: list[dict], columns: list[tuple] | None = None, title: str = "") -> str:
+    """Render *rows* (list of dicts) as an aligned text table.
+
+    *columns* is an optional list of ``(key, header)`` pairs; by default
+    the keys of the first row are used.
+    """
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    if columns is None:
+        columns = [(k, k) for k in rows[0].keys()]
+    headers = [h for _, h in columns]
+    body = []
+    for row in rows:
+        body.append([_fmt(row.get(k, "")) for k, _ in columns])
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(r))))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.3g}" if abs(value) < 10 else f"{value:.1f}"
+    return str(value)

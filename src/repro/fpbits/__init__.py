@@ -1,0 +1,94 @@
+"""Bit-level IEEE-754 manipulation and the in-place replacement scheme.
+
+This package is the foundation of the paper's core trick (its Section 2.3
+and Figure 5): a double-precision value that has been *replaced* by its
+single-precision equivalent is stored **in the same 64-bit slot** — the
+32-bit single occupies the low word and the high word holds the sentinel
+``0x7FF4DEAD``.  The sentinel encodes a non-signalling NaN, so any
+un-instrumented code that consumes a replaced value produces NaNs and
+fails loudly instead of silently computing with garbage.
+
+All values in the virtual machine (registers, memory cells, XMM lanes)
+are plain Python integers holding 64-bit patterns; the helpers here are
+the only code that interprets those patterns as floating point.
+"""
+
+from repro.fpbits.ieee import (
+    BITS64_MASK,
+    bits_to_double,
+    bits_to_single,
+    double_to_bits,
+    single_to_bits,
+    double_add,
+    double_sub,
+    double_mul,
+    double_div,
+    double_sqrt,
+    double_neg,
+    double_abs,
+    double_min,
+    double_max,
+    single_add,
+    single_sub,
+    single_mul,
+    single_div,
+    single_sqrt,
+    single_neg,
+    single_abs,
+    single_min,
+    single_max,
+    is_nan_bits64,
+    is_nan_bits32,
+)
+from repro.fpbits.replace import (
+    REPLACED_FLAG,
+    REPLACED_FLAG_SHIFTED,
+    HIGH_WORD_MASK,
+    LOW_WORD_MASK,
+    downcast_in_place,
+    upcast_in_place,
+    is_replaced,
+    make_replaced,
+    replaced_single_bits,
+    read_operand_as_double,
+    read_operand_as_single,
+)
+
+__all__ = [
+    "BITS64_MASK",
+    "bits_to_double",
+    "bits_to_single",
+    "double_to_bits",
+    "single_to_bits",
+    "double_add",
+    "double_sub",
+    "double_mul",
+    "double_div",
+    "double_sqrt",
+    "double_neg",
+    "double_abs",
+    "double_min",
+    "double_max",
+    "single_add",
+    "single_sub",
+    "single_mul",
+    "single_div",
+    "single_sqrt",
+    "single_neg",
+    "single_abs",
+    "single_min",
+    "single_max",
+    "is_nan_bits64",
+    "is_nan_bits32",
+    "REPLACED_FLAG",
+    "REPLACED_FLAG_SHIFTED",
+    "HIGH_WORD_MASK",
+    "LOW_WORD_MASK",
+    "downcast_in_place",
+    "upcast_in_place",
+    "is_replaced",
+    "make_replaced",
+    "replaced_single_bits",
+    "read_operand_as_double",
+    "read_operand_as_single",
+]

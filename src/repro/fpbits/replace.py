@@ -1,0 +1,85 @@
+"""The in-place replacement scheme (paper Section 2.3, Figure 5).
+
+A *replaced* double is a 64-bit slot whose high word is the sentinel
+``0x7FF4DEAD`` and whose low word holds the binary32 pattern of the value.
+The sentinel was chosen by the authors so that
+
+* ``0x7FF4...`` encodes a NaN — un-instrumented code that consumes a
+  replaced slot computes NaNs instead of silently propagating a wrong
+  value, and
+* ``...DEAD`` is easy to spot in a hex dump.
+
+Note the sentinel sits in the *signalling* NaN range of binary64 (quiet
+bit 51 clear, payload non-zero); the paper calls it non-signalling in the
+practical sense that x86 SSE does not trap on it by default.
+"""
+
+from __future__ import annotations
+
+from repro.fpbits.ieee import (
+    BITS64_MASK,
+    bits_to_double,
+    bits_to_single,
+    double_to_bits,
+    single_to_bits,
+)
+
+#: High-word sentinel marking a replaced (single-in-double-slot) value.
+REPLACED_FLAG = 0x7FF4DEAD
+
+#: The sentinel positioned in the high word of a 64-bit slot.
+REPLACED_FLAG_SHIFTED = REPLACED_FLAG << 32
+
+HIGH_WORD_MASK = 0xFFFFFFFF00000000
+LOW_WORD_MASK = 0x00000000FFFFFFFF
+
+
+def is_replaced(bits: int) -> bool:
+    """True if the 64-bit slot carries the replacement sentinel."""
+    return (bits & HIGH_WORD_MASK) == REPLACED_FLAG_SHIFTED
+
+
+def make_replaced(single_bits: int) -> int:
+    """Build a replaced slot from a 32-bit binary32 pattern."""
+    return REPLACED_FLAG_SHIFTED | (single_bits & LOW_WORD_MASK)
+
+
+def replaced_single_bits(bits: int) -> int:
+    """Extract the binary32 pattern from a replaced slot."""
+    return bits & LOW_WORD_MASK
+
+
+def downcast_in_place(bits: int) -> int:
+    """Narrow an (unreplaced) binary64 slot to a flagged binary32 slot.
+
+    This is the "downcast conversion" of the paper's Figure 5: the value is
+    rounded to single precision, stored in the low word, and the high word
+    is set to the sentinel.  Idempotent on already-replaced slots.
+    """
+    if is_replaced(bits):
+        return bits
+    return make_replaced(single_to_bits(bits_to_double(bits)))
+
+
+def upcast_in_place(bits: int) -> int:
+    """Widen a replaced slot back to a plain binary64 slot.
+
+    Identity on slots that do not carry the sentinel.
+    """
+    if not is_replaced(bits):
+        return bits & BITS64_MASK
+    return double_to_bits(bits_to_single(bits & LOW_WORD_MASK))
+
+
+def read_operand_as_double(bits: int) -> float:
+    """Value of a slot for a double-precision consumer (after upcast check)."""
+    if is_replaced(bits):
+        return bits_to_single(bits & LOW_WORD_MASK)
+    return bits_to_double(bits)
+
+
+def read_operand_as_single(bits: int) -> int:
+    """Binary32 pattern of a slot for a single-precision consumer."""
+    if is_replaced(bits):
+        return bits & LOW_WORD_MASK
+    return single_to_bits(bits_to_double(bits))

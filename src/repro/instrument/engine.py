@@ -1,0 +1,119 @@
+"""Top-level instrumentation entry point.
+
+``instrument(program, config)`` produces the mixed-precision executable
+for a configuration.  The key rule from the paper (Section 2.3): *once
+any instruction is replaced with its single-precision equivalent, every
+floating-point instruction must be snippeted* — even the ones kept in
+double precision — because any of them might receive a replaced value
+and needs the check-and-upcast guard.  Anything the analysis misses
+surfaces as NaN (the sentinel is a NaN payload), which fails verification
+loudly instead of silently mis-rounding.
+
+Modes
+-----
+``auto``
+    Snippet everything iff the configuration marks at least one
+    instruction single (the paper's rule).
+``all``
+    Snippet everything regardless, *including floating-point moves*,
+    which get a check-only guard — the paper's base-case overhead
+    experiment ("replacing all instructions with double-precision
+    snippets ... does not affect the semantics or results").
+``none``
+    Copy verbatim (layout round-trip; used in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.binary.model import Program
+from repro.config.model import Config, Policy
+from repro.instrument.dataflow import compute_precleaned
+from repro.instrument.rewriter import rewrite
+from repro.instrument.snippets import SnippetError, SnippetStats
+
+
+class InstrumentError(Exception):
+    """Instrumentation could not be applied."""
+
+
+@dataclass(slots=True)
+class InstrumentedProgram:
+    """Result of instrumenting one program under one configuration."""
+
+    program: Program
+    original: Program
+    config: Config
+    stats: SnippetStats
+    snippeted: bool
+
+    @property
+    def growth(self) -> float:
+        """Text-size growth factor of the rewritten binary."""
+        return len(self.program.text) / max(1, len(self.original.text))
+
+
+def _scratch_registers_unused(program: Program) -> bool:
+    """True if no instruction in *program* touches the snippet-reserved
+    registers (R12/R13, X14/X15) — compiler output never does."""
+    from repro.isa.operands import Mem, Reg, Xmm
+    from repro.isa.registers import SNIPPET_GPRS, SNIPPET_XMMS
+
+    for instr in program.decode_all():
+        for operand in instr.operands:
+            if isinstance(operand, Reg) and operand.index in SNIPPET_GPRS:
+                return False
+            if isinstance(operand, Xmm) and operand.index in SNIPPET_XMMS:
+                return False
+            if isinstance(operand, Mem):
+                if operand.base in SNIPPET_GPRS or operand.index in SNIPPET_GPRS:
+                    return False
+    return True
+
+
+def instrument(
+    program: Program,
+    config: Config,
+    mode: str = "auto",
+    optimize_checks: bool = False,
+    streamline: bool = False,
+) -> InstrumentedProgram:
+    """Build the mixed-precision executable for *config* (see module doc).
+
+    *streamline* implements the paper's Section 2.5 suggestion of
+    emitting "more compact and efficient snippets": the scratch-register
+    save/restore around every snippet is elided.  Only legal when the
+    program provably never uses those registers; the engine verifies this
+    statically and raises otherwise.
+    """
+    if mode not in ("auto", "all", "none"):
+        raise InstrumentError(f"unknown mode {mode!r}")
+    if streamline and not _scratch_registers_unused(program):
+        raise InstrumentError(
+            "streamline requested but the program uses snippet-reserved "
+            "registers; save/restore cannot be elided safely"
+        )
+    policies = config.instruction_policies()
+    has_single = any(p is Policy.SINGLE for p in policies.values())
+    snippet_all = mode == "all" or (mode == "auto" and has_single)
+
+    precleaned = None
+    if optimize_checks and snippet_all:
+        precleaned = compute_precleaned(program, policies)
+
+    stats = SnippetStats()
+    try:
+        new_program = rewrite(
+            program, policies, snippet_all, stats, precleaned,
+            wrap_moves=(mode == "all"), streamline=streamline,
+        )
+    except SnippetError as exc:
+        raise InstrumentError(str(exc)) from exc
+    return InstrumentedProgram(
+        program=new_program,
+        original=program,
+        config=config,
+        stats=stats,
+        snippeted=snippet_all,
+    )

@@ -1,0 +1,134 @@
+"""Basic-block patching and binary rewriting (paper Section 2.4, Figure 7).
+
+For every function, every basic block is walked instruction by
+instruction.  Each floating-point candidate conceptually splits its block
+into *before / instruction / after*; the snippet code is spliced where
+the instruction was and the surrounding edges re-point to it.  Because
+the splice is inline, re-linearizing the patched CFG is exactly the
+original layout with snippets expanded in place — which is what this
+rewriter emits through the :class:`~repro.asm.builder.AsmBuilder`.
+
+Every original instruction address becomes a label in the new program;
+branch operands are rewritten from absolute addresses to those labels, so
+control flow survives arbitrary code growth.  Call targets resolve to
+function-entry labels, and return addresses need no fix-up at all: the
+rewritten ``call`` pushes the *new* return address at run time.
+"""
+
+from __future__ import annotations
+
+from repro.asm.builder import AsmBuilder, LabelRef
+from repro.binary.model import Program
+from repro.config.model import Config, Policy
+from repro.instrument.snippets import (
+    SnippetStats,
+    emit_double_snippet,
+    emit_move_guard,
+    emit_single_snippet,
+)
+from repro.isa.opcodes import Op
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODE_INFO
+from repro.isa.operands import Imm
+
+
+def _addr_label(addr: int) -> str:
+    return f".A{addr:x}"
+
+
+def rewrite(
+    program: Program,
+    policies: dict[int, Policy],
+    snippet_all: bool,
+    stats: SnippetStats,
+    precleaned: dict[int, frozenset[int]] | None = None,
+    wrap_moves: bool = False,
+    streamline: bool = False,
+) -> Program:
+    """Produce a new executable implementing *policies* over *program*.
+
+    ``policies`` maps candidate addresses to their resolved precision.
+    When *snippet_all* is true, every candidate not marked IGNORE gets a
+    snippet (SINGLE -> replacement snippet, DOUBLE -> guard snippet); when
+    false, the program is copied verbatim (used to round-trip layout).
+    ``precleaned`` optionally maps an instruction address to XMM registers
+    proven clean there (redundant-check elimination).
+    """
+    builder = AsmBuilder(program.name + "+instr")
+
+    # Reproduce the data section exactly (same addresses).
+    for symbol in sorted(program.globals.values(), key=lambda s: s.addr):
+        init = program.data_image[symbol.addr : symbol.addr + symbol.words]
+        addr = builder.global_(symbol.name, symbol.words, init)
+        if addr != symbol.addr:
+            raise AssertionError("data layout drifted during rewrite")
+
+    entry_names = {fn.entry: fn.name for fn in program.functions}
+    entry_name = entry_names.get(program.entry)
+    if entry_name is None:
+        raise ValueError("program entry is not a function entry")
+    precleaned = precleaned or {}
+
+    for fn in program.functions:
+        builder.module(fn.module)
+        builder.func(fn.name)
+        for block in fn.blocks:
+            for instr in block.instructions:
+                builder.mark(_addr_label(instr.addr))
+                _emit_instruction(
+                    builder, instr, entry_names, policies, snippet_all, stats,
+                    precleaned.get(instr.addr, frozenset()), wrap_moves,
+                    streamline,
+                )
+        builder.endfunc()
+
+    new_program = builder.link(entry=entry_name)
+    new_program.name = program.name
+    return new_program
+
+
+def _emit_instruction(
+    builder: AsmBuilder,
+    instr: Instruction,
+    entry_names: dict[int, str],
+    policies: dict[int, Policy],
+    snippet_all: bool,
+    stats: SnippetStats,
+    precleaned: frozenset[int],
+    wrap_moves: bool,
+    streamline: bool,
+) -> None:
+    info = OPCODE_INFO[instr.opcode]
+
+    # Rewrite control-flow targets to labels.
+    if info.is_call:
+        target = instr.operands[0].value
+        name = entry_names.get(target)
+        if name is None:
+            raise ValueError(f"call at {instr.addr:#x} targets non-function {target:#x}")
+        builder.emit(instr.opcode, LabelRef(name), line=instr.line)
+        stats.copied += 1
+        return
+    if info.is_branch:
+        target = instr.operands[0].value
+        builder.emit(instr.opcode, LabelRef(_addr_label(target)), line=instr.line)
+        stats.copied += 1
+        return
+
+    if wrap_moves and snippet_all and instr.opcode in (Op.MOVSD, Op.MOVAPD, Op.MOVSS):
+        emit_move_guard(builder, instr, stats, streamline)
+        return
+
+    if instr.is_candidate and snippet_all:
+        policy = policies.get(instr.addr, Policy.DOUBLE)
+        if policy is Policy.SINGLE:
+            emit_single_snippet(builder, instr, stats, streamline=streamline)
+            return
+        if policy is Policy.DOUBLE:
+            emit_double_snippet(builder, instr, stats, precleaned, streamline)
+            return
+        stats.ignored += 1  # IGNORE: fall through to verbatim copy
+
+    builder.emit(instr.opcode, *instr.operands, line=instr.line)
+    if not (instr.is_candidate and snippet_all):
+        stats.copied += 1

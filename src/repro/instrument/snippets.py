@@ -1,0 +1,404 @@
+"""The snippet mini-compiler (paper Section 2.3, Figure 6).
+
+For every replaced instruction the engine splices in a short sequence of
+*real* virtual-ISA instructions that
+
+1. copies any memory operand into a reserved scratch XMM register (the
+   paper does the same "to avoid hard-to-find synchronization bugs or
+   writing to unwritable memory");
+2. for each floating-point input register: tests the high word against
+   the ``0x7FF4DEAD`` sentinel and, depending on the target precision,
+   downcasts (single) or upcasts (double) the value **in place**;
+3. runs the original instruction with its opcode switched to the
+   configured precision;
+4. re-establishes the sentinel in the result's high word where the
+   hardware would not preserve it (fresh scalar destinations, and both
+   lanes of packed outputs — the paper's "fix flags in any packed
+   outputs").
+
+Scratch state (R12/R13, X14/X15) is saved and restored around every
+snippet with push/pop, exactly like the paper's ``push %rax / push %rbx``
+prologue.  Snippets clobber the condition flags; this is safe for
+compiler-generated code, which never keeps flags live across a
+floating-point instruction (the same assumption Dyninst-based tools make
+unless asked to save EFLAGS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.builder import AsmBuilder, LabelRef
+from repro.fpbits.replace import REPLACED_FLAG, REPLACED_FLAG_SHIFTED
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OPCODE_INFO
+from repro.isa.operands import Imm, Mem, Reg, Xmm
+from repro.isa.registers import SNIPPET_GPRS, SNIPPET_XMMS
+
+_LOW_MASK = 0xFFFFFFFF
+
+_SCRATCH_GPR = SNIPPET_GPRS[0]       # R12
+_SCRATCH_GPR2 = SNIPPET_GPRS[1]      # R13
+_SCRATCH_XMM = SNIPPET_XMMS[1]       # X15: memory-operand copies
+_SCRATCH_XMM2 = SNIPPET_XMMS[0]      # X14: packed lane conversions
+
+
+class SnippetError(Exception):
+    """The instruction cannot be safely snippeted (scratch conflicts, ...)."""
+
+
+@dataclass(slots=True)
+class SnippetStats:
+    """Counters accumulated while instrumenting one program."""
+
+    replaced_single: int = 0
+    wrapped_double: int = 0
+    ignored: int = 0
+    copied: int = 0
+    checks_emitted: int = 0
+    checks_skipped: int = 0
+    snippet_instructions: int = 0
+    saves_elided: int = 0
+    by_opcode: dict = field(default_factory=dict)
+
+
+class _Emitter:
+    """Counts instructions emitted through the builder on behalf of snippets.
+
+    With *streamline* set (paper Section 2.5: "reduce the runtime overhead
+    by streamlining the machine code that is emitted"), the scratch
+    save/restore pushes are elided — legal only when the whole program
+    provably never touches the snippet-reserved registers, which the
+    engine verifies statically before enabling it.
+    """
+
+    def __init__(
+        self, builder: AsmBuilder, stats: SnippetStats, streamline: bool = False
+    ) -> None:
+        self.builder = builder
+        self.stats = stats
+        self.streamline = streamline
+
+    def save(self, opcode: Op, operand, line: int) -> None:
+        if not self.streamline:
+            self.emit(opcode, operand, line=line)
+        else:
+            self.stats.saves_elided += 1
+
+    def emit(self, opcode: Op, *operands, line: int = 0) -> None:
+        self.builder.emit(opcode, *operands, line=line)
+        self.stats.snippet_instructions += 1
+
+    def mark(self, label: str) -> None:
+        self.builder.mark(label)
+
+    def fresh(self, stem: str) -> str:
+        return self.builder.fresh_label(stem)
+
+
+def _check_conflicts(instr: Instruction) -> None:
+    for operand in instr.operands:
+        if isinstance(operand, Xmm) and operand.index in SNIPPET_XMMS:
+            raise SnippetError(
+                f"instruction at {instr.addr:#x} uses reserved XMM x{operand.index}"
+            )
+        if isinstance(operand, Reg) and operand.index in SNIPPET_GPRS:
+            raise SnippetError(
+                f"instruction at {instr.addr:#x} uses reserved GPR r{operand.index}"
+            )
+        if isinstance(operand, Mem):
+            for reg in (operand.base, operand.index):
+                if reg in SNIPPET_GPRS:
+                    raise SnippetError(
+                        f"memory operand at {instr.addr:#x} uses reserved GPR r{reg}"
+                    )
+
+
+def _fp_input_regs(instr: Instruction, mem_to_scratch: bool) -> list[int]:
+    """XMM register indices holding FP inputs, deduplicated, in order.
+
+    When *mem_to_scratch* is set, a memory FP input has already been copied
+    to the scratch XMM and is represented by it.
+    """
+    info = OPCODE_INFO[instr.opcode]
+    regs: list[int] = []
+    for pos in info.fp_in:
+        operand = instr.operands[pos]
+        if isinstance(operand, Xmm):
+            if operand.index not in regs:
+                regs.append(operand.index)
+        elif isinstance(operand, Mem):
+            if not mem_to_scratch:
+                raise SnippetError("memory FP input without scratch copy")
+            if _SCRATCH_XMM not in regs:
+                regs.append(_SCRATCH_XMM)
+    return regs
+
+
+def _rewrite_mem_operands(instr: Instruction) -> tuple:
+    """Replace FP-input memory operands with the scratch XMM register."""
+    info = OPCODE_INFO[instr.opcode]
+    operands = list(instr.operands)
+    for pos in info.fp_in:
+        if isinstance(operands[pos], Mem):
+            operands[pos] = Xmm(_SCRATCH_XMM)
+    return tuple(operands)
+
+
+def _mem_fp_input(instr: Instruction) -> Mem | None:
+    info = OPCODE_INFO[instr.opcode]
+    for pos in info.fp_in:
+        if isinstance(instr.operands[pos], Mem):
+            return instr.operands[pos]
+    return None
+
+
+def _emit_scalar_check_downcast(e: _Emitter, reg: int, line: int) -> None:
+    """Flag-test *reg*'s low lane; downcast in place if not yet replaced."""
+    skip = e.fresh("sk")
+    x = Xmm(reg)
+    r12 = Reg(_SCRATCH_GPR)
+    e.emit(Op.MOVQRX, r12, x, line=line)
+    e.emit(Op.SHR, r12, Imm(32), line=line)
+    e.emit(Op.CMP, r12, Imm(REPLACED_FLAG), line=line)
+    e.emit(Op.JE, LabelRef(skip), line=line)
+    e.emit(Op.CVTSD2SS, x, x, line=line)
+    e.emit(Op.MOVQRX, r12, x, line=line)
+    e.emit(Op.AND, r12, Imm(_LOW_MASK), line=line)
+    e.emit(Op.OR, r12, Imm(REPLACED_FLAG_SHIFTED), line=line)
+    e.emit(Op.MOVQXR, x, r12, line=line)
+    e.mark(skip)
+    e.stats.checks_emitted += 1
+
+
+def _emit_scalar_check_upcast(e: _Emitter, reg: int, line: int) -> None:
+    """Flag-test *reg*'s low lane; upcast in place if it was replaced."""
+    skip = e.fresh("sk")
+    x = Xmm(reg)
+    r12 = Reg(_SCRATCH_GPR)
+    e.emit(Op.MOVQRX, r12, x, line=line)
+    e.emit(Op.SHR, r12, Imm(32), line=line)
+    e.emit(Op.CMP, r12, Imm(REPLACED_FLAG), line=line)
+    e.emit(Op.JNE, LabelRef(skip), line=line)
+    e.emit(Op.CVTSS2SD, x, x, line=line)
+    e.mark(skip)
+    e.stats.checks_emitted += 1
+
+
+def _emit_scalar_flag_set(e: _Emitter, reg: int, line: int) -> None:
+    """Force the sentinel into *reg*'s low lane high word (fresh results)."""
+    x = Xmm(reg)
+    r12 = Reg(_SCRATCH_GPR)
+    e.emit(Op.MOVQRX, r12, x, line=line)
+    e.emit(Op.AND, r12, Imm(_LOW_MASK), line=line)
+    e.emit(Op.OR, r12, Imm(REPLACED_FLAG_SHIFTED), line=line)
+    e.emit(Op.MOVQXR, x, r12, line=line)
+
+
+def _emit_packed_check_downcast(e: _Emitter, reg: int, lane: int, line: int) -> None:
+    skip = e.fresh("pk")
+    x = Xmm(reg)
+    x14 = Xmm(_SCRATCH_XMM2)
+    r12 = Reg(_SCRATCH_GPR)
+    r13 = Reg(_SCRATCH_GPR2)
+    e.emit(Op.PEXTR, r12, x, Imm(lane), line=line)
+    e.emit(Op.MOV, r13, r12, line=line)
+    e.emit(Op.SHR, r13, Imm(32), line=line)
+    e.emit(Op.CMP, r13, Imm(REPLACED_FLAG), line=line)
+    e.emit(Op.JE, LabelRef(skip), line=line)
+    e.emit(Op.MOVQXR, x14, r12, line=line)
+    e.emit(Op.CVTSD2SS, x14, x14, line=line)
+    e.emit(Op.MOVQRX, r12, x14, line=line)
+    e.emit(Op.AND, r12, Imm(_LOW_MASK), line=line)
+    e.emit(Op.OR, r12, Imm(REPLACED_FLAG_SHIFTED), line=line)
+    e.emit(Op.PINSR, x, r12, Imm(lane), line=line)
+    e.mark(skip)
+    e.stats.checks_emitted += 1
+
+
+def _emit_packed_check_upcast(e: _Emitter, reg: int, lane: int, line: int) -> None:
+    skip = e.fresh("pk")
+    x = Xmm(reg)
+    x14 = Xmm(_SCRATCH_XMM2)
+    r12 = Reg(_SCRATCH_GPR)
+    r13 = Reg(_SCRATCH_GPR2)
+    e.emit(Op.PEXTR, r12, x, Imm(lane), line=line)
+    e.emit(Op.MOV, r13, r12, line=line)
+    e.emit(Op.SHR, r13, Imm(32), line=line)
+    e.emit(Op.CMP, r13, Imm(REPLACED_FLAG), line=line)
+    e.emit(Op.JNE, LabelRef(skip), line=line)
+    e.emit(Op.MOVQXR, x14, r12, line=line)
+    e.emit(Op.CVTSS2SD, x14, x14, line=line)
+    e.emit(Op.MOVQRX, r12, x14, line=line)
+    e.emit(Op.PINSR, x, r12, Imm(lane), line=line)
+    e.mark(skip)
+    e.stats.checks_emitted += 1
+
+
+def _emit_packed_flag_fix(e: _Emitter, reg: int, line: int) -> None:
+    """Restore the sentinel in both lanes of a packed-single result."""
+    x = Xmm(reg)
+    r12 = Reg(_SCRATCH_GPR)
+    for lane in (0, 1):
+        e.emit(Op.PEXTR, r12, x, Imm(lane), line=line)
+        e.emit(Op.AND, r12, Imm(_LOW_MASK), line=line)
+        e.emit(Op.OR, r12, Imm(REPLACED_FLAG_SHIFTED), line=line)
+        e.emit(Op.PINSR, x, r12, Imm(lane), line=line)
+
+
+def emit_single_snippet(
+    builder: AsmBuilder,
+    instr: Instruction,
+    stats: SnippetStats,
+    precleaned: frozenset[int] = frozenset(),
+    streamline: bool = False,
+) -> None:
+    """Emit the single-precision replacement of *instr* (paper Figure 6)."""
+    _check_conflicts(instr)
+    e = _Emitter(builder, stats, streamline)
+    info = OPCODE_INFO[instr.opcode]
+    line = instr.line
+    packed = info.packed
+    mem = _mem_fp_input(instr)
+
+    if mem is not None:
+        e.save(Op.PUSHX, Xmm(_SCRATCH_XMM), line)
+        load = Op.MOVAPD if packed else Op.MOVSD
+        e.emit(load, Xmm(_SCRATCH_XMM), mem, line=line)
+    e.save(Op.PUSH, Reg(_SCRATCH_GPR), line)
+    if packed:
+        e.save(Op.PUSH, Reg(_SCRATCH_GPR2), line)
+        e.save(Op.PUSHX, Xmm(_SCRATCH_XMM2), line)
+
+    checked = _fp_input_regs(instr, mem_to_scratch=True)
+    for reg in checked:
+        if packed:
+            _emit_packed_check_downcast(e, reg, 0, line)
+            _emit_packed_check_downcast(e, reg, 1, line)
+        else:
+            _emit_scalar_check_downcast(e, reg, line)
+
+    new_operands = _rewrite_mem_operands(instr)
+    assert info.single_equiv is not None
+    e.emit(info.single_equiv, *new_operands, line=line)
+
+    # Fix result flags where the hardware does not preserve the sentinel.
+    if info.fp_out:
+        dst = instr.operands[info.fp_out[0]]
+        assert isinstance(dst, Xmm)
+        if packed:
+            _emit_packed_flag_fix(e, dst.index, line)
+        elif dst.index not in checked:
+            _emit_scalar_flag_set(e, dst.index, line)
+
+    if packed:
+        e.save(Op.POPX, Xmm(_SCRATCH_XMM2), line)
+        e.save(Op.POP, Reg(_SCRATCH_GPR2), line)
+    e.save(Op.POP, Reg(_SCRATCH_GPR), line)
+    if mem is not None:
+        e.save(Op.POPX, Xmm(_SCRATCH_XMM), line)
+
+    stats.replaced_single += 1
+    key = info.mnemonic
+    stats.by_opcode[key] = stats.by_opcode.get(key, 0) + 1
+
+
+def emit_move_guard(
+    builder: AsmBuilder,
+    instr: Instruction,
+    stats: SnippetStats,
+    streamline: bool = False,
+) -> None:
+    """Guard a floating-point *move* with a flag check (base-case mode).
+
+    The paper's overhead experiment "replaces all instructions with
+    double-precision snippets", data movement included.  A move needs no
+    conversion — a replaced slot is copied verbatim — so the snippet is
+    the flag test alone on the moved value; with nothing replaced (the
+    base case) the check always falls through and the program's results
+    are bit-for-bit unchanged.
+    """
+    _check_conflicts(instr)
+    e = _Emitter(builder, stats, streamline)
+    line = instr.line
+    e.emit(instr.opcode, *instr.operands, line=line)
+    # Check the register side of the move (destination for loads and
+    # register moves, source for stores).
+    dst = instr.operands[0]
+    if not isinstance(dst, Xmm):
+        dst = instr.operands[1]
+    if not isinstance(dst, Xmm):
+        stats.wrapped_double += 1
+        return
+    skip = e.fresh("mg")
+    r12 = Reg(_SCRATCH_GPR)
+    e.save(Op.PUSH, r12, line)
+    e.emit(Op.MOVQRX, r12, dst, line=line)
+    e.emit(Op.SHR, r12, Imm(32), line=line)
+    e.emit(Op.CMP, r12, Imm(REPLACED_FLAG), line=line)
+    e.emit(Op.JNE, LabelRef(skip), line=line)
+    e.mark(skip)
+    e.save(Op.POP, r12, line)
+    stats.wrapped_double += 1
+    stats.checks_emitted += 1
+
+
+def emit_double_snippet(
+    builder: AsmBuilder,
+    instr: Instruction,
+    stats: SnippetStats,
+    precleaned: frozenset[int] = frozenset(),
+    streamline: bool = False,
+) -> None:
+    """Emit the double-precision guard around *instr*.
+
+    The instruction itself is unchanged, but every floating-point input is
+    flag-tested and upcast in place if some earlier replaced instruction
+    left a single-precision value there.  *precleaned* lists XMM registers
+    statically known to hold plain doubles here (redundant-check
+    elimination, the paper's Section 2.5 data-flow optimization) — their
+    checks are skipped.
+    """
+    _check_conflicts(instr)
+    e = _Emitter(builder, stats, streamline)
+    info = OPCODE_INFO[instr.opcode]
+    line = instr.line
+    packed = info.packed
+    mem = _mem_fp_input(instr)
+
+    checked = _fp_input_regs(instr, mem_to_scratch=mem is not None)
+    to_check = [r for r in checked if r not in precleaned or r == _SCRATCH_XMM]
+    stats.checks_skipped += len(checked) - len(to_check)
+
+    if not to_check and mem is None:
+        # Nothing to guard: emit the instruction bare.
+        e.emit(instr.opcode, *instr.operands, line=line)
+        stats.wrapped_double += 1
+        return
+
+    if mem is not None:
+        e.save(Op.PUSHX, Xmm(_SCRATCH_XMM), line)
+        load = Op.MOVAPD if packed else Op.MOVSD
+        e.emit(load, Xmm(_SCRATCH_XMM), mem, line=line)
+    e.save(Op.PUSH, Reg(_SCRATCH_GPR), line)
+    if packed:
+        e.save(Op.PUSH, Reg(_SCRATCH_GPR2), line)
+        e.save(Op.PUSHX, Xmm(_SCRATCH_XMM2), line)
+
+    for reg in to_check:
+        if packed:
+            _emit_packed_check_upcast(e, reg, 0, line)
+            _emit_packed_check_upcast(e, reg, 1, line)
+        else:
+            _emit_scalar_check_upcast(e, reg, line)
+
+    e.emit(instr.opcode, *_rewrite_mem_operands(instr), line=line)
+
+    if packed:
+        e.save(Op.POPX, Xmm(_SCRATCH_XMM2), line)
+        e.save(Op.POP, Reg(_SCRATCH_GPR2), line)
+    e.save(Op.POP, Reg(_SCRATCH_GPR), line)
+    if mem is not None:
+        e.save(Op.POPX, Xmm(_SCRATCH_XMM), line)
+
+    stats.wrapped_double += 1

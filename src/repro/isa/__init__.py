@@ -1,0 +1,53 @@
+"""The virtual instruction set: opcodes, operands, encoding, decoding.
+
+This is the project's stand-in for x86-64 SSE2 plus the XED decoder.  It
+is deliberately shaped like the subset of x86 the paper instruments:
+scalar and packed double-precision SSE arithmetic on two-lane XMM
+registers, their single-precision equivalents, the integer/flag/branch
+machinery the replacement snippets need, and a handful of MPI pseudo-ops
+standing in for library calls the tool treats as opaque.
+"""
+
+from repro.isa.opcodes import (
+    CANDIDATE_OPS,
+    MNEMONIC_TO_OP,
+    Op,
+    OpInfo,
+    OPCODE_INFO,
+    RED_MAX,
+    RED_MIN,
+    RED_SUM,
+    info,
+)
+from repro.isa.operands import Imm, Mem, Operand, Reg, Xmm
+from repro.isa.instruction import Instruction, IsaError, validate_signature
+from repro.isa.encode import (
+    decode_instruction,
+    encode_instruction,
+    encoded_length,
+)
+from repro.isa import registers
+
+__all__ = [
+    "CANDIDATE_OPS",
+    "MNEMONIC_TO_OP",
+    "Op",
+    "OpInfo",
+    "OPCODE_INFO",
+    "RED_MAX",
+    "RED_MIN",
+    "RED_SUM",
+    "info",
+    "Imm",
+    "Mem",
+    "Operand",
+    "Reg",
+    "Xmm",
+    "Instruction",
+    "IsaError",
+    "validate_signature",
+    "decode_instruction",
+    "encode_instruction",
+    "encoded_length",
+    "registers",
+]

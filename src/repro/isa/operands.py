@@ -1,0 +1,109 @@
+"""Operand forms for the virtual ISA.
+
+Four kinds, mirroring what XED reports for SSE code:
+
+* ``Reg``   — a general-purpose 64-bit register;
+* ``Xmm``   — a 128-bit XMM register (two 64-bit lanes);
+* ``Imm``   — a 64-bit immediate (also used for branch/call targets, which
+  are absolute byte offsets into the text section);
+* ``Mem``   — a memory reference ``[base + index*scale + disp]``.  Memory
+  is **word addressed**: one address names one 64-bit cell.  ``disp`` may
+  be a full absolute address (globals are addressed with no base).
+
+Operands are immutable and hashable so instructions can be deduplicated
+and used as dictionary keys by the analysis passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import gpr_name, xmm_name
+
+# Kind tags (also the encoding discriminator byte).
+KIND_REG = 1
+KIND_XMM = 2
+KIND_IMM = 3
+KIND_MEM = 4
+
+#: Sentinel register index meaning "no register" in a Mem operand encoding.
+NO_REG = 0xFF
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A general-purpose register operand."""
+
+    index: int
+
+    kind = KIND_REG
+
+    def render(self) -> str:
+        return f"%{gpr_name(self.index)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Xmm:
+    """An XMM register operand."""
+
+    index: int
+
+    kind = KIND_XMM
+
+    def render(self) -> str:
+        return f"%{xmm_name(self.index)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """A 64-bit immediate operand (stored as a Python int, signed or raw bits)."""
+
+    value: int
+
+    kind = KIND_IMM
+
+    def render(self) -> str:
+        v = self.value
+        if -4096 < v < 4096:
+            return f"${v}"
+        return f"$0x{v & 0xFFFFFFFFFFFFFFFF:x}"
+
+
+@dataclass(frozen=True, slots=True)
+class Mem:
+    """A memory operand ``[base + index*scale + disp]`` in word addresses."""
+
+    base: int | None = None
+    index: int | None = None
+    scale: int = 1
+    disp: int = 0
+
+    kind = KIND_MEM
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"bad scale {self.scale}")
+
+    def render(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(f"%{gpr_name(self.base)}")
+        if self.index is not None:
+            term = f"%{gpr_name(self.index)}"
+            if self.scale != 1:
+                term += f"*{self.scale}"
+            parts.append(term)
+        inner = "+".join(parts)
+        if self.disp or not inner:
+            return f"{self.disp}({inner})" if inner else f"({self.disp})"
+        return f"({inner})"
+
+
+Operand = Reg | Xmm | Imm | Mem
+
+#: Signature letters used in the opcode table.
+SIG_LETTER = {KIND_REG: "R", KIND_XMM: "X", KIND_IMM: "I", KIND_MEM: "M"}
+
+
+def operand_letter(op: Operand) -> str:
+    return SIG_LETTER[op.kind]

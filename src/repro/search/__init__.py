@@ -1,0 +1,30 @@
+"""The automatic breadth-first configuration search (paper Section 2.2).
+
+Starting from whole-module replacements, the search descends through the
+program structure — module, function, basic block, instruction — testing
+at each step whether replacing that structure with single precision still
+passes the user-provided verification routine.  Two optimizations from
+the paper are implemented:
+
+* **binary partitioning** — a failed aggregate with many children is
+  split into two equally-sized halves instead of enqueuing every child
+  individually;
+* **profile prioritization** — candidates are tested most-frequently-
+  executed first, based on an initial profiling run.
+
+The union of all individually passing replacements forms the *final*
+configuration, which is itself verified (and, as the paper observes, may
+fail: precision decisions are not independent).
+"""
+
+from repro.search.bfs import SearchEngine, SearchOptions
+from repro.search.results import SearchResult, EvalRecord
+from repro.search.evaluator import Evaluator
+
+__all__ = [
+    "SearchEngine",
+    "SearchOptions",
+    "SearchResult",
+    "EvalRecord",
+    "Evaluator",
+]

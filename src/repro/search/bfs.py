@@ -1,0 +1,317 @@
+"""The breadth-first search engine itself."""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.config.generator import build_tree
+from repro.config.model import (
+    Config,
+    ConfigNode,
+    LEVEL_BLOCK,
+    LEVEL_FUNCTION,
+    LEVEL_INSN,
+    LEVEL_MODULE,
+    Policy,
+    ProgramTree,
+)
+from repro.search.evaluator import Evaluator
+from repro.search.results import EvalRecord, SearchResult
+
+_LEVEL_RANK = {
+    LEVEL_MODULE: 0,
+    LEVEL_FUNCTION: 1,
+    LEVEL_BLOCK: 2,
+    LEVEL_INSN: 3,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SearchOptions:
+    """Knobs of the automatic search.
+
+    stop_level:
+        Finest granularity the descent may reach (paper: "the search can
+        also be configured to stop at basic blocks or functions, allowing
+        for faster convergence with coarser results").
+    partition:
+        Binary partitioning of large failed aggregates (first paper
+        optimization).
+    partition_threshold:
+        Minimum child count for partitioning to kick in.
+    prioritize:
+        Profile-count prioritization (second paper optimization).
+    max_configs:
+        Safety budget on evaluated configurations.
+    refine:
+        Second search phase (suggested in the paper's Section 3.1): when
+        the union of individually passing replacements fails, greedily
+        drop the hottest passing items until a composable subset passes.
+    refine_budget:
+        Evaluation budget for the refinement phase.
+    workers:
+        Parallel evaluation processes (paper: the search "can launch many
+        independent tests if cores are available").  1 = serial; >1 uses
+        a fork-based process pool, falling back to serial on platforms
+        without fork.  Results are identical either way.
+    """
+
+    stop_level: str = LEVEL_INSN
+    partition: bool = True
+    partition_threshold: int = 4
+    prioritize: bool = True
+    max_configs: int = 20_000
+    refine: bool = False
+    refine_budget: int = 64
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stop_level not in _LEVEL_RANK:
+            raise ValueError(f"bad stop_level {self.stop_level!r}")
+
+
+class _Item:
+    """A work-queue entry: one node, or a group of sibling nodes."""
+
+    __slots__ = ("nodes", "is_group")
+
+    def __init__(self, nodes: list[ConfigNode], is_group: bool) -> None:
+        self.nodes = nodes
+        self.is_group = is_group
+
+    def label(self) -> str:
+        if not self.is_group:
+            return self.nodes[0].node_id
+        first, last = self.nodes[0].node_id, self.nodes[-1].node_id
+        return f"[{first}..{last}]({len(self.nodes)})"
+
+    def flags(self) -> dict[str, Policy]:
+        return {n.node_id: Policy.SINGLE for n in self.nodes}
+
+
+class SearchEngine:
+    """Drives the automatic search for one workload.
+
+    Parameters
+    ----------
+    workload:
+        Object with ``name``, ``program``, ``run``, ``verify`` and
+        ``profile()`` (exec counts of the original program).
+    options:
+        :class:`SearchOptions`.
+    base_config:
+        Optional starting configuration carrying e.g. user-set IGNORE
+        flags (the paper's escape hatch for RNG-style code); its flags are
+        merged into every tested configuration.
+    """
+
+    def __init__(
+        self,
+        workload,
+        options: SearchOptions | None = None,
+        base_config: Config | None = None,
+        evaluator: Evaluator | None = None,
+    ) -> None:
+        self.workload = workload
+        self.options = options or SearchOptions()
+        self.tree: ProgramTree = (
+            base_config.tree if base_config is not None else build_tree(workload.program)
+        )
+        if evaluator is not None:
+            self.evaluator = evaluator
+        elif self.options.workers > 1:
+            from repro.search.parallel import ParallelEvaluator
+
+            self.evaluator = ParallelEvaluator(
+                workload, self.tree, self.options.workers
+            )
+        else:
+            self.evaluator = Evaluator(workload)
+        self.base_config = base_config or Config.all_double(self.tree)
+        self._seq = 0
+        self._heap: list = []
+        self._fifo: deque = deque()
+        self._profile: dict[int, int] = {}
+
+    # -- queue ------------------------------------------------------------------
+
+    def _weight(self, item: _Item) -> int:
+        total = 0
+        for node in item.nodes:
+            for insn in node.instructions():
+                total += self._profile.get(insn.addr, 0)
+        return total
+
+    def _push(self, item: _Item) -> None:
+        if self.options.prioritize:
+            self._seq += 1
+            heapq.heappush(self._heap, (-self._weight(item), self._seq, item))
+        else:
+            self._fifo.append(item)
+
+    def _pop(self) -> _Item | None:
+        if self.options.prioritize:
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+        if not self._fifo:
+            return None
+        return self._fifo.popleft()
+
+    # -- descent ------------------------------------------------------------------
+
+    def _descend(self, item: _Item) -> None:
+        opts = self.options
+        if item.is_group:
+            if len(item.nodes) > 1:
+                mid = len(item.nodes) // 2
+                self._push(_Item(item.nodes[:mid], True))
+                self._push(_Item(item.nodes[mid:], True))
+            else:
+                self._descend(_Item(item.nodes, False))
+            return
+        node = item.nodes[0]
+        if node.level == LEVEL_INSN:
+            return  # cannot subdivide an instruction
+        if _LEVEL_RANK[node.level] >= _LEVEL_RANK[opts.stop_level]:
+            return  # descent capped by stop_level
+        children = node.children
+        if opts.partition and len(children) > opts.partition_threshold:
+            mid = len(children) // 2
+            self._push(_Item(children[:mid], True))
+            self._push(_Item(children[mid:], True))
+        else:
+            for child in children:
+                self._push(_Item([child], False))
+
+    # -- main loop --------------------------------------------------------------------
+
+    def run(self) -> SearchResult:
+        start = time.perf_counter()
+        self._profile = self.workload.profile() if self.options.prioritize else {}
+
+        for root in self.tree.roots:
+            self._push(_Item([root], False))
+
+        history: list[EvalRecord] = []
+        passing: list[_Item] = []
+        batch_size = max(1, self.options.workers)
+
+        while True:
+            if self.evaluator.evaluations >= self.options.max_configs:
+                break
+            items: list[_Item] = []
+            while len(items) < batch_size:
+                item = self._pop()
+                if item is None:
+                    break
+                items.append(item)
+            if not items:
+                break
+            configs = []
+            for item in items:
+                config = self.base_config.copy()
+                config.flags.update(item.flags())
+                configs.append(config)
+            outcomes = self.evaluator.evaluate_batch(configs)
+            for item, (passed, cycles, trap) in zip(items, outcomes):
+                history.append(EvalRecord(item.label(), passed, cycles, trap))
+                if passed:
+                    passing.append(item)
+                else:
+                    self._descend(item)
+
+        # Compose the final configuration: union of everything that passed.
+        final = self.base_config.copy()
+        for item in passing:
+            final.flags.update(item.flags())
+
+        final_verified = False
+        if passing:
+            passed, cycles, trap = self.evaluator.evaluate(final)
+            history.append(EvalRecord("FINAL(union)", passed, cycles, trap))
+            final_verified = passed
+
+        profile = self.workload.profile()
+        result = SearchResult(
+            workload=getattr(self.workload, "name", self.tree.program_name),
+            candidates=self.tree.candidate_count,
+            configs_tested=self.evaluator.evaluations,
+            final_config=final,
+            final_verified=final_verified,
+            static_pct=final.static_replaced_fraction(),
+            dynamic_pct=final.dynamic_replaced_fraction(profile),
+            history=history,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+        if self.options.refine and passing and not final_verified:
+            self._refine(result, passing, history, profile)
+            result.configs_tested = self.evaluator.evaluations
+            result.wall_seconds = time.perf_counter() - start
+        return result
+
+    # -- second search phase (composition refinement) ----------------------------
+
+    def _refine(
+        self,
+        result: SearchResult,
+        passing: list,
+        history: list,
+        profile: dict,
+    ) -> None:
+        """Greedy composition search: drop the hottest passing items from
+        the union until the composition verifies (or the budget runs out).
+
+        Rationale: precision decisions interact, and the interaction is
+        almost always mediated by the most frequently executed replaced
+        code — dropping cold items rarely rescues a failing union.
+        """
+        self._profile = profile  # _weight uses it
+        remaining = sorted(passing, key=self._weight)  # coldest first
+        budget = [self.options.refine_budget]
+        dropped: list = []
+
+        def compose(items):
+            candidate = self.base_config.copy()
+            for item in items:
+                candidate.flags.update(item.flags())
+            passed, cycles, trap = self.evaluator.evaluate(candidate)
+            budget[0] -= 1
+            history.append(
+                EvalRecord(f"REFINE({len(items)} items)", passed, cycles, trap)
+            )
+            return passed, candidate
+
+        kept = None
+        while remaining and budget[0] > 0:
+            passed, candidate = compose(remaining)
+            if passed:
+                kept = candidate
+                break
+            dropped.append(remaining.pop())  # drop the hottest remaining
+
+        if kept is None:
+            result.refined_config = self.base_config.copy()
+            result.refined_verified = False
+            result.refine_drops = len(dropped)
+            return
+
+        # Re-add pass: some dropped items may compose fine once the true
+        # offender is out; try them back in, coldest first.
+        for item in sorted(dropped, key=self._weight):
+            if budget[0] <= 0:
+                break
+            passed, candidate = compose(remaining + [item])
+            if passed:
+                remaining.append(item)
+                kept = candidate
+
+        result.refined_config = kept
+        result.refined_verified = True
+        result.refined_static_pct = kept.static_replaced_fraction()
+        result.refined_dynamic_pct = kept.dynamic_replaced_fraction(profile)
+        result.refine_drops = len(passing) - len(remaining)

@@ -1,0 +1,65 @@
+"""Configuration evaluation: instrument, run, verify.
+
+A crashed run (VM trap — out-of-bounds access from a corrupted index,
+step-budget blowout from a wrecked loop bound, ...) counts as a failed
+verification; this is the paper's deliberate "anything missed causes a
+crash" property at work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.model import Config
+from repro.instrument.engine import instrument
+from repro.vm.errors import VmTrap
+
+
+@dataclass(slots=True)
+class Evaluator:
+    """Evaluates configurations against a workload.
+
+    Parameters
+    ----------
+    workload:
+        Object with ``program`` (the original double-precision binary),
+        ``run(program) -> ExecResult`` and ``verify(result) -> bool``.
+    optimize_checks:
+        Forwarded to the instrumentation engine (redundant-check
+        elimination ablation).
+    """
+
+    workload: object
+    optimize_checks: bool = False
+    cache: dict = field(default_factory=dict)
+    evaluations: int = 0
+    cache_hits: int = 0
+
+    def evaluate(self, config: Config) -> tuple[bool, int, str]:
+        """Returns (passed, cycles, trap_message)."""
+        key = frozenset(config.flags.items())
+        if key in self.cache:
+            self.cache_hits += 1
+            return self.cache[key]
+        self.evaluations += 1
+        instrumented = instrument(
+            self.workload.program, config, optimize_checks=self.optimize_checks
+        )
+        try:
+            result = self.workload.run(instrumented.program)
+        except VmTrap as exc:
+            outcome = (False, 0, str(exc))
+            self.cache[key] = outcome
+            return outcome
+        passed = bool(self.workload.verify(result))
+        outcome = (passed, result.cycles, "")
+        self.cache[key] = outcome
+        return outcome
+
+    def evaluate_batch(self, configs: list) -> list:
+        """Serial batch evaluation (see repro.search.parallel for the
+        multi-process version with the same interface)."""
+        return [self.evaluate(config) for config in configs]
+
+    def close(self) -> None:
+        """Nothing to release; mirrors ParallelEvaluator's interface."""

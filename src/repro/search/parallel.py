@@ -1,0 +1,133 @@
+"""Parallel configuration evaluation.
+
+The paper notes the search "is highly parallelizable, and the system can
+launch many independent tests if cores are available".  This module
+provides that: a process pool (fork start method — the workload objects,
+including their compiled programs and cached baselines, are inherited
+by the children without pickling) evaluating batches of configurations.
+
+Only the *evaluations* are parallel; the search loop itself stays
+deterministic — batches are drained in submission order, so histories
+and results are identical to a serial run with the same options.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.config.model import Config
+from repro.instrument.engine import instrument
+from repro.vm.errors import VmTrap
+
+# Per-worker state, installed by the fork (never pickled).
+_STATE: dict = {}
+
+
+def _worker_init(workload, tree, optimize_checks) -> None:
+    _STATE["workload"] = workload
+    _STATE["tree"] = tree
+    _STATE["optimize_checks"] = optimize_checks
+
+
+def _worker_eval(flags: dict) -> tuple[bool, int, str]:
+    workload = _STATE["workload"]
+    config = Config(_STATE["tree"], flags)
+    instrumented = instrument(
+        workload.program, config, optimize_checks=_STATE["optimize_checks"]
+    )
+    try:
+        result = workload.run(instrumented.program)
+    except VmTrap as exc:
+        return (False, 0, str(exc))
+    return (bool(workload.verify(result)), result.cycles, "")
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ParallelEvaluator:
+    """Drop-in sibling of :class:`~repro.search.evaluator.Evaluator` with
+    an additional ``evaluate_batch``; falls back to serial evaluation when
+    fork is not available on the platform."""
+
+    def __init__(self, workload, tree, workers: int, optimize_checks: bool = False):
+        if workers < 2:
+            raise ValueError("ParallelEvaluator needs workers >= 2")
+        self.workload = workload
+        self.tree = tree
+        self.workers = workers
+        self.optimize_checks = optimize_checks
+        self.cache: dict = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+        self._pool = None
+        if fork_available():
+            # Make sure lazily cached state (baseline, profile) exists
+            # before forking so children share it.
+            workload.baseline()
+            if hasattr(workload, "profile"):
+                workload.profile()
+            context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(workload, tree, optimize_checks),
+            )
+
+    # -- Evaluator protocol ---------------------------------------------------
+
+    def evaluate(self, config: Config) -> tuple[bool, int, str]:
+        return self.evaluate_batch([config])[0]
+
+    def evaluate_batch(self, configs: list[Config]) -> list[tuple[bool, int, str]]:
+        keys = [frozenset(c.flags.items()) for c in configs]
+        missing: dict = {}
+        for key, config in zip(keys, configs):
+            if key not in self.cache and key not in missing:
+                missing[key] = config
+
+        if missing:
+            items = list(missing.items())
+            if self._pool is not None:
+                futures = [
+                    self._pool.submit(_worker_eval, dict(config.flags))
+                    for _key, config in items
+                ]
+                outcomes = [f.result() for f in futures]
+            else:  # serial fallback (no fork on this platform)
+                outcomes = [
+                    _serial_eval(self.workload, config, self.optimize_checks)
+                    for _key, config in items
+                ]
+            for (key, _config), outcome in zip(items, outcomes):
+                self.cache[key] = outcome
+                self.evaluations += 1
+
+        results = []
+        for key in keys:
+            results.append(self.cache[key])
+        self.cache_hits += len(keys) - len(missing)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _serial_eval(workload, config: Config, optimize_checks: bool):
+    instrumented = instrument(workload.program, config, optimize_checks=optimize_checks)
+    try:
+        result = workload.run(instrumented.program)
+    except VmTrap as exc:
+        return (False, 0, str(exc))
+    return (bool(workload.verify(result)), result.cycles, "")

@@ -1,0 +1,54 @@
+"""Search result records (the columns of the paper's Figure 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.model import Config
+
+
+@dataclass(slots=True)
+class EvalRecord:
+    """One tested configuration."""
+
+    label: str            # human-readable description (node ids / group)
+    passed: bool
+    cycles: int = 0
+    trap: str = ""        # trap message if the run crashed
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Outcome of one automatic search."""
+
+    workload: str
+    candidates: int               # replacement-candidate instruction count
+    configs_tested: int           # configurations actually evaluated
+    final_config: Config | None   # union of individually passing replacements
+    final_verified: bool          # did the union itself pass?
+    static_pct: float             # % of candidate instructions replaced
+    dynamic_pct: float            # % of candidate executions replaced
+    history: list = field(default_factory=list)   # list[EvalRecord]
+    wall_seconds: float = 0.0
+    #: second search phase (paper §3.1: "a second search phase may be
+    #: useful, to determine the largest subset of individually-passing
+    #: instruction replacements that may be composed"): the refined
+    #: configuration, whether it verifies, and how many passing items
+    #: had to be dropped to get there.  None when refinement was off or
+    #: unnecessary (the union itself passed).
+    refined_config: Config | None = None
+    refined_verified: bool = False
+    refined_static_pct: float = 0.0
+    refined_dynamic_pct: float = 0.0
+    refine_drops: int = 0
+
+    def row(self) -> dict:
+        """One row of the paper's Figure 10 table."""
+        return {
+            "benchmark": self.workload,
+            "candidates": self.candidates,
+            "tested": self.configs_tested,
+            "static_pct": round(self.static_pct * 100.0, 1),
+            "dynamic_pct": round(self.dynamic_pct * 100.0, 1),
+            "final": "pass" if self.final_verified else "fail",
+        }

@@ -1,0 +1,19 @@
+"""Configuration viewer — the terminal stand-in for the paper's GUI.
+
+The paper's GTK editor (its Figure 4) displays the program-structure tree
+with per-node precision flags, lets the developer toggle them, and maps
+instructions back to source lines via debug information.  This module
+renders the same information as text: the structure tree with flags and
+profile weights, and an annotated source view.
+"""
+
+from repro.viewer.tree import render_config_tree, render_search_summary
+from repro.viewer.source_view import render_source_view
+from repro.viewer.report import render_markdown_report
+
+__all__ = [
+    "render_config_tree",
+    "render_search_summary",
+    "render_source_view",
+    "render_markdown_report",
+]

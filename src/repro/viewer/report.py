@@ -1,0 +1,78 @@
+"""Markdown report generation for a completed search.
+
+Produces the artifact a developer would actually act on after running
+the analysis: headline numbers, the per-function breakdown with profile
+weights (where to spend conversion effort), the tested-configuration
+history, and the final configuration in the exchange format — roughly the
+information the paper's GUI presents, as a shareable document.
+"""
+
+from __future__ import annotations
+
+from repro.config.fileformat import dump_config
+from repro.config.model import LEVEL_FUNCTION, Policy
+
+
+def render_markdown_report(result, workload=None) -> str:
+    """Render *result* (a SearchResult) as a Markdown document."""
+    lines = [f"# Mixed-precision analysis: {result.workload}", ""]
+    lines += [
+        f"* candidates: **{result.candidates}** double-precision instructions",
+        f"* configurations tested: **{result.configs_tested}**",
+        f"* static replacement: **{result.static_pct * 100:.1f}%** of instructions",
+        f"* dynamic replacement: **{result.dynamic_pct * 100:.1f}%** of executions",
+        f"* final (union) verification: **{'pass' if result.final_verified else 'FAIL'}**",
+    ]
+    if result.refined_config is not None:
+        lines += [
+            f"* second-phase refinement: **{result.refined_static_pct * 100:.1f}%** "
+            f"static / **{result.refined_dynamic_pct * 100:.1f}%** dynamic, "
+            f"verification **{'pass' if result.refined_verified else 'FAIL'}** "
+            f"({result.refine_drops} replacement(s) dropped)",
+        ]
+    lines.append(f"* wall time: {result.wall_seconds:.1f}s")
+    lines.append("")
+
+    config = (
+        result.refined_config
+        if result.refined_config is not None and result.refined_verified
+        else result.final_config
+    )
+
+    if config is not None:
+        profile = workload.profile() if workload is not None else {}
+        total = max(1, sum(profile.get(i.addr, 0) for i in config.tree.instructions()))
+        lines += ["## Per-function breakdown", ""]
+        lines += [
+            "| function | candidates | replaced | execution share |",
+            "|---|---|---|---|",
+        ]
+        for fn in config.tree.nodes_at(LEVEL_FUNCTION):
+            insns = list(fn.instructions())
+            policies = [config.effective_policy(i) for i in insns]
+            replaced = sum(1 for p in policies if p is Policy.SINGLE)
+            weight = sum(profile.get(i.addr, 0) for i in insns) / total
+            lines.append(
+                f"| `{fn.label}` | {len(insns)} | {replaced} "
+                f"({100.0 * replaced / max(1, len(insns)):.0f}%) "
+                f"| {weight * 100:.1f}% |"
+            )
+        lines.append("")
+
+    lines += ["## Search history", ""]
+    lines += ["| # | configuration | outcome |", "|---|---|---|"]
+    for index, record in enumerate(result.history, start=1):
+        outcome = "pass" if record.passed else ("trap" if record.trap else "fail")
+        lines.append(f"| {index} | `{record.label}` | {outcome} |")
+    lines.append("")
+
+    if config is not None:
+        lines += [
+            "## Recommended configuration (exchange format)",
+            "",
+            "```",
+            dump_config(config).rstrip(),
+            "```",
+            "",
+        ]
+    return "\n".join(lines)

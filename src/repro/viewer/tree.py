@@ -1,0 +1,79 @@
+"""Tree rendering of configurations (the paper's Figure 4, as text).
+
+Each node shows its explicit flag (column 1), its *effective* policy
+after hierarchical override resolution, and — when a profile is given —
+the share of candidate executions under the node, which is the
+information the GUI uses to steer a developer toward worthwhile
+conversions.
+"""
+
+from __future__ import annotations
+
+from repro.config.model import Config, ConfigNode, LEVEL_INSN, Policy
+
+
+def _node_weight(node: ConfigNode, profile: dict) -> int:
+    return sum(profile.get(i.addr, 0) for i in node.instructions())
+
+
+def render_config_tree(
+    config: Config,
+    profile: dict | None = None,
+    max_instructions: int | None = None,
+) -> str:
+    """Render the structure tree with flags and effective policies."""
+    tree = config.tree
+    total = 1
+    if profile:
+        total = max(1, sum(profile.get(i.addr, 0) for i in tree.instructions()))
+    lines = [f"program: {tree.program_name}   candidates: {tree.candidate_count}"]
+    lines.append("flag  effective  structure")
+    for root in tree.roots:
+        _render(root, config, profile, total, 0, lines, max_instructions)
+    return "\n".join(lines) + "\n"
+
+
+def _render(node, config, profile, total, depth, lines, max_instructions, shown=None):
+    if shown is None:
+        shown = [0]
+    flag = config.flags.get(node.node_id)
+    col = flag.value if flag is not None else "."
+    indent = "  " * depth
+    if node.level == LEVEL_INSN:
+        if max_instructions is not None and shown[0] >= max_instructions:
+            return
+        shown[0] += 1
+        effective = config.effective_policy(node).value
+        extra = ""
+        if profile is not None:
+            count = profile.get(node.addr, 0)
+            extra = f"  [{100.0 * count / total:5.2f}% execs]"
+        src = f"  ; line {node.line}" if node.line else ""
+        lines.append(
+            f"  {col}      {effective}      {indent}{node.node_id}: "
+            f'{node.addr:#06x} "{node.text}"{extra}{src}'
+        )
+        return
+    weight = ""
+    if profile is not None:
+        weight = f"  [{100.0 * _node_weight(node, profile) / total:5.1f}% execs]"
+    lines.append(f"  {col}             {indent}{node.node_id}: {node.label}{weight}")
+    for child in node.children:
+        _render(child, config, profile, total, depth + 1, lines, max_instructions, shown)
+
+
+def render_search_summary(result) -> str:
+    """One-paragraph summary of a SearchResult plus its history tail."""
+    lines = [
+        f"search of {result.workload}: {result.candidates} candidates, "
+        f"{result.configs_tested} configurations tested",
+        f"  static  replaced: {result.static_pct * 100.0:5.1f}%",
+        f"  dynamic replaced: {result.dynamic_pct * 100.0:5.1f}%",
+        f"  final (union) verification: "
+        f"{'pass' if result.final_verified else 'fail'}",
+        "  history:",
+    ]
+    for record in result.history:
+        status = "PASS" if record.passed else ("TRAP" if record.trap else "fail")
+        lines.append(f"    {status:4s}  {record.label}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,42 @@
+"""VM exception types."""
+
+from __future__ import annotations
+
+
+class VmTrap(Exception):
+    """A hard runtime fault: bad memory access, stack overflow, division by
+    zero, return to a non-instruction address, or step-budget exhaustion.
+
+    The search evaluator treats a trap as a failed verification — this is
+    the paper's "anything that our analysis misses causes a crash, which is
+    much easier to debug than mis-rounded operations".
+    """
+
+    def __init__(self, message: str, addr: int = -1) -> None:
+        self.addr = addr
+        if addr >= 0:
+            message = f"{message} (at text address {addr:#x})"
+        super().__init__(message)
+
+
+class CollectiveYield(Exception):
+    """Raised by MPI opcodes in multi-rank mode to hand control back to the
+    rank scheduler.  Carries everything needed to resume the rank.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        resume_index: int,
+        xmm: int = -1,
+        arg: int = 0,
+        addr: int = -1,
+        count: int = 0,
+    ) -> None:
+        super().__init__(kind)
+        self.kind = kind          # allred|allredss|allredv|allredvss|barrier|bcastsd
+        self.resume_index = resume_index
+        self.xmm = xmm            # register involved, -1 for memory/barrier forms
+        self.arg = arg            # reduction selector or broadcast root
+        self.addr = addr          # memory base for vector collectives
+        self.count = count        # element count for vector collectives

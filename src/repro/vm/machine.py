@@ -1,0 +1,1143 @@
+"""The interpreter.
+
+Programs are *pre-compiled* at load time: every decoded instruction
+becomes a specialized Python closure that mutates the machine state and
+returns the index of the next instruction.  Branch targets are resolved
+to instruction indices once, immediates are folded into the closures, and
+the execution loop is nothing but ``idx = code[idx](idx)``.
+
+The machine model: every closure adds its instruction's cycle cost (base
+cost from the opcode table plus a per-memory-operand charge priced by
+access width).  Taken branches pay one extra cycle.  These cycles are the
+deterministic stand-in for the paper's wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.binary.model import Program
+from repro.fpbits import ieee
+from repro.fpbits.ieee import (
+    bits_to_double,
+    bits_to_single,
+    double_to_bits,
+    single_to_bits,
+)
+from repro.isa.encode import decode_instruction
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    Op,
+    OPCODE_INFO,
+    RED_MAX,
+    RED_MIN,
+    RED_SUM,
+)
+from repro.isa.operands import Imm, Mem, Reg, Xmm
+from repro.vm.costs import DEFAULT_COST_MODEL, CostModel
+from repro.vm.errors import CollectiveYield, VmTrap
+
+_M64 = 0xFFFFFFFFFFFFFFFF
+_M32 = 0xFFFFFFFF
+_SIGN64 = 1 << 63
+_HI32 = 0xFFFFFFFF00000000
+
+#: x86 "integer indefinite" result for unrepresentable FP->int conversions.
+_INT_INDEFINITE = 0x8000000000000000
+
+_XORSHIFT_MULT = 2685821657736338717
+
+
+class _Halt(Exception):
+    pass
+
+
+_HALT = _Halt()
+
+
+def _s64(v: int) -> int:
+    return v - 0x10000000000000000 if v & _SIGN64 else v
+
+
+def _u64(v: int) -> int:
+    return v & _M64
+
+
+@dataclass(slots=True)
+class ExecResult:
+    """Outcome of a program run."""
+
+    outputs: list
+    cycles: int
+    steps: int
+    halted: bool = True
+    #: text address -> execution count (only when profiling was enabled)
+    exec_counts: dict = field(default_factory=dict)
+
+    def values(self) -> list:
+        """Outputs decoded to Python numbers (flag-transparent)."""
+        from repro.vm.outputs import decode_outputs
+
+        return decode_outputs(self.outputs)
+
+
+# Scalar double binary ops: dst.lo = fn(dst.lo, src64).
+_FPD_BIN = {
+    Op.ADDSD: ieee.double_add,
+    Op.SUBSD: ieee.double_sub,
+    Op.MULSD: ieee.double_mul,
+    Op.DIVSD: ieee.double_div,
+    Op.MINSD: ieee.double_min,
+    Op.MAXSD: ieee.double_max,
+}
+# Scalar double unary ops: dst.lo = fn(src64).
+_FPD_UN = {
+    Op.SQRTSD: ieee.double_sqrt,
+    Op.ABSSD: ieee.double_abs,
+    Op.NEGSD: ieee.double_neg,
+    Op.SINSD: ieee.double_sin,
+    Op.COSSD: ieee.double_cos,
+    Op.EXPSD: ieee.double_exp,
+    Op.LOGSD: ieee.double_log,
+}
+# Scalar single binary ops on 32-bit patterns.
+_FPS_BIN = {
+    Op.ADDSS: ieee.single_add,
+    Op.SUBSS: ieee.single_sub,
+    Op.MULSS: ieee.single_mul,
+    Op.DIVSS: ieee.single_div,
+    Op.MINSS: ieee.single_min,
+    Op.MAXSS: ieee.single_max,
+}
+_FPS_UN = {
+    Op.SQRTSS: ieee.single_sqrt,
+    Op.ABSSS: ieee.single_abs,
+    Op.NEGSS: ieee.single_neg,
+    Op.SINSS: ieee.single_sin,
+    Op.COSSS: ieee.single_cos,
+    Op.EXPSS: ieee.single_exp,
+    Op.LOGSS: ieee.single_log,
+}
+# Packed double: applied to each 64-bit lane.
+_PD_BIN = {
+    Op.ADDPD: ieee.double_add,
+    Op.SUBPD: ieee.double_sub,
+    Op.MULPD: ieee.double_mul,
+    Op.DIVPD: ieee.double_div,
+}
+# Packed single: applied to each 32-bit half of each lane.
+_PS_BIN = {
+    Op.ADDPS: ieee.single_add,
+    Op.SUBPS: ieee.single_sub,
+    Op.MULPS: ieee.single_mul,
+    Op.DIVPS: ieee.single_div,
+}
+
+_INT_BIN_PLAIN = {
+    Op.ADD: lambda a, b: (a + b) & _M64,
+    Op.SUB: lambda a, b: (a - b) & _M64,
+    Op.IMUL: lambda a, b: (a * b) & _M64,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SHL: lambda a, b: (a << (b & 63)) & _M64,
+    Op.SHR: lambda a, b: a >> (b & 63),
+    Op.SAR: lambda a, b: (_s64(a) >> (b & 63)) & _M64,
+}
+
+
+def _idiv(a: int, b: int) -> int:
+    if b == 0:
+        raise VmTrap("integer division by zero")
+    sa, sb = _s64(a), _s64(b)
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return q & _M64
+
+
+def _irem(a: int, b: int) -> int:
+    if b == 0:
+        raise VmTrap("integer division by zero")
+    sa, sb = _s64(a), _s64(b)
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return r & _M64
+
+
+class VM:
+    """One virtual machine instance executing one Program.
+
+    Parameters
+    ----------
+    program:
+        The program to run.
+    stack_words:
+        Stack size in 64-bit cells, placed above the data image.
+    seed:
+        Deterministic seed for the ``rand`` opcode (xorshift64*).
+    rank, size:
+        MPI identity.  With ``size == 1`` the collective opcodes are local
+        no-ops; with ``size > 1`` they raise :class:`CollectiveYield` so a
+        scheduler can coordinate ranks.
+    max_steps:
+        Hard budget on executed instructions (guards runaway configs).
+    profile:
+        Record per-address execution counts (needed for the search's
+        prioritization and the dynamic-replacement metric).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        stack_words: int = 8192,
+        seed: int = 0x9E3779B97F4A7C15,
+        rank: int = 0,
+        size: int = 1,
+        max_steps: int = 200_000_000,
+        profile: bool = False,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        if not 0 <= rank < size:
+            raise ValueError("rank out of range")
+        self.program = program
+        self.rank = rank
+        self.size = size
+        self.max_steps = max_steps
+        self.profile = profile
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+
+        self.mem = list(program.data_image) + [0] * stack_words
+        self.stack_limit = program.data_words
+        self.gpr = [0] * 16
+        self.gpr[15] = len(self.mem)  # stack pointer: one past the top
+        self.xmm_lo = [0] * 16
+        self.xmm_hi = [0] * 16
+        self.flags = [0, 0, 0]  # zf, lt, unord
+        self.outputs: list = []
+        self.rng = [seed & _M64 or 1]
+        self._cyc = [0]
+        self.steps = 0
+        self.finished = False
+
+        self._instrs: list[Instruction] = []
+        self._addr2idx: dict[int, int] = {}
+        self._decode()
+        self._counts = [0] * len(self._instrs)
+        self._code = [self._build(i) for i in range(len(self._instrs))]
+        self._entry_idx = self._addr2idx[program.entry]
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self._cyc[0]
+
+    def run(self) -> ExecResult:
+        """Run from the entry point to HALT (single-rank convenience)."""
+        if self.size != 1:
+            raise VmTrap("VM.run() is single-rank; use repro.mpi for size > 1")
+        self.resume(self._entry_idx)
+        return self.result()
+
+    def resume(self, index: int) -> bool:
+        """Execute from instruction *index*; True on HALT.
+
+        In multi-rank mode a :class:`CollectiveYield` escapes to the caller
+        (the rank scheduler) with the resume index inside.
+        """
+        code = self._code
+        counts = self._counts
+        remaining = self.max_steps - self.steps
+        n = 0
+        try:
+            if self.profile:
+                while True:
+                    n += 1
+                    if n > remaining:
+                        raise VmTrap(f"step budget exceeded ({self.max_steps})")
+                    counts[index] += 1
+                    index = code[index](index)
+            else:
+                while True:
+                    n += 1
+                    if n > remaining:
+                        raise VmTrap(f"step budget exceeded ({self.max_steps})")
+                    index = code[index](index)
+        except _Halt:
+            self.steps += n
+            self.finished = True
+            return True
+        except CollectiveYield:
+            self.steps += n
+            raise
+        except VmTrap:
+            self.steps += n
+            raise
+
+    def result(self) -> ExecResult:
+        exec_counts = {}
+        if self.profile:
+            instrs = self._instrs
+            exec_counts = {
+                instrs[i].addr: c for i, c in enumerate(self._counts) if c
+            }
+        return ExecResult(
+            outputs=list(self.outputs),
+            cycles=self._cyc[0],
+            steps=self.steps,
+            halted=self.finished,
+            exec_counts=exec_counts,
+        )
+
+    def entry_index(self) -> int:
+        return self._entry_idx
+
+    # -- compilation -----------------------------------------------------------
+
+    def _decode(self) -> None:
+        text = self.program.text
+        offset = 0
+        n = len(text)
+        while offset < n:
+            instr, size = decode_instruction(text, offset)
+            self._addr2idx[offset] = len(self._instrs)
+            self._instrs.append(instr)
+            offset += size
+
+    def _trap(self, message: str, addr: int):
+        raise VmTrap(message, addr)
+
+    # operand accessors -------------------------------------------------------
+
+    def _addr_fn(self, m: Mem):
+        gpr = self.gpr
+        disp = m.disp
+        base = m.base
+        index = m.index
+        scale = m.scale
+        if base is None and index is None:
+            return lambda: disp
+        if index is None:
+            return lambda: gpr[base] + disp
+        if base is None:
+            return lambda: gpr[index] * scale + disp
+        return lambda: gpr[base] + gpr[index] * scale + disp
+
+    def _mem_read(self, m: Mem, iaddr: int):
+        addrf = self._addr_fn(m)
+        mem = self.mem
+        top = len(mem)
+
+        def read():
+            a = addrf()
+            if 0 <= a < top:
+                return mem[a]
+            raise VmTrap(f"memory read out of bounds: {a}", iaddr)
+
+        return read
+
+    def _mem_write(self, m: Mem, iaddr: int):
+        addrf = self._addr_fn(m)
+        mem = self.mem
+        top = len(mem)
+
+        def write(value):
+            a = addrf()
+            if 0 <= a < top:
+                mem[a] = value
+            else:
+                raise VmTrap(f"memory write out of bounds: {a}", iaddr)
+
+        return write
+
+    def _src64(self, operand, iaddr: int):
+        """Closure producing a 64-bit value from Reg/Imm/Mem."""
+        if isinstance(operand, Reg):
+            gpr = self.gpr
+            i = operand.index
+            return lambda: gpr[i]
+        if isinstance(operand, Imm):
+            v = operand.value & _M64
+            return lambda: v
+        if isinstance(operand, Mem):
+            return self._mem_read(operand, iaddr)
+        raise VmTrap(f"bad source operand {operand!r}", iaddr)
+
+    def _xsrc64(self, operand, iaddr: int):
+        """Closure producing a 64-bit FP value from Xmm-low-lane or Mem."""
+        if isinstance(operand, Xmm):
+            xl = self.xmm_lo
+            i = operand.index
+            return lambda: xl[i]
+        if isinstance(operand, Mem):
+            return self._mem_read(operand, iaddr)
+        raise VmTrap(f"bad FP source operand {operand!r}", iaddr)
+
+    def _xsrc128(self, operand, iaddr: int):
+        """Closure producing (lo, hi) lanes from Xmm or 2-cell Mem."""
+        if isinstance(operand, Xmm):
+            xl, xh = self.xmm_lo, self.xmm_hi
+            i = operand.index
+            return lambda: (xl[i], xh[i])
+        if isinstance(operand, Mem):
+            addrf = self._addr_fn(operand)
+            mem = self.mem
+            top = len(mem)
+
+            def read2():
+                a = addrf()
+                if 0 <= a and a + 1 < top:
+                    return mem[a], mem[a + 1]
+                raise VmTrap(f"packed memory read out of bounds: {a}", iaddr)
+
+            return read2
+        raise VmTrap(f"bad packed source operand {operand!r}", iaddr)
+
+    # instruction compiler -------------------------------------------------------
+
+    def _build(self, i: int):
+        instr = self._instrs[i]
+        op = instr.opcode
+        info = OPCODE_INFO[op]
+        ops = instr.operands
+        iaddr = instr.addr
+
+        model = self.cost_model
+        cost = model.op_cost(op)
+        for o in ops:
+            if isinstance(o, Mem):
+                cost += model.mem_cost(info.mem_width, o.base == 14)
+
+        cyc = self._cyc
+        gpr = self.gpr
+        xl = self.xmm_lo
+        xh = self.xmm_hi
+        flags = self.flags
+        mem = self.mem
+        a2i = self._addr2idx
+
+        # ---- control ---------------------------------------------------------
+        if op is Op.NOP:
+            def h_nop(idx, cyc=cyc, cost=cost):
+                cyc[0] += cost
+                return idx + 1
+            return h_nop
+
+        if op is Op.HALT:
+            def h_halt(idx, cyc=cyc, cost=cost):
+                cyc[0] += cost
+                raise _HALT
+            return h_halt
+
+        if op is Op.JMP:
+            target = self._branch_index(ops[0], iaddr)
+            def h_jmp(idx, cyc=cyc, cost=cost + self.cost_model.branch_taken_extra, target=target):
+                cyc[0] += cost
+                return target
+            return h_jmp
+
+        if info.is_cond_branch:
+            target = self._branch_index(ops[0], iaddr)
+            cond = _COND_TABLE[op]
+            taken_cost = cost + self.cost_model.branch_taken_extra
+            def h_jcc(idx, cyc=cyc, cost=cost, target=target, flags=flags, cond=cond,
+                      taken_cost=taken_cost):
+                if cond(flags):
+                    cyc[0] += taken_cost
+                    return target
+                cyc[0] += cost
+                return idx + 1
+            return h_jcc
+
+        if op is Op.CALL:
+            target = self._branch_index(ops[0], iaddr)
+            next_addr = (
+                self._instrs[i + 1].addr if i + 1 < len(self._instrs) else -1
+            )
+            limit = self.stack_limit
+            def h_call(idx, cyc=cyc, cost=cost, target=target, gpr=gpr, mem=mem,
+                       next_addr=next_addr, limit=limit):
+                sp = gpr[15] - 1
+                if sp < limit:
+                    raise VmTrap("stack overflow on call", iaddr)
+                mem[sp] = next_addr
+                gpr[15] = sp
+                cyc[0] += cost
+                return target
+            return h_call
+
+        if op is Op.RET:
+            top = len(mem)
+            def h_ret(idx, cyc=cyc, cost=cost, gpr=gpr, mem=mem, a2i=a2i, top=top):
+                sp = gpr[15]
+                if sp >= top:
+                    raise VmTrap("stack underflow on ret", iaddr)
+                ra = mem[sp]
+                gpr[15] = sp + 1
+                t = a2i.get(ra)
+                if t is None:
+                    raise VmTrap(f"return to non-instruction address {ra:#x}", iaddr)
+                cyc[0] += cost
+                return t
+            return h_ret
+
+        if op is Op.OUTI:
+            r = ops[0].index
+            outputs = self.outputs
+            def h_outi(idx, cyc=cyc, cost=cost, gpr=gpr, outputs=outputs, r=r):
+                outputs.append(("i", gpr[r]))
+                cyc[0] += cost
+                return idx + 1
+            return h_outi
+
+        if op is Op.OUTSD:
+            x = ops[0].index
+            outputs = self.outputs
+            def h_outsd(idx, cyc=cyc, cost=cost, xl=xl, outputs=outputs, x=x):
+                outputs.append(("d", xl[x]))
+                cyc[0] += cost
+                return idx + 1
+            return h_outsd
+
+        if op is Op.OUTSS:
+            x = ops[0].index
+            outputs = self.outputs
+            def h_outss(idx, cyc=cyc, cost=cost, xl=xl, outputs=outputs, x=x):
+                outputs.append(("s", xl[x] & _M32))
+                cyc[0] += cost
+                return idx + 1
+            return h_outss
+
+        if op is Op.RAND:
+            r = ops[0].index
+            rng = self.rng
+            def h_rand(idx, cyc=cyc, cost=cost, gpr=gpr, rng=rng, r=r):
+                s = rng[0]
+                s ^= s >> 12
+                s = (s ^ (s << 25)) & _M64
+                s ^= s >> 27
+                rng[0] = s
+                gpr[r] = (s * _XORSHIFT_MULT) & _M64
+                cyc[0] += cost
+                return idx + 1
+            return h_rand
+
+        # ---- integer ---------------------------------------------------------
+        if op is Op.MOV:
+            dst, src = ops
+            if isinstance(dst, Reg):
+                d = dst.index
+                if isinstance(src, Reg):
+                    s = src.index
+                    def h_movrr(idx, cyc=cyc, cost=cost, gpr=gpr, d=d, s=s):
+                        gpr[d] = gpr[s]
+                        cyc[0] += cost
+                        return idx + 1
+                    return h_movrr
+                if isinstance(src, Imm):
+                    v = src.value & _M64
+                    def h_movri(idx, cyc=cyc, cost=cost, gpr=gpr, d=d, v=v):
+                        gpr[d] = v
+                        cyc[0] += cost
+                        return idx + 1
+                    return h_movri
+                read = self._mem_read(src, iaddr)
+                def h_movrm(idx, cyc=cyc, cost=cost, gpr=gpr, d=d, read=read):
+                    gpr[d] = read()
+                    cyc[0] += cost
+                    return idx + 1
+                return h_movrm
+            write = self._mem_write(dst, iaddr)
+            srcf = self._src64(src, iaddr)
+            def h_movm(idx, cyc=cyc, cost=cost, write=write, srcf=srcf):
+                write(srcf())
+                cyc[0] += cost
+                return idx + 1
+            return h_movm
+
+        if op is Op.LEA:
+            d = ops[0].index
+            addrf = self._addr_fn(ops[1])
+            def h_lea(idx, cyc=cyc, cost=cost, gpr=gpr, d=d, addrf=addrf):
+                gpr[d] = addrf() & _M64
+                cyc[0] += cost
+                return idx + 1
+            return h_lea
+
+        if op in _INT_BIN_PLAIN:
+            fn = _INT_BIN_PLAIN[op]
+            d = ops[0].index
+            srcf = self._src64(ops[1], iaddr)
+            def h_ibin(idx, cyc=cyc, cost=cost, gpr=gpr, d=d, srcf=srcf, fn=fn):
+                gpr[d] = fn(gpr[d], srcf())
+                cyc[0] += cost
+                return idx + 1
+            return h_ibin
+
+        if op is Op.IDIV or op is Op.IREM:
+            fn = _idiv if op is Op.IDIV else _irem
+            d = ops[0].index
+            srcf = self._src64(ops[1], iaddr)
+            def h_idiv(idx, cyc=cyc, cost=cost, gpr=gpr, d=d, srcf=srcf, fn=fn):
+                gpr[d] = fn(gpr[d], srcf())
+                cyc[0] += cost
+                return idx + 1
+            return h_idiv
+
+        if op is Op.NOT:
+            d = ops[0].index
+            def h_not(idx, cyc=cyc, cost=cost, gpr=gpr, d=d):
+                gpr[d] = gpr[d] ^ _M64
+                cyc[0] += cost
+                return idx + 1
+            return h_not
+
+        if op is Op.NEG:
+            d = ops[0].index
+            def h_neg(idx, cyc=cyc, cost=cost, gpr=gpr, d=d):
+                gpr[d] = (-gpr[d]) & _M64
+                cyc[0] += cost
+                return idx + 1
+            return h_neg
+
+        if op is Op.INC:
+            d = ops[0].index
+            def h_inc(idx, cyc=cyc, cost=cost, gpr=gpr, d=d):
+                gpr[d] = (gpr[d] + 1) & _M64
+                cyc[0] += cost
+                return idx + 1
+            return h_inc
+
+        if op is Op.DEC:
+            d = ops[0].index
+            def h_dec(idx, cyc=cyc, cost=cost, gpr=gpr, d=d):
+                gpr[d] = (gpr[d] - 1) & _M64
+                cyc[0] += cost
+                return idx + 1
+            return h_dec
+
+        if op is Op.CMP:
+            d = ops[0].index
+            srcf = self._src64(ops[1], iaddr)
+            def h_cmp(idx, cyc=cyc, cost=cost, gpr=gpr, flags=flags, d=d, srcf=srcf):
+                a = gpr[d]
+                b = srcf()
+                flags[0] = 1 if a == b else 0
+                flags[1] = 1 if _s64(a) < _s64(b) else 0
+                flags[2] = 0
+                cyc[0] += cost
+                return idx + 1
+            return h_cmp
+
+        if op is Op.TEST:
+            d = ops[0].index
+            srcf = self._src64(ops[1], iaddr)
+            def h_test(idx, cyc=cyc, cost=cost, gpr=gpr, flags=flags, d=d, srcf=srcf):
+                v = gpr[d] & srcf()
+                flags[0] = 1 if v == 0 else 0
+                flags[1] = (v >> 63) & 1
+                flags[2] = 0
+                cyc[0] += cost
+                return idx + 1
+            return h_test
+
+        if op is Op.PUSH:
+            srcf = self._src64(ops[0], iaddr)
+            limit = self.stack_limit
+            def h_push(idx, cyc=cyc, cost=cost, gpr=gpr, mem=mem, srcf=srcf, limit=limit):
+                sp = gpr[15] - 1
+                if sp < limit:
+                    raise VmTrap("stack overflow", iaddr)
+                mem[sp] = srcf()
+                gpr[15] = sp
+                cyc[0] += cost
+                return idx + 1
+            return h_push
+
+        if op is Op.POP:
+            d = ops[0].index
+            top = len(mem)
+            def h_pop(idx, cyc=cyc, cost=cost, gpr=gpr, mem=mem, d=d, top=top):
+                sp = gpr[15]
+                if sp >= top:
+                    raise VmTrap("stack underflow", iaddr)
+                gpr[d] = mem[sp]
+                gpr[15] = sp + 1
+                cyc[0] += cost
+                return idx + 1
+            return h_pop
+
+        if op is Op.PUSHX:
+            x = ops[0].index
+            limit = self.stack_limit
+            def h_pushx(idx, cyc=cyc, cost=cost, gpr=gpr, mem=mem, xl=xl, xh=xh,
+                        x=x, limit=limit):
+                sp = gpr[15] - 2
+                if sp < limit:
+                    raise VmTrap("stack overflow", iaddr)
+                mem[sp] = xl[x]
+                mem[sp + 1] = xh[x]
+                gpr[15] = sp
+                cyc[0] += cost
+                return idx + 1
+            return h_pushx
+
+        if op is Op.POPX:
+            x = ops[0].index
+            top = len(mem)
+            def h_popx(idx, cyc=cyc, cost=cost, gpr=gpr, mem=mem, xl=xl, xh=xh,
+                       x=x, top=top):
+                sp = gpr[15]
+                if sp + 1 >= top:
+                    raise VmTrap("stack underflow", iaddr)
+                xl[x] = mem[sp]
+                xh[x] = mem[sp + 1]
+                gpr[15] = sp + 2
+                cyc[0] += cost
+                return idx + 1
+            return h_popx
+
+        # ---- scalar double -----------------------------------------------------
+        if op is Op.MOVSD:
+            dst, src = ops
+            if isinstance(dst, Xmm):
+                d = dst.index
+                if isinstance(src, Xmm):
+                    s = src.index
+                    def h_movsdxx(idx, cyc=cyc, cost=cost, xl=xl, d=d, s=s):
+                        xl[d] = xl[s]
+                        cyc[0] += cost
+                        return idx + 1
+                    return h_movsdxx
+                read = self._mem_read(src, iaddr)
+                def h_movsdxm(idx, cyc=cyc, cost=cost, xl=xl, xh=xh, d=d, read=read):
+                    xl[d] = read()
+                    xh[d] = 0
+                    cyc[0] += cost
+                    return idx + 1
+                return h_movsdxm
+            write = self._mem_write(dst, iaddr)
+            s = src.index
+            def h_movsdmx(idx, cyc=cyc, cost=cost, xl=xl, s=s, write=write):
+                write(xl[s])
+                cyc[0] += cost
+                return idx + 1
+            return h_movsdmx
+
+        if op is Op.MOVAPD:
+            dst, src = ops
+            if isinstance(dst, Xmm):
+                d = dst.index
+                read2 = self._xsrc128(src, iaddr)
+                def h_movapdx(idx, cyc=cyc, cost=cost, xl=xl, xh=xh, d=d, read2=read2):
+                    xl[d], xh[d] = read2()
+                    cyc[0] += cost
+                    return idx + 1
+                return h_movapdx
+            addrf = self._addr_fn(dst)
+            s = src.index
+            top = len(mem)
+            def h_movapdm(idx, cyc=cyc, cost=cost, xl=xl, xh=xh, s=s, mem=mem,
+                          addrf=addrf, top=top):
+                a = addrf()
+                if not (0 <= a and a + 1 < top):
+                    raise VmTrap(f"packed memory write out of bounds: {a}", iaddr)
+                mem[a] = xl[s]
+                mem[a + 1] = xh[s]
+                cyc[0] += cost
+                return idx + 1
+            return h_movapdm
+
+        if op in _FPD_BIN:
+            fn = _FPD_BIN[op]
+            d = ops[0].index
+            if isinstance(ops[1], Xmm):
+                s = ops[1].index
+                def h_fpdxx(idx, cyc=cyc, cost=cost, xl=xl, d=d, s=s, fn=fn):
+                    xl[d] = fn(xl[d], xl[s])
+                    cyc[0] += cost
+                    return idx + 1
+                return h_fpdxx
+            read = self._mem_read(ops[1], iaddr)
+            def h_fpdxm(idx, cyc=cyc, cost=cost, xl=xl, d=d, read=read, fn=fn):
+                xl[d] = fn(xl[d], read())
+                cyc[0] += cost
+                return idx + 1
+            return h_fpdxm
+
+        if op in _FPD_UN:
+            fn = _FPD_UN[op]
+            d = ops[0].index
+            srcf = self._xsrc64(ops[1], iaddr)
+            def h_fpdun(idx, cyc=cyc, cost=cost, xl=xl, d=d, srcf=srcf, fn=fn):
+                xl[d] = fn(srcf())
+                cyc[0] += cost
+                return idx + 1
+            return h_fpdun
+
+        if op is Op.UCOMISD:
+            d = ops[0].index
+            srcf = self._xsrc64(ops[1], iaddr)
+            def h_ucomisd(idx, cyc=cyc, cost=cost, xl=xl, flags=flags, d=d, srcf=srcf):
+                a = bits_to_double(xl[d])
+                b = bits_to_double(srcf())
+                if a != a or b != b:
+                    flags[0], flags[1], flags[2] = 1, 0, 1
+                else:
+                    flags[0] = 1 if a == b else 0
+                    flags[1] = 1 if a < b else 0
+                    flags[2] = 0
+                cyc[0] += cost
+                return idx + 1
+            return h_ucomisd
+
+        if op is Op.CVTSI2SD:
+            d = ops[0].index
+            s = ops[1].index
+            def h_cvtsi2sd(idx, cyc=cyc, cost=cost, xl=xl, gpr=gpr, d=d, s=s):
+                xl[d] = double_to_bits(float(_s64(gpr[s])))
+                cyc[0] += cost
+                return idx + 1
+            return h_cvtsi2sd
+
+        if op is Op.CVTTSD2SI:
+            d = ops[0].index
+            s = ops[1].index
+            def h_cvttsd2si(idx, cyc=cyc, cost=cost, xl=xl, gpr=gpr, d=d, s=s):
+                v = bits_to_double(xl[s])
+                if v != v or v >= 9.223372036854776e18 or v < -9.223372036854776e18:
+                    gpr[d] = _INT_INDEFINITE
+                else:
+                    gpr[d] = int(v) & _M64
+                cyc[0] += cost
+                return idx + 1
+            return h_cvttsd2si
+
+        if op is Op.CVTSD2SS:
+            d = ops[0].index
+            s = ops[1].index
+            def h_cvtsd2ss(idx, cyc=cyc, cost=cost, xl=xl, d=d, s=s):
+                xl[d] = (xl[d] & _HI32) | single_to_bits(bits_to_double(xl[s]))
+                cyc[0] += cost
+                return idx + 1
+            return h_cvtsd2ss
+
+        if op is Op.CVTSS2SD:
+            d = ops[0].index
+            s = ops[1].index
+            def h_cvtss2sd(idx, cyc=cyc, cost=cost, xl=xl, d=d, s=s):
+                xl[d] = double_to_bits(bits_to_single(xl[s] & _M32))
+                cyc[0] += cost
+                return idx + 1
+            return h_cvtss2sd
+
+        if op is Op.MOVQXR:
+            d = ops[0].index
+            s = ops[1].index
+            def h_movqxr(idx, cyc=cyc, cost=cost, xl=xl, gpr=gpr, d=d, s=s):
+                xl[d] = gpr[s]
+                cyc[0] += cost
+                return idx + 1
+            return h_movqxr
+
+        if op is Op.MOVQRX:
+            d = ops[0].index
+            s = ops[1].index
+            def h_movqrx(idx, cyc=cyc, cost=cost, xl=xl, gpr=gpr, d=d, s=s):
+                gpr[d] = xl[s]
+                cyc[0] += cost
+                return idx + 1
+            return h_movqrx
+
+        # ---- packed double -----------------------------------------------------
+        if op in _PD_BIN:
+            fn = _PD_BIN[op]
+            d = ops[0].index
+            read2 = self._xsrc128(ops[1], iaddr)
+            def h_pd(idx, cyc=cyc, cost=cost, xl=xl, xh=xh, d=d, read2=read2, fn=fn):
+                lo, hi = read2()
+                xl[d] = fn(xl[d], lo)
+                xh[d] = fn(xh[d], hi)
+                cyc[0] += cost
+                return idx + 1
+            return h_pd
+
+        if op is Op.SQRTPD:
+            d = ops[0].index
+            read2 = self._xsrc128(ops[1], iaddr)
+            sqrt = ieee.double_sqrt
+            def h_sqrtpd(idx, cyc=cyc, cost=cost, xl=xl, xh=xh, d=d, read2=read2, sqrt=sqrt):
+                lo, hi = read2()
+                xl[d] = sqrt(lo)
+                xh[d] = sqrt(hi)
+                cyc[0] += cost
+                return idx + 1
+            return h_sqrtpd
+
+        # ---- scalar single -----------------------------------------------------
+        if op is Op.MOVSS:
+            dst, src = ops
+            if isinstance(dst, Xmm):
+                d = dst.index
+                if isinstance(src, Xmm):
+                    s = src.index
+                    def h_movssxx(idx, cyc=cyc, cost=cost, xl=xl, d=d, s=s):
+                        xl[d] = (xl[d] & _HI32) | (xl[s] & _M32)
+                        cyc[0] += cost
+                        return idx + 1
+                    return h_movssxx
+                read = self._mem_read(src, iaddr)
+                def h_movssxm(idx, cyc=cyc, cost=cost, xl=xl, xh=xh, d=d, read=read):
+                    xl[d] = read() & _M32
+                    xh[d] = 0
+                    cyc[0] += cost
+                    return idx + 1
+                return h_movssxm
+            addrf = self._addr_fn(dst)
+            s = src.index
+            top = len(mem)
+            def h_movssmx(idx, cyc=cyc, cost=cost, xl=xl, s=s, mem=mem, addrf=addrf, top=top):
+                a = addrf()
+                if not 0 <= a < top:
+                    raise VmTrap(f"memory write out of bounds: {a}", iaddr)
+                mem[a] = (mem[a] & _HI32) | (xl[s] & _M32)
+                cyc[0] += cost
+                return idx + 1
+            return h_movssmx
+
+        if op in _FPS_BIN:
+            fn = _FPS_BIN[op]
+            d = ops[0].index
+            srcf = self._xsrc64(ops[1], iaddr)
+            def h_fps(idx, cyc=cyc, cost=cost, xl=xl, d=d, srcf=srcf, fn=fn):
+                v = xl[d]
+                xl[d] = (v & _HI32) | fn(v & _M32, srcf() & _M32)
+                cyc[0] += cost
+                return idx + 1
+            return h_fps
+
+        if op in _FPS_UN:
+            fn = _FPS_UN[op]
+            d = ops[0].index
+            srcf = self._xsrc64(ops[1], iaddr)
+            def h_fpsun(idx, cyc=cyc, cost=cost, xl=xl, d=d, srcf=srcf, fn=fn):
+                xl[d] = (xl[d] & _HI32) | fn(srcf() & _M32)
+                cyc[0] += cost
+                return idx + 1
+            return h_fpsun
+
+        if op is Op.UCOMISS:
+            d = ops[0].index
+            srcf = self._xsrc64(ops[1], iaddr)
+            def h_ucomiss(idx, cyc=cyc, cost=cost, xl=xl, flags=flags, d=d, srcf=srcf):
+                a = bits_to_single(xl[d] & _M32)
+                b = bits_to_single(srcf() & _M32)
+                if a != a or b != b:
+                    flags[0], flags[1], flags[2] = 1, 0, 1
+                else:
+                    flags[0] = 1 if a == b else 0
+                    flags[1] = 1 if a < b else 0
+                    flags[2] = 0
+                cyc[0] += cost
+                return idx + 1
+            return h_ucomiss
+
+        if op is Op.CVTSI2SS:
+            d = ops[0].index
+            s = ops[1].index
+            def h_cvtsi2ss(idx, cyc=cyc, cost=cost, xl=xl, gpr=gpr, d=d, s=s):
+                xl[d] = (xl[d] & _HI32) | single_to_bits(float(_s64(gpr[s])))
+                cyc[0] += cost
+                return idx + 1
+            return h_cvtsi2ss
+
+        if op is Op.CVTTSS2SI:
+            d = ops[0].index
+            s = ops[1].index
+            def h_cvttss2si(idx, cyc=cyc, cost=cost, xl=xl, gpr=gpr, d=d, s=s):
+                v = bits_to_single(xl[s] & _M32)
+                if v != v or v >= 9.223372036854776e18 or v < -9.223372036854776e18:
+                    gpr[d] = _INT_INDEFINITE
+                else:
+                    gpr[d] = int(v) & _M64
+                cyc[0] += cost
+                return idx + 1
+            return h_cvttss2si
+
+        # ---- packed single -----------------------------------------------------
+        if op in _PS_BIN:
+            fn = _PS_BIN[op]
+            d = ops[0].index
+            read2 = self._xsrc128(ops[1], iaddr)
+            def h_ps(idx, cyc=cyc, cost=cost, xl=xl, xh=xh, d=d, read2=read2, fn=fn):
+                lo, hi = read2()
+                a = xl[d]
+                xl[d] = (fn((a >> 32) & _M32, (lo >> 32) & _M32) << 32) | fn(a & _M32, lo & _M32)
+                b = xh[d]
+                xh[d] = (fn((b >> 32) & _M32, (hi >> 32) & _M32) << 32) | fn(b & _M32, hi & _M32)
+                cyc[0] += cost
+                return idx + 1
+            return h_ps
+
+        if op is Op.SQRTPS:
+            d = ops[0].index
+            read2 = self._xsrc128(ops[1], iaddr)
+            sqrt = ieee.single_sqrt
+            def h_sqrtps(idx, cyc=cyc, cost=cost, xl=xl, xh=xh, d=d, read2=read2, sqrt=sqrt):
+                lo, hi = read2()
+                xl[d] = (sqrt((lo >> 32) & _M32) << 32) | sqrt(lo & _M32)
+                xh[d] = (sqrt((hi >> 32) & _M32) << 32) | sqrt(hi & _M32)
+                cyc[0] += cost
+                return idx + 1
+            return h_sqrtps
+
+        # ---- lane access ---------------------------------------------------------
+        if op is Op.PEXTR:
+            d = ops[0].index
+            x = ops[1].index
+            lane = ops[2].value
+            if lane not in (0, 1):
+                raise VmTrap(f"pextr lane must be 0 or 1, got {lane}", iaddr)
+            src = xl if lane == 0 else xh
+            def h_pextr(idx, cyc=cyc, cost=cost, gpr=gpr, src=src, d=d, x=x):
+                gpr[d] = src[x]
+                cyc[0] += cost
+                return idx + 1
+            return h_pextr
+
+        if op is Op.PINSR:
+            x = ops[0].index
+            s = ops[1].index
+            lane = ops[2].value
+            if lane not in (0, 1):
+                raise VmTrap(f"pinsr lane must be 0 or 1, got {lane}", iaddr)
+            dst = xl if lane == 0 else xh
+            def h_pinsr(idx, cyc=cyc, cost=cost, gpr=gpr, dst=dst, x=x, s=s):
+                dst[x] = gpr[s]
+                cyc[0] += cost
+                return idx + 1
+            return h_pinsr
+
+        # ---- MPI -----------------------------------------------------------------
+        if op is Op.MPIRANK:
+            d = ops[0].index
+            rank = self.rank
+            def h_rank(idx, cyc=cyc, cost=cost, gpr=gpr, d=d, rank=rank):
+                gpr[d] = rank
+                cyc[0] += cost
+                return idx + 1
+            return h_rank
+
+        if op is Op.MPISIZE:
+            d = ops[0].index
+            size = self.size
+            def h_size(idx, cyc=cyc, cost=cost, gpr=gpr, d=d, size=size):
+                gpr[d] = size
+                cyc[0] += cost
+                return idx + 1
+            return h_size
+
+        if op in (Op.ALLRED, Op.ALLREDSS, Op.BCASTSD):
+            x = ops[0].index
+            arg = ops[1].value
+            kind = {"allred": "allred", "allredss": "allredss", "bcastsd": "bcastsd"}[
+                info.mnemonic
+            ]
+            if arg not in (RED_SUM, RED_MIN, RED_MAX) and op is not Op.BCASTSD:
+                raise VmTrap(f"bad reduction selector {arg}", iaddr)
+            if self.size == 1:
+                def h_mpi1(idx, cyc=cyc, cost=cost):
+                    cyc[0] += cost
+                    return idx + 1
+                return h_mpi1
+            def h_mpi(idx, cyc=cyc, cost=cost, kind=kind, x=x, arg=arg):
+                cyc[0] += cost
+                raise CollectiveYield(kind, idx + 1, xmm=x, arg=arg)
+            return h_mpi
+
+        if op in (Op.ALLREDV, Op.ALLREDVSS):
+            addrf = self._addr_fn(ops[0])
+            arg = ops[1].value
+            cnt_reg = ops[2].index
+            kind = "allredv" if op is Op.ALLREDV else "allredvss"
+            if arg not in (RED_SUM, RED_MIN, RED_MAX):
+                raise VmTrap(f"bad reduction selector {arg}", iaddr)
+            top = len(mem)
+            if self.size == 1:
+                def h_mpiv1(idx, cyc=cyc, cost=cost, gpr=gpr, addrf=addrf,
+                            cnt_reg=cnt_reg, top=top):
+                    a = addrf()
+                    n = gpr[cnt_reg]
+                    if not (0 <= a and a + n <= top):
+                        raise VmTrap(f"vector collective out of bounds: {a}+{n}", iaddr)
+                    cyc[0] += cost
+                    return idx + 1
+                return h_mpiv1
+            def h_mpiv(idx, cyc=cyc, cost=cost, gpr=gpr, addrf=addrf,
+                       cnt_reg=cnt_reg, kind=kind, arg=arg, top=top):
+                a = addrf()
+                n = gpr[cnt_reg]
+                if not (0 <= a and a + n <= top):
+                    raise VmTrap(f"vector collective out of bounds: {a}+{n}", iaddr)
+                cyc[0] += cost
+                raise CollectiveYield(kind, idx + 1, arg=arg, addr=a, count=n)
+            return h_mpiv
+
+        if op is Op.BARRIER:
+            if self.size == 1:
+                def h_bar1(idx, cyc=cyc, cost=cost):
+                    cyc[0] += cost
+                    return idx + 1
+                return h_bar1
+            def h_bar(idx, cyc=cyc, cost=cost):
+                cyc[0] += cost
+                raise CollectiveYield("barrier", idx + 1)
+            return h_bar
+
+        raise VmTrap(f"no handler for opcode {info.mnemonic}", iaddr)
+
+    def _branch_index(self, operand, iaddr: int) -> int:
+        if not isinstance(operand, Imm):
+            raise VmTrap("branch target must be immediate", iaddr)
+        target = self._addr2idx.get(operand.value)
+        if target is None:
+            raise VmTrap(
+                f"branch to non-instruction address {operand.value:#x}", iaddr
+            )
+        return target
+
+
+_COND_TABLE = {
+    Op.JE: lambda f: f[0],
+    Op.JNE: lambda f: not f[0],
+    Op.JL: lambda f: f[1],
+    Op.JLE: lambda f: f[1] or f[0],
+    Op.JG: lambda f: not (f[1] or f[0] or f[2]),
+    Op.JGE: lambda f: not f[1] and not f[2],
+    Op.JP: lambda f: f[2],
+    Op.JNP: lambda f: not f[2],
+}
+
+
+def run_program(
+    program: Program,
+    stack_words: int = 8192,
+    seed: int = 0x9E3779B97F4A7C15,
+    max_steps: int = 200_000_000,
+    profile: bool = False,
+    cost_model: CostModel | None = None,
+) -> ExecResult:
+    """Load and run *program* single-rank; returns its :class:`ExecResult`."""
+    vm = VM(
+        program,
+        stack_words=stack_words,
+        seed=seed,
+        max_steps=max_steps,
+        profile=profile,
+        cost_model=cost_model,
+    )
+    return vm.run()

@@ -1,0 +1,43 @@
+"""Benchmark workloads: NAS analogues, the AMG microkernel, SuperLU.
+
+All workloads are written in the MH mini-language and compiled for the
+virtual ISA in both double ("original") and single ("manually converted")
+precision; see :mod:`repro.workloads.base` for the runner/verifier
+infrastructure and the per-benchmark modules for algorithmic notes.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    poke_f32,
+    poke_f64,
+    poke_i64,
+    poke_real,
+)
+from repro.workloads.nas import BENCHMARKS, MPI_BENCHMARKS, make_nas
+from repro.workloads import amg, superlu
+
+
+def make_workload(name: str, klass: str = "W", **kwargs) -> Workload:
+    """Build any workload by name: a NAS benchmark, ``amg``, or ``superlu``."""
+    if name in BENCHMARKS:
+        return make_nas(name, klass)
+    if name == "amg":
+        return amg.make(klass)
+    if name == "superlu":
+        return superlu.make(klass, **kwargs)
+    raise KeyError(f"unknown workload {name!r}")
+
+
+__all__ = [
+    "Workload",
+    "poke_f32",
+    "poke_f64",
+    "poke_i64",
+    "poke_real",
+    "BENCHMARKS",
+    "MPI_BENCHMARKS",
+    "make_nas",
+    "make_workload",
+    "amg",
+    "superlu",
+]

@@ -1,0 +1,201 @@
+"""Workload infrastructure.
+
+A :class:`Workload` bundles everything the search and the benchmark
+harness need for one benchmark at one problem class:
+
+* the original double-precision program (``real`` = f64),
+* the "manually converted" single-precision build (``real`` = f32, the
+  same source — the compiler flag plays the role of the paper's Fortran
+  translation script),
+* a deterministic runner (fixed seed, step budget),
+* the user-provided verification routine, in one of two styles:
+
+  - ``baseline``: outputs must match the double-precision run within a
+    benchmark-specific tolerance (NAS-style epsilon verification);
+  - ``self``: a predicate over the outputs themselves (e.g. "the reported
+    residual/error metric is below a threshold" — the SuperLU driver
+    script and the AMG convergence check).
+
+Array data that is awkward to express as source literals (sparse
+matrices, FFT inputs) is generated in NumPy and *poked* directly into the
+program's data image through the symbol table, in the precision of each
+build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.binary.model import Program
+from repro.compiler import CompileOptions, compile_program
+from repro.fpbits.ieee import double_to_bits, single_to_bits
+from repro.mpi.runner import MpiResult, MultiRankRunner
+from repro.vm.machine import ExecResult, run_program
+from repro.vm.outputs import outputs_close
+
+
+def poke_f64(program: Program, name: str, values) -> None:
+    """Write doubles into global array *name* of *program*."""
+    sym = program.globals[name]
+    if len(values) > sym.words:
+        raise ValueError(f"{name}: {len(values)} values > {sym.words} words")
+    for k, v in enumerate(values):
+        program.data_image[sym.addr + k] = double_to_bits(float(v))
+
+
+def poke_f32(program: Program, name: str, values) -> None:
+    """Write singles (low word of each cell) into global array *name*."""
+    sym = program.globals[name]
+    if len(values) > sym.words:
+        raise ValueError(f"{name}: {len(values)} values > {sym.words} words")
+    for k, v in enumerate(values):
+        program.data_image[sym.addr + k] = single_to_bits(float(v))
+
+
+def poke_i64(program: Program, name: str, values) -> None:
+    """Write integers into global array *name*."""
+    sym = program.globals[name]
+    if len(values) > sym.words:
+        raise ValueError(f"{name}: {len(values)} values > {sym.words} words")
+    for k, v in enumerate(values):
+        program.data_image[sym.addr + k] = int(v) & 0xFFFFFFFFFFFFFFFF
+
+
+def poke_real(program: Program, real_type: str, name: str, values) -> None:
+    if real_type == "f64":
+        poke_f64(program, name, values)
+    else:
+        poke_f32(program, name, values)
+
+
+@dataclass
+class Workload:
+    """One benchmark instance (see module docstring)."""
+
+    name: str
+    sources: list
+    klass: str = "W"
+    #: ``data_init(program, real_type)`` pokes input data into a build.
+    data_init: Callable | None = None
+    #: verification style: "baseline" or "self"
+    verify_mode: str = "baseline"
+    rel_tol: float = 1e-9
+    abs_tol: float = 0.0
+    #: optional per-output (rel, abs) tolerance pairs; entries of None fall
+    #: back to (rel_tol, abs_tol).  NAS verification routines weight their
+    #: outputs differently (a residual norm is judged much more strictly
+    #: than a checksum), and so do ours.
+    tolerances: list | None = None
+    #: for verify_mode="self": predicate over decoded output values
+    self_check: Callable | None = None
+    seed: int = 0x9E3779B97F4A7C15
+    stack_words: int = 8192
+    max_steps: int = 50_000_000
+    transcendentals: str = "instruction"
+
+    _program: Program | None = field(default=None, repr=False)
+    _program_single: Program | None = field(default=None, repr=False)
+    _baseline: ExecResult | None = field(default=None, repr=False)
+    _profile: dict | None = field(default=None, repr=False)
+
+    # -- builds ------------------------------------------------------------------
+
+    def _build(self, real_type: str) -> Program:
+        options = CompileOptions(
+            name=f"{self.name}.{self.klass}" + ("" if real_type == "f64" else "-sp"),
+            real_type=real_type,
+            transcendentals=self.transcendentals,
+        )
+        program = compile_program(self.sources, options)
+        if self.data_init is not None:
+            self.data_init(program, real_type)
+        return program
+
+    @property
+    def program(self) -> Program:
+        """The original double-precision executable."""
+        if self._program is None:
+            self._program = self._build("f64")
+        return self._program
+
+    @property
+    def program_single(self) -> Program:
+        """The manually converted single-precision executable."""
+        if self._program_single is None:
+            self._program_single = self._build("f32")
+        return self._program_single
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, program: Program | None = None) -> ExecResult:
+        """Run a build (default: the original) deterministically."""
+        return run_program(
+            program if program is not None else self.program,
+            stack_words=self.stack_words,
+            seed=self.seed,
+            max_steps=self.max_steps,
+        )
+
+    def run_mpi(self, size: int, program: Program | None = None) -> MpiResult:
+        """Run a build at *size* ranks."""
+        runner = MultiRankRunner(
+            program if program is not None else self.program,
+            size,
+            stack_words=self.stack_words,
+            seed=self.seed,
+            max_steps=self.max_steps,
+        )
+        return runner.run()
+
+    def baseline(self) -> ExecResult:
+        """Cached double-precision reference run."""
+        if self._baseline is None:
+            self._baseline = self.run()
+        return self._baseline
+
+    def profile(self) -> dict:
+        """Cached per-address execution counts of the original program."""
+        if self._profile is None:
+            result = run_program(
+                self.program,
+                stack_words=self.stack_words,
+                seed=self.seed,
+                max_steps=self.max_steps,
+                profile=True,
+            )
+            self._profile = result.exec_counts
+        return self._profile
+
+    # -- verification ------------------------------------------------------------------
+
+    def verify(self, result: ExecResult) -> bool:
+        """The user-provided verification routine."""
+        values = result.values()
+        if any(v != v for v in values if isinstance(v, float)):
+            return False  # NaN anywhere fails (the sentinel at work)
+        if self.verify_mode == "self":
+            assert self.self_check is not None, "self-verifying workload needs a check"
+            return bool(self.self_check(values))
+        reference = self.baseline().values()
+        if self.tolerances is None:
+            return outputs_close(
+                values, reference, rel_tol=self.rel_tol, abs_tol=self.abs_tol
+            )
+        if len(values) != len(reference):
+            return False
+        import math
+
+        for k, (x, y) in enumerate(zip(values, reference)):
+            pair = self.tolerances[k] if k < len(self.tolerances) else None
+            rel, abs_ = pair if pair is not None else (self.rel_tol, self.abs_tol)
+            if isinstance(x, int) and isinstance(y, int):
+                if abs(x - y) > abs_:
+                    return False
+                continue
+            x, y = float(x), float(y)
+            if x != x or y != y:
+                return False
+            if not math.isclose(x, y, rel_tol=rel, abs_tol=abs_):
+                return False
+        return True

@@ -1,0 +1,46 @@
+"""NAS Parallel Benchmark analogues for the virtual ISA.
+
+Scaled-down reimplementations of the seven NAS benchmarks the paper
+evaluates (BT, CG, EP, FT, LU, MG, SP), written in the MH mini-language.
+Each keeps the numerical *algorithm* of its namesake — that is what
+determines where single precision survives — while problem classes are
+shrunk to interpreter scale:
+
+========  ==========================================================
+EP        embarrassingly parallel Gaussian deviates (Marsaglia polar)
+CG        conjugate gradient on a sparse SPD matrix (CSR)
+FT        complex FFT evolve: forward FFT, phase evolution, inverse
+MG        multigrid V-cycles on a 1-D Poisson problem
+BT        block-tridiagonal solver with dense 3x3 blocks
+LU        SSOR sweeps on a banded system
+SP        scalar pentadiagonal line solves
+========  ==========================================================
+
+Classes ``S`` (tests), ``W``, ``A``, ``C`` grow the problem size the way
+the NAS classes do.  EP, CG, FT and MG are SPMD programs that also run
+multi-rank (the paper's Figure 8 set); BT, LU and SP are serial.
+"""
+
+from repro.workloads.nas import bt, cg, ep, ft, lu, mg, sp
+
+BENCHMARKS = {
+    "bt": bt.make,
+    "cg": cg.make,
+    "ep": ep.make,
+    "ft": ft.make,
+    "lu": lu.make,
+    "mg": mg.make,
+    "sp": sp.make,
+}
+
+#: Benchmarks with MPI (multi-rank) variants, the paper's Figure 8 set.
+MPI_BENCHMARKS = ("ep", "cg", "ft", "mg")
+
+
+def make_nas(bench: str, klass: str = "W"):
+    """Build the Workload for NAS analogue *bench* at problem class *klass*."""
+    try:
+        factory = BENCHMARKS[bench]
+    except KeyError:
+        raise KeyError(f"unknown NAS benchmark {bench!r}; have {sorted(BENCHMARKS)}")
+    return factory(klass)

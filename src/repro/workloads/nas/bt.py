@@ -1,0 +1,192 @@
+"""BT analogue: block-tridiagonal solver with dense 3x3 blocks.
+
+Like NAS BT's line solves: a block-tridiagonal system (3x3 blocks, one
+block-row per grid line) is factored and solved with the block Thomas
+algorithm.  The 3x3 inversion is fully unrolled (adjugate / determinant),
+which is why BT contributes by far the largest static candidate count of
+the suite — the same reason the real bt has ~6.6k candidates in Figure 10
+while cg has ~940.
+
+Serial only (the paper's Figure 8 MPI set is EP/CG/FT/MG).
+"""
+
+from __future__ import annotations
+
+from string import Template
+
+from repro.workloads.base import Workload
+
+_SRC = Template("""
+module bt;
+
+const N: i64 = $n;          # block rows
+const NB: i64 = $n9;        # N * 9
+
+var dmat: real[$n9];
+var cmat: real[$n9];
+var emat: real[$n9];
+var fmat: real[$n9];
+var gvec: real[$n3];
+var bvec: real[$n3];
+var xvec: real[$n3];
+var d0: real[$n9];          # pristine copies for the residual check
+var c0: real[$n9];
+var e0: real[$n9];
+var b0: real[$n3];
+
+fn setup() {
+    for i in 0 .. N {
+        for r in 0 .. 3 {
+            for c in 0 .. 3 {
+                var k: i64 = i * 9 + r * 3 + c;
+                var t: real = real(k);
+                var dv: real = 0.25 * sin(t * 0.131);
+                if r == c {
+                    dv = dv + 4.0;
+                }
+                dmat[k] = dv;
+                cmat[k] = 0.2 * sin(t * 0.071 + 1.0);
+                emat[k] = 0.2 * cos(t * 0.053);
+                d0[k] = dmat[k];
+                c0[k] = cmat[k];
+                e0[k] = emat[k];
+            }
+            bvec[i * 3 + r] = 1.0 + 0.5 * sin(real(i * 3 + r) * 0.17);
+            b0[i * 3 + r] = bvec[i * 3 + r];
+        }
+    }
+}
+
+# inv = a^-1 for the 3x3 block at a+off, fully unrolled (adjugate).
+fn inv3(a: real[], inv: real[]) {
+    var a00: real = a[0];
+    var a01: real = a[1];
+    var a02: real = a[2];
+    var a10: real = a[3];
+    var a11: real = a[4];
+    var a12: real = a[5];
+    var a20: real = a[6];
+    var a21: real = a[7];
+    var a22: real = a[8];
+    var m00: real = a11 * a22 - a12 * a21;
+    var m01: real = a12 * a20 - a10 * a22;
+    var m02: real = a10 * a21 - a11 * a20;
+    var det: real = a00 * m00 + a01 * m01 + a02 * m02;
+    var di: real = 1.0 / det;
+    inv[0] = m00 * di;
+    inv[1] = (a02 * a21 - a01 * a22) * di;
+    inv[2] = (a01 * a12 - a02 * a11) * di;
+    inv[3] = m01 * di;
+    inv[4] = (a00 * a22 - a02 * a20) * di;
+    inv[5] = (a02 * a10 - a00 * a12) * di;
+    inv[6] = m02 * di;
+    inv[7] = (a01 * a20 - a00 * a21) * di;
+    inv[8] = (a00 * a11 - a01 * a10) * di;
+}
+
+# c = a * b for 3x3 blocks.
+fn mul3(a: real[], b: real[], c: real[]) {
+    for r in 0 .. 3 {
+        for k in 0 .. 3 {
+            var s: real = 0.0;
+            for j in 0 .. 3 {
+                s = s + a[r * 3 + j] * b[j * 3 + k];
+            }
+            c[r * 3 + k] = s;
+        }
+    }
+}
+
+# y = a * x for a 3x3 block and 3-vector.
+fn mv3(a: real[], x: real[], y: real[]) {
+    for r in 0 .. 3 {
+        var s: real = 0.0;
+        for j in 0 .. 3 {
+            s = s + a[r * 3 + j] * x[j];
+        }
+        y[r] = s;
+    }
+}
+
+var scratch_i: real[9];
+var scratch_m: real[9];
+var scratch_v: real[3];
+
+fn main() {
+    setup();
+    # Forward elimination (block Thomas).
+    for i in 0 .. N {
+        if i > 0 {
+            # D_i -= C_i * F_{i-1};  b_i -= C_i * g_{i-1}
+            mul3(cmat + i * 9, fmat + (i - 1) * 9, scratch_m);
+            for k in 0 .. 9 {
+                dmat[i * 9 + k] = dmat[i * 9 + k] - scratch_m[k];
+            }
+            mv3(cmat + i * 9, gvec + (i - 1) * 3, scratch_v);
+            for k in 0 .. 3 {
+                bvec[i * 3 + k] = bvec[i * 3 + k] - scratch_v[k];
+            }
+        }
+        inv3(dmat + i * 9, scratch_i);
+        mul3(scratch_i, emat + i * 9, fmat + i * 9);
+        mv3(scratch_i, bvec + i * 3, gvec + i * 3);
+    }
+    # Back substitution.
+    for k in 0 .. 3 {
+        xvec[(N - 1) * 3 + k] = gvec[(N - 1) * 3 + k];
+    }
+    var i: i64 = N - 2;
+    while i >= 0 {
+        mv3(fmat + i * 9, xvec + (i + 1) * 3, scratch_v);
+        for k in 0 .. 3 {
+            xvec[i * 3 + k] = gvec[i * 3 + k] - scratch_v[k];
+        }
+        i = i - 1;
+    }
+    # Residual against the pristine system, plus a solution checksum.
+    var rnorm: real = 0.0;
+    var csum: real = 0.0;
+    for r in 0 .. N {
+        mv3(d0 + r * 9, xvec + r * 3, scratch_v);
+        for k in 0 .. 3 {
+            var s: real = scratch_v[k];
+            if r > 0 {
+                mv3(c0 + r * 9, xvec + (r - 1) * 3, scratch_i);
+                s = s + scratch_i[k];
+            }
+            if r < N - 1 {
+                mv3(e0 + r * 9, xvec + (r + 1) * 3, scratch_i);
+                s = s + scratch_i[k];
+            }
+            var d: real = b0[r * 3 + k] - s;
+            rnorm = rnorm + d * d;
+        }
+    }
+    for j in 0 .. 3 * N {
+        csum = csum + xvec[j];
+    }
+    out(sqrt(rnorm));
+    out(csum);
+}
+""")
+
+CLASSES = {
+    "S": dict(n=8),
+    "W": dict(n=16),
+    "A": dict(n=32),
+    "C": dict(n=64),
+}
+
+
+def make(klass: str = "W") -> Workload:
+    n = CLASSES[klass]["n"]
+    source = _SRC.substitute(n=n, n9=n * 9, n3=n * 3)
+    return Workload(
+        name=f"bt.{klass}",
+        sources=[source],
+        klass=klass,
+        verify_mode="baseline",
+        # Direct solve: one pass, no self-correction, but also no long
+        # error accumulation; moderately tolerant.
+        tolerances=[(0.0, 7e-7), (1e-8, 7e-7)],
+    )

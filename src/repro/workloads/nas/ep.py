@@ -1,0 +1,85 @@
+"""EP analogue: embarrassingly parallel Gaussian-deviate generation.
+
+Like NAS EP: draw uniform pairs, apply the Marsaglia polar method to get
+Gaussian deviates, accumulate the coordinate sums and the counts of
+deviates falling in concentric square annuli.  Communication is three
+reductions at the very end, so the kernel is almost pure computation —
+which is why its instrumentation overhead barely moves with rank count
+in the paper's Figure 8.
+
+The uniform draws come from the ``frand()`` intrinsic (xorshift64* based);
+its scaling arithmetic is floating point, making it a natural place to
+demonstrate the configuration file's ``ignore`` flag on RNG code, as the
+paper suggests.
+"""
+
+from __future__ import annotations
+
+from string import Template
+
+from repro.workloads.base import Workload
+
+_SRC = Template("""
+module ep;
+
+const NPAIRS: i64 = $npairs;
+const NQ: i64 = 10;
+
+var q: real[10];
+
+fn main() {
+    var rank: i64 = mpi_rank();
+    var size: i64 = mpi_size();
+    var lo: i64 = (rank * NPAIRS) / size;
+    var hi: i64 = ((rank + 1) * NPAIRS) / size;
+
+    var sx: real = 0.0;
+    var sy: real = 0.0;
+    for k in lo .. hi {
+        var x: real = 2.0 * frand() - 1.0;
+        var y: real = 2.0 * frand() - 1.0;
+        var t: real = x * x + y * y;
+        if t <= 1.0 and t > 0.0 {
+            var f: real = sqrt(-2.0 * log(t) / t);
+            var gx: real = x * f;
+            var gy: real = y * f;
+            sx = sx + gx;
+            sy = sy + gy;
+            var m: real = max(abs(gx), abs(gy));
+            var l: i64 = i64(m);
+            if l < NQ {
+                q[l] = q[l] + 1.0;
+            }
+        }
+    }
+    sx = allreduce_sum(sx);
+    sy = allreduce_sum(sy);
+    allreduce_sum_vec(q, NQ);
+    out(sx);
+    out(sy);
+    for l in 0 .. NQ {
+        out(q[l]);
+    }
+}
+""")
+
+CLASSES = {
+    "S": dict(npairs=256),
+    "W": dict(npairs=1024),
+    "A": dict(npairs=4096),
+    "C": dict(npairs=16384),
+}
+
+
+def make(klass: str = "W") -> Workload:
+    params = CLASSES[klass]
+    source = _SRC.substitute(**params)
+    return Workload(
+        name=f"ep.{klass}",
+        sources=[source],
+        klass=klass,
+        verify_mode="baseline",
+        # Gaussian sums see benign cancellation; single precision keeps
+        # roughly 1e-6 relative accuracy at these sizes.
+        tolerances=[(1e-8, 2e-7), (1e-8, 2e-7)] + [(0.0, 0.5)] * 10,
+    )

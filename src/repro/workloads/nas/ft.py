@@ -1,0 +1,205 @@
+"""FT analogue: spectral evolution with repeated FFTs.
+
+Like NAS FT: the initial field is transformed *once* with a forward FFT;
+then, for each of ``NSTEP`` time steps, the spectrum is evolved by phase
+factors and an **inverse FFT of a copy** produces the time-domain field
+whose checksum and point samples are reported.  The FFT is an in-place
+iterative radix-2 Cooley-Tukey with explicit bit-reversal; twiddle
+factors come from a one-shot ``sin``/``cos`` table.
+
+The butterfly kernel therefore dominates execution overwhelmingly (one
+forward plus ``NSTEP`` inverse transforms per vector), while the
+replaceable one-shot code — field init, twiddle tables, evolution
+factors — is a thin sliver.  That is the paper's Figure 10 pattern for
+ft: high *static* replacement but minuscule *dynamic* replacement
+(0.2-0.3% of executions).
+
+Verification compares checksums loosely (cancellation makes them
+forgiving) and point samples strictly — one-shot roundings move a sample
+by ~1 ulp32 while a butterfly chain (2 log N rounds deep, repeated every
+step) moves it far more.
+
+SPMD structure: the batch of independent vectors is partitioned across
+ranks and checksums are combined with scalar all-reduces.
+"""
+
+from __future__ import annotations
+
+from string import Template
+
+from repro.workloads.base import Workload
+
+_SRC = Template("""
+module ft;
+
+const LOGN: i64 = $logn;
+const N: i64 = $n;
+const BATCH: i64 = $batch;
+const NSTEP: i64 = $nstep;
+const TOTAL: i64 = $total;
+
+var re: real[$total];
+var im: real[$total];
+var sre: real[$n];
+var sim: real[$n];
+var wre: real[$half];
+var wim: real[$half];
+
+fn init_field() {
+    for v in 0 .. BATCH {
+        for i in 0 .. N {
+            var t: real = real(v * N + i);
+            re[v * N + i] = 0.5 + 0.5 * sin(t * 0.11);
+            im[v * N + i] = 0.5 * cos(t * 0.07);
+        }
+    }
+}
+
+fn init_twiddles() {
+    var pi: real = 3.14159265358979324;
+    for k in 0 .. N / 2 {
+        var ang: real = -2.0 * pi * real(k) / real(N);
+        wre[k] = cos(ang);
+        wim[k] = sin(ang);
+    }
+}
+
+fn bit_reverse(x: real[], y: real[]) {
+    var j: i64 = 0;
+    for i in 0 .. N - 1 {
+        if i < j {
+            var tr: real = x[i];
+            x[i] = x[j];
+            x[j] = tr;
+            var ti: real = y[i];
+            y[i] = y[j];
+            y[j] = ti;
+        }
+        var m: i64 = N / 2;
+        while m >= 1 and j >= m {
+            j = j - m;
+            m = m / 2;
+        }
+        j = j + m;
+    }
+}
+
+# sign = -1 selects the inverse transform (conjugated twiddles); the
+# caller scales by 1/N afterwards.
+fn fft(x: real[], y: real[], sign: i64) {
+    bit_reverse(x, y);
+    var len: i64 = 2;
+    var half: i64 = 1;
+    while len <= N {
+        var step: i64 = N / len;
+        var base: i64 = 0;
+        while base < N {
+            for k in 0 .. half {
+                var tw_r: real = wre[k * step];
+                var tw_i: real = wim[k * step];
+                if sign < 0 {
+                    tw_i = -tw_i;
+                }
+                var i0: i64 = base + k;
+                var i1: i64 = i0 + half;
+                var ur: real = x[i0];
+                var ui: real = y[i0];
+                var vr: real = x[i1] * tw_r - y[i1] * tw_i;
+                var vi: real = x[i1] * tw_i + y[i1] * tw_r;
+                x[i0] = ur + vr;
+                y[i0] = ui + vi;
+                x[i1] = ur - vr;
+                y[i1] = ui - vi;
+            }
+            base = base + len;
+        }
+        len = len * 2;
+        half = half * 2;
+    }
+}
+
+# One evolution step: multiply each mode by its phase factor, in place.
+fn evolve(x: real[], y: real[]) {
+    for k in 0 .. N {
+        var kk: i64 = k;
+        if k > N / 2 {
+            kk = k - N;
+        }
+        var ph: real = -0.003 * real(kk * kk);
+        var er: real = cos(ph);
+        var ei: real = sin(ph);
+        var xr: real = x[k] * er - y[k] * ei;
+        var xi: real = x[k] * ei + y[k] * er;
+        x[k] = xr;
+        y[k] = xi;
+    }
+}
+
+fn main() {
+    var rank: i64 = mpi_rank();
+    var size: i64 = mpi_size();
+    var lo: i64 = (rank * BATCH) / size;
+    var hi: i64 = ((rank + 1) * BATCH) / size;
+
+    init_field();
+    init_twiddles();
+
+    var csr: real = 0.0;
+    var csi: real = 0.0;
+    var scale: real = 1.0 / real(N);
+    for v in lo .. hi {
+        fft(re + v * N, im + v * N, 1);
+        for t in 0 .. NSTEP {
+            evolve(re + v * N, im + v * N);
+            # Inverse-transform a copy of the evolved spectrum.
+            for i in 0 .. N {
+                sre[i] = re[v * N + i];
+                sim[i] = im[v * N + i];
+            }
+            fft(sre, sim, -1);
+            var j: i64 = 0;
+            while j < N {
+                csr = csr + sre[j] * scale;
+                csi = csi + sim[j] * scale;
+                j = j + 7;
+            }
+        }
+    }
+    csr = allreduce_sum(csr);
+    csi = allreduce_sum(csi);
+    out(csr);
+    out(csi);
+    # Point samples of the final time-domain field (serial verification
+    # runs process the full batch, so the scratch buffer holds the last
+    # vector's final step).
+    out(sre[3]);
+    out(sim[11]);
+    out(sre[17]);
+    out(sim[29]);
+}
+""")
+
+CLASSES = {
+    "S": dict(logn=5, batch=1, nstep=3),
+    "W": dict(logn=6, batch=2, nstep=4),
+    "A": dict(logn=7, batch=2, nstep=5),
+    "C": dict(logn=8, batch=3, nstep=6),
+}
+
+
+def make(klass: str = "W") -> Workload:
+    params = CLASSES[klass]
+    n = 1 << params["logn"]
+    batch = params["batch"]
+    source = _SRC.substitute(
+        logn=params["logn"], n=n, batch=batch, nstep=params["nstep"],
+        total=n * batch, half=n // 2,
+    )
+    return Workload(
+        name=f"ft.{klass}",
+        sources=[source],
+        klass=klass,
+        verify_mode="baseline",
+        tolerances=[(1e-6, 4e-6), (1e-6, 4e-6),
+                    (0.0, 6e-8), (0.0, 6e-8), (0.0, 6e-8), (0.0, 6e-8)],
+    )

@@ -1,0 +1,110 @@
+"""LU analogue: SSOR sweeps on a banded system.
+
+Like NAS LU (which is an SSOR-based solver, not a factorization): a
+diagonally dominant banded matrix (sub/super diagonals at distances 1 and
+``band``) is relaxed with symmetric successive over-relaxation — a
+forward sweep followed by a backward sweep per iteration.  The program
+reports the residual norm and a solution checksum after a fixed number of
+iterations.
+
+Serial only.
+"""
+
+from __future__ import annotations
+
+from string import Template
+
+from repro.workloads.base import Workload
+
+_SRC = Template("""
+module lu;
+
+const N: i64 = $n;
+const BAND: i64 = $band;
+const NITER: i64 = $niter;
+
+var diag: real[$n];
+var sub1: real[$n];
+var sup1: real[$n];
+var subb: real[$n];
+var supb: real[$n];
+var bb: real[$n];
+var uu: real[$n];
+
+fn setup() {
+    for i in 0 .. N {
+        var t: real = real(i);
+        sub1[i] = -0.4 + 0.1 * sin(t * 0.23);
+        sup1[i] = -0.4 + 0.1 * cos(t * 0.19);
+        subb[i] = -0.25 + 0.05 * sin(t * 0.11 + 2.0);
+        supb[i] = -0.25 + 0.05 * cos(t * 0.13 + 1.0);
+        diag[i] = 2.5 + abs(sub1[i]) + abs(sup1[i]) + abs(subb[i]) + abs(supb[i]);
+        bb[i] = 1.0 + 0.3 * sin(t * 0.41);
+        uu[i] = 0.0;
+    }
+}
+
+# (A u)[i] with the five bands, guarding the edges.
+fn rowdot(i: i64) -> real {
+    var s: real = diag[i] * uu[i];
+    if i >= 1 {
+        s = s + sub1[i] * uu[i - 1];
+    }
+    if i + 1 < N {
+        s = s + sup1[i] * uu[i + 1];
+    }
+    if i >= BAND {
+        s = s + subb[i] * uu[i - BAND];
+    }
+    if i + BAND < N {
+        s = s + supb[i] * uu[i + BAND];
+    }
+    return s;
+}
+
+fn main() {
+    setup();
+    var omega: real = 1.2;
+    for it in 0 .. NITER {
+        for i in 0 .. N {
+            var r: real = bb[i] - rowdot(i);
+            uu[i] = uu[i] + omega * r / diag[i];
+        }
+        var i: i64 = N - 1;
+        while i >= 0 {
+            var r: real = bb[i] - rowdot(i);
+            uu[i] = uu[i] + omega * r / diag[i];
+            i = i - 1;
+        }
+    }
+    var rnorm: real = 0.0;
+    var csum: real = 0.0;
+    for i in 0 .. N {
+        var r: real = bb[i] - rowdot(i);
+        rnorm = rnorm + r * r;
+        csum = csum + uu[i];
+    }
+    out(sqrt(rnorm));
+    out(csum);
+}
+""")
+
+CLASSES = {
+    "S": dict(n=32, band=4, niter=3),
+    "W": dict(n=64, band=8, niter=5),
+    "A": dict(n=128, band=8, niter=6),
+    "C": dict(n=256, band=16, niter=8),
+}
+
+
+def make(klass: str = "W") -> Workload:
+    source = _SRC.substitute(**CLASSES[klass])
+    return Workload(
+        name=f"lu.{klass}",
+        sources=[source],
+        klass=klass,
+        verify_mode="baseline",
+        # SSOR relaxes toward the solution (some self-correction), but the
+        # residual norm is checked after a fixed iteration count.
+        tolerances=[(0.0, 1e-6), (4e-8, 1e-7)],
+    )

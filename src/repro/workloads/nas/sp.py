@@ -1,0 +1,138 @@
+"""SP analogue: scalar pentadiagonal line solves.
+
+Like NAS SP: a batch of independent scalar pentadiagonal systems is
+factored and solved by Gaussian elimination without pivoting (safe by
+diagonal dominance), forward elimination followed by back substitution —
+the exact structure of SP's x/y/z line sweeps.  Each system gets a
+different conditioning scale, so sensitivity varies across the batch;
+the paper notes sp is the one benchmark where the search degenerated
+into instruction-level probing (alternating replaceable/unreplaceable
+instructions), and a heterogeneous batch is what provokes that.
+
+Serial only.
+"""
+
+from __future__ import annotations
+
+from string import Template
+
+from repro.workloads.base import Workload
+
+_SRC = Template("""
+module sp;
+
+const N: i64 = $n;          # system size
+const NSYS: i64 = $nsys;    # independent systems
+
+# Bands: a (i-2), b (i-1), c (diag), d (i+1), e (i+2); f is the rhs.
+var av: real[$n];
+var bv: real[$n];
+var cv: real[$n];
+var dv: real[$n];
+var ev: real[$n];
+var fv: real[$n];
+var a0: real[$n];
+var b0: real[$n];
+var c0: real[$n];
+var d0: real[$n];
+var e0: real[$n];
+var f0: real[$n];
+
+fn setup(sys: i64) {
+    var scale: real = 1.0 + 0.5 * real(sys);
+    for i in 0 .. N {
+        var t: real = real(sys * N + i);
+        av[i] = -0.2 + 0.05 * sin(t * 0.29);
+        bv[i] = -0.5 + 0.1 * cos(t * 0.17);
+        dv[i] = -0.5 + 0.1 * sin(t * 0.23);
+        ev[i] = -0.2 + 0.05 * cos(t * 0.31);
+        cv[i] = scale * (1.6 + abs(av[i]) + abs(bv[i]) + abs(dv[i]) + abs(ev[i]));
+        fv[i] = 1.0 + 0.4 * sin(t * 0.13);
+        a0[i] = av[i];
+        b0[i] = bv[i];
+        c0[i] = cv[i];
+        d0[i] = dv[i];
+        e0[i] = ev[i];
+        f0[i] = fv[i];
+    }
+}
+
+# Forward elimination then back substitution; the solution lands in fv.
+fn solve() {
+    for i in 0 .. N {
+        # Eliminate b (distance 1) from row i+1 and a (distance 2) from i+2.
+        var pivot: real = cv[i];
+        if i + 1 < N {
+            var m1: real = bv[i + 1] / pivot;
+            cv[i + 1] = cv[i + 1] - m1 * dv[i];
+            dv[i + 1] = dv[i + 1] - m1 * ev[i];
+            fv[i + 1] = fv[i + 1] - m1 * fv[i];
+        }
+        if i + 2 < N {
+            var m2: real = av[i + 2] / pivot;
+            bv[i + 2] = bv[i + 2] - m2 * dv[i];
+            cv[i + 2] = cv[i + 2] - m2 * ev[i];
+            fv[i + 2] = fv[i + 2] - m2 * fv[i];
+        }
+    }
+    var i: i64 = N - 1;
+    while i >= 0 {
+        var s: real = fv[i];
+        if i + 1 < N {
+            s = s - dv[i] * fv[i + 1];
+        }
+        if i + 2 < N {
+            s = s - ev[i] * fv[i + 2];
+        }
+        fv[i] = s / cv[i];
+        i = i - 1;
+    }
+}
+
+fn main() {
+    var csum: real = 0.0;
+    var rmax: real = 0.0;
+    for sys in 0 .. NSYS {
+        setup(sys);
+        solve();
+        for i in 0 .. N {
+            # Residual of the pristine system at the computed solution.
+            var s: real = c0[i] * fv[i] - f0[i];
+            if i >= 1 {
+                s = s + b0[i] * fv[i - 1];
+            }
+            if i >= 2 {
+                s = s + a0[i] * fv[i - 2];
+            }
+            if i + 1 < N {
+                s = s + d0[i] * fv[i + 1];
+            }
+            if i + 2 < N {
+                s = s + e0[i] * fv[i + 2];
+            }
+            rmax = max(rmax, abs(s));
+            csum = csum + fv[i];
+        }
+    }
+    out(rmax);
+    out(csum);
+}
+""")
+
+CLASSES = {
+    "S": dict(n=24, nsys=2),
+    "W": dict(n=48, nsys=3),
+    "A": dict(n=96, nsys=4),
+    "C": dict(n=192, nsys=6),
+}
+
+
+def make(klass: str = "W") -> Workload:
+    source = _SRC.substitute(**CLASSES[klass])
+    return Workload(
+        name=f"sp.{klass}",
+        sources=[source],
+        klass=klass,
+        verify_mode="baseline",
+        tolerances=[(0.0, 1.2e-7), (2e-8, 4e-7)],
+    )

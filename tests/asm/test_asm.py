@@ -1,0 +1,210 @@
+"""Assembler (builder + text) and disassembler."""
+
+import pytest
+
+from repro.asm import AsmBuilder, AsmError, LabelRef, assemble_text, disassemble_program
+from repro.isa import Imm, Mem, Op, Reg, Xmm
+from repro.vm import run_program
+
+
+class TestBuilder:
+    def test_minimal_program(self):
+        b = AsmBuilder("t")
+        b.func("_start")
+        b.emit(Op.MOV, Reg(0), Imm(7))
+        b.emit(Op.OUTI, Reg(0))
+        b.emit(Op.HALT)
+        b.endfunc()
+        program = b.link()
+        assert run_program(program).values() == [7]
+
+    def test_local_labels_resolve(self):
+        b = AsmBuilder()
+        b.func("_start")
+        b.emit(Op.MOV, Reg(0), Imm(0))
+        b.mark("loop")
+        b.emit(Op.INC, Reg(0))
+        b.emit(Op.CMP, Reg(0), Imm(5))
+        b.emit(Op.JL, LabelRef("loop"))
+        b.emit(Op.OUTI, Reg(0))
+        b.emit(Op.HALT)
+        b.endfunc()
+        assert run_program(b.link()).values() == [5]
+
+    def test_function_call_resolution(self):
+        b = AsmBuilder()
+        b.func("_start")
+        b.emit(Op.CALL, LabelRef("leaf"))
+        b.emit(Op.OUTI, Reg(0))
+        b.emit(Op.HALT)
+        b.endfunc()
+        b.func("leaf")
+        b.emit(Op.MOV, Reg(0), Imm(42))
+        b.emit(Op.RET)
+        b.endfunc()
+        assert run_program(b.link()).values() == [42]
+
+    def test_globals_allocated_sequentially(self):
+        b = AsmBuilder()
+        a1 = b.global_("a", 4)
+        a2 = b.global_("b", 2, init=[1, 2])
+        assert a1 == 0 and a2 == 4
+        b.func("_start")
+        b.emit(Op.MOV, Reg(0), Mem(disp=a2 + 1))
+        b.emit(Op.OUTI, Reg(0))
+        b.emit(Op.HALT)
+        b.endfunc()
+        assert run_program(b.link()).values() == [2]
+
+    def test_undefined_label_raises(self):
+        b = AsmBuilder()
+        b.func("_start")
+        b.emit(Op.JMP, LabelRef("nowhere"))
+        b.endfunc()
+        with pytest.raises(AsmError, match="undefined label"):
+            b.link()
+
+    def test_duplicate_label_raises(self):
+        b = AsmBuilder()
+        b.func("_start")
+        b.mark("x")
+        b.emit(Op.NOP)
+        b.mark("x")
+        b.emit(Op.HALT)
+        b.endfunc()
+        with pytest.raises(AsmError, match="duplicate label"):
+            b.link()
+
+    def test_duplicate_function_raises(self):
+        b = AsmBuilder()
+        b.func("f")
+        b.emit(Op.RET)
+        b.endfunc()
+        with pytest.raises(AsmError, match="duplicate function"):
+            b.func("f")
+
+    def test_empty_function_raises(self):
+        b = AsmBuilder()
+        b.func("f")
+        with pytest.raises(AsmError, match="empty"):
+            b.endfunc()
+
+    def test_emit_outside_function_raises(self):
+        b = AsmBuilder()
+        with pytest.raises(AsmError):
+            b.emit(Op.NOP)
+
+    def test_missing_entry_raises(self):
+        b = AsmBuilder()
+        b.func("not_start")
+        b.emit(Op.HALT)
+        b.endfunc()
+        with pytest.raises(AsmError, match="entry"):
+            b.link()
+
+    def test_labels_scoped_per_function(self):
+        b = AsmBuilder()
+        for name in ("_start", "other"):
+            b.func(name)
+            b.mark("here")
+            b.emit(Op.NOP)
+            b.emit(Op.HALT if name == "_start" else Op.RET)
+            b.endfunc()
+        b.link()  # no duplicate-label error
+
+    def test_module_attribution(self):
+        b = AsmBuilder()
+        b.module("alpha")
+        b.func("_start")
+        b.emit(Op.HALT)
+        b.endfunc()
+        b.module("beta")
+        b.func("g")
+        b.emit(Op.RET)
+        b.endfunc()
+        program = b.link()
+        assert program.functions[0].module == "alpha"
+        assert program.functions[1].module == "beta"
+        assert program.modules == ["alpha", "beta"]
+
+
+SAMPLE = """
+.global vec 3 0x3ff0000000000000 0x4000000000000000 0x4008000000000000
+.entry _start
+.func _start
+    movsd %x0, [vec]
+    addsd %x0, [vec+1]
+    addsd %x0, [vec+2]    ; 1+2+3
+    outsd %x0
+    mov %r1, $d:0.5
+    halt
+.endfunc
+"""
+
+
+class TestTextAssembler:
+    def test_sample_runs(self):
+        program = assemble_text(SAMPLE)
+        assert run_program(program).values() == [6.0]
+
+    def test_float_immediates(self):
+        program = assemble_text(
+            """
+.func _start
+    mov %r1, $d:1.5
+    movqxr %x0, %r1
+    outsd %x0
+    mov %r2, $s:1.5
+    movqxr %x1, %r2
+    outss %x1
+    halt
+.endfunc
+"""
+        )
+        assert run_program(program).values() == [1.5, 1.5]
+
+    def test_memory_operand_forms(self):
+        program = assemble_text(
+            """
+.global data 4 10 20 30 40
+.func _start
+    mov %r1, $1
+    mov %r0, 1(%r1)          ; data[2] = 30
+    outi %r0
+    mov %r2, $2
+    mov %r0, (%r1,%r2)       ; wait: base r1=1 + index r2=2 -> data[3]
+    outi %r0
+    mov %r0, 0(%r1,%r2,1)
+    outi %r0
+    halt
+.endfunc
+"""
+        )
+        assert run_program(program).values() == [30, 40, 40]
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError, match="unknown mnemonic"):
+            assemble_text(".func _start\n    bogus %r0\n.endfunc")
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            assemble_text(".func _start\n    mov %r99, $1\n.endfunc")
+
+    def test_comments_and_blank_lines(self):
+        program = assemble_text(
+            "\n; leading comment\n.func _start\n  # python-style\n    halt\n.endfunc\n"
+        )
+        assert run_program(program).steps == 1
+
+
+class TestDisassembler:
+    def test_roundtrip_through_listing(self):
+        program = assemble_text(SAMPLE)
+        listing = disassemble_program(program)
+        assert "addsd" in listing
+        assert ".func _start" in listing
+        assert "block 0" in listing
+
+    def test_listing_shows_modules(self):
+        program = assemble_text(".module mymod\n.func _start\n    halt\n.endfunc")
+        assert ".module mymod" in disassemble_program(program)

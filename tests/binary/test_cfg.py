@@ -1,0 +1,122 @@
+"""CFG construction and Program model invariants."""
+
+import pytest
+
+from repro.asm import assemble_text
+from repro.binary import build_cfg, function_blocks
+from repro.binary.cfg import CfgError
+from repro.isa import Op
+from tests.conftest import compile_src
+
+BRANCHY = """
+.func _start
+    mov %r0, $0
+    cmp %r0, $1
+    je skip
+    inc %r0
+skip:
+    mov %r1, $3
+loop:
+    dec %r1
+    cmp %r1, $0
+    jg loop
+    halt
+.endfunc
+"""
+
+
+class TestBlockStructure:
+    def test_leaders_at_targets_and_after_branches(self):
+        program = assemble_text(BRANCHY)
+        blocks = program.functions[0].blocks
+        # entry; after je; skip; loop; after jg
+        assert len(blocks) == 5
+
+    def test_blocks_partition_instructions(self):
+        program = assemble_text(BRANCHY)
+        fn = program.functions[0]
+        total = sum(len(b) for b in fn.blocks)
+        assert total == len(program.decode_all())
+
+    def test_block_boundaries_are_contiguous(self):
+        program = assemble_text(BRANCHY)
+        fn = program.functions[0]
+        for prev, cur in zip(fn.blocks, fn.blocks[1:]):
+            assert prev.end == cur.start
+
+    def test_successors(self):
+        program = assemble_text(BRANCHY)
+        blocks = program.functions[0].blocks
+        by_start = {b.start: b for b in blocks}
+        entry = blocks[0]
+        assert len(entry.successors) == 2  # je: target + fallthrough
+        last = blocks[-1]
+        assert last.successors == ()  # halt
+        loop = by_start[blocks[3].start]
+        assert loop.start in loop.successors  # self-loop via jg
+
+    def test_call_is_not_terminator(self):
+        program = assemble_text(
+            """
+.func _start
+    call f
+    outi %r0
+    halt
+.endfunc
+.func f
+    mov %r0, $1
+    ret
+.endfunc
+"""
+        )
+        entry_blocks = program.functions[0].blocks
+        assert len(entry_blocks) == 1  # call + outi + halt in one block
+
+    def test_branch_out_of_function_rejected(self):
+        from repro.asm import AsmBuilder, LabelRef
+        from repro.isa import Imm, Reg
+
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.JMP, LabelRef("other"))  # jumps to another function
+        builder.endfunc()
+        builder.func("other")
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        with pytest.raises(CfgError, match="outside the function"):
+            builder.link()
+
+
+class TestProgramModel:
+    def test_stats(self, simple_fp_program):
+        stats = simple_fp_program.stats()
+        assert stats["functions"] == 2  # _start + main
+        assert stats["candidates"] > 0
+        assert stats["text_bytes"] == len(simple_fp_program.text)
+
+    def test_function_lookup(self, simple_fp_program):
+        fn = simple_fp_program.function_named("main")
+        assert simple_fp_program.function_at(fn.entry) is fn
+        with pytest.raises(KeyError):
+            simple_fp_program.function_named("ghost")
+
+    def test_decode_all_covers_text(self, simple_fp_program):
+        from repro.isa import encoded_length
+
+        instrs = simple_fp_program.decode_all()
+        total = sum(encoded_length(i) for i in instrs)
+        assert total == len(simple_fp_program.text)
+
+    def test_candidates_subset_of_instructions(self, simple_fp_program):
+        candidates = simple_fp_program.candidate_instructions()
+        assert candidates
+        assert all(i.is_candidate for i in candidates)
+
+    def test_debug_lines_present(self, simple_fp_program):
+        assert simple_fp_program.debug_lines
+        assert all(line > 0 for line in simple_fp_program.debug_lines.values())
+
+    def test_compiled_blocks_match_rebuild(self, simple_fp_program):
+        fn = simple_fp_program.function_named("main")
+        rebuilt = function_blocks(simple_fp_program, fn)
+        assert [b.start for b in rebuilt] == [b.start for b in fn.blocks]

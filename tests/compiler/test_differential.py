@@ -1,0 +1,174 @@
+"""Differential testing: compiler + VM vs a Python reference evaluation.
+
+Hypothesis generates random expression trees; both the MH program (via
+the full compile -> encode -> decode -> interpret pipeline) and a direct
+Python evaluation must produce the identical IEEE double — any mismatch
+in codegen, operand order, temp allocation, or VM arithmetic shows up
+here.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import run_src
+
+# -- expression tree generation -------------------------------------------------
+
+_FP_LEAVES = st.sampled_from(
+    [0.5, 1.0, -2.25, 3.75, 0.1, -0.3, 7.0, 100.0, 1e-3]
+)
+_INT_LEAVES = st.integers(min_value=-50, max_value=50)
+
+
+def _fp_exprs(depth: int):
+    if depth == 0:
+        return st.builds(lambda v: (repr(v), v), _FP_LEAVES)
+    sub = _fp_exprs(depth - 1)
+
+    def binop(op):
+        def build(a, b):
+            text = f"({a[0]} {op} {b[0]})"
+            if op == "+":
+                value = a[1] + b[1]
+            elif op == "-":
+                value = a[1] - b[1]
+            elif op == "*":
+                value = a[1] * b[1]
+            elif b[1] != 0:
+                value = a[1] / b[1]
+            elif a[1] == 0 or a[1] != a[1]:
+                value = math.nan  # 0/0, nan/0
+            else:
+                value = math.copysign(math.inf, a[1]) * math.copysign(1.0, b[1])
+            return (text, value)
+
+        return st.builds(build, sub, sub)
+
+    def unop():
+        def build(a):
+            return (f"(-{a[0]})", -a[1])
+
+        return st.builds(build, sub)
+
+    def call(name, fn, guard):
+        def build(a):
+            if not guard(a[1]):
+                return a
+            return (f"{name}({a[0]})", fn(a[1]))
+
+        return st.builds(build, sub)
+
+    return st.one_of(
+        binop("+"),
+        binop("-"),
+        binop("*"),
+        binop("/"),
+        unop(),
+        call("abs", abs, lambda v: v == v),
+        call("sqrt", lambda v: math.sqrt(v), lambda v: v == v and 0 <= v < 1e300),
+        sub,
+    )
+
+
+def _int_exprs(depth: int):
+    if depth == 0:
+        return st.builds(lambda v: (str(v), v), _INT_LEAVES)
+    sub = _int_exprs(depth - 1)
+
+    def c_div(a, b):
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+
+    def c_rem(a, b):
+        return a - b * c_div(a, b)
+
+    ops = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "&": lambda a, b: a & b,
+        "|": lambda a, b: a | b,
+        "^": lambda a, b: a ^ b,
+    }
+
+    def binop(op, fn):
+        return st.builds(
+            lambda a, b: (f"({a[0]} {op} {b[0]})", fn(a[1], b[1])), sub, sub
+        )
+
+    def division(op, fn):
+        return st.builds(
+            lambda a, b: (
+                (f"({a[0]} {op} {b[0]})", fn(a[1], b[1])) if b[1] != 0 else a
+            ),
+            sub,
+            sub,
+        )
+
+    return st.one_of(
+        *[binop(op, fn) for op, fn in ops.items()],
+        division("/", c_div),
+        division("%", c_rem),
+        sub,
+    )
+
+
+class TestFloatDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(_fp_exprs(4))
+    def test_fp_expression_matches_python(self, expr):
+        text, expected = expr
+        got = run_src(f"fn main() {{ out({text}); }}")[0]
+        if expected != expected:
+            assert got != got
+        else:
+            assert got == expected, f"{text}: {got!r} != {expected!r}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(_fp_exprs(3), _fp_exprs(3))
+    def test_fp_via_locals_matches_inline(self, a, b):
+        # The same computation through stack locals must agree exactly.
+        text_a, _ = a
+        text_b, _ = b
+        inline = run_src(f"fn main() {{ out({text_a} + {text_b}); }}")[0]
+        via_locals = run_src(
+            "fn main() {"
+            f" var x: real = {text_a};"
+            f" var y: real = {text_b};"
+            " out(x + y); }"
+        )[0]
+        assert inline == via_locals or (inline != inline and via_locals != via_locals)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_fp_exprs(3))
+    def test_fp_via_function_call_matches(self, expr):
+        text, expected = expr
+        got = run_src(
+            "fn id(v: real) -> real { return v; }"
+            f"fn main() {{ out(id({text})); }}"
+        )[0]
+        assert got == expected or (got != got and expected != expected)
+
+
+class TestIntDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(_int_exprs(4))
+    def test_int_expression_matches_python(self, expr):
+        text, expected = expr
+        got = run_src(f"fn main() {{ out({text}); }}")[0]
+        masked = expected & 0xFFFFFFFFFFFFFFFF
+        if masked >= 2**63:
+            masked -= 2**64
+        assert got == masked, f"{text}: {got} != {masked}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(_int_exprs(3), st.integers(min_value=-10, max_value=10))
+    def test_int_comparisons_match_python(self, expr, pivot):
+        text, value = expr
+        got = run_src(
+            f"fn main() {{ if {text} < {pivot} {{ out(1); }} else {{ out(0); }} }}"
+        )[0]
+        assert got == (1 if value < pivot else 0)

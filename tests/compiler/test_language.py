@@ -1,0 +1,415 @@
+"""End-to-end language semantics: compile and execute MH programs."""
+
+import math
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_program, compile_source, CompileError
+from repro.vm import run_program
+from tests.conftest import run_src
+
+
+class TestExpressions:
+    def test_integer_arithmetic(self):
+        assert run_src("fn main() { out(2 + 3 * 4 - 10 / 2); }") == [9]
+
+    def test_precedence_and_parens(self):
+        assert run_src("fn main() { out((2 + 3) * 4); }") == [20]
+
+    def test_modulo_and_shifts(self):
+        assert run_src("fn main() { out(17 % 5); out(1 << 10); out(1024 >> 3); }") == [2, 1024, 128]
+
+    def test_bitwise(self):
+        assert run_src("fn main() { out(12 & 10); out(12 | 3); out(12 ^ 10); }") == [8, 15, 6]
+
+    def test_unary_minus(self):
+        assert run_src("fn main() { out(-5); out(- -7); }") == [-5, 7]
+
+    def test_float_arithmetic(self):
+        values = run_src("fn main() { out(0.5 * 4.0 + 1.0 / 8.0); }")
+        assert values == [2.125]
+
+    def test_float_literal_forms(self):
+        values = run_src("fn main() { out(1e3); out(2.5e-2); out(.5 + 0.5); }")
+        assert values == [1000.0, 0.025, 1.0]
+
+    def test_hex_literals(self):
+        assert run_src("fn main() { out(0xff); }") == [255]
+
+    def test_deep_expression(self):
+        assert run_src(
+            "fn main() { out(((1+2)*(3+4)) + ((5+6)*(7+8)) - ((1*2)+(3*4))); }"
+        ) == [21 + 165 - 14]
+
+
+class TestCasts:
+    def test_i64_of_float_truncates(self):
+        assert run_src("fn main() { out(i64(3.99)); out(i64(-3.99)); }") == [3, -3]
+
+    def test_f64_of_int(self):
+        assert run_src("fn main() { out(f64(7) / 2.0); }") == [3.5]
+
+    def test_f32_roundtrip(self):
+        values = run_src("fn main() { var x: f32 = f32(0.1); out(f64(x)); }")
+        assert abs(values[0] - 0.1) < 1e-7 and values[0] != 0.1
+
+    def test_mixed_types_require_cast(self):
+        with pytest.raises(CompileError, match="cast"):
+            compile_source("fn main() { out(1 + 2.0); }")
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        src = """
+        fn classify(x: i64) -> i64 {
+            if x < 0 { return -1; }
+            else if x == 0 { return 0; }
+            else { return 1; }
+        }
+        fn main() { out(classify(-5)); out(classify(0)); out(classify(9)); }
+        """
+        assert run_src(src) == [-1, 0, 1]
+
+    def test_while_with_break_continue(self):
+        src = """
+        fn main() {
+            var i: i64 = 0;
+            var s: i64 = 0;
+            while i < 100 {
+                i = i + 1;
+                if i % 2 == 0 { continue; }
+                if i > 10 { break; }
+                s = s + i;
+            }
+            out(s);
+        }
+        """
+        assert run_src(src) == [1 + 3 + 5 + 7 + 9]
+
+    def test_for_range_halfopen(self):
+        assert run_src(
+            "fn main() { var s: i64 = 0; for i in 2 .. 6 { s = s + i; } out(s); }"
+        ) == [2 + 3 + 4 + 5]
+
+    def test_for_empty_range(self):
+        assert run_src(
+            "fn main() { var s: i64 = 0; for i in 5 .. 5 { s = s + 1; } out(s); }"
+        ) == [0]
+
+    def test_nested_loops(self):
+        src = """
+        fn main() {
+            var s: i64 = 0;
+            for i in 0 .. 4 {
+                for j in 0 .. 4 {
+                    if i == j { continue; }
+                    s = s + i * j;
+                }
+            }
+            out(s);
+        }
+        """
+        expected = sum(i * j for i in range(4) for j in range(4) if i != j)
+        assert run_src(src) == [expected]
+
+    def test_boolean_combinations(self):
+        src = """
+        fn check(a: i64, b: i64) -> i64 {
+            if a > 0 and b > 0 or a == b { return 1; }
+            return 0;
+        }
+        fn main() { out(check(1,1)); out(check(1,-1)); out(check(-2,-2)); out(check(0,1)); }
+        """
+        assert run_src(src) == [1, 0, 1, 0]
+
+    def test_not_operator(self):
+        assert run_src(
+            "fn main() { var x: i64 = 3; if not (x == 4) { out(1); } else { out(0); } }"
+        ) == [1]
+
+    def test_fp_nan_comparisons_are_false(self):
+        src = """
+        fn main() {
+            var nan: f64 = 0.0 / 0.0;
+            if nan < 1.0 { out(1); } else { out(0); }
+            if nan == nan { out(1); } else { out(0); }
+            if nan != nan { out(1); } else { out(0); }
+            if nan >= 0.0 { out(1); } else { out(0); }
+        }
+        """
+        assert run_src(src) == [0, 0, 1, 0]
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = """
+        fn fact(n: i64) -> i64 {
+            if n <= 1 { return 1; }
+            return n * fact(n - 1);
+        }
+        fn main() { out(fact(10)); }
+        """
+        assert run_src(src) == [math.factorial(10)]
+
+    def test_mutual_recursion(self):
+        src = """
+        fn is_even(n: i64) -> i64 {
+            if n == 0 { return 1; }
+            return is_odd(n - 1);
+        }
+        fn is_odd(n: i64) -> i64 {
+            if n == 0 { return 0; }
+            return is_even(n - 1);
+        }
+        fn main() { out(is_even(10)); out(is_odd(10)); }
+        """
+        assert run_src(src) == [1, 0]
+
+    def test_many_arguments(self):
+        src = """
+        fn f(a: i64, b: i64, c: i64, d: i64, e: i64, g: real) -> real {
+            return real(a + 2*b + 3*c + 4*d + 5*e) * g;
+        }
+        fn main() { out(f(1, 2, 3, 4, 5, 0.5)); }
+        """
+        assert run_src(src) == [(1 + 4 + 9 + 16 + 25) * 0.5]
+
+    def test_calls_inside_expressions_save_temps(self):
+        src = """
+        fn two() -> real { return 2.0; }
+        fn three() -> real { return 3.0; }
+        fn main() { out(1.0 + two() * three() + two()); }
+        """
+        assert run_src(src) == [9.0]
+
+    def test_void_function_statement(self):
+        src = """
+        var g: i64;
+        fn bump() { g = g + 1; }
+        fn main() { bump(); bump(); out(g); }
+        """
+        assert run_src(src) == [2]
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CompileError, match="expects"):
+            compile_source("fn f(a: i64) -> i64 { return a; } fn main() { out(f()); }")
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            compile_source("fn main() { out(ghost(1)); }")
+
+
+class TestArrays:
+    def test_global_array_readwrite(self):
+        src = """
+        var a: i64[5];
+        fn main() {
+            for i in 0 .. 5 { a[i] = i * i; }
+            out(a[0] + a[1] + a[2] + a[3] + a[4]);
+        }
+        """
+        assert run_src(src) == [0 + 1 + 4 + 9 + 16]
+
+    def test_array_initializers(self):
+        src = """
+        var w: real[3] = [0.25, 0.5, 0.25];
+        fn main() { out(w[0] + w[1] + w[2]); }
+        """
+        assert run_src(src) == [1.0]
+
+    def test_array_parameters(self):
+        src = """
+        var data: real[4] = [1.0, 2.0, 3.0, 4.0];
+        fn total(a: real[], n: i64) -> real {
+            var s: real = 0.0;
+            for i in 0 .. n { s = s + a[i]; }
+            return s;
+        }
+        fn main() { out(total(data, 4)); }
+        """
+        assert run_src(src) == [10.0]
+
+    def test_array_offset_arithmetic(self):
+        src = """
+        var data: real[6] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        fn first(a: real[]) -> real { return a[0]; }
+        fn main() {
+            out(first(data + 3));
+            var tail: real[] = data + 4;
+            out(tail[1]);
+        }
+        """
+        assert run_src(src) == [4.0, 6.0]
+
+    def test_indexing_scalar_rejected(self):
+        with pytest.raises(CompileError, match="cannot index"):
+            compile_source("fn main() { var x: i64 = 1; out(x[0]); }")
+
+
+class TestConstsAndGlobals:
+    def test_const_folding_in_sizes(self):
+        src = """
+        const N: i64 = 4;
+        var a: real[N * 2];
+        fn main() { a[7] = 3.5; out(a[7]); }
+        """
+        assert run_src(src) == [3.5]
+
+    def test_const_in_expressions(self):
+        src = """
+        const SCALE: f64 = 2.5;
+        const K: i64 = 3;
+        fn main() { out(SCALE * f64(K)); }
+        """
+        assert run_src(src) == [7.5]
+
+    def test_global_scalar_init(self):
+        assert run_src("var g: real = 4.5; fn main() { out(g); }") == [4.5]
+
+    def test_assign_to_const_rejected(self):
+        with pytest.raises(CompileError, match="const"):
+            compile_source("const N: i64 = 1; fn main() { N = 2; }")
+
+
+class TestBuiltins:
+    def test_math_builtins(self):
+        values = run_src(
+            "fn main() { out(sqrt(16.0)); out(abs(-3.5)); out(min(2.0, -1.0)); out(max(2.0, -1.0)); }"
+        )
+        assert values == [4.0, 3.5, -1.0, 2.0]
+
+    def test_transcendentals_instruction_mode(self):
+        values = run_src("fn main() { out(sin(0.0)); out(cos(0.0)); out(exp(0.0)); out(log(1.0)); }")
+        assert values == [0.0, 1.0, 1.0, 0.0]
+
+    def test_frand_range_and_determinism(self):
+        src = "fn main() { for i in 0 .. 50 { var u: real = frand(); if u < 0.0 or u >= 1.0 { out(-1); } } out(1); }"
+        assert run_src(src) == [1]
+
+    def test_rand_u64_changes(self):
+        values = run_src("fn main() { out(rand_u64()); out(rand_u64()); }")
+        assert values[0] != values[1]
+
+    def test_mpi_intrinsics_serial(self):
+        values = run_src(
+            "fn main() { out(mpi_rank()); out(mpi_size()); out(allreduce_sum(5.0)); barrier(); }"
+        )
+        assert values == [0, 1, 5.0]
+
+
+class TestPrecisionGenericity:
+    SRC = """
+    fn main() {
+        var s: real = 0.0;
+        for i in 0 .. 10 { s = s + 0.1; }
+        out(s);
+    }
+    """
+
+    def test_real_as_f64(self):
+        value = run_src(self.SRC, real_type="f64")[0]
+        assert abs(value - 1.0) < 1e-14 and value != 1.0
+
+    def test_real_as_f32(self):
+        value = run_src(self.SRC, real_type="f32")[0]
+        assert abs(value - 1.0) < 1e-6
+        assert abs(value - 1.0) > 1e-9  # visibly single precision
+
+    def test_builds_differ_only_in_fp(self):
+        p64 = compile_source(self.SRC, CompileOptions(real_type="f64"))
+        p32 = compile_source(self.SRC, CompileOptions(real_type="f32"))
+        assert p64.stats()["candidates"] > 0
+        assert p32.stats()["candidates"] == 0  # single ops aren't candidates
+
+
+class TestModules:
+    def test_multi_module_program(self):
+        main = """
+        module main;
+        fn main() { out(helper(20)); }
+        """
+        lib = """
+        module lib;
+        fn helper(x: i64) -> i64 { return x * 2 + 2; }
+        """
+        program = compile_program([main, lib])
+        assert run_program(program).values() == [42]
+        assert program.modules == ["main", "lib"]
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(CompileError, match="duplicate module"):
+            compile_program(["module m; fn main() {}", "module m; fn g() {}"])
+
+    def test_duplicate_function_across_modules_rejected(self):
+        with pytest.raises(CompileError, match="duplicate function"):
+            compile_program(
+                ["module a; fn main() {} fn f() {}", "module b; fn f() {}"]
+            )
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize(
+        "src,msg",
+        [
+            ("fn main() { out(x); }", "undefined name"),
+            ("fn main() { var x: i64 = 1; var x: i64 = 2; }", "duplicate variable"),
+            ("fn main() { return 1; }", "returns no value"),
+            ("fn f() -> i64 { return; } fn main() {}", "missing return value"),
+            ("fn main() { break; }", "break outside"),
+            ("fn main() { continue; }", "continue outside"),
+            ("fn main() { out(1 < 2); }", "only allowed in conditions"),
+            ("fn main() { if 1 { out(1); } }", "condition must be"),
+            ("fn main() { var a: real[] = 1.0; }", "cast|array"),
+        ],
+    )
+    def test_error_messages(self, src, msg):
+        with pytest.raises(CompileError):
+            compile_source(src)
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError, match="main"):
+            compile_source("fn helper() {}")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(CompileError, match="no parameters"):
+            compile_source("fn main(x: i64) {}")
+
+    def test_lexer_bad_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            compile_source("fn main() { out(`); }")
+
+    def test_parse_error_has_line(self):
+        with pytest.raises(CompileError, match="2"):
+            compile_source("fn main() {\n    out(;\n}")
+
+
+class TestScoping:
+    def test_block_scoped_variables(self):
+        src = """
+        fn main() {
+            var x: i64 = 1;
+            if x == 1 {
+                var y: i64 = 10;
+                x = x + y;
+            }
+            out(x);
+        }
+        """
+        assert run_src(src) == [11]
+
+    def test_for_variable_scoped_to_loop(self):
+        with pytest.raises(CompileError, match="undefined name"):
+            compile_source("fn main() { for i in 0 .. 3 {} out(i); }")
+
+    def test_shadowing_in_inner_scope(self):
+        src = """
+        fn main() {
+            var x: i64 = 1;
+            for i in 0 .. 1 {
+                var x2: i64 = 100;
+                x = x + x2;
+            }
+            out(x);
+        }
+        """
+        assert run_src(src) == [101]

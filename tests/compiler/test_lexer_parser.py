@@ -1,0 +1,108 @@
+"""Lexer and parser units (the end-to-end suite lives in test_language)."""
+
+import pytest
+
+from repro.compiler.errors import CompileError
+from repro.compiler.lexer import Token, tokenize
+from repro.compiler.parser import parse_source
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("fn main var x reality")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds == [
+            ("kw", "fn"), ("kw", "main") if False else ("ident", "main"),
+            ("kw", "var"), ("ident", "x"), ("ident", "reality"),
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x1F 3.5 1e9 2.5e-3 .75")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("int", "42"), ("int", "0x1F"), ("float", "3.5"),
+            ("float", "1e9"), ("float", "2.5e-3"), ("float", ".75"),
+        ]
+
+    def test_range_not_lexed_as_float(self):
+        # "0..n" must be int, op(..), ident — not a malformed float.
+        tokens = tokenize("0..n")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("int", "0"), ("op", ".."), ("ident", "n"),
+        ]
+
+    def test_multichar_operators_longest_match(self):
+        tokens = tokenize("<< <= < == = != ->")
+        assert [t.value for t in tokens[:-1]] == [
+            "<<", "<=", "<", "==", "=", "!=", "->",
+        ]
+
+    def test_comments_stripped_and_lines_counted(self):
+        tokens = tokenize("a # comment\nb")
+        assert tokens[0].line == 1 and tokens[1].line == 2
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("a ` b")
+
+
+class TestParser:
+    def test_module_header(self):
+        mod = parse_source("module zap; fn f() {}", "default")
+        assert mod.name == "zap"
+
+    def test_default_module_name(self):
+        assert parse_source("fn f() {}", "fallback").name == "fallback"
+
+    def test_real_resolution(self):
+        mod64 = parse_source("var x: real = 1.0;", "m", real_type="f64")
+        mod32 = parse_source("var x: real = 1.0;", "m", real_type="f32")
+        assert mod64.globals[0].type == "f64"
+        assert mod32.globals[0].type == "f32"
+        # cell init is width-dependent
+        assert mod64.globals[0].init != mod32.globals[0].init
+
+    def test_const_folding_in_array_sizes(self):
+        mod = parse_source("const N: i64 = 3; var a: i64[N * N + 1];", "m")
+        assert mod.globals[0].size == 10
+
+    def test_negative_array_size_rejected(self):
+        with pytest.raises(CompileError, match="positive constant"):
+            parse_source("var a: i64[0];", "m")
+
+    def test_non_constant_size_rejected(self):
+        with pytest.raises(CompileError, match="constant"):
+            parse_source("fn f() -> i64 { return 1; } var a: i64[f()];", "m")
+
+    def test_too_many_initializers_rejected(self):
+        with pytest.raises(CompileError, match="too many"):
+            parse_source("var a: i64[2] = [1, 2, 3];", "m")
+
+    def test_duplicate_const_rejected(self):
+        with pytest.raises(CompileError, match="duplicate const"):
+            parse_source("const N: i64 = 1; const N: i64 = 2;", "m")
+
+    def test_else_if_chains(self):
+        mod = parse_source(
+            "fn f(x: i64) -> i64 {"
+            " if x == 0 { return 0; } else if x == 1 { return 1; }"
+            " else { return 2; } }",
+            "m",
+        )
+        fn = mod.functions[0]
+        outer = fn.body[0]
+        assert outer.else_body and outer.else_body[0].__class__.__name__ == "If"
+
+    def test_float_const_usable_in_folding(self):
+        mod = parse_source(
+            "const H: f64 = 0.5; const H2: f64 = H * H;", "m"
+        )
+        assert mod.consts["H2"] == ("f64", 0.25)
+
+    def test_missing_semicolon_reports_location(self):
+        # The error is noticed at the '}' on line 3; what matters is that
+        # module and line reach the message.
+        with pytest.raises(CompileError, match=r"m:3: expected ';'"):
+            parse_source("fn f() {\n    var x: i64 = 1\n}", "m")

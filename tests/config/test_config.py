@@ -1,0 +1,198 @@
+"""Configuration model, override resolution, exchange file format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import Config, Policy, build_tree, dump_config, load_config
+from repro.config.fileformat import ConfigFormatError
+from repro.config.model import LEVEL_BLOCK, LEVEL_FUNCTION, LEVEL_INSN, LEVEL_MODULE
+from tests.conftest import compile_src
+
+SRC = """
+module alpha;
+fn helper(x: real) -> real {
+    if x > 0.0 {
+        return x * 2.0;
+    }
+    return x / 2.0;
+}
+fn main() {
+    var s: real = 0.0;
+    for i in 0 .. 5 {
+        s = s + helper(real(i) - 2.0);
+    }
+    out(s);
+}
+"""
+
+
+@pytest.fixture
+def tree():
+    return build_tree(compile_src(SRC))
+
+
+class TestTreeStructure:
+    def test_levels_nest_properly(self, tree):
+        for module in tree.roots:
+            assert module.level == LEVEL_MODULE
+            for fn in module.children:
+                assert fn.level == LEVEL_FUNCTION
+                for block in fn.children:
+                    assert block.level == LEVEL_BLOCK
+                    for insn in block.children:
+                        assert insn.level == LEVEL_INSN
+                        assert insn.children == []
+
+    def test_only_candidates_appear(self, tree):
+        # every leaf is a real candidate address
+        program = compile_src(SRC)
+        candidate_addrs = {i.addr for i in program.candidate_instructions()}
+        leaf_addrs = {n.addr for n in tree.instructions()}
+        assert leaf_addrs == candidate_addrs
+
+    def test_ids_unique_and_ordered(self, tree):
+        ids = [n.node_id for n in tree.walk()]
+        assert len(ids) == len(set(ids))
+        insns = [n for n in tree.walk() if n.level == LEVEL_INSN]
+        addrs = [n.addr for n in insns]
+        assert addrs == sorted(addrs)
+
+    def test_parents_linked(self, tree):
+        for node in tree.walk():
+            for child in node.children:
+                assert child.parent is node
+
+    def test_deterministic_rebuild(self):
+        t1 = build_tree(compile_src(SRC))
+        t2 = build_tree(compile_src(SRC))
+        assert [n.node_id for n in t1.walk()] == [n.node_id for n in t2.walk()]
+
+
+class TestResolution:
+    def test_default_is_double(self, tree):
+        config = Config.all_double(tree)
+        assert all(p is Policy.DOUBLE for p in config.instruction_policies().values())
+
+    def test_all_single_flags_roots(self, tree):
+        config = Config.all_single(tree)
+        assert all(p is Policy.SINGLE for p in config.instruction_policies().values())
+
+    def test_instruction_flag_applies(self, tree):
+        insn = next(tree.instructions())
+        config = Config(tree).set(insn.node_id, Policy.SINGLE)
+        assert config.instruction_policies()[insn.addr] is Policy.SINGLE
+
+    def test_aggregate_overrides_children(self, tree):
+        # Paper: an aggregate's flag overrides flags on its children.
+        fn = tree.nodes_at(LEVEL_FUNCTION)[0]
+        insn = next(fn.instructions())
+        config = Config(tree)
+        config.set(insn.node_id, Policy.SINGLE)
+        config.set(fn.node_id, Policy.DOUBLE)
+        assert config.instruction_policies()[insn.addr] is Policy.DOUBLE
+
+    def test_outermost_flag_wins(self, tree):
+        module = tree.roots[0]
+        fn = module.children[0]
+        config = Config(tree)
+        config.set(module.node_id, Policy.IGNORE)
+        config.set(fn.node_id, Policy.SINGLE)
+        insn = next(fn.instructions())
+        assert config.effective_policy(insn) is Policy.IGNORE
+
+    def test_unflagged_siblings_keep_default(self, tree):
+        fns = tree.nodes_at(LEVEL_FUNCTION)
+        assert len(fns) >= 2
+        config = Config(tree).set(fns[0].node_id, Policy.SINGLE)
+        policies = config.instruction_policies()
+        for insn in fns[1].instructions():
+            assert policies[insn.addr] is Policy.DOUBLE
+
+
+class TestUnion:
+    def test_union_prefers_single(self, tree):
+        fns = tree.nodes_at(LEVEL_FUNCTION)
+        a = Config(tree).set(fns[0].node_id, Policy.SINGLE)
+        b = Config(tree).set(fns[1].node_id, Policy.SINGLE)
+        merged = a.union(b)
+        assert merged.flags[fns[0].node_id] is Policy.SINGLE
+        assert merged.flags[fns[1].node_id] is Policy.SINGLE
+
+    def test_union_preserves_ignore(self, tree):
+        fn = tree.nodes_at(LEVEL_FUNCTION)[0]
+        a = Config(tree).set(fn.node_id, Policy.IGNORE)
+        b = Config(tree).set(fn.node_id, Policy.SINGLE)
+        assert a.union(b).flags[fn.node_id] is Policy.IGNORE
+        assert b.union(a).flags[fn.node_id] is Policy.IGNORE
+
+    def test_union_requires_same_tree(self, tree):
+        other = build_tree(compile_src(SRC))
+        with pytest.raises(ValueError):
+            Config(tree).union(Config(other))
+
+
+class TestMetrics:
+    def test_static_fraction(self, tree):
+        config = Config(tree)
+        insns = list(tree.instructions())
+        config.set(insns[0].node_id, Policy.SINGLE)
+        assert config.static_replaced_fraction() == pytest.approx(1 / len(insns))
+
+    def test_dynamic_fraction_weighted(self, tree):
+        insns = list(tree.instructions())
+        profile = {insns[0].addr: 90, insns[1].addr: 10}
+        config = Config(tree).set(insns[0].node_id, Policy.SINGLE)
+        assert config.dynamic_replaced_fraction(profile) == pytest.approx(0.9)
+
+    def test_dynamic_fraction_empty_profile(self, tree):
+        assert Config.all_single(tree).dynamic_replaced_fraction({}) == 0.0
+
+
+class TestFileFormat:
+    def test_dump_contains_paper_columns(self, tree):
+        config = Config.all_double(tree)
+        insn = next(tree.instructions())
+        config.set(insn.node_id, Policy.SINGLE)
+        text = dump_config(config)
+        assert text.startswith("# program:")
+        assert f"s " in text
+        assert insn.node_id in text
+        assert '"' in text  # quoted disassembly
+
+    def test_roundtrip_preserves_flags(self, tree):
+        config = Config(tree)
+        nodes = list(tree.walk())
+        config.set(nodes[1].node_id, Policy.SINGLE)
+        config.set(nodes[2].node_id, Policy.IGNORE)
+        loaded = load_config(tree, dump_config(config))
+        assert loaded.flags == config.flags
+
+    @given(st.data())
+    def test_roundtrip_random_flags(self, data):
+        tree = build_tree(compile_src(SRC))
+        config = Config(tree)
+        for node in tree.walk():
+            flag = data.draw(
+                st.sampled_from([None, Policy.SINGLE, Policy.DOUBLE, Policy.IGNORE])
+            )
+            if flag is not None:
+                config.set(node.node_id, flag)
+        assert load_config(tree, dump_config(config)).flags == config.flags
+
+    def test_unknown_id_rejected(self, tree):
+        with pytest.raises(ConfigFormatError, match="unknown structure"):
+            load_config(tree, "s FUNC99: ghost()\n")
+
+    def test_bad_flag_rejected(self, tree):
+        node_id = tree.roots[0].node_id
+        with pytest.raises(ConfigFormatError, match="bad flag"):
+            load_config(tree, f"x {node_id}: m\n")
+
+    def test_comments_and_blanks_ignored(self, tree):
+        node_id = tree.roots[0].node_id
+        config = load_config(tree, f"# comment\n\ns {node_id}: m\n")
+        assert config.flags[node_id] is Policy.SINGLE
+
+    def test_set_unknown_node_raises(self, tree):
+        with pytest.raises(KeyError):
+            Config(tree).set("INSN99", Policy.SINGLE)

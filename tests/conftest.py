@@ -1,0 +1,40 @@
+"""Shared test helpers and fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_source
+from repro.vm import run_program
+
+
+def run_src(source: str, real_type: str = "f64", **run_kwargs):
+    """Compile a single-module MH source and run it; returns decoded values."""
+    program = compile_source(source, CompileOptions(real_type=real_type))
+    return run_program(program, **run_kwargs).values()
+
+
+def compile_src(source: str, real_type: str = "f64", **opts):
+    return compile_source(source, CompileOptions(real_type=real_type, **opts))
+
+
+@pytest.fixture
+def simple_fp_program():
+    """A small program with a few FP candidates, used across suites."""
+    return compile_src(
+        """
+        var acc: real;
+        fn main() {
+            var s: real = 0.0;
+            var p: real = 1.0;
+            for i in 0 .. 20 {
+                s = s + real(i) * 0.25;
+                p = p * 1.01;
+            }
+            acc = s / p;
+            out(s);
+            out(p);
+            out(sqrt(acc));
+        }
+        """
+    )

@@ -1,0 +1,118 @@
+"""Experiment drivers, exercised at small scale (correctness, not the
+paper-scale parameters — those run under benchmarks/)."""
+
+import math
+
+import pytest
+
+from repro.experiments import ablation, amg, fig8, fig9, fig10, fig11
+from repro.experiments.tables import format_table
+from repro.search.bfs import SearchOptions
+
+
+class TestFig9:
+    def test_overhead_measured_and_bit_identical(self):
+        result = fig9.measure_overhead("ep", "S")
+        assert result.bit_identical
+        assert result.overhead > 1.5
+        assert result.growth > 1.0
+
+    @pytest.mark.parametrize("bench", ("ep", "cg", "ft", "mg"))
+    def test_bitforbit_single_vs_manual(self, bench):
+        assert fig9.check_single_bitforbit(bench, "S")
+
+    def test_rows_format(self):
+        rows = fig9.run(benchmarks=("ep",), classes=("S",))
+        table = format_table(rows, title="t")
+        assert "ep.S" in table and "X" in table
+
+
+class TestFig8:
+    def test_overhead_trend_nonincreasing(self):
+        row = fig8.measure_scaling("cg", "S", ranks=(1, 2, 4))
+        assert fig8.trend_is_nonincreasing(row, ranks=(1, 2, 4))
+
+    def test_all_rank_columns_present(self):
+        row = fig8.measure_scaling("ep", "S", ranks=(1, 2))
+        assert "P1" in row and "P2" in row
+
+
+class TestFig10:
+    def test_single_benchmark_row(self):
+        result = fig10.search_benchmark("cg", "S")
+        row = result.row()
+        assert 0 <= row["static_pct"] <= 100
+        assert 0 <= row["dynamic_pct"] <= 100
+        assert row["final"] in ("pass", "fail")
+        assert row["tested"] >= 1
+
+    def test_search_tests_fewer_than_exhaustive(self):
+        result = fig10.search_benchmark("mg", "S")
+        assert result.configs_tested < 2 ** min(result.candidates, 20)
+
+    def test_paper_values_table_complete(self):
+        assert set(fig10.PAPER_VALUES) == {
+            f"{b}.{k}" for b in fig10.BENCHMARKS for k in fig10.CLASSES
+        }
+
+
+class TestFig11:
+    def test_solver_errors_ordering(self):
+        errors = fig11.solver_errors("S")
+        assert errors["double_error"] < errors["single_error"] < 1e-2
+        assert errors["single_speedup"] > 1.0
+
+    def test_loose_threshold_replaces_everything(self):
+        row = fig11.sweep_threshold("S", 1e-2)
+        assert row["_raw_static"] == 1.0
+        assert row["_raw_dynamic"] == 1.0
+        # the final error sits below the threshold used in the search
+        assert row["_raw_final_error"] < 1e-2
+
+    def test_strict_threshold_replaces_less(self):
+        loose = fig11.sweep_threshold("S", 1e-2)
+        strict = fig11.sweep_threshold(
+            "S", 1e-9, options=SearchOptions(stop_level="block")
+        )
+        assert strict["_raw_static"] <= loose["_raw_static"]
+        assert strict["_raw_dynamic"] <= loose["_raw_dynamic"]
+
+
+class TestAmgExperiment:
+    def test_whole_kernel_and_speedup(self):
+        result = amg.run("S")
+        assert result["whole_kernel_single_passes"]
+        assert result["_raw_speedup"] > 1.2
+        assert result["search_final"] == "pass"
+
+
+class TestAblations:
+    def test_check_elimination_preserves_behaviour(self):
+        rows = ablation.check_elimination("ep", "S")
+        for row in rows:
+            assert row["identical_outputs"]
+            assert row["cycles_optimized"] <= row["cycles_plain"]
+        assert rows[0]["checks_skipped"] > 0  # all-double scenario
+
+    def test_transcendental_modes(self):
+        rows = ablation.transcendental_handling()
+        by_variant = {r["variant"]: r for r in rows}
+        # the library build exposes many more candidate instructions
+        assert by_variant["library"]["candidates"] > by_variant["instruction"]["candidates"]
+
+    def test_search_optimization_variants_agree(self):
+        rows = ablation.search_optimizations("ep", "S")
+        by_variant = {r["variant"]: r for r in rows}
+        assert by_variant["full"]["static_pct"] == by_variant["neither"]["static_pct"]
+        assert by_variant["stop-at-functions"]["tested"] <= by_variant["full"]["tested"]
+
+
+class TestTables:
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        lines = format_table(rows).splitlines()
+        assert len({line.index("b") for line in lines[:1]}) == 1
+        assert len(lines) == 4

@@ -1,0 +1,103 @@
+"""The in-place replacement scheme (sentinel flagging, down/upcast)."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.fpbits import ieee, replace
+
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+f32_representable = st.floats(
+    allow_nan=False, allow_infinity=False, width=32, allow_subnormal=True
+)
+
+
+class TestSentinel:
+    def test_flag_value(self):
+        # 0x7FF4 = NaN, 0xDEAD = human-readable (paper footnote 1).
+        assert replace.REPLACED_FLAG == 0x7FF4DEAD
+        assert replace.REPLACED_FLAG_SHIFTED == 0x7FF4DEAD00000000
+
+    def test_is_replaced_detects_flag(self):
+        assert replace.is_replaced(0x7FF4DEAD00000000)
+        assert replace.is_replaced(0x7FF4DEADFFFFFFFF)
+        assert not replace.is_replaced(0x7FF4DEAE00000000)
+        assert not replace.is_replaced(ieee.double_to_bits(1.0))
+
+    def test_flagged_slot_is_nan_as_double(self):
+        # Un-instrumented consumers see NaN, never a silently-wrong value.
+        bits = replace.make_replaced(ieee.single_to_bits(3.5))
+        assert ieee.bits_to_double(bits) != ieee.bits_to_double(bits)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_make_replaced_roundtrip(self, sbits):
+        slot = replace.make_replaced(sbits)
+        assert replace.is_replaced(slot)
+        assert replace.replaced_single_bits(slot) == sbits
+
+
+class TestDowncast:
+    @given(finite_doubles)
+    def test_downcast_rounds_to_single(self, x):
+        slot = replace.downcast_in_place(ieee.double_to_bits(x))
+        assert replace.is_replaced(slot)
+        got = ieee.bits_to_single(replace.replaced_single_bits(slot))
+        want = ieee.bits_to_single(ieee.single_to_bits(x))
+        assert got == want or (got != got and want != want)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_downcast_idempotent(self, sbits):
+        slot = replace.make_replaced(sbits)
+        assert replace.downcast_in_place(slot) == slot
+
+
+class TestUpcast:
+    @given(f32_representable)
+    def test_upcast_recovers_exact_value(self, x):
+        slot = replace.make_replaced(ieee.single_to_bits(x))
+        bits = replace.upcast_in_place(slot)
+        assert ieee.bits_to_double(bits) == x
+
+    @given(finite_doubles)
+    def test_upcast_identity_on_plain_doubles(self, x):
+        bits = ieee.double_to_bits(x)
+        assert replace.upcast_in_place(bits) == bits
+
+    @given(f32_representable)
+    def test_down_then_up_equals_single_rounding(self, x):
+        # f32-representable values survive the round trip exactly.
+        bits = ieee.double_to_bits(x)
+        assert ieee.bits_to_double(
+            replace.upcast_in_place(replace.downcast_in_place(bits))
+        ) == x
+
+    def test_down_up_loses_precision_for_general_doubles(self):
+        bits = ieee.double_to_bits(0.1)
+        back = replace.upcast_in_place(replace.downcast_in_place(bits))
+        assert back != bits
+        assert abs(ieee.bits_to_double(back) - 0.1) < 1e-7
+
+
+class TestOperandReads:
+    def test_read_as_double_transparent(self):
+        assert replace.read_operand_as_double(ieee.double_to_bits(2.5)) == 2.5
+        slot = replace.make_replaced(ieee.single_to_bits(2.5))
+        assert replace.read_operand_as_double(slot) == 2.5
+
+    @given(finite_doubles)
+    def test_read_as_single_rounds_unflagged(self, x):
+        got = replace.read_operand_as_single(ieee.double_to_bits(x))
+        assert got == ieee.single_to_bits(x)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_read_as_single_passthrough_flagged(self, sbits):
+        assert replace.read_operand_as_single(replace.make_replaced(sbits)) == sbits
+
+    def test_nan_collision_is_the_documented_caveat(self):
+        # A legitimate double that happens to have the sentinel pattern in
+        # its high word is indistinguishable from a replaced value; both
+        # are NaNs.  Document-by-test.
+        collision = 0x7FF4DEAD12345678
+        assert replace.is_replaced(collision)
+        assert math.isnan(ieee.bits_to_double(collision))

@@ -1,0 +1,157 @@
+"""Instrumentation of packed SSE code and interaction with MPI."""
+
+import pytest
+
+from repro.asm import assemble_text
+from repro.binary import build_cfg
+from repro.config import Config, Policy, build_tree
+from repro.fpbits.ieee import bits_to_double, bits_to_single, double_to_bits
+from repro.fpbits.replace import is_replaced, replaced_single_bits
+from repro.instrument import instrument
+from repro.mpi import run_mpi_program
+from repro.vm import run_program
+from tests.conftest import compile_src
+
+PACKED = """
+.global vec 6 0x3ff0000000000000 0x4000000000000000 0x4008000000000000 0x4010000000000000 0 0
+.func _start
+    movapd %x0, [vec]          ; (1.0, 2.0)
+    movapd %x1, [vec+2]        ; (3.0, 4.0)
+    addpd %x0, %x1             ; (4.0, 6.0)
+    mulpd %x0, %x1             ; (12.0, 24.0)
+    movapd [vec+4], %x0
+    outsd %x0
+    pextr %r0, %x0, $1
+    outi %r0
+    halt
+.endfunc
+"""
+
+
+def _packed_program():
+    return assemble_text(PACKED)
+
+
+class TestPackedInstrumentation:
+    def test_packed_all_double_identical(self):
+        program = _packed_program()
+        base = run_program(program)
+        instrumented = instrument(
+            program, Config.all_double(build_tree(program)), mode="all"
+        )
+        run = run_program(instrumented.program)
+        assert run.outputs == base.outputs
+
+    def test_packed_all_single_flags_both_lanes(self):
+        program = _packed_program()
+        instrumented = instrument(program, Config.all_single(build_tree(program)))
+        run = run_program(instrumented.program)
+        low = run.outputs[0][1]
+        high = run.outputs[1][1]
+        assert is_replaced(low) and is_replaced(high)
+        assert bits_to_single(replaced_single_bits(low)) == 12.0
+        assert bits_to_single(replaced_single_bits(high)) == 24.0
+
+    def test_packed_memory_store_carries_flags(self):
+        program = _packed_program()
+        instrumented = instrument(program, Config.all_single(build_tree(program)))
+        from repro.vm.machine import VM
+
+        vm = VM(instrumented.program)
+        vm.run()
+        base = instrumented.program.globals["vec"].addr
+        assert is_replaced(vm.mem[base + 4])
+        assert is_replaced(vm.mem[base + 5])
+
+    def test_packed_mixed_lanes_upcast_correctly(self):
+        # addpd single, mulpd double: the guard on mulpd must upcast both
+        # flagged lanes before multiplying in double.
+        program = _packed_program()
+        tree = build_tree(program)
+        nodes = list(tree.instructions())
+        addpd = next(n for n in nodes if "addpd" in n.text)
+        config = Config(tree).set(addpd.node_id, Policy.SINGLE)
+        run = run_program(instrument(program, config).program)
+        assert run.values()[0] == 12.0  # exact: small integers survive f32
+        assert bits_to_double(run.outputs[1][1]) == 24.0
+
+
+MPI_SRC = """
+fn main() {
+    var x: real = 0.1 * real(mpi_rank() + 1);
+    var y: real = x * 3.0;
+    out(allreduce_sum(y));
+}
+"""
+
+
+class TestMpiInteraction:
+    def test_flagged_value_through_allreduce_is_nan(self):
+        # A replaced (flagged) register fed to an uninstrumented
+        # allreduce is a NaN double: the collective sums NaN on every
+        # rank and verification fails loudly — faithful to the design.
+        program = compile_src(MPI_SRC)
+        tree = build_tree(program)
+        nodes = list(tree.instructions())
+        config = Config(tree)
+        for node in nodes:
+            config.set(node.node_id, Policy.SINGLE)
+        instrumented = instrument(program, config)
+        result = run_mpi_program(instrumented.program, 2)
+        value = result.values()[0]
+        assert value != value  # NaN
+
+    def test_all_double_instrumentation_preserves_mpi_results(self):
+        program = compile_src(MPI_SRC)
+        instrumented = instrument(
+            program, Config.all_double(build_tree(program)), mode="all"
+        )
+        base = run_mpi_program(program, 4)
+        run = run_mpi_program(instrumented.program, 4)
+        assert run.outputs == base.outputs
+
+    def test_serial_single_before_allreduce_identity(self):
+        # At one rank the collective is a no-op pass-through, so a flagged
+        # value survives it and decodes transparently.
+        program = compile_src(MPI_SRC)
+        tree = build_tree(program)
+        instrumented = instrument(program, Config.all_single(tree))
+        run = run_program(instrumented.program)
+        (kind, bits), = run.outputs
+        assert kind == "d" and is_replaced(bits)
+        import numpy as np
+
+        want = np.float32(np.float32(0.1) * np.float32(1.0)) * np.float32(3.0)
+        assert bits_to_single(replaced_single_bits(bits)) == float(want)
+
+
+class TestRewriterInvariants:
+    @pytest.mark.parametrize("bench", ("ep", "cg", "mg"))
+    def test_rewritten_program_has_valid_cfg(self, bench):
+        from repro.workloads import make_nas
+
+        workload = make_nas(bench, "S")
+        tree = build_tree(workload.program)
+        instrumented = instrument(workload.program, Config.all_single(tree))
+        # build_cfg raises on any branch that escapes its function
+        build_cfg(instrumented.program)
+        stats = instrumented.program.stats()
+        assert stats["functions"] == workload.program.stats()["functions"]
+
+    def test_double_instrumentation_idempotent_semantics(self):
+        # Instrumenting an already-instrumented binary must still preserve
+        # behaviour (checks on checks are wasteful but correct).
+        program = compile_src("fn main() { out(0.1 + 0.2); }")
+        tree = build_tree(program)
+        once = instrument(program, Config.all_double(tree), mode="all").program
+        twice = instrument(once, Config.all_double(build_tree(once)), mode="all").program
+        assert run_program(twice).outputs == run_program(program).outputs
+
+    def test_data_addresses_stable_across_rewrite(self):
+        from repro.workloads import make_nas
+
+        workload = make_nas("cg", "S")
+        tree = build_tree(workload.program)
+        instrumented = instrument(workload.program, Config.all_single(tree))
+        for name, symbol in workload.program.globals.items():
+            assert instrumented.program.globals[name].addr == symbol.addr

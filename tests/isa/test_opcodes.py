@@ -1,0 +1,110 @@
+"""Opcode metadata invariants the analysis passes rely on."""
+
+import pytest
+
+from repro.isa import CANDIDATE_OPS, Imm, Instruction, IsaError, Op, OPCODE_INFO, Reg, Xmm
+from repro.isa.instruction import validate_signature
+
+
+class TestTableCompleteness:
+    def test_every_opcode_has_info(self):
+        for op in Op:
+            assert op in OPCODE_INFO
+
+    def test_mnemonics_unique(self):
+        names = [info.mnemonic for info in OPCODE_INFO.values()]
+        assert len(names) == len(set(names))
+
+    def test_every_candidate_has_single_equivalent(self):
+        for op in CANDIDATE_OPS:
+            info = OPCODE_INFO[op]
+            assert info.single_equiv is not None
+            # and the equivalent must not itself be a candidate
+            assert OPCODE_INFO[info.single_equiv].single_equiv is None
+
+
+class TestCandidateSet:
+    def test_arithmetic_is_candidate(self):
+        for op in (Op.ADDSD, Op.SUBSD, Op.MULSD, Op.DIVSD, Op.SQRTSD,
+                   Op.UCOMISD, Op.CVTSI2SD, Op.CVTTSD2SI, Op.SINSD,
+                   Op.ADDPD, Op.MULPD):
+            assert op in CANDIDATE_OPS
+
+    def test_data_movement_is_not_candidate(self):
+        # Moves carry replaced slots verbatim; replacing them would drop
+        # the sentinel on 32-bit stores.
+        for op in (Op.MOVSD, Op.MOVAPD, Op.MOVSS, Op.MOVQXR, Op.MOVQRX):
+            assert op not in CANDIDATE_OPS
+
+    def test_mpi_is_not_candidate(self):
+        for op in (Op.ALLRED, Op.ALLREDV, Op.BCASTSD, Op.BARRIER):
+            assert op not in CANDIDATE_OPS
+
+    def test_single_precision_ops_are_not_candidates(self):
+        for op in (Op.ADDSS, Op.MULSS, Op.SQRTSS, Op.UCOMISS):
+            assert op not in CANDIDATE_OPS
+
+
+class TestFpInOut:
+    def test_binary_arith_reads_both(self):
+        info = OPCODE_INFO[Op.ADDSD]
+        assert info.fp_in == (0, 1) and info.fp_out == (0,)
+
+    def test_sqrt_reads_source_only(self):
+        info = OPCODE_INFO[Op.SQRTSD]
+        assert info.fp_in == (1,) and info.fp_out == (0,)
+
+    def test_compare_has_no_fp_out(self):
+        info = OPCODE_INFO[Op.UCOMISD]
+        assert info.fp_in == (0, 1) and info.fp_out == ()
+
+    def test_int_to_fp_conversion(self):
+        info = OPCODE_INFO[Op.CVTSI2SD]
+        assert info.fp_in == () and info.fp_out == (0,)
+
+    def test_fp_to_int_conversion(self):
+        info = OPCODE_INFO[Op.CVTTSD2SI]
+        assert info.fp_in == (1,) and info.fp_out == ()
+
+    def test_packed_flagged(self):
+        assert OPCODE_INFO[Op.ADDPD].packed
+        assert OPCODE_INFO[Op.ADDPS].packed
+        assert not OPCODE_INFO[Op.ADDSD].packed
+
+
+class TestSignatureValidation:
+    def test_valid_forms_accepted(self):
+        validate_signature(Op.ADDSD, (Xmm(0), Xmm(1)))
+        validate_signature(Op.MOV, (Reg(0), Imm(5)))
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(Op.ADDSD, (Reg(0), Xmm(1)))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(Op.ADDSD, (Xmm(0),))
+
+    def test_store_immediate_rejected_for_fp(self):
+        from repro.isa import Mem
+
+        with pytest.raises(IsaError):
+            Instruction(Op.MOVSD, (Mem(disp=0), Imm(1)))
+
+
+class TestBranchMetadata:
+    def test_terminators(self):
+        assert OPCODE_INFO[Op.RET].is_terminator
+        assert OPCODE_INFO[Op.HALT].is_terminator
+        assert OPCODE_INFO[Op.JMP].is_terminator
+        assert not OPCODE_INFO[Op.JE].is_terminator
+
+    def test_conditional_branches_read_flags(self):
+        for op in (Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE, Op.JP, Op.JNP):
+            info = OPCODE_INFO[op]
+            assert info.is_cond_branch and info.reads_flags
+
+    def test_branch_target_helper(self):
+        instr = Instruction(Op.JMP, (Imm(100),))
+        assert instr.branch_target() == 100
+        assert Instruction(Op.ADD, (Reg(0), Reg(1))).branch_target() is None

@@ -1,0 +1,221 @@
+"""Multi-rank execution: collectives, determinism, timing model."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_source
+from repro.mpi import CommCostModel, MultiRankRunner, run_mpi_program
+from repro.mpi.runner import MpiError
+from repro.vm import run_program
+
+
+def _compile(src, real_type="f64"):
+    return compile_source(src, CompileOptions(real_type=real_type))
+
+
+class TestScalarCollectives:
+    def test_allreduce_sum(self):
+        program = _compile(
+            "fn main() { out(allreduce_sum(real(mpi_rank()) + 1.0)); }"
+        )
+        result = run_mpi_program(program, 4)
+        # 1 + 2 + 3 + 4 on every rank
+        for rank_result in result.per_rank:
+            assert rank_result.values() == [10.0]
+
+    def test_allreduce_min_max(self):
+        program = _compile(
+            """
+            fn main() {
+                var x: real = real(mpi_rank() * 2 + 1);
+                out(allreduce_min(x));
+                out(allreduce_max(x));
+            }
+            """
+        )
+        result = run_mpi_program(program, 4)
+        assert result.values() == [1.0, 7.0]
+
+    def test_serial_collectives_are_identity(self):
+        program = _compile("fn main() { out(allreduce_sum(3.25)); }")
+        assert run_program(program).values() == [3.25]
+
+    def test_single_precision_allreduce(self):
+        program = _compile(
+            "fn main() { out(allreduce_sum(0.1)); }", real_type="f32"
+        )
+        result = run_mpi_program(program, 4)
+        value = result.values()[0]
+        import numpy as np
+
+        f = np.float32(0.1)
+        assert value == pytest.approx(float(f + f + f + f), abs=0)
+
+
+class TestVectorCollectives:
+    def test_allreduce_vector_assembles_partitions(self):
+        program = _compile(
+            """
+            const N: i64 = 8;
+            var v: real[8];
+            fn main() {
+                var rank: i64 = mpi_rank();
+                var size: i64 = mpi_size();
+                var lo: i64 = (rank * N) / size;
+                var hi: i64 = ((rank + 1) * N) / size;
+                for i in 0 .. N { v[i] = 0.0; }
+                for i in lo .. hi { v[i] = real(i + 1); }
+                allreduce_sum_vec(v, N);
+                var s: real = 0.0;
+                for i in 0 .. N { s = s + v[i]; }
+                out(s);
+            }
+            """
+        )
+        for size in (1, 2, 4, 8):
+            result = run_mpi_program(program, size)
+            assert result.values() == [36.0], f"size={size}"
+
+    def test_vector_collective_bounds_checked(self):
+        program = _compile(
+            """
+            var v: real[4];
+            fn main() {
+                var huge: i64 = 1000000;
+                allreduce_sum_vec(v, huge);
+            }
+            """
+        )
+        from repro.vm.errors import VmTrap
+
+        with pytest.raises(VmTrap, match="out of bounds"):
+            run_mpi_program(program, 2)
+
+
+class TestDeterminismAndTiming:
+    PI_SRC = """
+    const N: i64 = 256;
+    fn main() {
+        var rank: i64 = mpi_rank();
+        var size: i64 = mpi_size();
+        var h: real = 1.0 / real(N);
+        var s: real = 0.0;
+        var i: i64 = rank;
+        while i < N {
+            var x: real = h * (real(i) + 0.5);
+            s = s + 4.0 / (1.0 + x * x);
+            i = i + size;
+        }
+        out(allreduce_sum(s * h));
+    }
+    """
+
+    def test_repeatable(self):
+        program = _compile(self.PI_SRC)
+        a = run_mpi_program(program, 4)
+        b = run_mpi_program(program, 4)
+        assert a.outputs == b.outputs
+        assert a.elapsed == b.elapsed
+
+    def test_parallel_speedup(self):
+        program = _compile(self.PI_SRC)
+        t1 = run_mpi_program(program, 1).elapsed
+        t4 = run_mpi_program(program, 4).elapsed
+        assert t4 < t1
+
+    def test_comm_cost_grows_with_ranks(self):
+        model = CommCostModel()
+        assert model.allreduce(2) < model.allreduce(8)
+        assert model.allreduce(1) == 0
+        assert model.allreduce(4, words=100) > model.allreduce(4, words=1)
+
+    def test_makespan_is_max_rank_clock(self):
+        program = _compile(self.PI_SRC)
+        result = run_mpi_program(program, 4)
+        assert result.elapsed == max(r.cycles for r in result.per_rank)
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        program = _compile(
+            """
+            fn main() {
+                if mpi_rank() == 0 {
+                    barrier();
+                }
+            }
+            """
+        )
+        with pytest.raises(MpiError, match="deadlock"):
+            run_mpi_program(program, 2)
+
+    def test_mismatched_collectives_detected(self):
+        program = _compile(
+            """
+            fn main() {
+                var x: real = 1.0;
+                if mpi_rank() == 0 {
+                    x = allreduce_sum(x);
+                } else {
+                    barrier();
+                }
+                out(x);
+            }
+            """
+        )
+        with pytest.raises(MpiError, match="mismatched"):
+            run_mpi_program(program, 2)
+
+    def test_bad_size_rejected(self):
+        program = _compile("fn main() {}")
+        with pytest.raises(ValueError):
+            MultiRankRunner(program, 0)
+
+
+class TestRngDecorrelation:
+    def test_ranks_draw_different_streams(self):
+        program = _compile("fn main() { out(rand_u64()); }")
+        result = run_mpi_program(program, 4)
+        draws = [r.values()[0] for r in result.per_rank]
+        assert len(set(draws)) == 4
+
+
+class TestBroadcast:
+    def test_bcast_from_root(self):
+        program = _compile(
+            """
+            fn main() {
+                var x: real = 0.0;
+                if mpi_rank() == 1 {
+                    x = 42.5;
+                }
+                out(bcast(x, 1));
+            }
+            """
+        )
+        result = run_mpi_program(program, 4)
+        for rank_result in result.per_rank:
+            assert rank_result.values() == [42.5]
+
+    def test_bcast_serial_identity(self):
+        program = _compile("fn main() { out(bcast(7.5, 0)); }")
+        assert run_program(program).values() == [7.5]
+
+    def test_bcast_root_must_participate(self):
+        from repro.vm.errors import VmTrap
+
+        program = _compile(
+            """
+            fn main() {
+                var x: real = 1.0;
+                out(bcast(x, 9));
+            }
+            """
+        )
+        with pytest.raises(MpiError, match="root 9"):
+            run_mpi_program(program, 2)
+
+    def test_bcast_root_literal_required(self):
+        from repro.compiler import CompileError
+
+        with pytest.raises(CompileError, match="integer literal"):
+            _compile("fn main() { var r: i64 = 0; out(bcast(1.0, r)); }")

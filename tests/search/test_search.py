@@ -1,0 +1,182 @@
+"""The automatic breadth-first search."""
+
+import pytest
+
+from repro.config import Config, Policy, build_tree
+from repro.config.model import LEVEL_BLOCK, LEVEL_FUNCTION
+from repro.search import Evaluator, SearchEngine, SearchOptions
+from repro.vm import run_program, outputs_close
+from tests.conftest import compile_src
+
+# One clearly insensitive function and one clearly sensitive function:
+# `stable` does well-conditioned one-shot arithmetic; `fragile` adds a
+# tiny increment to a huge accumulator, which single precision absorbs.
+SRC = """
+module probe;
+fn stable(n: i64) -> real {
+    var p: real = 1.0;
+    for i in 0 .. n {
+        p = p * 1.5;
+        p = p / 1.5;
+    }
+    return p + 2.0;
+}
+fn fragile(n: i64) -> real {
+    var s: real = 100000000.0;
+    for i in 0 .. n {
+        s = s + 0.25;
+    }
+    return s;
+}
+fn main() {
+    out(stable(10));
+    out(fragile(100));
+}
+"""
+
+
+class _Workload:
+    name = "probe"
+
+    def __init__(self, rel_tol=1e-12):
+        self.program = compile_src(SRC)
+        self.rel_tol = rel_tol
+        self._baseline = run_program(self.program)
+        self._profile = None
+
+    def run(self, program=None):
+        return run_program(
+            program if program is not None else self.program, max_steps=2_000_000
+        )
+
+    def verify(self, result):
+        return outputs_close(
+            result.values(), self._baseline.values(), rel_tol=self.rel_tol
+        )
+
+    def profile(self):
+        if self._profile is None:
+            self._profile = run_program(self.program, profile=True).exec_counts
+        return self._profile
+
+
+class TestSearchFindsSensitivity:
+    def test_separates_stable_from_fragile(self):
+        result = SearchEngine(_Workload()).run()
+        final = result.final_config
+        tree = final.tree
+        stable_fn = next(n for n in tree.nodes_at(LEVEL_FUNCTION) if "stable" in n.label)
+        fragile_fn = next(n for n in tree.nodes_at(LEVEL_FUNCTION) if "fragile" in n.label)
+        policies = final.instruction_policies()
+        # every instruction in `stable` got replaced...
+        assert all(
+            policies[i.addr] is Policy.SINGLE for i in stable_fn.instructions()
+        )
+        # ...but the fragile accumulator did not.
+        fragile_policies = [policies[i.addr] for i in fragile_fn.instructions()]
+        assert Policy.DOUBLE in fragile_policies
+
+    def test_final_union_verifies_here(self):
+        result = SearchEngine(_Workload()).run()
+        assert result.final_verified
+
+    def test_loose_tolerance_replaces_everything(self):
+        result = SearchEngine(_Workload(rel_tol=0.5)).run()
+        assert result.static_pct == 1.0
+        # module config passes immediately; the union is a cache hit
+        assert result.configs_tested == 1
+        assert [h.label for h in result.history] == ["MODL01", "FINAL(union)"]
+
+    def test_history_records_every_test(self):
+        result = SearchEngine(_Workload()).run()
+        assert len(result.history) == result.configs_tested + (
+            1 if any(h.label == "FINAL(union)" for h in result.history) else 0
+        ) or len(result.history) >= result.configs_tested
+
+    def test_candidates_counted(self):
+        workload = _Workload()
+        result = SearchEngine(workload).run()
+        assert result.candidates == build_tree(workload.program).candidate_count
+
+
+class TestStopLevels:
+    @pytest.mark.parametrize("level", ["module", "function", "block"])
+    def test_coarser_levels_test_fewer_configs(self, level):
+        fine = SearchEngine(_Workload(), SearchOptions(stop_level="instruction")).run()
+        coarse = SearchEngine(_Workload(), SearchOptions(stop_level=level)).run()
+        assert coarse.configs_tested <= fine.configs_tested
+
+    def test_stop_at_function_never_descends_into_blocks(self):
+        result = SearchEngine(_Workload(), SearchOptions(stop_level="function")).run()
+        for record in result.history:
+            assert "BBLK" not in record.label
+            assert "INSN" not in record.label
+
+    def test_bad_stop_level_rejected(self):
+        with pytest.raises(ValueError):
+            SearchOptions(stop_level="byte")
+
+
+class TestOptimizations:
+    def test_partition_reduces_tests(self):
+        with_part = SearchEngine(_Workload(), SearchOptions(partition=True)).run()
+        without = SearchEngine(_Workload(), SearchOptions(partition=False)).run()
+        assert with_part.configs_tested <= without.configs_tested
+        # identical conclusions either way
+        assert with_part.static_pct == pytest.approx(without.static_pct)
+
+    def test_prioritize_changes_order_not_result(self):
+        hot = SearchEngine(_Workload(), SearchOptions(prioritize=True)).run()
+        cold = SearchEngine(_Workload(), SearchOptions(prioritize=False)).run()
+        assert hot.static_pct == pytest.approx(cold.static_pct)
+        assert hot.dynamic_pct == pytest.approx(cold.dynamic_pct)
+
+    def test_max_configs_budget_respected(self):
+        result = SearchEngine(
+            _Workload(), SearchOptions(max_configs=3)
+        ).run()
+        assert result.configs_tested <= 4  # budget + possibly the union
+
+
+class TestEvaluator:
+    def test_cache_hits_on_repeat(self):
+        workload = _Workload()
+        evaluator = Evaluator(workload)
+        tree = build_tree(workload.program)
+        config = Config.all_single(tree)
+        first = evaluator.evaluate(config)
+        second = evaluator.evaluate(config.copy())
+        assert first == second
+        assert evaluator.evaluations == 1
+        assert evaluator.cache_hits == 1
+
+    def test_trap_counts_as_failure(self):
+        workload = _Workload()
+
+        class Trapping:
+            name = "trap"
+            program = workload.program
+
+            def run(self, program=None):
+                from repro.vm.errors import VmTrap
+
+                raise VmTrap("boom")
+
+            def verify(self, result):  # pragma: no cover
+                return True
+
+        evaluator = Evaluator(Trapping())
+        tree = build_tree(workload.program)
+        passed, _cycles, trap = evaluator.evaluate(Config.all_single(tree))
+        assert not passed and "boom" in trap
+
+
+class TestBaseConfig:
+    def test_ignore_flags_survive_search(self):
+        workload = _Workload()
+        tree = build_tree(workload.program)
+        base = Config(tree)
+        first = next(tree.instructions())
+        base.set(first.node_id, Policy.IGNORE)
+        result = SearchEngine(workload, base_config=base).run()
+        assert result.final_config.flags[first.node_id] is Policy.IGNORE

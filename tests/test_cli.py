@@ -1,0 +1,140 @@
+"""Command-line interface."""
+
+import re
+
+import pytest
+
+from repro.cli import main
+
+SRC = """
+fn main() {
+    var s: real = 0.0;
+    for i in 0 .. 25 { s = s + 0.5; }
+    out(s);
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mh"
+    path.write_text(SRC)
+    return str(path)
+
+
+class TestCompileRun:
+    def test_compile_and_run_image(self, source_file, tmp_path, capsys):
+        image = str(tmp_path / "prog.rpx")
+        assert main(["compile", source_file, "-o", image]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out and "candidates" in out
+
+        assert main(["run", image]) == 0
+        out = capsys.readouterr().out
+        assert "12.5" in out
+        assert "cycles" in out
+
+    def test_run_source_directly(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        assert "12.5" in capsys.readouterr().out
+
+    def test_run_f32_build(self, source_file, capsys):
+        assert main(["run", source_file, "--real", "f32"]) == 0
+        assert "12.5" in capsys.readouterr().out
+
+    def test_run_profile(self, source_file, capsys):
+        assert main(["run", source_file, "--profile"]) == 0
+        assert "hottest instructions" in capsys.readouterr().out
+
+    def test_run_mpi(self, tmp_path, capsys):
+        path = tmp_path / "pi.mh"
+        path.write_text("fn main() { out(allreduce_sum(1.0)); }")
+        assert main(["run", str(path), "--mpi", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 ranks" in out and "4.0" in out
+
+    def test_bad_image_rejected(self, tmp_path):
+        bogus = tmp_path / "x.rpx"
+        import pickle
+
+        bogus.write_bytes(pickle.dumps({"not": "a program"}))
+        with pytest.raises(SystemExit, match="not a program image"):
+            main(["run", str(bogus)])
+
+
+class TestDisasmConfigView:
+    def test_disasm(self, source_file, capsys):
+        assert main(["disasm", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "addsd" in out and ".func main" in out
+
+    def test_config_roundtrip(self, source_file, tmp_path, capsys):
+        cfg = str(tmp_path / "p.cfg")
+        assert main(["config", source_file, "-o", cfg]) == 0
+        text = open(cfg).read()
+        assert "INSN01" in text
+        # flag the first instruction single and instrument with it
+        text = re.sub(r"^ (\s*INSN01)", r"s\1", text, flags=re.M)
+        open(cfg, "w").write(text)
+        image = str(tmp_path / "p.instr.rpx")
+        assert main(["instrument", source_file, "--config", cfg, "-o", image]) == 0
+        out = capsys.readouterr().out
+        assert "1 single snippets" in out
+
+        assert main(["run", image]) == 0
+        out = capsys.readouterr().out
+        # the accumulation ran in single precision
+        assert "12.5" in out
+
+    def test_config_to_stdout(self, source_file, capsys):
+        assert main(["config", source_file]) == 0
+        assert "# program:" in capsys.readouterr().out
+
+    def test_view(self, source_file, capsys):
+        assert main(["view", source_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "flag  effective" in out and "% execs" in out
+
+
+class TestInstrumentShortcuts:
+    def test_all_single_shortcut(self, source_file, tmp_path, capsys):
+        image = str(tmp_path / "s.rpx")
+        assert main(["instrument", source_file, "--all-single", "-o", image]) == 0
+        assert main(["run", image]) == 0
+        out = capsys.readouterr().out
+        # single-precision accumulation of 0.5 is exact, so same value
+        assert "12.5" in out
+
+    def test_mode_all_bit_identical(self, source_file, tmp_path, capsys):
+        image = str(tmp_path / "g.rpx")
+        assert main(["instrument", source_file, "--mode", "all", "-o", image]) == 0
+        capsys.readouterr()
+        assert main(["run", image]) == 0
+        instrumented = capsys.readouterr().out
+        assert main(["run", source_file]) == 0
+        original = capsys.readouterr().out
+        assert instrumented.splitlines()[-1] == original.splitlines()[-1]
+
+
+class TestSearchAndExperiment:
+    def test_search_workload(self, tmp_path, capsys):
+        cfg = str(tmp_path / "amg.cfg")
+        assert main(["search", "amg", "S", "-o", cfg]) == 0
+        out = capsys.readouterr().out
+        assert "configurations tested" in out
+        assert "final pass" in out
+        assert "wrote configuration" in out
+        assert "MODL01" in open(cfg).read()
+
+    def test_experiment_fig9(self, capsys):
+        assert main(["experiment", "fig9", "S"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "ep.S" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            main(["search", "nonesuch"])

@@ -1,0 +1,92 @@
+"""Determinism guarantees and option validation across the stack."""
+
+import pytest
+
+from repro.compiler import CompileError, CompileOptions, compile_source
+from repro.search import SearchEngine, SearchOptions
+from repro.workloads import make_nas
+
+
+class TestOptionValidation:
+    def test_bad_real_type(self):
+        with pytest.raises(CompileError, match="bad real_type"):
+            CompileOptions(real_type="f16")
+
+    def test_bad_transcendentals(self):
+        with pytest.raises(CompileError, match="bad transcendentals"):
+            CompileOptions(transcendentals="magic")
+
+    def test_custom_entry_point(self):
+        program = compile_source(
+            "fn boot() { out(9); }",
+            CompileOptions(entry="boot"),
+        )
+        from repro.vm import run_program
+
+        assert run_program(program).values() == [9]
+
+    def test_missing_custom_entry(self):
+        with pytest.raises(CompileError, match="boot"):
+            compile_source("fn main() {}", CompileOptions(entry="boot"))
+
+
+class TestDeterminism:
+    def test_compile_is_deterministic(self):
+        workload_a = make_nas("cg", "S")
+        workload_b = make_nas("cg", "S")
+        assert workload_a.program.text == workload_b.program.text
+        assert workload_a.program.data_image == workload_b.program.data_image
+
+    def test_search_is_deterministic(self):
+        result_a = SearchEngine(make_nas("ep", "S")).run()
+        result_b = SearchEngine(make_nas("ep", "S")).run()
+        assert result_a.row() == result_b.row()
+        assert [h.label for h in result_a.history] == [
+            h.label for h in result_b.history
+        ]
+        assert result_a.final_config.flags == result_b.final_config.flags
+
+    def test_instrumentation_is_deterministic(self):
+        from repro.config import Config, build_tree
+        from repro.instrument import instrument
+
+        workload = make_nas("mg", "S")
+        tree = build_tree(workload.program)
+        once = instrument(workload.program, Config.all_single(tree))
+        twice = instrument(workload.program, Config.all_single(tree))
+        assert once.program.text == twice.program.text
+
+    def test_cycle_counts_are_exact_integers(self):
+        workload = make_nas("lu", "S")
+        runs = {workload.run().cycles for _ in range(3)}
+        assert len(runs) == 1
+
+
+class TestSearchOptionEdges:
+    def test_zero_worker_treated_as_serial(self):
+        result = SearchEngine(
+            make_nas("ep", "S"), SearchOptions(workers=1)
+        ).run()
+        assert result.configs_tested >= 1
+
+    def test_partition_threshold_extremes(self):
+        # threshold larger than any child list: no grouping, pure per-child
+        wide = SearchEngine(
+            make_nas("ep", "S"), SearchOptions(partition_threshold=10_000)
+        ).run()
+        narrow = SearchEngine(
+            make_nas("ep", "S"), SearchOptions(partition_threshold=1)
+        ).run()
+        assert wide.static_pct == pytest.approx(narrow.static_pct)
+
+    def test_refine_budget_zero_reports_unverified(self):
+        # With no refinement budget the second phase cannot run a single
+        # composition test; it must report not-verified, never crash.
+        from repro.search.bfs import SearchEngine as Engine
+
+        result = Engine(
+            make_nas("sp", "S"), SearchOptions(refine=True, refine_budget=0)
+        ).run()
+        if not result.final_verified:
+            assert result.refined_config is not None
+            assert not result.refined_verified

@@ -1,0 +1,27 @@
+"""Smoke tests for the runnable examples (the fast ones; the heavier
+searches and sweeps are exercised through benchmarks/)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def _run_example(name, capsys):
+    module = runpy.run_path(f"examples/{name}.py")
+    module["main"]()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "original (double)" in out
+        assert "instrumented all-single" in out
+        assert "configuration exchange file" in out
+
+    def test_third_party_binary(self, capsys):
+        out = _run_example("third_party_binary", capsys)
+        assert "vendor binary" in out
+        assert "recommended configuration" in out
+        assert "final pass" in out

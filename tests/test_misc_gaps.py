@@ -1,0 +1,134 @@
+"""Coverage for assorted edge cases across packages."""
+
+import pytest
+
+from repro.config import Config, Policy, build_tree
+from repro.instrument import instrument
+from repro.vm import run_program
+from repro.vm.outputs import decode_output
+from repro.workloads.base import Workload
+from tests.conftest import compile_src
+
+
+class TestOutputsEdge:
+    def test_unknown_record_kind(self):
+        with pytest.raises(ValueError, match="unknown output record"):
+            decode_output(("x", 0))
+
+    def test_signed_integer_decoding(self):
+        assert decode_output(("i", 2**64 - 5)) == -5
+        assert decode_output(("i", 5)) == 5
+
+
+class TestPerOutputTolerances:
+    def _workload(self, tolerances):
+        return Workload(
+            name="tol",
+            sources=[
+                "fn main() { out(1.0); out(100.0); }"
+            ],
+            tolerances=tolerances,
+        )
+
+    def test_per_output_tolerance_positions(self):
+        workload = self._workload([(0.0, 0.5), (0.0, 1e-12)])
+        base = workload.baseline()
+
+        class Fake:
+            def __init__(self, values):
+                self._values = values
+
+            def values(self):
+                return self._values
+
+        # first output tolerant, second strict
+        assert workload.verify(Fake([1.2, 100.0]))
+        assert not workload.verify(Fake([1.2, 100.1]))
+
+    def test_missing_tolerance_entries_fall_back(self):
+        workload = self._workload([(0.0, 0.5)])  # only one entry
+        workload.rel_tol = 0.0
+        workload.abs_tol = 1e-12
+
+        class Fake:
+            def __init__(self, values):
+                self._values = values
+
+            def values(self):
+                return self._values
+
+        workload.baseline()
+        assert not workload.verify(Fake([1.0, 100.0 + 1e-6]))
+
+    def test_length_mismatch_fails(self):
+        workload = self._workload([(0.0, 1.0), (0.0, 1.0)])
+        workload.baseline()
+
+        class Fake:
+            def values(self):
+                return [1.0]
+
+        assert not workload.verify(Fake())
+
+
+class TestModuleLevelIgnore:
+    def test_ignore_module_freezes_everything(self):
+        program = compile_src(
+            """
+            fn main() {
+                var s: real = 0.0;
+                for i in 0 .. 10 { s = s + 0.1; }
+                out(s);
+            }
+            """
+        )
+        tree = build_tree(program)
+        config = Config(tree)
+        config.set(tree.roots[0].node_id, Policy.IGNORE)
+        result = instrument(program, config, mode="all")
+        # every candidate ignored: copied verbatim even in mode=all
+        assert result.stats.ignored == tree.candidate_count
+        assert run_program(result.program).outputs == run_program(program).outputs
+
+
+class TestDisassemblerAddresses:
+    def test_listing_addresses_monotone(self):
+        from repro.asm import disassemble_program
+
+        program = compile_src("fn main() { out(1.0 + 2.0); }")
+        listing = disassemble_program(program)
+        addrs = [
+            int(line.strip().split(":")[0], 16)
+            for line in listing.splitlines()
+            if line.strip().startswith("0x")
+        ]
+        assert addrs == sorted(addrs)
+
+
+class TestConfigHashEq:
+    def test_config_equality_and_hash(self):
+        program = compile_src("fn main() { out(1.0 + 2.0); }")
+        tree = build_tree(program)
+        a = Config.all_single(tree)
+        b = Config.all_single(tree)
+        assert a == b and hash(a) == hash(b)
+        b.set(next(tree.instructions()).node_id, Policy.DOUBLE)
+        assert a != b
+
+    def test_config_not_equal_across_trees(self):
+        p1 = compile_src("fn main() { out(1.0 + 2.0); }")
+        p2 = compile_src("fn main() { out(1.0 + 2.0); }")
+        assert Config.all_single(build_tree(p1)) != Config.all_single(build_tree(p2))
+
+
+class TestCostModelTableCache:
+    def test_distinct_models_distinct_costs(self):
+        from repro.isa import Op
+        from repro.vm.costs import CostModel
+
+        slow = CostModel(fp64=100)
+        fast = CostModel(fp64=10)
+        assert slow.op_cost(Op.ADDSD) == 100
+        assert fast.op_cost(Op.ADDSD) == 10
+        # cache returns consistent tables on repeat lookups
+        assert slow.op_cost(Op.ADDSD) == 100

@@ -1,0 +1,173 @@
+"""Control flow, cost accounting, profiling, traps, and outputs."""
+
+import pytest
+
+from repro.asm import AsmBuilder, LabelRef, assemble_text
+from repro.isa import Imm, Op, Reg, Xmm
+from repro.vm import VM, run_program, decode_outputs, outputs_close
+from repro.vm.costs import CostModel, DEFAULT_COST_MODEL
+from repro.vm.errors import VmTrap
+
+
+def _loop_program(n):
+    builder = AsmBuilder()
+    builder.func("_start")
+    builder.emit(Op.MOV, Reg(0), Imm(0))
+    builder.mark("top")
+    builder.emit(Op.INC, Reg(0))
+    builder.emit(Op.CMP, Reg(0), Imm(n))
+    builder.emit(Op.JL, LabelRef("top"))
+    builder.emit(Op.OUTI, Reg(0))
+    builder.emit(Op.HALT)
+    builder.endfunc()
+    return builder.link()
+
+
+class TestControlFlow:
+    def test_loop_executes_n_times(self):
+        result = run_program(_loop_program(100))
+        assert result.values() == [100]
+        # mov + 100*(inc+cmp+jl) + outi + halt
+        assert result.steps == 1 + 300 + 2
+
+    def test_call_ret_nesting(self):
+        program = assemble_text(
+            """
+.func _start
+    call a
+    outi %r0
+    halt
+.endfunc
+.func a
+    call b
+    add %r0, $1
+    ret
+.endfunc
+.func b
+    mov %r0, $10
+    ret
+.endfunc
+"""
+        )
+        assert run_program(program).values() == [11]
+
+    def test_return_to_bad_address_traps(self):
+        program = assemble_text(
+            """
+.func _start
+    push $12345
+    ret
+.endfunc
+"""
+        )
+        with pytest.raises(VmTrap, match="non-instruction"):
+            run_program(program)
+
+    def test_max_steps_guard(self):
+        program = assemble_text(
+            ".func _start\nspin:\n    jmp spin\n.endfunc"
+        )
+        with pytest.raises(VmTrap, match="step budget"):
+            run_program(program, max_steps=1000)
+
+
+class TestCosts:
+    def test_cycles_deterministic(self):
+        a = run_program(_loop_program(50)).cycles
+        b = run_program(_loop_program(50)).cycles
+        assert a == b > 0
+
+    def test_custom_cost_model_scales(self):
+        program = _loop_program(10)
+        cheap = VM(program, cost_model=CostModel(int_alu=1))
+        cheap.run()
+        dear = VM(program, cost_model=CostModel(int_alu=10))
+        dear.run()
+        assert dear.cycles > cheap.cycles
+
+    def test_double_flop_costs_twice_single(self):
+        assert DEFAULT_COST_MODEL.fp64 == 2 * DEFAULT_COST_MODEL.fp32
+        assert DEFAULT_COST_MODEL.mem8 == 2 * DEFAULT_COST_MODEL.mem4
+
+    def test_taken_branch_costs_extra(self):
+        taken = assemble_text(
+            ".func _start\n    mov %r0, $0\n    cmp %r0, $1\n    jl t\nt:\n    halt\n.endfunc"
+        )
+        fallthrough = assemble_text(
+            ".func _start\n    mov %r0, $1\n    cmp %r0, $1\n    jl t\nt:\n    halt\n.endfunc"
+        )
+        diff = run_program(taken).cycles - run_program(fallthrough).cycles
+        assert diff == DEFAULT_COST_MODEL.branch_taken_extra
+
+    def test_frame_access_cheaper_than_global(self):
+        frame = assemble_text(
+            ".func _start\n    mov %fp, %sp\n    sub %sp, $1\n"
+            "    mov -1(%fp), $5\n    mov %r0, -1(%fp)\n    halt\n.endfunc"
+        )
+        globl = assemble_text(
+            ".global g 1\n.func _start\n    mov [g], $5\n    mov %r0, [g]\n    halt\n.endfunc"
+        )
+        assert run_program(frame).cycles < run_program(globl).cycles
+
+
+class TestProfiling:
+    def test_exec_counts_by_address(self):
+        program = _loop_program(25)
+        result = run_program(program, profile=True)
+        counts = sorted(result.exec_counts.values(), reverse=True)
+        assert counts[0] == 25  # the loop body instructions
+        assert sum(1 for c in result.exec_counts.values() if c == 25) == 3
+
+    def test_no_profile_no_counts(self):
+        assert run_program(_loop_program(5)).exec_counts == {}
+
+
+class TestRandDeterminism:
+    def _rand_prog(self):
+        builder = AsmBuilder()
+        builder.func("_start")
+        for _ in range(3):
+            builder.emit(Op.RAND, Reg(0))
+            builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        return builder.link()
+
+    def test_same_seed_same_stream(self):
+        program = self._rand_prog()
+        a = run_program(program, seed=42).values()
+        b = run_program(program, seed=42).values()
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        program = self._rand_prog()
+        assert run_program(program, seed=1).values() != run_program(program, seed=2).values()
+
+
+class TestOutputs:
+    def test_decode_kinds(self):
+        from repro.fpbits.ieee import double_to_bits, single_to_bits
+        from repro.fpbits.replace import make_replaced
+
+        records = [
+            ("i", 7),
+            ("i", 0xFFFFFFFFFFFFFFFF),  # -1 signed
+            ("d", double_to_bits(1.5)),
+            ("d", make_replaced(single_to_bits(2.5))),  # flag-transparent
+            ("s", single_to_bits(3.5)),
+        ]
+        assert decode_outputs(records) == [7, -1, 1.5, 2.5, 3.5]
+
+    def test_outputs_close_nan_fails(self):
+        assert not outputs_close([float("nan")], [float("nan")])
+
+    def test_outputs_close_length_mismatch(self):
+        assert not outputs_close([1.0], [1.0, 2.0])
+
+    def test_outputs_close_int_exact(self):
+        assert outputs_close([5], [5])
+        assert not outputs_close([5], [6])
+
+    def test_outputs_close_tolerance(self):
+        assert outputs_close([1.0], [1.0 + 1e-12], rel_tol=1e-9)
+        assert not outputs_close([1.0], [1.01], rel_tol=1e-9)

@@ -1,0 +1,282 @@
+"""Floating-point semantics of the VM, checked against numpy references."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import AsmBuilder
+from repro.fpbits.ieee import (
+    bits_to_double,
+    bits_to_single,
+    double_to_bits,
+    single_to_bits,
+)
+from repro.isa import Imm, Mem, Op, Reg, Xmm
+from repro.vm import run_program
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+f32s = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+_HI = 0xFFFFFFFF00000000
+
+
+def _xmm_binop(op, a_bits, b_bits, dst_hi=0x1234567800000000):
+    """Run `op x0, x1` with the given low-lane patterns; returns
+    (x0_low, x0_high_lane) so lane-preservation can be asserted."""
+    builder = AsmBuilder()
+    builder.func("_start")
+    builder.emit(Op.MOV, Reg(1), Imm(a_bits))
+    builder.emit(Op.MOVQXR, Xmm(0), Reg(1))
+    builder.emit(Op.MOV, Reg(2), Imm(dst_hi))
+    builder.emit(Op.PINSR, Xmm(0), Reg(2), Imm(1))  # poison the high lane
+    builder.emit(Op.MOV, Reg(3), Imm(b_bits))
+    builder.emit(Op.MOVQXR, Xmm(1), Reg(3))
+    builder.emit(op, Xmm(0), Xmm(1))
+    builder.emit(Op.MOVQRX, Reg(0), Xmm(0))
+    builder.emit(Op.PEXTR, Reg(4), Xmm(0), Imm(1))
+    builder.emit(Op.OUTI, Reg(0))
+    builder.emit(Op.OUTI, Reg(4))
+    builder.emit(Op.HALT)
+    builder.endfunc()
+    outs = run_program(builder.link()).outputs
+    return outs[0][1], outs[1][1]
+
+
+class TestScalarDouble:
+    @given(finite, finite)
+    def test_addsd(self, a, b):
+        low, _hi = _xmm_binop(Op.ADDSD, double_to_bits(a), double_to_bits(b))
+        want = a + b
+        got = bits_to_double(low)
+        assert got == want or (got != got and want != want)
+
+    @given(finite, finite)
+    def test_divsd_matches_numpy(self, a, b):
+        low, _ = _xmm_binop(Op.DIVSD, double_to_bits(a), double_to_bits(b))
+        with np.errstate(all="ignore"):
+            want = np.float64(a) / np.float64(b) if b != 0 else np.divide(a, b)
+        got = bits_to_double(low)
+        assert got == want or (got != got and want != want)
+
+    def test_high_lane_preserved_by_scalar_ops(self):
+        _, hi = _xmm_binop(Op.MULSD, double_to_bits(3.0), double_to_bits(4.0))
+        assert hi == 0x1234567800000000
+
+    def test_sqrtsd_reads_source_only(self):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(double_to_bits(16.0)))
+        builder.emit(Op.MOVQXR, Xmm(1), Reg(1))
+        builder.emit(Op.MOV, Reg(2), Imm(double_to_bits(-1.0)))  # dst garbage
+        builder.emit(Op.MOVQXR, Xmm(0), Reg(2))
+        builder.emit(Op.SQRTSD, Xmm(0), Xmm(1))
+        builder.emit(Op.OUTSD, Xmm(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).values() == [4.0]
+
+
+class TestScalarSingle:
+    @given(f32s, f32s)
+    def test_addss_only_touches_low_word(self, a, b):
+        a_slot = 0x7FF4DEAD00000000 | single_to_bits(a)
+        b_slot = 0x7FF4DEAD00000000 | single_to_bits(b)
+        low, _ = _xmm_binop(Op.ADDSS, a_slot, b_slot)
+        # flag in the high word of the lane must survive the operation
+        assert low & _HI == 0x7FF4DEAD00000000
+        got = bits_to_single(low & 0xFFFFFFFF)
+        want = float(np.float32(a) + np.float32(b))
+        assert got == want or (got != got and want != want)
+
+    @given(f32s, f32s)
+    def test_mulss_matches_numpy(self, a, b):
+        low, _ = _xmm_binop(Op.MULSS, single_to_bits(a), single_to_bits(b))
+        want = np.float32(a) * np.float32(b)
+        got = bits_to_single(low & 0xFFFFFFFF)
+        assert got == float(want) or (got != got and want != want)
+
+
+class TestPacked:
+    def test_addpd_operates_on_both_lanes(self):
+        builder = AsmBuilder()
+        base = builder.global_("v", 4, init=[
+            double_to_bits(1.0), double_to_bits(2.0),
+            double_to_bits(10.0), double_to_bits(20.0),
+        ])
+        builder.func("_start")
+        builder.emit(Op.MOVAPD, Xmm(0), Mem(disp=base))
+        builder.emit(Op.ADDPD, Xmm(0), Mem(disp=base + 2))
+        builder.emit(Op.OUTSD, Xmm(0))
+        builder.emit(Op.PEXTR, Reg(0), Xmm(0), Imm(1))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        result = run_program(builder.link())
+        assert result.values()[0] == 11.0
+        assert bits_to_double(result.outputs[1][1]) == 22.0
+
+    def test_addps_clobbers_lane_high_words(self):
+        # Packed single treats each 64-bit lane as two 32-bit elements —
+        # the very reason snippets must re-fix flags in packed outputs.
+        a = (single_to_bits(5.0) << 32) | single_to_bits(1.0)
+        b = (single_to_bits(7.0) << 32) | single_to_bits(2.0)
+        low, _ = _xmm_binop(Op.ADDPS, a, b)
+        assert bits_to_single(low & 0xFFFFFFFF) == 3.0
+        assert bits_to_single(low >> 32) == 12.0
+
+
+class TestConversions:
+    @given(st.integers(min_value=-(2**53), max_value=2**53))
+    def test_cvtsi2sd_exact_in_range(self, v):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(v))
+        builder.emit(Op.CVTSI2SD, Xmm(0), Reg(1))
+        builder.emit(Op.OUTSD, Xmm(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).values() == [float(v)]
+
+    @given(finite)
+    def test_cvttsd2si_truncates(self, x):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(double_to_bits(x)))
+        builder.emit(Op.MOVQXR, Xmm(0), Reg(1))
+        builder.emit(Op.CVTTSD2SI, Reg(0), Xmm(0))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        got = run_program(builder.link()).outputs[0][1]
+        if abs(x) < 2**63:
+            want = int(x) & 0xFFFFFFFFFFFFFFFF
+        else:
+            want = 0x8000000000000000  # integer indefinite
+        assert got == want
+
+    def test_cvttsd2si_nan_gives_indefinite(self):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(0x7FF4DEAD00000000))
+        builder.emit(Op.MOVQXR, Xmm(0), Reg(1))
+        builder.emit(Op.CVTTSD2SI, Reg(0), Xmm(0))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).outputs[0][1] == 0x8000000000000000
+
+    @given(finite)
+    def test_cvtsd2ss_preserves_lane_upper_word(self, x):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(0xDEADBEEF00000000))
+        builder.emit(Op.MOVQXR, Xmm(0), Reg(1))
+        builder.emit(Op.MOV, Reg(2), Imm(double_to_bits(x)))
+        builder.emit(Op.MOVQXR, Xmm(1), Reg(2))
+        builder.emit(Op.CVTSD2SS, Xmm(0), Xmm(1))
+        builder.emit(Op.MOVQRX, Reg(0), Xmm(0))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        got = run_program(builder.link()).outputs[0][1]
+        assert got >> 32 == 0xDEADBEEF
+        assert got & 0xFFFFFFFF == single_to_bits(x)
+
+    @given(f32s)
+    def test_cvtss2sd_exact(self, x):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(0x7FF4DEAD00000000 | single_to_bits(x)))
+        builder.emit(Op.MOVQXR, Xmm(0), Reg(1))
+        builder.emit(Op.CVTSS2SD, Xmm(0), Xmm(0))
+        builder.emit(Op.OUTSD, Xmm(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).values() == [x]
+
+
+class TestMoves:
+    def test_movsd_store_load_roundtrip(self):
+        builder = AsmBuilder()
+        addr = builder.global_("cell", 1)
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(double_to_bits(2.5)))
+        builder.emit(Op.MOVQXR, Xmm(0), Reg(1))
+        builder.emit(Op.MOVSD, Mem(disp=addr), Xmm(0))
+        builder.emit(Op.MOVSD, Xmm(1), Mem(disp=addr))
+        builder.emit(Op.OUTSD, Xmm(1))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).values() == [2.5]
+
+    def test_movss_store_preserves_cell_high_word(self):
+        # A 4-byte store must leave the upper half of the 8-byte slot
+        # intact — this is what lets the sentinel live in memory.
+        builder = AsmBuilder()
+        addr = builder.global_("cell", 1, init=[0x7FF4DEADFFFFFFFF])
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(single_to_bits(1.5)))
+        builder.emit(Op.MOVQXR, Xmm(0), Reg(1))
+        builder.emit(Op.MOVSS, Mem(disp=addr), Xmm(0))
+        builder.emit(Op.MOV, Reg(0), Mem(disp=addr))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        got = run_program(builder.link()).outputs[0][1]
+        assert got == 0x7FF4DEAD00000000 | single_to_bits(1.5)
+
+    def test_movsd_reg_reg_copies_low_lane_only(self):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(double_to_bits(7.0)))
+        builder.emit(Op.MOVQXR, Xmm(1), Reg(1))
+        builder.emit(Op.MOV, Reg(2), Imm(0xBBBB))
+        builder.emit(Op.PINSR, Xmm(0), Reg(2), Imm(1))
+        builder.emit(Op.MOVSD, Xmm(0), Xmm(1))
+        builder.emit(Op.PEXTR, Reg(0), Xmm(0), Imm(1))
+        builder.emit(Op.OUTSD, Xmm(0))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        result = run_program(builder.link())
+        assert result.values() == [7.0, 0xBBBB]
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "a,b,jop,taken",
+        [
+            (1.0, 2.0, Op.JL, True),
+            (2.0, 1.0, Op.JL, False),
+            (2.0, 2.0, Op.JE, True),
+            (2.0, 2.0, Op.JLE, True),
+            (3.0, 2.0, Op.JG, True),
+            (float("nan"), 1.0, Op.JP, True),
+            (1.0, 1.0, Op.JP, False),
+            (float("nan"), 1.0, Op.JL, False),  # unordered: lt clear
+            (float("nan"), 1.0, Op.JG, False),  # JG requires ordered
+        ],
+    )
+    def test_ucomisd_flag_combinations(self, a, b, jop, taken):
+        from repro.asm import LabelRef
+
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(double_to_bits(a)))
+        builder.emit(Op.MOVQXR, Xmm(0), Reg(1))
+        builder.emit(Op.MOV, Reg(2), Imm(double_to_bits(b)))
+        builder.emit(Op.MOVQXR, Xmm(1), Reg(2))
+        builder.emit(Op.UCOMISD, Xmm(0), Xmm(1))
+        builder.emit(jop, LabelRef("yes"))
+        builder.emit(Op.MOV, Reg(0), Imm(0))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.mark("yes")
+        builder.emit(Op.MOV, Reg(0), Imm(1))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).values() == [1 if taken else 0]

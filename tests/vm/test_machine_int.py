@@ -1,0 +1,229 @@
+"""Integer semantics of the VM (64-bit wrap, signedness, flags, stack)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import AsmBuilder, LabelRef
+from repro.isa import Imm, Mem, Op, Reg
+from repro.vm import run_program
+from repro.vm.errors import VmTrap
+
+U64 = st.integers(min_value=0, max_value=2**64 - 1)
+I64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+M = 0xFFFFFFFFFFFFFFFF
+
+
+def run_int_op(op, a, b):
+    """Execute `op r0, r1` with r0=a, r1=b; return r0's final pattern."""
+    builder = AsmBuilder()
+    builder.func("_start")
+    builder.emit(Op.MOV, Reg(0), Imm(a))
+    builder.emit(Op.MOV, Reg(1), Imm(b))
+    builder.emit(op, Reg(0), Reg(1))
+    builder.emit(Op.OUTI, Reg(0))
+    builder.emit(Op.HALT)
+    builder.endfunc()
+    result = run_program(builder.link())
+    return result.outputs[0][1]
+
+
+class TestWrapArithmetic:
+    @given(U64, U64)
+    def test_add_wraps(self, a, b):
+        assert run_int_op(Op.ADD, a, b) == (a + b) & M
+
+    @given(U64, U64)
+    def test_sub_wraps(self, a, b):
+        assert run_int_op(Op.SUB, a, b) == (a - b) & M
+
+    @given(U64, U64)
+    def test_imul_low_bits(self, a, b):
+        assert run_int_op(Op.IMUL, a, b) == (a * b) & M
+
+    @given(U64, U64)
+    def test_bitwise(self, a, b):
+        assert run_int_op(Op.AND, a, b) == a & b
+        assert run_int_op(Op.OR, a, b) == a | b
+        assert run_int_op(Op.XOR, a, b) == a ^ b
+
+
+def _s(v):
+    return v - 2**64 if v >= 2**63 else v
+
+
+class TestSignedDivision:
+    @given(I64, I64.filter(lambda v: v != 0))
+    def test_idiv_truncates_toward_zero(self, a, b):
+        got = _s(run_int_op(Op.IDIV, a & M, b & M))
+        want = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            want = -want
+        assert got == want
+
+    @given(I64, I64.filter(lambda v: v != 0))
+    def test_irem_sign_follows_dividend(self, a, b):
+        got = _s(run_int_op(Op.IREM, a & M, b & M))
+        want = abs(a) % abs(b)
+        if a < 0:
+            want = -want
+        assert got == want
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(VmTrap, match="division by zero"):
+            run_int_op(Op.IDIV, 1, 0)
+        with pytest.raises(VmTrap, match="division by zero"):
+            run_int_op(Op.IREM, 1, 0)
+
+
+class TestShifts:
+    @given(U64, st.integers(min_value=0, max_value=63))
+    def test_shl(self, a, c):
+        assert run_int_op(Op.SHL, a, c) == (a << c) & M
+
+    @given(U64, st.integers(min_value=0, max_value=63))
+    def test_shr_logical(self, a, c):
+        assert run_int_op(Op.SHR, a, c) == a >> c
+
+    @given(I64, st.integers(min_value=0, max_value=63))
+    def test_sar_arithmetic(self, a, c):
+        assert _s(run_int_op(Op.SAR, a & M, c)) == a >> c
+
+    def test_shift_count_masked_to_six_bits(self):
+        assert run_int_op(Op.SHL, 1, 64) == 1  # 64 & 63 == 0
+        assert run_int_op(Op.SHR, 8, 65) == 4
+
+
+class TestUnary:
+    @given(U64)
+    def test_not(self, a):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(0), Imm(a))
+        builder.emit(Op.NOT, Reg(0))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).outputs[0][1] == a ^ M
+
+    @given(U64)
+    def test_neg_twos_complement(self, a):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(0), Imm(a))
+        builder.emit(Op.NEG, Reg(0))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).outputs[0][1] == (-a) & M
+
+    def test_inc_dec(self):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(0), Imm(M))
+        builder.emit(Op.INC, Reg(0))  # wraps to 0
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.DEC, Reg(0))  # wraps back
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        outs = run_program(builder.link()).outputs
+        assert outs[0][1] == 0 and outs[1][1] == M
+
+
+class TestStack:
+    def test_push_pop_lifo(self):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.PUSH, Imm(11))
+        builder.emit(Op.PUSH, Imm(22))
+        builder.emit(Op.POP, Reg(0))
+        builder.emit(Op.POP, Reg(1))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.OUTI, Reg(1))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).values() == [22, 11]
+
+    def test_pushx_preserves_both_lanes(self):
+        from repro.isa import Xmm
+
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(0xAAAA))
+        builder.emit(Op.MOVQXR, Xmm(3), Reg(1))
+        builder.emit(Op.PINSR, Xmm(3), Reg(1), Imm(1))
+        builder.emit(Op.PUSHX, Xmm(3))
+        builder.emit(Op.MOV, Reg(2), Imm(0))
+        builder.emit(Op.MOVQXR, Xmm(3), Reg(2))
+        builder.emit(Op.PINSR, Xmm(3), Reg(2), Imm(1))
+        builder.emit(Op.POPX, Xmm(3))
+        builder.emit(Op.MOVQRX, Reg(0), Xmm(3))
+        builder.emit(Op.PEXTR, Reg(4), Xmm(3), Imm(1))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.OUTI, Reg(4))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).values() == [0xAAAA, 0xAAAA]
+
+    def test_stack_underflow_traps(self):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.POP, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        with pytest.raises(VmTrap, match="underflow"):
+            run_program(builder.link())
+
+    def test_stack_overflow_traps(self):
+        builder = AsmBuilder()
+        builder.global_("guard", 1)
+        builder.func("_start")
+        builder.mark("loop")
+        builder.emit(Op.PUSH, Imm(1))
+        builder.emit(Op.JMP, LabelRef("loop"))
+        builder.endfunc()
+        with pytest.raises(VmTrap, match="overflow"):
+            run_program(builder.link(), stack_words=64)
+
+
+class TestMemoryOperands:
+    def test_lea_computes_address(self):
+        builder = AsmBuilder()
+        builder.global_("arr", 10)
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(3))
+        builder.emit(Op.LEA, Reg(0), Mem(base=1, index=1, scale=2, disp=1))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).values() == [3 + 6 + 1]
+
+    def test_store_and_load(self):
+        builder = AsmBuilder()
+        addr = builder.global_("cell", 1)
+        builder.func("_start")
+        builder.emit(Op.MOV, Mem(disp=addr), Imm(99))
+        builder.emit(Op.MOV, Reg(0), Mem(disp=addr))
+        builder.emit(Op.OUTI, Reg(0))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        assert run_program(builder.link()).values() == [99]
+
+    def test_out_of_bounds_read_traps(self):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(0), Mem(disp=10**9))
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        with pytest.raises(VmTrap, match="out of bounds"):
+            run_program(builder.link())
+
+    def test_negative_address_traps(self):
+        builder = AsmBuilder()
+        builder.func("_start")
+        builder.emit(Op.MOV, Reg(1), Imm(-5))
+        builder.emit(Op.MOV, Reg(0), Mem(base=1)),
+        builder.emit(Op.HALT)
+        builder.endfunc()
+        with pytest.raises(VmTrap, match="out of bounds"):
+            run_program(builder.link())

@@ -1,0 +1,160 @@
+"""Workload correctness: every benchmark runs, verifies, and behaves.
+
+Uses class S (tiny) throughout to keep the suite fast.
+"""
+
+import pytest
+
+from repro.workloads import BENCHMARKS, MPI_BENCHMARKS, make_nas, make_workload
+from repro.workloads.base import Workload, poke_f64, poke_i64
+
+ALL_NAS = sorted(BENCHMARKS)
+
+
+class TestNasBaselines:
+    @pytest.mark.parametrize("bench", ALL_NAS)
+    def test_double_build_verifies(self, bench):
+        workload = make_nas(bench, "S")
+        assert workload.verify(workload.baseline())
+
+    @pytest.mark.parametrize("bench", ALL_NAS)
+    def test_runs_are_deterministic(self, bench):
+        workload = make_nas(bench, "S")
+        a = workload.run()
+        b = workload.run()
+        assert a.outputs == b.outputs
+        assert a.cycles == b.cycles
+
+    @pytest.mark.parametrize("bench", ALL_NAS)
+    def test_single_build_runs_clean(self, bench):
+        workload = make_nas(bench, "S")
+        values = workload.run(workload.program_single).values()
+        assert all(v == v for v in map(float, values))
+
+    @pytest.mark.parametrize("bench", ALL_NAS)
+    def test_has_candidates(self, bench):
+        workload = make_nas(bench, "S")
+        assert workload.program.stats()["candidates"] > 10
+
+    @pytest.mark.parametrize("bench", ALL_NAS)
+    def test_classes_grow(self, bench):
+        small = make_nas(bench, "S").baseline().steps
+        big = make_nas(bench, "W").baseline().steps
+        assert big > small
+
+
+class TestNasMpi:
+    @pytest.mark.parametrize("bench", MPI_BENCHMARKS)
+    def test_mpi_variants_run_at_four_ranks(self, bench):
+        workload = make_nas(bench, "S")
+        result = workload.run_mpi(4)
+        values = result.values()
+        assert all(v == v for v in map(float, values))
+
+    @pytest.mark.parametrize("bench", ("cg", "mg"))
+    def test_rank_count_invariant_results(self, bench):
+        # CG and MG are deterministic SPMD: the numbers must not depend
+        # on the decomposition (EP's RNG streams do, by design).
+        workload = make_nas(bench, "S")
+        serial = workload.run_mpi(1).values()
+        parallel = workload.run_mpi(4).values()
+        for a, b in zip(serial, parallel):
+            assert float(a) == pytest.approx(float(b), rel=1e-12, abs=1e-12)
+
+
+class TestAmg:
+    def test_converges_in_both_precisions(self):
+        workload = make_workload("amg", "S")
+        double_run = workload.baseline()
+        single_run = workload.run(workload.program_single)
+        assert workload.verify(double_run)
+        assert workload.verify(single_run)
+
+    def test_adaptive_iteration_counts(self):
+        workload = make_workload("amg", "S")
+        cycles_double = workload.baseline().values()[1]
+        cycles_single = workload.run(workload.program_single).values()[1]
+        assert cycles_single >= cycles_double  # may need a few more
+
+    def test_single_build_is_faster(self):
+        workload = make_workload("amg", "S")
+        assert workload.run(workload.program_single).cycles < workload.baseline().cycles
+
+
+class TestSuperLU:
+    def test_double_error_tiny(self):
+        workload = make_workload("superlu", "S")
+        assert float(workload.baseline().values()[0]) < 1e-10
+
+    def test_single_error_single_scale(self):
+        workload = make_workload("superlu", "S")
+        error = float(workload.run(workload.program_single).values()[0])
+        assert 1e-8 < error < 1e-3
+
+    def test_threshold_wiring(self):
+        loose = make_workload("superlu", "S", threshold=1e-2)
+        strict = make_workload("superlu", "S", threshold=1e-12)
+        single_run = loose.run(loose.program_single)
+        assert loose.verify(single_run)
+        assert not strict.verify(strict.run(strict.program_single))
+
+    def test_pivoting_actually_permutes(self):
+        # The factored program must have taken at least one row swap on
+        # this unsymmetric matrix; detect it via the piv array.
+        workload = make_workload("superlu", "S")
+        from repro.vm.machine import VM
+
+        vm = VM(workload.program)
+        vm.run()
+        sym = workload.program.globals["piv"]
+        pivots = vm.mem[sym.addr : sym.addr + sym.words]
+        assert any(p != i for i, p in enumerate(pivots))
+
+
+class TestWorkloadInfrastructure:
+    def test_make_workload_dispatch(self):
+        assert make_workload("cg", "S").name == "cg.S"
+        assert make_workload("amg", "S").name == "amg.S"
+        assert make_workload("superlu", "S").name == "superlu.S"
+        with pytest.raises(KeyError):
+            make_workload("nonesuch")
+
+    def test_poke_helpers(self):
+        workload = Workload(
+            name="poke",
+            sources=[
+                "var a: real[3]; var k: i64[2];"
+                " fn main() { out(a[1]); out(k[0]); }"
+            ],
+        )
+        program = workload.program
+        poke_f64(program, "a", [1.5, 2.5, 3.5])
+        poke_i64(program, "k", [7, 8])
+        assert workload.run().values() == [2.5, 7]
+
+    def test_poke_overflow_rejected(self):
+        workload = Workload(name="p2", sources=["var a: real[2]; fn main() {}"])
+        with pytest.raises(ValueError):
+            poke_f64(workload.program, "a", [1.0, 2.0, 3.0])
+
+    def test_baseline_cached(self):
+        workload = make_nas("ep", "S")
+        assert workload.baseline() is workload.baseline()
+
+    def test_profile_counts_nonempty(self):
+        workload = make_nas("ep", "S")
+        profile = workload.profile()
+        assert profile and all(c > 0 for c in profile.values())
+
+    def test_nan_output_fails_verification(self):
+        workload = Workload(
+            name="nanny",
+            sources=["fn main() { out(0.0 / 0.0); }"],
+            verify_mode="self",
+            self_check=lambda values: True,
+        )
+        assert not workload.verify(workload.run())
+
+    def test_unknown_nas_benchmark(self):
+        with pytest.raises(KeyError, match="unknown NAS"):
+            make_nas("zz")
