@@ -41,6 +41,12 @@ from repro.config import Config, Policy, build_tree, dump_config, load_config
 from repro.instrument import InstrumentedProgram, instrument
 from repro.mpi import MultiRankRunner, run_mpi_program
 from repro.search import SearchEngine, SearchOptions, SearchResult
+from repro.telemetry import (
+    JsonlSink,
+    MetricsRegistry,
+    ProgressRenderer,
+    Telemetry,
+)
 from repro.vm import VM, ExecResult, VmTrap, run_program
 from repro.vm.costs import CostModel, DEFAULT_COST_MODEL
 from repro.workloads import Workload, make_nas, make_workload
@@ -68,6 +74,10 @@ __all__ = [
     "SearchEngine",
     "SearchOptions",
     "SearchResult",
+    "Telemetry",
+    "JsonlSink",
+    "MetricsRegistry",
+    "ProgressRenderer",
     "VM",
     "ExecResult",
     "VmTrap",

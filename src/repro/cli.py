@@ -34,9 +34,30 @@ from repro.config.model import Config
 from repro.instrument.engine import instrument
 from repro.mpi.runner import run_mpi_program
 from repro.search.bfs import SearchEngine, SearchOptions
+from repro.telemetry import (
+    JsonlSink,
+    MetricsRegistry,
+    ProgressRenderer,
+    Telemetry,
+)
 from repro.viewer.tree import render_config_tree, render_search_summary
 from repro.vm.machine import run_program
 from repro.workloads import make_workload
+
+
+def _build_telemetry(args) -> tuple[Telemetry, MetricsRegistry | None]:
+    """Assemble the Telemetry hub requested by --trace/--metrics/--progress.
+
+    Returns the hub (disabled and free when no flag was given) plus the
+    metrics registry, if one was requested, for end-of-run reporting.
+    """
+    sinks = []
+    if getattr(args, "trace", None):
+        sinks.append(JsonlSink(args.trace))
+    if getattr(args, "progress", False):
+        sinks.append(ProgressRenderer())
+    metrics = MetricsRegistry() if getattr(args, "metrics", False) else None
+    return Telemetry(sinks=sinks, metrics=metrics), metrics
 
 
 def _load_program(paths: list[str], options: CompileOptions) -> Program:
@@ -79,26 +100,32 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     program = _load_program(args.target, _compile_options(args))
-    if args.mpi > 1:
-        result = run_mpi_program(
-            program, args.mpi, seed=args.seed, stack_words=args.stack
-        )
-        print(f"[{args.mpi} ranks, makespan {result.elapsed} cycles, "
-              f"{result.collectives} collectives]")
-        values = result.values()
-    else:
-        run = run_program(
-            program, seed=args.seed, stack_words=args.stack, profile=args.profile
-        )
-        print(f"[{run.cycles} cycles, {run.steps} instructions]")
-        values = run.values()
-        if args.profile:
-            hot = sorted(run.exec_counts.items(), key=lambda kv: -kv[1])[:10]
-            print("hottest instructions:")
-            for addr, count in hot:
-                print(f"  {addr:#08x}: {count}")
+    telemetry, metrics = _build_telemetry(args)
+    with telemetry:
+        if args.mpi > 1:
+            result = run_mpi_program(
+                program, args.mpi, seed=args.seed, stack_words=args.stack,
+                telemetry=telemetry,
+            )
+            print(f"[{args.mpi} ranks, makespan {result.elapsed} cycles, "
+                  f"{result.collectives} collectives]")
+            values = result.values()
+        else:
+            run = run_program(
+                program, seed=args.seed, stack_words=args.stack,
+                profile=args.profile, telemetry=telemetry,
+            )
+            print(f"[{run.cycles} cycles, {run.steps} instructions]")
+            values = run.values()
+            if args.profile:
+                hot = sorted(run.exec_counts.items(), key=lambda kv: -kv[1])[:10]
+                print("hottest instructions:")
+                for addr, count in hot:
+                    print(f"  {addr:#08x}: {count}")
     for value in values:
         print(value)
+    if metrics is not None:
+        print(metrics.summary(), end="")
     return 0
 
 
@@ -157,26 +184,38 @@ def cmd_view(args) -> int:
 
 
 def cmd_search(args) -> int:
-    workload = make_workload(args.workload, args.klass)
+    klass = args.klass_opt if args.klass_opt is not None else args.klass
+    workload = make_workload(args.workload, klass)
     options = SearchOptions(
         stop_level=args.stop_level,
         workers=args.workers,
         refine=args.refine,
     )
-    result = SearchEngine(workload, options).run()
-    print(render_search_summary(result), end="")
+    telemetry, metrics = _build_telemetry(args)
+    with telemetry:
+        result = SearchEngine(workload, options, telemetry=telemetry).run()
+    if args.verbose:
+        print(render_search_summary(result), end="")
+        print()
     row = result.row()
-    print(f"\nstatic {row['static_pct']}%  dynamic {row['dynamic_pct']}%  "
-          f"final {row['final']}")
-    if result.refined_config is not None:
+    if not args.quiet:
+        print(f"search {result.workload}: {result.candidates} candidates, "
+              f"{result.configs_tested} configurations tested, "
+              f"static {row['static_pct']}% / dynamic {row['dynamic_pct']}%, "
+              f"final {row['final']} in {result.wall_seconds:.2f}s")
+    if result.refined_config is not None and not args.quiet:
         print(f"refined: static {result.refined_static_pct * 100:.1f}%  "
               f"dynamic {result.refined_dynamic_pct * 100:.1f}%  "
               f"verified {result.refined_verified}")
+    if args.trace and not args.quiet:
+        print(f"wrote trace to {args.trace}")
+    if metrics is not None:
+        print(metrics.summary(), end="")
     if args.report:
         from repro.viewer.report import render_markdown_report
 
         with open(args.report, "w") as handle:
-            handle.write(render_markdown_report(result, workload))
+            handle.write(render_markdown_report(result, workload, metrics=metrics))
         print(f"wrote report to {args.report}")
     if args.output and result.final_config is not None:
         best = (
@@ -211,6 +250,16 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def _add_telemetry_flags(parser, progress: bool) -> None:
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a replayable JSONL event trace here")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print aggregated telemetry metrics at the end")
+    if progress:
+        parser.add_argument("--progress", action="store_true",
+                            help="live progress line on stderr")
+
+
 def _add_compile_flags(parser) -> None:
     parser.add_argument("--real", choices=("f64", "f32"), default="f64",
                         help="meaning of the 'real' type (default f64)")
@@ -239,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=lambda s: int(s, 0), default=0x9E3779B97F4A7C15)
     p.add_argument("--stack", type=int, default=8192)
     p.add_argument("--profile", action="store_true")
+    _add_telemetry_flags(p, progress=False)
     _add_compile_flags(p)
     p.set_defaults(func=cmd_run)
 
@@ -278,6 +328,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("search", help="automatic search on a built-in workload")
     p.add_argument("workload", help="bt|cg|ep|ft|lu|mg|sp|amg|superlu")
     p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
+    p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
+                   help="problem class (same as the positional argument)")
     p.add_argument("--stop-level", default="instruction",
                    choices=("module", "function", "block", "instruction"))
     p.add_argument("--workers", type=int, default=1)
@@ -285,6 +337,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="second search phase when the union fails")
     p.add_argument("-o", "--output", help="write the best configuration here")
     p.add_argument("--report", help="write a Markdown analysis report here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the one-line human summary")
+    p.add_argument("--verbose", action="store_true",
+                   help="print the full evaluation history")
+    _add_telemetry_flags(p, progress=True)
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

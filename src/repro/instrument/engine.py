@@ -32,6 +32,7 @@ from repro.config.model import Config, Policy
 from repro.instrument.dataflow import compute_precleaned
 from repro.instrument.rewriter import rewrite
 from repro.instrument.snippets import SnippetError, SnippetStats
+from repro.telemetry import NULL_TELEMETRY
 
 
 class InstrumentError(Exception):
@@ -78,6 +79,7 @@ def instrument(
     mode: str = "auto",
     optimize_checks: bool = False,
     streamline: bool = False,
+    telemetry=None,
 ) -> InstrumentedProgram:
     """Build the mixed-precision executable for *config* (see module doc).
 
@@ -110,10 +112,29 @@ def instrument(
         )
     except SnippetError as exc:
         raise InstrumentError(str(exc)) from exc
-    return InstrumentedProgram(
+    result = InstrumentedProgram(
         program=new_program,
         original=program,
         config=config,
         stats=stats,
         snippeted=snippet_all,
     )
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    if telemetry.enabled:
+        telemetry.emit(
+            "instr.stats",
+            program=program.name,
+            mode=mode,
+            replaced_single=stats.replaced_single,
+            wrapped_double=stats.wrapped_double,
+            ignored=stats.ignored,
+            copied=stats.copied,
+            checks_emitted=stats.checks_emitted,
+            checks_skipped=stats.checks_skipped,
+            snippet_instructions=stats.snippet_instructions,
+            saves_elided=stats.saves_elided,
+            blocks_split=stats.blocks_split,
+            bytes_grown=len(new_program.text) - len(program.text),
+            growth=round(result.growth, 4),
+        )
+    return result

@@ -73,6 +73,7 @@ def rewrite(
         builder.module(fn.module)
         builder.func(fn.name)
         for block in fn.blocks:
+            snippets_before = stats.replaced_single + stats.wrapped_double
             for instr in block.instructions:
                 builder.mark(_addr_label(instr.addr))
                 _emit_instruction(
@@ -80,6 +81,8 @@ def rewrite(
                     precleaned.get(instr.addr, frozenset()), wrap_moves,
                     streamline,
                 )
+            if stats.replaced_single + stats.wrapped_double > snippets_before:
+                stats.blocks_split += 1
         builder.endfunc()
 
     new_program = builder.link(entry=entry_name)

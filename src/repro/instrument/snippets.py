@@ -59,6 +59,7 @@ class SnippetStats:
     checks_skipped: int = 0
     snippet_instructions: int = 0
     saves_elided: int = 0
+    blocks_split: int = 0     # basic blocks that had at least one snippet spliced
     by_opcode: dict = field(default_factory=dict)
 
 

@@ -27,6 +27,7 @@ from repro.fpbits.ieee import (
 )
 from repro.isa.opcodes import RED_MAX, RED_MIN, RED_SUM
 from repro.mpi.costmodel import CommCostModel
+from repro.telemetry import NULL_TELEMETRY
 from repro.vm.errors import CollectiveYield, VmTrap
 from repro.vm.machine import VM, ExecResult
 
@@ -43,6 +44,9 @@ class MpiResult:
     elapsed: int                    # makespan in cycles
     per_rank: list                  # list[ExecResult]
     collectives: int = 0
+    #: per-rank cycles spent blocked in collectives (wait + transfer);
+    #: compute time for rank r is per_rank[r].cycles - comm_cycles[r].
+    comm_cycles: list = field(default_factory=list)
 
     @property
     def outputs(self) -> list:
@@ -78,11 +82,14 @@ class MultiRankRunner:
         max_steps: int = 200_000_000,
         profile: bool = False,
         cost_model: CommCostModel | None = None,
+        telemetry=None,
     ) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
         self.size = size
         self.cost_model = cost_model or CommCostModel()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._comm = [0] * size
         # Decorrelate rank RNG streams deterministically.
         self.vms = [
             VM(
@@ -101,7 +108,7 @@ class MultiRankRunner:
     def run(self) -> MpiResult:
         if self.size == 1:
             result = self.vms[0].run()
-            return MpiResult(1, result.cycles, [result])
+            return self._finish(MpiResult(1, result.cycles, [result], 0, [0]))
 
         vms = self.vms
         resume_at = {r: vm.entry_index() for r, vm in enumerate(vms)}
@@ -136,7 +143,32 @@ class MultiRankRunner:
 
         per_rank = [vm.result() for vm in vms]
         elapsed = max(r.cycles for r in per_rank)
-        return MpiResult(self.size, elapsed, per_rank, self.collectives)
+        return self._finish(
+            MpiResult(
+                self.size, elapsed, per_rank, self.collectives, list(self._comm)
+            )
+        )
+
+    def _finish(self, result: MpiResult) -> MpiResult:
+        """Emit the per-rank compute/comm attribution for a completed run."""
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            for rank, rank_result in enumerate(result.per_rank):
+                comm = result.comm_cycles[rank]
+                telemetry.emit(
+                    "mpi.rank",
+                    rank=rank,
+                    cycles=rank_result.cycles,
+                    compute_cycles=rank_result.cycles - comm,
+                    comm_cycles=comm,
+                )
+            telemetry.emit(
+                "mpi.run",
+                size=result.size,
+                elapsed=result.elapsed,
+                collectives=result.collectives,
+            )
+        return result
 
     # -- collectives ---------------------------------------------------------------
 
@@ -223,8 +255,11 @@ class MultiRankRunner:
             raise MpiError(f"unknown collective {kind!r}")
 
         # Synchronize clocks: everyone leaves at max(arrival) + cost.
+        # Everything between a rank's arrival and the common departure is
+        # communication time (wait for stragglers + the transfer itself).
         leave = max(vms[r]._cyc[0] for r in blocked) + cost
         for r in blocked:
+            self._comm[r] += leave - vms[r]._cyc[0]
             vms[r]._cyc[0] = leave
 
 

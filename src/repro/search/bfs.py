@@ -1,7 +1,18 @@
-"""The breadth-first search engine itself."""
+"""The breadth-first search engine itself.
+
+With a :class:`repro.telemetry.Telemetry` attached the engine narrates
+the whole search: a ``search.begin``/``search.end`` span, one
+``search.eval`` event per tested configuration (label, level, pass/fail,
+cycles, wall time, phase), ``search.queue`` depth samples after every
+batch, ``search.descend`` partition/expansion decisions, and a
+``search.refine`` summary of the second phase.  A baseline ``vm.opcodes``
+census of the uninstrumented workload is emitted at span start so every
+trace carries the VM-level profile the prioritization runs on.
+"""
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import time
 from collections import deque
@@ -20,6 +31,7 @@ from repro.config.model import (
 )
 from repro.search.evaluator import Evaluator
 from repro.search.results import EvalRecord, SearchResult
+from repro.telemetry import NULL_TELEMETRY
 
 _LEVEL_RANK = {
     LEVEL_MODULE: 0,
@@ -106,6 +118,9 @@ class SearchEngine:
         Optional starting configuration carrying e.g. user-set IGNORE
         flags (the paper's escape hatch for RNG-style code); its flags are
         merged into every tested configuration.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; see the module
+        docstring for the events a traced search produces.
     """
 
     def __init__(
@@ -114,22 +129,29 @@ class SearchEngine:
         options: SearchOptions | None = None,
         base_config: Config | None = None,
         evaluator: Evaluator | None = None,
+        telemetry=None,
     ) -> None:
         self.workload = workload
         self.options = options or SearchOptions()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.tree: ProgramTree = (
             base_config.tree if base_config is not None else build_tree(workload.program)
         )
+        # The engine closes evaluators it created itself (worker pools,
+        # pending trace flushes) when run() exits; externally supplied
+        # evaluators stay open for their owner to reuse.
+        self._owns_evaluator = evaluator is None
         if evaluator is not None:
             self.evaluator = evaluator
         elif self.options.workers > 1:
             from repro.search.parallel import ParallelEvaluator
 
             self.evaluator = ParallelEvaluator(
-                workload, self.tree, self.options.workers
+                workload, self.tree, self.options.workers,
+                telemetry=self.telemetry,
             )
         else:
-            self.evaluator = Evaluator(workload)
+            self.evaluator = Evaluator(workload, telemetry=self.telemetry)
         self.base_config = base_config or Config.all_double(self.tree)
         self._seq = 0
         self._heap: list = []
@@ -165,8 +187,11 @@ class SearchEngine:
 
     def _descend(self, item: _Item) -> None:
         opts = self.options
+        tel = self.telemetry
         if item.is_group:
             if len(item.nodes) > 1:
+                if tel.enabled:
+                    tel.emit("search.descend", label=item.label(), action="split")
                 mid = len(item.nodes) // 2
                 self._push(_Item(item.nodes[:mid], True))
                 self._push(_Item(item.nodes[mid:], True))
@@ -175,23 +200,72 @@ class SearchEngine:
             return
         node = item.nodes[0]
         if node.level == LEVEL_INSN:
+            if tel.enabled:
+                tel.emit("search.descend", label=item.label(), action="stop")
             return  # cannot subdivide an instruction
         if _LEVEL_RANK[node.level] >= _LEVEL_RANK[opts.stop_level]:
+            if tel.enabled:
+                tel.emit("search.descend", label=item.label(), action="stop")
             return  # descent capped by stop_level
         children = node.children
         if opts.partition and len(children) > opts.partition_threshold:
+            if tel.enabled:
+                tel.emit("search.descend", label=item.label(), action="partition")
             mid = len(children) // 2
             self._push(_Item(children[:mid], True))
             self._push(_Item(children[mid:], True))
         else:
+            if tel.enabled:
+                tel.emit("search.descend", label=item.label(), action="expand")
             for child in children:
                 self._push(_Item([child], False))
 
     # -- main loop --------------------------------------------------------------------
 
     def run(self) -> SearchResult:
+        with contextlib.ExitStack() as stack:
+            if self._owns_evaluator:
+                stack.enter_context(self.evaluator)
+            return self._run()
+
+    def _baseline_census(self) -> None:
+        """Run the uninstrumented workload once with telemetry attached so
+        the trace opens with a ``vm.opcodes`` census of the original
+        program (the profile the prioritization heuristic ranks by)."""
+        from repro.vm.errors import VmTrap
+        from repro.vm.machine import VM
+
+        workload = self.workload
+        vm = VM(
+            workload.program,
+            stack_words=getattr(workload, "stack_words", 8192),
+            max_steps=getattr(workload, "max_steps", 200_000_000),
+            telemetry=self.telemetry,
+        )
+        try:
+            vm.run()
+        except VmTrap:
+            pass  # trap event already emitted; census below still valid
+        vm.publish()
+
+    def _run(self) -> SearchResult:
+        tel = self.telemetry
         start = time.perf_counter()
         self._profile = self.workload.profile() if self.options.prioritize else {}
+
+        workload_name = getattr(self.workload, "name", self.tree.program_name)
+        if tel.enabled:
+            tel.emit(
+                "search.begin",
+                workload=workload_name,
+                candidates=self.tree.candidate_count,
+                stop_level=self.options.stop_level,
+                partition=self.options.partition,
+                prioritize=self.options.prioritize,
+                refine=self.options.refine,
+                workers=self.options.workers,
+            )
+            self._baseline_census()
 
         for root in self.tree.roots:
             self._push(_Item([root], False))
@@ -216,13 +290,34 @@ class SearchEngine:
                 config = self.base_config.copy()
                 config.flags.update(item.flags())
                 configs.append(config)
+            batch_start = time.perf_counter()
             outcomes = self.evaluator.evaluate_batch(configs)
+            per_eval = (time.perf_counter() - batch_start) / len(items)
             for item, (passed, cycles, trap) in zip(items, outcomes):
-                history.append(EvalRecord(item.label(), passed, cycles, trap))
+                history.append(
+                    EvalRecord(item.label(), passed, cycles, trap, wall_s=per_eval)
+                )
+                if tel.enabled:
+                    tel.emit(
+                        "search.eval",
+                        label=item.label(),
+                        level=item.nodes[0].level,
+                        passed=passed,
+                        cycles=cycles,
+                        trap=trap,
+                        wall_s=round(per_eval, 6),
+                        phase="bfs",
+                    )
                 if passed:
                     passing.append(item)
                 else:
                     self._descend(item)
+            if tel.enabled:
+                tel.emit(
+                    "search.queue",
+                    depth=len(self._heap) + len(self._fifo),
+                    tested=self.evaluator.evaluations,
+                )
 
         # Compose the final configuration: union of everything that passed.
         final = self.base_config.copy()
@@ -231,13 +326,31 @@ class SearchEngine:
 
         final_verified = False
         if passing:
+            eval_start = time.perf_counter()
             passed, cycles, trap = self.evaluator.evaluate(final)
-            history.append(EvalRecord("FINAL(union)", passed, cycles, trap))
+            wall = time.perf_counter() - eval_start
+            history.append(
+                EvalRecord(
+                    "FINAL(union)", passed, cycles, trap,
+                    wall_s=wall, phase="final",
+                )
+            )
             final_verified = passed
+            if tel.enabled:
+                tel.emit(
+                    "search.eval",
+                    label="FINAL(union)",
+                    level="union",
+                    passed=passed,
+                    cycles=cycles,
+                    trap=trap,
+                    wall_s=round(wall, 6),
+                    phase="final",
+                )
 
         profile = self.workload.profile()
         result = SearchResult(
-            workload=getattr(self.workload, "name", self.tree.program_name),
+            workload=workload_name,
             candidates=self.tree.candidate_count,
             configs_tested=self.evaluator.evaluations,
             final_config=final,
@@ -252,6 +365,17 @@ class SearchEngine:
             self._refine(result, passing, history, profile)
             result.configs_tested = self.evaluator.evaluations
             result.wall_seconds = time.perf_counter() - start
+
+        if tel.enabled:
+            tel.emit(
+                "search.end",
+                workload=workload_name,
+                tested=result.configs_tested,
+                final="pass" if result.final_verified else "fail",
+                static_pct=round(result.static_pct * 100.0, 1),
+                dynamic_pct=round(result.dynamic_pct * 100.0, 1),
+                wall_s=round(result.wall_seconds, 6),
+            )
         return result
 
     # -- second search phase (composition refinement) ----------------------------
@@ -275,15 +399,31 @@ class SearchEngine:
         budget = [self.options.refine_budget]
         dropped: list = []
 
+        tel = self.telemetry
+
         def compose(items):
             candidate = self.base_config.copy()
             for item in items:
                 candidate.flags.update(item.flags())
+            label = f"REFINE({len(items)} items)"
+            eval_start = time.perf_counter()
             passed, cycles, trap = self.evaluator.evaluate(candidate)
+            wall = time.perf_counter() - eval_start
             budget[0] -= 1
             history.append(
-                EvalRecord(f"REFINE({len(items)} items)", passed, cycles, trap)
+                EvalRecord(label, passed, cycles, trap, wall_s=wall, phase="refine")
             )
+            if tel.enabled:
+                tel.emit(
+                    "search.eval",
+                    label=label,
+                    level="union",
+                    passed=passed,
+                    cycles=cycles,
+                    trap=trap,
+                    wall_s=round(wall, 6),
+                    phase="refine",
+                )
             return passed, candidate
 
         kept = None
@@ -298,6 +438,8 @@ class SearchEngine:
             result.refined_config = self.base_config.copy()
             result.refined_verified = False
             result.refine_drops = len(dropped)
+            if tel.enabled:
+                tel.emit("search.refine", drops=len(dropped), verified=False)
             return
 
         # Re-add pass: some dropped items may compose fine once the true
@@ -315,3 +457,7 @@ class SearchEngine:
         result.refined_static_pct = kept.static_replaced_fraction()
         result.refined_dynamic_pct = kept.dynamic_replaced_fraction(profile)
         result.refine_drops = len(passing) - len(remaining)
+        if tel.enabled:
+            tel.emit(
+                "search.refine", drops=result.refine_drops, verified=True
+            )

@@ -4,14 +4,21 @@ A crashed run (VM trap — out-of-bounds access from a corrupted index,
 step-budget blowout from a wrecked loop bound, ...) counts as a failed
 verification; this is the paper's deliberate "anything missed causes a
 crash" property at work.
+
+Every *actual* evaluation (cache miss) is reported to the attached
+telemetry as one ``eval.config`` event carrying pass/fail, cycles, the
+trap message, and wall time — so a trace's ``eval.config`` count always
+equals the search's ``configs_tested``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.config.model import Config
 from repro.instrument.engine import instrument
+from repro.telemetry import NULL_TELEMETRY
 from repro.vm.errors import VmTrap
 
 
@@ -27,6 +34,10 @@ class Evaluator:
     optimize_checks:
         Forwarded to the instrumentation engine (redundant-check
         elimination ablation).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; receives one
+        ``eval.config`` event per cache miss plus the instrumentation
+        engine's ``instr.stats`` counters.
     """
 
     workload: object
@@ -34,26 +45,46 @@ class Evaluator:
     cache: dict = field(default_factory=dict)
     evaluations: int = 0
     cache_hits: int = 0
+    telemetry: object = None
+
+    def __post_init__(self) -> None:
+        if self.telemetry is None:
+            self.telemetry = NULL_TELEMETRY
 
     def evaluate(self, config: Config) -> tuple[bool, int, str]:
         """Returns (passed, cycles, trap_message)."""
         key = frozenset(config.flags.items())
         if key in self.cache:
             self.cache_hits += 1
+            self.telemetry.count("eval.cache_hits")
             return self.cache[key]
         self.evaluations += 1
+        telemetry = self.telemetry
+        start = time.perf_counter()
         instrumented = instrument(
-            self.workload.program, config, optimize_checks=self.optimize_checks
+            self.workload.program, config,
+            optimize_checks=self.optimize_checks, telemetry=telemetry,
         )
         try:
             result = self.workload.run(instrumented.program)
         except VmTrap as exc:
             outcome = (False, 0, str(exc))
             self.cache[key] = outcome
+            if telemetry.enabled:
+                telemetry.emit("vm.trap", message=str(exc), addr=exc.addr)
+                telemetry.emit(
+                    "eval.config", passed=False, cycles=0, trap=str(exc),
+                    wall_s=round(time.perf_counter() - start, 6),
+                )
             return outcome
         passed = bool(self.workload.verify(result))
         outcome = (passed, result.cycles, "")
         self.cache[key] = outcome
+        if telemetry.enabled:
+            telemetry.emit(
+                "eval.config", passed=passed, cycles=result.cycles, trap="",
+                wall_s=round(time.perf_counter() - start, 6),
+            )
         return outcome
 
     def evaluate_batch(self, configs: list) -> list:
@@ -63,3 +94,9 @@ class Evaluator:
 
     def close(self) -> None:
         """Nothing to release; mirrors ParallelEvaluator's interface."""
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -14,10 +14,12 @@ and results are identical to a serial run with the same options.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.config.model import Config
 from repro.instrument.engine import instrument
+from repro.telemetry import NULL_TELEMETRY
 from repro.vm.errors import VmTrap
 
 # Per-worker state, installed by the fork (never pickled).
@@ -50,15 +52,30 @@ def fork_available() -> bool:
 class ParallelEvaluator:
     """Drop-in sibling of :class:`~repro.search.evaluator.Evaluator` with
     an additional ``evaluate_batch``; falls back to serial evaluation when
-    fork is not available on the platform."""
+    fork is not available on the platform.
 
-    def __init__(self, workload, tree, workers: int, optimize_checks: bool = False):
+    Also a context manager: ``with ParallelEvaluator(...) as ev:`` closes
+    the worker pool on exit even when a search raises mid-batch (the
+    ``__del__`` best-effort path remains as a backstop).  Telemetry events
+    are emitted from the parent process only — worker children never carry
+    sinks, so trace files have a single writer.
+    """
+
+    def __init__(
+        self,
+        workload,
+        tree,
+        workers: int,
+        optimize_checks: bool = False,
+        telemetry=None,
+    ):
         if workers < 2:
             raise ValueError("ParallelEvaluator needs workers >= 2")
         self.workload = workload
         self.tree = tree
         self.workers = workers
         self.optimize_checks = optimize_checks
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cache: dict = {}
         self.evaluations = 0
         self.cache_hits = 0
@@ -91,6 +108,7 @@ class ParallelEvaluator:
 
         if missing:
             items = list(missing.items())
+            start = time.perf_counter()
             if self._pool is not None:
                 futures = [
                     self._pool.submit(_worker_eval, dict(config.flags))
@@ -99,23 +117,47 @@ class ParallelEvaluator:
                 outcomes = [f.result() for f in futures]
             else:  # serial fallback (no fork on this platform)
                 outcomes = [
-                    _serial_eval(self.workload, config, self.optimize_checks)
+                    _serial_eval(
+                        self.workload, config, self.optimize_checks,
+                        telemetry=self.telemetry,
+                    )
                     for _key, config in items
                 ]
+            batch_wall = time.perf_counter() - start
+            telemetry = self.telemetry
             for (key, _config), outcome in zip(items, outcomes):
                 self.cache[key] = outcome
                 self.evaluations += 1
+                if telemetry.enabled:
+                    passed, cycles, trap = outcome
+                    if trap:
+                        telemetry.emit("vm.trap", message=trap)
+                    # Workers run concurrently, so per-config wall time is
+                    # the batch wall amortized over its members.
+                    telemetry.emit(
+                        "eval.config", passed=passed, cycles=cycles, trap=trap,
+                        wall_s=round(batch_wall / len(items), 6),
+                    )
 
         results = []
         for key in keys:
             results.append(self.cache[key])
-        self.cache_hits += len(keys) - len(missing)
+        hits = len(keys) - len(missing)
+        self.cache_hits += hits
+        if hits:
+            self.telemetry.count("eval.cache_hits", hits)
         return results
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __del__(self):  # pragma: no cover - best effort
         try:
@@ -124,8 +166,11 @@ class ParallelEvaluator:
             pass
 
 
-def _serial_eval(workload, config: Config, optimize_checks: bool):
-    instrumented = instrument(workload.program, config, optimize_checks=optimize_checks)
+def _serial_eval(workload, config: Config, optimize_checks: bool, telemetry=None):
+    instrumented = instrument(
+        workload.program, config, optimize_checks=optimize_checks,
+        telemetry=telemetry,
+    )
     try:
         result = workload.run(instrumented.program)
     except VmTrap as exc:

@@ -15,6 +15,8 @@ class EvalRecord:
     passed: bool
     cycles: int = 0
     trap: str = ""        # trap message if the run crashed
+    wall_s: float = 0.0   # wall time of the evaluation (batch-amortized)
+    phase: str = "bfs"    # search phase: "bfs" | "final" | "refine"
 
 
 @dataclass(slots=True)
@@ -43,7 +45,12 @@ class SearchResult:
     refine_drops: int = 0
 
     def row(self) -> dict:
-        """One row of the paper's Figure 10 table."""
+        """One row of the paper's Figure 10 table, extended with the
+        second search phase (refinement) columns; they read "-" when no
+        refinement ran.  Deliberately excludes wall time so rows from
+        identical searches compare equal (determinism tests rely on it).
+        """
+        refined = self.refined_config is not None
         return {
             "benchmark": self.workload,
             "candidates": self.candidates,
@@ -51,4 +58,14 @@ class SearchResult:
             "static_pct": round(self.static_pct * 100.0, 1),
             "dynamic_pct": round(self.dynamic_pct * 100.0, 1),
             "final": "pass" if self.final_verified else "fail",
+            "refined": (
+                ("pass" if self.refined_verified else "fail") if refined else "-"
+            ),
+            "ref_static_pct": (
+                round(self.refined_static_pct * 100.0, 1) if refined else "-"
+            ),
+            "ref_dynamic_pct": (
+                round(self.refined_dynamic_pct * 100.0, 1) if refined else "-"
+            ),
+            "ref_drops": self.refine_drops if refined else "-",
         }

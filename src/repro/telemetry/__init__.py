@@ -1,0 +1,44 @@
+"""Structured tracing, metrics, and live progress (``repro.telemetry``).
+
+The paper's methodology is profile-driven end to end: the search tests
+hundreds of configurations per benchmark and prioritizes the descent by
+execution counts.  This package makes that activity observable.  Every
+hot layer of the reproduction — the search engine, the instrumentation
+engine, the VM, and the MPI rank scheduler — reports what it does
+through a :class:`Telemetry` object as a stream of structured *events*
+plus aggregate *metrics*.
+
+Design rules (see ``docs/OBSERVABILITY.md`` for the full schema):
+
+* **Disabled is free.**  The default telemetry is a disabled singleton
+  (:data:`NULL_TELEMETRY`); ``emit`` is a single attribute check and an
+  immediate return, hot paths guard expensive field construction behind
+  ``telemetry.enabled``, and the VM's deterministic cycle accounting is
+  never touched — cycle counts are byte-identical with telemetry on or
+  off.
+* **Events are plain dicts**, one JSON object per line in a trace file
+  (:class:`JsonlSink`), so traces are replayable with nothing but
+  ``json.loads``.
+* **Metrics ride the same stream.**  A :class:`MetricsRegistry` attached
+  to the telemetry consumes every event it emits, so the ``summary()``
+  table always reconciles with the trace.
+"""
+
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+from repro.telemetry.events import EVENT_KINDS, validate_event
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.progress import ProgressRenderer
+from repro.telemetry.sinks import JsonlSink, ListSink, NullSink, Sink
+
+__all__ = [
+    "EVENT_KINDS",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullSink",
+    "ProgressRenderer",
+    "Sink",
+    "Telemetry",
+    "validate_event",
+]

@@ -1,0 +1,114 @@
+"""The `Telemetry` hub: one object, many sinks, optional metrics.
+
+Every instrumented layer takes an optional ``telemetry`` argument and
+falls back to :data:`NULL_TELEMETRY`, a disabled singleton whose
+``emit`` is one attribute check and a return.  Hot paths that would pay
+to *construct* event fields (label formatting, histogram aggregation)
+additionally guard on ``telemetry.enabled`` — the two conventions
+together keep the disabled cost at effectively zero and, crucially,
+leave the VM's deterministic cycle accounting untouched either way.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sinks import Sink
+
+
+class Telemetry:
+    """Routes events to sinks and aggregate updates to a metrics registry.
+
+    Parameters
+    ----------
+    sinks:
+        Iterable of :class:`~repro.telemetry.sinks.Sink` objects; every
+        emitted event is delivered to each, in order.
+    metrics:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry`.  When
+        present it consumes every emitted event and also receives direct
+        ``count``/``observe`` updates.
+
+    A telemetry with no sinks and no metrics is *disabled*: ``emit`` is a
+    near-free no-op and ``enabled`` is False.
+    """
+
+    __slots__ = ("sinks", "metrics", "enabled", "_t0")
+
+    def __init__(self, sinks=(), metrics: MetricsRegistry | None = None) -> None:
+        self.sinks: list[Sink] = list(sinks)
+        self.metrics = metrics
+        self.enabled = bool(self.sinks) or metrics is not None
+        self._t0 = time.perf_counter()
+
+    # -- event stream ------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> None:
+        """Emit one event; free when disabled (single attribute check)."""
+        if not self.enabled:
+            return
+        event = {"kind": kind, "ts": round(time.perf_counter() - self._t0, 6)}
+        event.update(fields)
+        for sink in self.sinks:
+            sink.emit(event)
+        if self.metrics is not None:
+            self.metrics.consume(event)
+
+    @contextmanager
+    def span(self, kind: str, **fields):
+        """Emit ``<kind>.begin`` / ``<kind>.end`` around a block.
+
+        The end event carries ``wall_s``; exceptions propagate but the
+        end event is still emitted (with ``error`` set) so traces never
+        contain dangling spans.
+        """
+        if not self.enabled:
+            yield self
+            return
+        self.emit(kind + ".begin", **fields)
+        start = time.perf_counter()
+        error = ""
+        try:
+            yield self
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            wall = round(time.perf_counter() - start, 6)
+            if error:
+                self.emit(kind + ".end", wall_s=wall, error=error, **fields)
+            else:
+                self.emit(kind + ".end", wall_s=wall, **fields)
+
+    # -- direct metric updates --------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, value)
+
+    def observe(self, name: str, value) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(name, value)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        """Flush and close every sink (idempotent)."""
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: The disabled singleton every layer defaults to.
+NULL_TELEMETRY = Telemetry()

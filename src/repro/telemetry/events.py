@@ -1,0 +1,71 @@
+"""Event kinds and the trace schema.
+
+An event is a plain dict with two universal keys —
+
+``kind``
+    One of :data:`EVENT_KINDS` (a dotted ``layer.what`` name).
+``ts``
+    Seconds since the owning :class:`~repro.telemetry.core.Telemetry`
+    was created (monotonic clock, so wall math across events is safe).
+
+— plus the kind-specific payload fields listed in :data:`EVENT_FIELDS`.
+Extra fields are allowed (the schema states the floor, not the ceiling),
+so layers can attach context without a schema bump; missing required
+fields are an error.  :func:`validate_event` enforces exactly that and is
+what the round-trip tests run over every line of a trace file.
+"""
+
+from __future__ import annotations
+
+#: kind -> fields every event of that kind must carry (beyond kind/ts).
+EVENT_FIELDS: dict[str, frozenset] = {
+    # -- search layer ------------------------------------------------------
+    "search.begin": frozenset({"workload", "candidates"}),
+    "search.end": frozenset({"workload", "tested", "final", "wall_s"}),
+    "search.eval": frozenset({"label", "passed", "cycles", "trap", "phase"}),
+    "search.queue": frozenset({"depth", "tested"}),
+    "search.descend": frozenset({"label", "action"}),
+    "search.refine": frozenset({"drops", "verified"}),
+    # -- evaluation (one per configuration actually executed) --------------
+    "eval.config": frozenset({"passed", "cycles", "trap", "wall_s"}),
+    # -- instrumentation layer ---------------------------------------------
+    "instr.stats": frozenset(
+        {
+            "program",
+            "replaced_single",
+            "wrapped_double",
+            "checks_emitted",
+            "checks_skipped",
+            "blocks_split",
+            "bytes_grown",
+        }
+    ),
+    # -- VM ----------------------------------------------------------------
+    "vm.opcodes": frozenset({"program", "steps", "cycles", "opcodes"}),
+    "vm.trap": frozenset({"message"}),
+    # -- MPI rank scheduler ------------------------------------------------
+    "mpi.rank": frozenset({"rank", "cycles", "compute_cycles", "comm_cycles"}),
+    "mpi.run": frozenset({"size", "elapsed", "collectives"}),
+}
+
+#: All event kinds a conforming trace may contain.
+EVENT_KINDS: frozenset = frozenset(EVENT_FIELDS)
+
+
+def validate_event(event: dict) -> dict:
+    """Check *event* against the schema; returns it unchanged.
+
+    Raises ``ValueError`` on an unknown kind, a missing universal key, or
+    a missing kind-specific required field.
+    """
+    if not isinstance(event, dict):
+        raise ValueError(f"event must be a dict, got {type(event).__name__}")
+    kind = event.get("kind")
+    if kind not in EVENT_FIELDS:
+        raise ValueError(f"unknown event kind {kind!r}")
+    if "ts" not in event:
+        raise ValueError(f"{kind}: missing 'ts'")
+    missing = EVENT_FIELDS[kind] - event.keys()
+    if missing:
+        raise ValueError(f"{kind}: missing required fields {sorted(missing)}")
+    return event

@@ -1,0 +1,110 @@
+"""In-memory metrics aggregation.
+
+A :class:`MetricsRegistry` keeps two families of series:
+
+* **counters** — monotonically increasing integers (``inc``);
+* **observations** — value streams summarized as count/sum/min/max
+  (``observe``), the cheap stand-in for a histogram.
+
+A registry attached to a :class:`~repro.telemetry.core.Telemetry` also
+*consumes* every emitted event: each event bumps an ``events.<kind>``
+counter, and well-known kinds feed their payload into the series above
+(``search.eval`` wall times, ``eval.config`` cycles, instrumentation
+counters, VM traps, MPI compute/comm attribution).  Because the registry
+and the trace are fed by the same stream, ``summary()`` always reconciles
+with the trace file.
+"""
+
+from __future__ import annotations
+
+
+class MetricsRegistry:
+    """Counters + observation summaries with a plain-text ``summary()``."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        #: name -> [count, total, min, max]
+        self.observations: dict[str, list] = {}
+
+    # -- primitive updates -------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value) -> None:
+        entry = self.observations.get(name)
+        if entry is None:
+            self.observations[name] = [1, value, value, value]
+        else:
+            entry[0] += 1
+            entry[1] += value
+            if value < entry[2]:
+                entry[2] = value
+            if value > entry[3]:
+                entry[3] = value
+
+    def get(self, name: str, default=0):
+        return self.counters.get(name, default)
+
+    # -- event consumption -------------------------------------------------
+
+    def consume(self, event: dict) -> None:
+        """Aggregate one emitted event (called by Telemetry.emit)."""
+        kind = event["kind"]
+        self.inc(f"events.{kind}")
+        if kind == "search.eval":
+            self.inc("search.evals")
+            self.inc("search.pass" if event["passed"] else "search.fail")
+            if "wall_s" in event:
+                self.observe("search.eval_wall_s", event["wall_s"])
+        elif kind == "eval.config":
+            self.inc("eval.configs")
+            if event["trap"]:
+                self.inc("eval.traps")
+            self.observe("eval.cycles", event["cycles"])
+            self.observe("eval.wall_s", event["wall_s"])
+        elif kind == "instr.stats":
+            self.inc("instr.programs")
+            self.inc(
+                "instr.snippets",
+                event["replaced_single"] + event["wrapped_double"],
+            )
+            self.inc("instr.blocks_split", event["blocks_split"])
+            self.inc("instr.checks_emitted", event["checks_emitted"])
+            self.inc("instr.checks_skipped", event["checks_skipped"])
+            self.inc("instr.bytes_grown", event["bytes_grown"])
+        elif kind == "search.queue":
+            self.observe("search.queue_depth", event["depth"])
+        elif kind == "vm.trap":
+            self.inc("vm.traps")
+        elif kind == "mpi.rank":
+            self.observe("mpi.compute_cycles", event["compute_cycles"])
+            self.observe("mpi.comm_cycles", event["comm_cycles"])
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> str:
+        """Aligned text table of every counter and observation series."""
+        rows = [("metric", "count", "total", "min", "max")]
+        for name in sorted(self.counters):
+            rows.append((name, str(self.counters[name]), "", "", ""))
+        for name in sorted(self.observations):
+            n, total, lo, hi = self.observations[name]
+            rows.append((name, str(n), _num(total), _num(lo), _num(hi)))
+        widths = [max(len(r[i]) for r in rows) for i in range(5)]
+        lines = ["telemetry metrics:"]
+        for k, row in enumerate(rows):
+            lines.append(
+                "  "
+                + row[0].ljust(widths[0])
+                + "".join("  " + row[i].rjust(widths[i]) for i in range(1, 5))
+            )
+            if k == 0:
+                lines.append("  " + "  ".join("-" * w for w in widths))
+        return "\n".join(lines) + "\n"
+
+
+def _num(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

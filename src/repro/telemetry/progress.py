@@ -1,0 +1,73 @@
+"""Live TTY progress for long searches.
+
+A sink that turns the search event stream into a single self-updating
+status line on stderr — the minimal interactive view of the paper's
+hundreds-of-configurations searches.  Rendering is throttled (default
+10 Hz) so a fast search does not spend its time repainting a terminal,
+and the line is finished with a newline on ``search.end``/``close`` so
+ordinary output is never glued to a stale carriage return.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.telemetry.sinks import Sink
+
+
+class ProgressRenderer(Sink):
+    """Renders ``search.*`` events as a one-line live status display."""
+
+    def __init__(self, stream=None, min_interval: float = 0.1) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.candidates = 0
+        self.tested = 0
+        self.passed = 0
+        self.failed = 0
+        self.phase = "bfs"
+        self.last_label = ""
+        self._last_render = 0.0
+        self._line_open = False
+
+    def emit(self, event: dict) -> None:
+        kind = event["kind"]
+        if kind == "search.begin":
+            self.candidates = event["candidates"]
+            self._render(force=True)
+        elif kind == "search.eval":
+            self.tested += 1
+            if event["passed"]:
+                self.passed += 1
+            else:
+                self.failed += 1
+            self.phase = event["phase"]
+            self.last_label = event["label"]
+            self._render()
+        elif kind == "search.end":
+            self._render(force=True)
+            self._finish()
+
+    def _render(self, force: bool = False) -> None:
+        now = time.perf_counter()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        line = (
+            f"[search:{self.phase}] {self.tested} tested "
+            f"({self.passed} pass / {self.failed} fail) "
+            f"of {self.candidates} candidates  last={self.last_label}"
+        )
+        self.stream.write("\r" + line[:118].ljust(118))
+        self.stream.flush()
+        self._line_open = True
+
+    def _finish(self) -> None:
+        if self._line_open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False
+
+    def close(self) -> None:
+        self._finish()

@@ -1,0 +1,104 @@
+"""Event sinks: where emitted telemetry events go.
+
+A sink is anything with ``emit(event)`` / ``close()``.  The stock sinks:
+
+``NullSink``
+    Swallows everything.  Exists mostly for API symmetry — a disabled
+    :class:`~repro.telemetry.core.Telemetry` short-circuits before any
+    sink is reached, so the null sink is never on a hot path.
+``JsonlSink``
+    One JSON object per line, the replayable ``trace.jsonl`` format.
+``ListSink``
+    In-memory capture for tests and programmatic consumers.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Sink:
+    """Protocol base class (also usable as a no-frills null sink)."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Best-effort flush; default is a no-op."""
+
+    def close(self) -> None:
+        """Release resources; default is a no-op."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Discards every event."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class ListSink(Sink):
+    """Collects events into ``self.events`` (testing / in-process use)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> set:
+        return {e["kind"] for e in self.events}
+
+    def of_kind(self, kind: str) -> list[dict]:
+        return [e for e in self.events if e["kind"] == kind]
+
+
+class JsonlSink(Sink):
+    """Writes one compact JSON object per line to *path* (or a file-like).
+
+    Keys are sorted so traces diff cleanly between runs.  The file is
+    line-buffered on flush/close, not per event, to keep emission cheap.
+    """
+
+    def __init__(self, path_or_file) -> None:
+        if hasattr(path_or_file, "write"):
+            self._file = path_or_file
+            self._owns = False
+            self.path = getattr(path_or_file, "name", "<stream>")
+        else:
+            self._file = open(path_or_file, "w")
+            self._owns = True
+            self.path = str(path_or_file)
+        self.count = 0
+
+    def emit(self, event: dict) -> None:
+        self._file.write(json.dumps(event, sort_keys=True, default=str))
+        self._file.write("\n")
+        self.count += 1
+
+    def flush(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._owns and not self._file.closed:
+            self._file.close()
+        else:
+            self.flush()
+
+
+def read_trace(path) -> list[dict]:
+    """Load a ``trace.jsonl`` file back into a list of event dicts."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -13,8 +13,12 @@ from repro.config.fileformat import dump_config
 from repro.config.model import LEVEL_FUNCTION, Policy
 
 
-def render_markdown_report(result, workload=None) -> str:
-    """Render *result* (a SearchResult) as a Markdown document."""
+def render_markdown_report(result, workload=None, metrics=None) -> str:
+    """Render *result* (a SearchResult) as a Markdown document.
+
+    ``metrics`` may be a :class:`repro.telemetry.MetricsRegistry` collected
+    during the search; its summary table is embedded as an extra section.
+    """
     lines = [f"# Mixed-precision analysis: {result.workload}", ""]
     lines += [
         f"* candidates: **{result.candidates}** double-precision instructions",
@@ -60,11 +64,23 @@ def render_markdown_report(result, workload=None) -> str:
         lines.append("")
 
     lines += ["## Search history", ""]
-    lines += ["| # | configuration | outcome |", "|---|---|---|"]
+    lines += [
+        "| # | configuration | phase | outcome | wall |",
+        "|---|---|---|---|---|",
+    ]
     for index, record in enumerate(result.history, start=1):
         outcome = "pass" if record.passed else ("trap" if record.trap else "fail")
-        lines.append(f"| {index} | `{record.label}` | {outcome} |")
+        wall = f"{record.wall_s * 1000.0:.0f} ms" if record.wall_s else "-"
+        lines.append(
+            f"| {index} | `{record.label}` | {record.phase} "
+            f"| {outcome} | {wall} |"
+        )
     lines.append("")
+
+    if metrics is not None:
+        lines += ["## Telemetry metrics", "", "```"]
+        lines.append(metrics.summary().rstrip())
+        lines += ["```", ""]
 
     if config is not None:
         lines += [

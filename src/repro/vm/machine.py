@@ -34,6 +34,7 @@ from repro.isa.opcodes import (
     RED_SUM,
 )
 from repro.isa.operands import Imm, Mem, Reg, Xmm
+from repro.telemetry import NULL_TELEMETRY
 from repro.vm.costs import DEFAULT_COST_MODEL, CostModel
 from repro.vm.errors import CollectiveYield, VmTrap
 
@@ -186,6 +187,13 @@ class VM:
     profile:
         Record per-address execution counts (needed for the search's
         prioritization and the dynamic-replacement metric).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`.  When enabled, the
+        VM counts executions per instruction (same mechanism the
+        profiler uses — cycle accounting itself is untouched, so costs
+        are byte-identical with telemetry on or off), emits a
+        ``vm.trap`` event on any hard fault, and :meth:`publish` reports
+        the per-opcode execution/cycle census as a ``vm.opcodes`` event.
     """
 
     def __init__(
@@ -198,6 +206,7 @@ class VM:
         max_steps: int = 200_000_000,
         profile: bool = False,
         cost_model: CostModel | None = None,
+        telemetry=None,
     ) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
@@ -207,6 +216,7 @@ class VM:
         self.rank = rank
         self.size = size
         self.max_steps = max_steps
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.profile = profile
         self.cost_model = cost_model or DEFAULT_COST_MODEL
 
@@ -227,6 +237,9 @@ class VM:
         self._addr2idx: dict[int, int] = {}
         self._decode()
         self._counts = [0] * len(self._instrs)
+        #: static (fall-through) cost per instruction, recorded by _build
+        #: for the opcode census; never consulted by the execution loop.
+        self._inst_costs: list[int] = []
         self._code = [self._build(i) for i in range(len(self._instrs))]
         self._entry_idx = self._addr2idx[program.entry]
 
@@ -254,7 +267,7 @@ class VM:
         remaining = self.max_steps - self.steps
         n = 0
         try:
-            if self.profile:
+            if self.profile or self.telemetry.enabled:
                 while True:
                     n += 1
                     if n > remaining:
@@ -274,8 +287,15 @@ class VM:
         except CollectiveYield:
             self.steps += n
             raise
-        except VmTrap:
+        except VmTrap as exc:
             self.steps += n
+            self.telemetry.emit(
+                "vm.trap",
+                message=str(exc),
+                addr=exc.addr,
+                rank=self.rank,
+                steps=self.steps,
+            )
             raise
 
     def result(self) -> ExecResult:
@@ -295,6 +315,42 @@ class VM:
 
     def entry_index(self) -> int:
         return self._entry_idx
+
+    def opcode_stats(self) -> dict:
+        """Per-mnemonic execution/cycle census of everything run so far.
+
+        Cycles are attributed statically (execution count times the
+        instruction's fall-through cost), so taken-branch extras and
+        collective synchronization jumps are not included — the census
+        is a profile shape, not a re-derivation of the exact clock.
+        Requires telemetry (or profiling) to have been enabled.
+        """
+        per: dict[str, list] = {}
+        instrs = self._instrs
+        costs = self._inst_costs
+        for i, count in enumerate(self._counts):
+            if not count:
+                continue
+            mnemonic = OPCODE_INFO[instrs[i].opcode].mnemonic
+            entry = per.setdefault(mnemonic, [0, 0])
+            entry[0] += count
+            entry[1] += count * costs[i]
+        return {
+            m: {"execs": e, "cycles": c} for m, (e, c) in sorted(per.items())
+        }
+
+    def publish(self) -> None:
+        """Emit the ``vm.opcodes`` census event (no-op when disabled)."""
+        if not self.telemetry.enabled:
+            return
+        self.telemetry.emit(
+            "vm.opcodes",
+            program=self.program.name,
+            rank=self.rank,
+            steps=self.steps,
+            cycles=self._cyc[0],
+            opcodes=self.opcode_stats(),
+        )
 
     # -- compilation -----------------------------------------------------------
 
@@ -411,6 +467,7 @@ class VM:
         for o in ops:
             if isinstance(o, Mem):
                 cost += model.mem_cost(info.mem_width, o.base == 14)
+        self._inst_costs.append(cost)  # census only; the loop never reads it
 
         cyc = self._cyc
         gpr = self.gpr
@@ -1130,8 +1187,13 @@ def run_program(
     max_steps: int = 200_000_000,
     profile: bool = False,
     cost_model: CostModel | None = None,
+    telemetry=None,
 ) -> ExecResult:
-    """Load and run *program* single-rank; returns its :class:`ExecResult`."""
+    """Load and run *program* single-rank; returns its :class:`ExecResult`.
+
+    With *telemetry* enabled, a ``vm.opcodes`` census event is emitted
+    after the run (trap events are emitted from inside the VM).
+    """
     vm = VM(
         program,
         stack_words=stack_words,
@@ -1139,5 +1201,8 @@ def run_program(
         max_steps=max_steps,
         profile=profile,
         cost_model=cost_model,
+        telemetry=telemetry,
     )
-    return vm.run()
+    result = vm.run()
+    vm.publish()
+    return result

@@ -186,3 +186,55 @@ class TestSerialEvaluatorBatch:
         assert evaluator.evaluate_batch(configs) == [
             Evaluator(workload).evaluate(c) for c in configs
         ]
+
+
+class TestEvaluatorLifecycle:
+    def test_serial_evaluator_context_manager(self):
+        workload = _Workload(1e-9)
+        with Evaluator(workload) as evaluator:
+            tree = build_tree(workload.program)
+            passed, _cycles, _trap = evaluator.evaluate(Config.all_double(tree))
+            assert passed
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_parallel_evaluator_context_manager_closes_pool(self):
+        workload = _Workload(1e-9)
+        tree = build_tree(workload.program)
+        with ParallelEvaluator(workload, tree, workers=2) as evaluator:
+            assert evaluator._pool is not None
+            evaluator.evaluate(Config.all_double(tree))
+        assert evaluator._pool is None
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_engine_closes_its_own_evaluator(self):
+        workload = _Workload(1e-9)
+        engine = SearchEngine(workload, SearchOptions(workers=2))
+        engine.run()
+        assert engine.evaluator._pool is None  # pool shut down by run()
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_engine_leaves_external_evaluator_open(self):
+        workload = _Workload(1e-9)
+        tree = build_tree(workload.program)
+        with ParallelEvaluator(workload, tree, workers=2) as evaluator:
+            engine = SearchEngine(workload, evaluator=evaluator)
+            engine.run()
+            assert evaluator._pool is not None  # still usable by its owner
+
+    def test_engine_closes_evaluator_when_search_raises(self):
+        workload = _Workload(1e-9)
+
+        class ClosableEvaluator(Evaluator):
+            closed = False
+
+            def close(self):
+                type(self).closed = True
+
+            def evaluate_batch(self, configs):
+                raise RuntimeError("mid-search failure")
+
+        engine = SearchEngine(workload)
+        engine.evaluator = ClosableEvaluator(workload)
+        with pytest.raises(RuntimeError):
+            engine.run()
+        assert ClosableEvaluator.closed

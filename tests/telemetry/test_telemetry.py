@@ -1,0 +1,229 @@
+"""Unit tests for the telemetry substrate: events, sinks, metrics, hub."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    EVENT_KINDS,
+    JsonlSink,
+    ListSink,
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    NullSink,
+    ProgressRenderer,
+    Telemetry,
+    validate_event,
+)
+from repro.telemetry.sinks import read_trace
+
+
+class TestEventSchema:
+    def test_known_kinds_cover_every_layer(self):
+        layers = {kind.split(".")[0] for kind in EVENT_KINDS}
+        assert {"search", "eval", "instr", "vm", "mpi"} <= layers
+
+    def test_validate_accepts_complete_event(self):
+        event = {"kind": "vm.trap", "ts": 0.1, "message": "boom"}
+        assert validate_event(event) is event
+
+    def test_validate_allows_extra_fields(self):
+        validate_event(
+            {"kind": "vm.trap", "ts": 0.1, "message": "boom", "addr": 64}
+        )
+
+    def test_validate_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_event({"kind": "nope", "ts": 0.0})
+
+    def test_validate_rejects_missing_ts(self):
+        with pytest.raises(ValueError, match="missing 'ts'"):
+            validate_event({"kind": "vm.trap", "message": "x"})
+
+    def test_validate_rejects_missing_required_field(self):
+        with pytest.raises(ValueError, match="missing required fields"):
+            validate_event({"kind": "search.queue", "ts": 0.0, "depth": 3})
+
+    def test_validate_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            validate_event(["not", "an", "event"])
+
+
+class TestSinks:
+    def test_null_sink_swallows(self):
+        sink = NullSink()
+        sink.emit({"kind": "vm.trap", "ts": 0.0, "message": "x"})
+        sink.flush()
+        sink.close()
+
+    def test_list_sink_collects_and_filters(self):
+        sink = ListSink()
+        sink.emit({"kind": "vm.trap", "ts": 0.0, "message": "a"})
+        sink.emit({"kind": "search.queue", "ts": 0.1, "depth": 1, "tested": 2})
+        assert sink.kinds() == {"vm.trap", "search.queue"}
+        assert len(sink.of_kind("vm.trap")) == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = [
+            {"kind": "search.begin", "ts": 0.0, "workload": "cg", "candidates": 3},
+            {"kind": "vm.trap", "ts": 0.5, "message": "stack overflow"},
+        ]
+        with JsonlSink(str(path)) as sink:
+            for event in events:
+                sink.emit(event)
+        assert sink.count == 2
+        loaded = read_trace(str(path))
+        assert loaded == events
+        for event in loaded:
+            validate_event(event)
+
+    def test_jsonl_writes_one_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.emit({"kind": "vm.trap", "ts": 0.0, "message": "x"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "vm.trap"
+
+    def test_jsonl_accepts_stream(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.emit({"kind": "vm.trap", "ts": 0.0, "message": "x"})
+        sink.close()  # must not close a stream it does not own
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue())["kind"] == "vm.trap"
+
+
+class TestTelemetryHub:
+    def test_disabled_by_default(self):
+        telemetry = Telemetry()
+        assert not telemetry.enabled
+        telemetry.emit("vm.trap", message="never recorded")  # no-op, no error
+        telemetry.count("anything")
+        telemetry.observe("anything", 1.0)
+
+    def test_null_singleton_is_disabled(self):
+        assert not NULL_TELEMETRY.enabled
+
+    def test_emit_stamps_kind_and_ts(self):
+        sink = ListSink()
+        telemetry = Telemetry(sinks=[sink])
+        telemetry.emit("vm.trap", message="boom")
+        (event,) = sink.events
+        assert event["kind"] == "vm.trap"
+        assert event["ts"] >= 0.0
+        validate_event(event)
+
+    def test_metrics_consume_rides_the_stream(self):
+        registry = MetricsRegistry()
+        telemetry = Telemetry(metrics=registry)
+        assert telemetry.enabled
+        telemetry.emit("vm.trap", message="boom")
+        assert registry.get("events.vm.trap") == 1
+        assert registry.get("vm.traps") == 1
+
+    def test_span_emits_begin_and_end(self):
+        sink = ListSink()
+        telemetry = Telemetry(sinks=[sink])
+        with telemetry.span("search", workload="cg", candidates=1):
+            pass
+        kinds = [e["kind"] for e in sink.events]
+        assert kinds == ["search.begin", "search.end"]
+        assert "wall_s" in sink.events[1]
+
+    def test_span_records_error_and_propagates(self):
+        sink = ListSink()
+        telemetry = Telemetry(sinks=[sink])
+        with pytest.raises(RuntimeError):
+            with telemetry.span("search", workload="cg", candidates=1):
+                raise RuntimeError("boom")
+        assert sink.events[-1]["error"] == "RuntimeError"
+
+    def test_context_manager_closes_sinks(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Telemetry(sinks=[JsonlSink(str(path))]) as telemetry:
+            telemetry.emit("vm.trap", message="x")
+        assert read_trace(str(path))
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        assert registry.get("a") == 5
+        assert registry.get("missing") == 0
+
+    def test_observations_track_count_total_min_max(self):
+        registry = MetricsRegistry()
+        for value in (3, 1, 2):
+            registry.observe("x", value)
+        assert registry.observations["x"] == [3, 6, 1, 3]
+
+    def test_summary_lists_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("eval.configs", 7)
+        registry.observe("eval.cycles", 100)
+        text = registry.summary()
+        assert "telemetry metrics:" in text
+        assert "eval.configs" in text and "7" in text
+        assert "eval.cycles" in text and "100" in text
+
+    def test_consume_eval_config(self):
+        registry = MetricsRegistry()
+        registry.consume(
+            {
+                "kind": "eval.config",
+                "ts": 0.0,
+                "passed": False,
+                "cycles": 10,
+                "trap": "bad read",
+                "wall_s": 0.25,
+            }
+        )
+        assert registry.get("eval.configs") == 1
+        assert registry.get("eval.traps") == 1
+        assert registry.observations["eval.wall_s"][1] == 0.25
+
+
+class TestProgressRenderer:
+    def test_renders_and_finishes_line(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream=stream, min_interval=0.0)
+        renderer.emit(
+            {"kind": "search.begin", "ts": 0.0, "workload": "cg", "candidates": 5}
+        )
+        renderer.emit(
+            {
+                "kind": "search.eval",
+                "ts": 0.1,
+                "label": "MODL01",
+                "passed": True,
+                "cycles": 10,
+                "trap": "",
+                "phase": "bfs",
+            }
+        )
+        renderer.emit(
+            {
+                "kind": "search.end",
+                "ts": 0.2,
+                "workload": "cg",
+                "tested": 1,
+                "final": "pass",
+                "wall_s": 0.2,
+            }
+        )
+        text = stream.getvalue()
+        assert "1 tested" in text
+        assert "of 5 candidates" in text
+        assert text.endswith("\n")
+
+    def test_close_is_idempotent(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream=stream)
+        renderer.close()
+        renderer.close()
+        assert stream.getvalue() == ""

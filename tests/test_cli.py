@@ -138,3 +138,69 @@ class TestSearchAndExperiment:
     def test_unknown_workload_rejected(self):
         with pytest.raises(KeyError):
             main(["search", "nonesuch"])
+
+
+class TestTelemetryFlags:
+    def test_search_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["search", "amg", "--class", "S", "--trace", trace,
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "configurations tested" in out
+        assert "telemetry metrics:" in out
+        assert "wrote trace to" in out
+
+        from repro.telemetry import validate_event
+
+        events = [json.loads(line) for line in open(trace)]
+        for event in events:
+            validate_event(event)
+        kinds = {event["kind"] for event in events}
+        assert len(kinds) >= 4
+        assert {"search.begin", "search.end", "eval.config",
+                "instr.stats", "vm.opcodes"} <= kinds
+
+    def test_search_trace_count_matches_summary(self, tmp_path, capsys):
+        import json
+        import re as _re
+
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["search", "amg", "S", "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        tested = int(_re.search(r"(\d+) configurations tested", out).group(1))
+        events = [json.loads(line) for line in open(trace)]
+        assert sum(1 for e in events if e["kind"] == "eval.config") == tested
+
+    def test_search_quiet_suppresses_summary(self, capsys):
+        assert main(["search", "amg", "S", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_search_verbose_prints_history(self, capsys):
+        assert main(["search", "amg", "S", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "history:" in out
+        assert "configurations tested" in out
+
+    def test_run_trace(self, source_file, tmp_path, capsys):
+        import json
+
+        trace = str(tmp_path / "run.jsonl")
+        assert main(["run", source_file, "--trace", trace]) == 0
+        assert "12.5" in capsys.readouterr().out
+        events = [json.loads(line) for line in open(trace)]
+        assert any(e["kind"] == "vm.opcodes" for e in events)
+
+    def test_run_metrics(self, source_file, capsys):
+        assert main(["run", source_file, "--metrics"]) == 0
+        assert "telemetry metrics:" in capsys.readouterr().out
+
+    def test_search_report_embeds_metrics(self, tmp_path, capsys):
+        report = str(tmp_path / "r.md")
+        assert main(["search", "amg", "S", "--metrics", "--report",
+                     report]) == 0
+        text = open(report).read()
+        assert "## Telemetry metrics" in text
+        assert "## Search history" in text
+        assert "| # | configuration | phase | outcome | wall |" in text
