@@ -1,0 +1,157 @@
+"""Incremental evaluation substrate: warm vs cold search throughput.
+
+Runs the same instruction-level BFS search twice — once with the
+incremental caches disabled (every config pays full instrumentation and
+VM compilation, the pre-substrate behaviour) and once with them enabled
+— and reports configs/second for each, plus their ratio.  The two
+searches must agree bit-for-bit on everything but wall time: same
+candidate verdicts, same cycle counts, same final configuration.
+
+Besides the human-readable table this writes a machine-readable
+``BENCH_search.json`` under ``results/`` so future PRs have a perf
+trajectory to compare against; CI's perf-smoke job checks the ratio
+against ``benchmarks/baselines/incremental.json``.
+
+Standalone usage (CI uses this form)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_search.py \
+        --check benchmarks/baselines/incremental.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from conftest import emit, emit_json, full_scale
+
+from repro.search import SearchEngine, SearchOptions
+from repro.workloads import make_nas
+
+
+def _timed_search(bench: str, klass: str, incremental: bool):
+    """One instruction-level search; returns (result, wall_seconds).
+
+    The workload is rebuilt fresh each time (no shared instrumentation
+    state) and the baseline/profile runs — identical in both modes —
+    are excluded from the timed region.
+    """
+    workload = make_nas(bench, klass)
+    workload.baseline()
+    workload.profile()
+    options = SearchOptions(stop_level="instruction", incremental=incremental)
+    start = time.perf_counter()
+    result = SearchEngine(workload, options).run()
+    return result, time.perf_counter() - start
+
+
+def measure(bench: str = "cg", klass: str = "T", repeats: int = 3) -> dict:
+    """Cold vs warm throughput for one benchmark; best-of-``repeats``."""
+    cold_res, cold_wall = None, float("inf")
+    warm_res, warm_wall = None, float("inf")
+    for _ in range(repeats):
+        res, wall = _timed_search(bench, klass, incremental=False)
+        if wall < cold_wall:
+            cold_res, cold_wall = res, wall
+        res, wall = _timed_search(bench, klass, incremental=True)
+        if wall < warm_wall:
+            warm_res, warm_wall = res, wall
+
+    # Identical search, identical verdicts — only the wall time may move.
+    assert cold_res.final_config.flags == warm_res.final_config.flags
+    assert cold_res.static_pct == warm_res.static_pct
+    assert cold_res.dynamic_pct == warm_res.dynamic_pct
+    assert [(r.label, r.passed, r.cycles) for r in cold_res.history] == [
+        (r.label, r.passed, r.cycles) for r in warm_res.history
+    ], "incremental caches changed a search outcome"
+
+    # Both modes resolve the same configs; the warm path just answers
+    # some from the semantic cache.  Throughput is configs resolved per
+    # second, so the two numbers divide the same numerator.
+    configs = len(cold_res.history)
+    return {
+        "benchmark": f"{bench}.{klass}",
+        "configs": configs,
+        "cold_wall_s": round(cold_wall, 4),
+        "warm_wall_s": round(warm_wall, 4),
+        "cold_configs_per_s": round(configs / cold_wall, 2),
+        "warm_configs_per_s": round(configs / warm_wall, 2),
+        "warm_evaluations": warm_res.configs_tested,
+        "speedup": round(cold_wall / warm_wall, 2),
+        "static_pct": round(cold_res.static_pct * 100, 1),
+    }
+
+
+def _format(rows: list[dict]) -> str:
+    lines = ["Incremental evaluation — search throughput (cold vs warm)", ""]
+    header = f"{'benchmark':<10} {'configs':>7} {'cold cfg/s':>10} {'warm cfg/s':>10} {'speedup':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<10} {row['configs']:>7} "
+            f"{row['cold_configs_per_s']:>10.1f} {row['warm_configs_per_s']:>10.1f} "
+            f"{row['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def run_benchmark(klass: str = "T") -> dict:
+    benches = ["cg", "mg", "lu"] if full_scale() else ["cg"]
+    rows = [measure(bench, klass) for bench in benches]
+    payload = {"rows": rows, "primary": rows[0]}
+    emit("incremental_search", _format(rows))
+    path = emit_json("BENCH_search", payload)
+    print(f"wrote {path}")
+    return payload
+
+
+def test_incremental_search_speedup(benchmark):
+    payload = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    primary = payload["primary"]
+    # Acceptance: warm-path throughput >= 3x cold on the CG
+    # instruction-level search.
+    assert primary["speedup"] >= 3.0, primary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="cg", help="NAS benchmark name")
+    parser.add_argument("--class", dest="klass", default="T", help="problem class")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the payload to this path (besides results/)",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a baseline json; exit 1 on >2x regression",
+    )
+    args = parser.parse_args(argv)
+
+    row = measure(args.bench, args.klass)
+    payload = {"rows": [row], "primary": row}
+    emit("incremental_search", _format([row]))
+    emit_json("BENCH_search", payload)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        floor = baseline["speedup"] / 2.0
+        print(
+            f"speedup {row['speedup']:.2f}x vs baseline {baseline['speedup']:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+        if row["speedup"] < floor:
+            print("PERF REGRESSION: speedup fell below half the baseline", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ problem classes, full threshold sweeps); the default keeps a full
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -27,3 +28,15 @@ def emit(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable benchmark record under results/.
+
+    Perf-trajectory files (``BENCH_*.json``) let later PRs compare
+    against this run without parsing the human-readable tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -7,6 +7,7 @@ from repro.binary.model import FunctionInfo, Program
 
 def disassemble_function(program: Program, fn: FunctionInfo, show_blocks: bool = True) -> str:
     """Disassemble one function as a text listing."""
+    program.ensure_cfg()
     lines = [f".func {fn.name}  ; module {fn.module}  [{fn.entry:#x},{fn.end:#x})"]
     blocks = fn.blocks
     for bi, block in enumerate(blocks):

@@ -94,6 +94,20 @@ class Program:
             offset += size
         return out
 
+    def ensure_cfg(self) -> "Program":
+        """Build per-function basic blocks if not yet present.
+
+        Programs assembled by the incremental instrumentation cache defer
+        CFG construction (the evaluation pipeline never needs blocks);
+        consumers that do — the configuration generator, the disassembler
+        — call this first.  Idempotent and cheap when blocks exist.
+        """
+        if any(not fn.blocks and fn.entry < fn.end for fn in self.functions):
+            from repro.binary.cfg import build_cfg
+
+            build_cfg(self)
+        return self
+
     def function_at(self, addr: int) -> FunctionInfo | None:
         for fn in self.functions:
             if fn.entry <= addr < fn.end:

@@ -190,6 +190,7 @@ def cmd_search(args) -> int:
         stop_level=args.stop_level,
         workers=args.workers,
         refine=args.refine,
+        incremental=not args.no_incremental,
     )
     telemetry, metrics = _build_telemetry(args)
     with telemetry:
@@ -335,6 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--refine", action="store_true",
                    help="second search phase when the union fails")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable the incremental evaluation caches "
+                        "(block-template instrumentation reuse, persistent "
+                        "VM); results are identical, only slower")
     p.add_argument("-o", "--output", help="write the best configuration here")
     p.add_argument("--report", help="write a Markdown analysis report here")
     p.add_argument("--quiet", action="store_true",

@@ -27,7 +27,8 @@ from repro.config.model import (
 
 
 def build_tree(program: Program) -> ProgramTree:
-    """Derive the structure tree of *program* (requires CFG to be built)."""
+    """Derive the structure tree of *program* (builds the CFG if needed)."""
+    program.ensure_cfg()
     counters = {"MODL": 0, "FUNC": 0, "BBLK": 0, "INSN": 0}
 
     def next_id(prefix: str) -> str:

@@ -13,6 +13,7 @@ This package implements Sections 2.3 and 2.4 of the paper:
   :class:`~repro.config.model.Config` to a rewritten program.
 """
 
+from repro.instrument.cache import InstrumentCache
 from repro.instrument.engine import (
     InstrumentedProgram,
     InstrumentError,
@@ -21,6 +22,7 @@ from repro.instrument.engine import (
 from repro.instrument.snippets import SnippetStats
 
 __all__ = [
+    "InstrumentCache",
     "InstrumentedProgram",
     "InstrumentError",
     "instrument",

@@ -1,0 +1,355 @@
+"""Content-addressed per-block instrumentation cache.
+
+The BFS tests hundreds of configurations that differ in a handful of
+instruction flags, yet the seed pipeline re-snippets and re-encodes every
+basic block for each of them.  This module makes the marginal cost of
+instrumenting a configuration proportional to the *delta* from previously
+seen configurations: each basic block is compiled once per distinct
+*(policy slice, mode flags)* into a relocatable :class:`BlockTemplate`,
+and :meth:`InstrumentCache.instrument` merely lays the cached templates
+out and patches their relocations.
+
+Why per-block content addressing is sound
+-----------------------------------------
+A block's emitted code is a pure function of
+
+* the block's own instruction sequence (fixed for the lifetime of the
+  cache, which is bound to one original program),
+* the policies of the block's own candidates (``rewrite`` resolves every
+  candidate with ``policies.get(addr, Policy.DOUBLE)``),
+* the mode switches ``(snippet_all, wrap_moves, streamline,
+  optimize_checks)``,
+
+because the redundant-check analysis (`compute_precleaned`) is strictly
+intra-block — its clean set is empty at block entry.  Label *names* never
+reach the byte stream (a ``LabelRef`` encodes as a zeroed ``Imm`` slot
+resolved at layout time), so templates are position-independent byte
+strings plus a relocation table.
+
+Byte identity with the cold path
+--------------------------------
+Templates are built by the very same ``_emit_instruction`` /
+snippet-emitter code the :class:`~repro.asm.builder.AsmBuilder` path
+runs, blocks are laid out in the same order, and relocations write the
+same 8-byte little-endian immediates ``AsmBuilder.link`` would resolve —
+so the assembled text is byte-for-byte identical to an uncached
+``rewrite`` of the same configuration (the differential tests in
+``tests/instrument/test_incremental_cache.py`` enforce this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.builder import LabelRef
+from repro.binary.model import BasicBlock, FunctionInfo, Program
+from repro.config.model import Policy
+from repro.instrument.dataflow import block_precleaned
+from repro.instrument.rewriter import _addr_label, _emit_instruction
+from repro.instrument.snippets import SnippetStats
+from repro.isa.encode import encode_instruction
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, KIND_IMM, KIND_MEM, KIND_REG, KIND_XMM
+
+_M64 = 0xFFFFFFFFFFFFFFFF
+
+# Relocation kinds: template-relative, original-address label, function name.
+_REL_LOCAL = 0
+_REL_ADDR = 1
+_REL_FUNC = 2
+
+
+class _TemplateBuilder:
+    """Minimal stand-in for :class:`AsmBuilder` during template capture.
+
+    Records the emitted instruction stream and label marks of one block;
+    performs no layout.  Fresh labels are template-local — their names
+    never encode, so a per-template counter preserves byte identity with
+    the builder's global counter.
+    """
+
+    __slots__ = ("items", "_counter")
+
+    def __init__(self) -> None:
+        self.items: list = []  # (opcode, operands, line) | label str
+        self._counter = 0
+
+    def emit(self, opcode, *operands, line: int = 0) -> None:
+        self.items.append((opcode, operands, line))
+
+    def mark(self, label: str) -> None:
+        self.items.append(label)
+
+    def fresh_label(self, stem: str = "L") -> str:
+        self._counter += 1
+        return f".{stem}{self._counter}"
+
+
+def _operand_width(operand) -> int:
+    kind = operand.kind  # LabelRef reports KIND_IMM
+    if kind == KIND_REG or kind == KIND_XMM:
+        return 2
+    if kind == KIND_IMM:
+        return 9
+    if kind == KIND_MEM:
+        return 12
+    raise ValueError(f"cannot lay out operand {operand!r}")
+
+
+@dataclass(slots=True)
+class BlockTemplate:
+    """One basic block, instrumented and encoded position-independently."""
+
+    #: encoded block code with every label operand's payload zeroed
+    code: bytes
+    #: (payload offset, kind, value) — 8-byte LE patches at assembly time
+    relocs: tuple
+    #: (original instruction address, template-relative offset)
+    defs: tuple
+    #: (template-relative offset, source line) for debug info
+    lines: tuple
+    #: this block's share of the instrumentation counters
+    stats: SnippetStats
+
+
+def build_block_template(
+    block: BasicBlock,
+    entry_names: dict[int, str],
+    policies: dict[int, Policy],
+    snippet_all: bool,
+    wrap_moves: bool,
+    streamline: bool,
+    optimize_checks: bool,
+) -> BlockTemplate:
+    """Instrument one block into a relocatable template (the cold path of
+    the cache; byte-compatible with the AsmBuilder-based rewriter)."""
+    precleaned: dict[int, frozenset[int]] = {}
+    if optimize_checks and snippet_all:
+        block_precleaned(block.instructions, policies, precleaned)
+
+    builder = _TemplateBuilder()
+    stats = SnippetStats()
+    for instr in block.instructions:
+        builder.mark(_addr_label(instr.addr))
+        _emit_instruction(
+            builder, instr, entry_names, policies, snippet_all, stats,
+            precleaned.get(instr.addr, frozenset()), wrap_moves, streamline,
+        )
+    if stats.replaced_single + stats.wrapped_double:
+        stats.blocks_split = 1
+
+    # Layout pass: assign template-relative offsets, collect label defs.
+    label_off: dict[str, int] = {}
+    pending: list = []  # (opcode, operands, line, offset)
+    offset = 0
+    for item in builder.items:
+        if isinstance(item, str):
+            label_off[item] = offset
+        else:
+            opcode, operands, line = item
+            pending.append((opcode, operands, line, offset))
+            offset += 3 + sum(_operand_width(o) for o in operands)
+
+    # Encoding pass: zero label payloads, record their patch positions.
+    chunks: list[bytes] = []
+    relocs: list = []
+    lines: list = []
+    for opcode, operands, line, off in pending:
+        resolved = []
+        payload = 3
+        for operand in operands:
+            if isinstance(operand, LabelRef):
+                name = operand.name
+                local = label_off.get(name)
+                if local is not None:
+                    relocs.append((off + payload + 1, _REL_LOCAL, local))
+                elif name.startswith(".A"):
+                    relocs.append((off + payload + 1, _REL_ADDR, int(name[2:], 16)))
+                else:
+                    relocs.append((off + payload + 1, _REL_FUNC, name))
+                resolved.append(Imm(0))
+            else:
+                resolved.append(operand)
+            payload += _operand_width(operand)
+        raw = encode_instruction(Instruction(opcode, tuple(resolved)))
+        assert len(raw) == payload, "layout/encoding width mismatch"
+        if line:
+            lines.append((off, line))
+        chunks.append(raw)
+
+    return BlockTemplate(
+        code=b"".join(chunks),
+        relocs=tuple(relocs),
+        defs=tuple((instr.addr, label_off[_addr_label(instr.addr)])
+                   for instr in block.instructions),
+        lines=tuple(lines),
+        stats=stats,
+    )
+
+
+@dataclass(slots=True)
+class CachedRewrite:
+    """Result of one cache-backed rewrite."""
+
+    program: Program
+    stats: SnippetStats
+    #: ordered (template code bytes, base address) pairs tiling the text;
+    #: the VM's compiled-closure cache keys on the (unpatched) code bytes
+    segments: tuple
+    block_hits: int
+    block_misses: int
+
+
+class InstrumentCache:
+    """Per-program cache of instrumented block templates.
+
+    Bound to one original :class:`Program`; :meth:`instrument` produces
+    the mixed-precision executable for a policy map by assembling cached
+    block templates, building only the templates whose policy slice has
+    not been seen before.  Thread the same instance through every
+    evaluation of a search (``repro.search.evaluator`` does).
+    """
+
+    def __init__(self, program: Program, max_templates: int = 65536) -> None:
+        program.ensure_cfg()
+        self.program = program
+        self.max_templates = max_templates
+        self.hits = 0
+        self.misses = 0
+        self._templates: dict = {}
+        self._scratch_ok: bool | None = None
+
+        self.entry_names = {fn.entry: fn.name for fn in program.functions}
+        entry_name = self.entry_names.get(program.entry)
+        if entry_name is None:
+            raise ValueError("program entry is not a function entry")
+        self.entry_name = entry_name
+
+        # (function name, module, blocks, per-block candidate addresses)
+        self._functions = [
+            (
+                fn.name,
+                fn.module,
+                fn.blocks,
+                [
+                    tuple(i.addr for i in block.instructions if i.is_candidate)
+                    for block in fn.blocks
+                ],
+            )
+            for fn in program.functions
+        ]
+        # Modules exactly as the rewriter's builder.module() calls register
+        # them: unique function modules in first-appearance order.
+        modules: list[str] = []
+        for fn in program.functions:
+            if fn.module not in modules:
+                modules.append(fn.module)
+        self._modules = modules or ["main"]
+
+        # Reproduce the data section exactly as the builder lays it out
+        # (same per-symbol concatenation, same drift assertion).
+        image: list[int] = []
+        for symbol in sorted(program.globals.values(), key=lambda s: s.addr):
+            if symbol.addr != len(image):
+                raise AssertionError("data layout drifted during rewrite")
+            init = program.data_image[symbol.addr : symbol.addr + symbol.words]
+            image.extend(c & _M64 for c in init)
+        self._data_image = image
+        self._globals = dict(program.globals)
+
+    def scratch_registers_unused(self) -> bool:
+        """Cached result of the streamline-safety scan."""
+        if self._scratch_ok is None:
+            from repro.instrument.engine import _scratch_registers_unused
+
+            self._scratch_ok = _scratch_registers_unused(self.program)
+        return self._scratch_ok
+
+    def instrument(
+        self,
+        policies: dict[int, Policy],
+        snippet_all: bool,
+        wrap_moves: bool,
+        streamline: bool,
+        optimize_checks: bool,
+    ) -> CachedRewrite:
+        """Assemble the executable implementing *policies* (see class doc)."""
+        variant = (snippet_all, wrap_moves, streamline, optimize_checks)
+        templates = self._templates
+        hits = misses = 0
+
+        # Pass 1: fetch or build each block's template; lay out addresses.
+        func_addrs: dict[str, int] = {}
+        placed: list = []       # (name, module, entry, end)
+        order: list = []        # (template, base address)
+        addr_map: dict[int, int] = {}  # original address -> new address
+        offset = 0
+        for name, module, blocks, candidate_lists in self._functions:
+            func_addrs[name] = offset
+            start = offset
+            for block, candidates in zip(blocks, candidate_lists):
+                key = (
+                    variant,
+                    block.start,
+                    tuple(policies.get(a, Policy.DOUBLE) for a in candidates),
+                )
+                template = templates.get(key)
+                if template is None:
+                    misses += 1
+                    template = build_block_template(
+                        block, self.entry_names, policies, snippet_all,
+                        wrap_moves, streamline, optimize_checks,
+                    )
+                    if len(templates) >= self.max_templates:
+                        templates.clear()  # crude epoch flush; see docs
+                    templates[key] = template
+                else:
+                    hits += 1
+                order.append((template, offset))
+                for orig_addr, rel in template.defs:
+                    addr_map[orig_addr] = offset + rel
+                offset += len(template.code)
+            placed.append((name, module, start, offset))
+
+        # Pass 2: concatenate and patch relocations.
+        buf = bytearray()
+        for template, _base in order:
+            buf += template.code
+        debug_lines: dict[int, int] = {}
+        stats = SnippetStats()
+        for template, base in order:
+            for position, kind, value in template.relocs:
+                if kind == _REL_LOCAL:
+                    target = base + value
+                elif kind == _REL_ADDR:
+                    target = addr_map[value]
+                else:
+                    target = func_addrs[value]
+                p = base + position
+                buf[p : p + 8] = target.to_bytes(8, "little")
+            for rel, line in template.lines:
+                debug_lines[base + rel] = line
+            stats.merge(template.stats)
+
+        new_program = Program(
+            text=bytes(buf),
+            entry=func_addrs[self.entry_name],
+            functions=[
+                FunctionInfo(name, module, entry, end)
+                for name, module, entry, end in placed
+            ],
+            data_image=list(self._data_image),
+            globals=dict(self._globals),
+            modules=list(self._modules),
+            debug_lines=debug_lines,
+            name=self.program.name,
+        )
+        self.hits += hits
+        self.misses += misses
+        return CachedRewrite(
+            program=new_program,
+            stats=stats,
+            segments=tuple((template.code, base) for template, base in order),
+            block_hits=hits,
+            block_misses=misses,
+        )

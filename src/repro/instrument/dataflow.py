@@ -32,19 +32,37 @@ def compute_precleaned(
     out: dict[int, frozenset[int]] = {}
     for fn in program.functions:
         for block in fn.blocks:
-            clean: set[int] = set()
-            for instr in block.instructions:
-                if instr.is_candidate:
-                    policy = policies.get(instr.addr, Policy.DOUBLE)
-                    if policy is Policy.DOUBLE:
-                        out[instr.addr] = frozenset(clean)
-                        _apply_double(instr, clean)
-                    elif policy is Policy.SINGLE:
-                        _apply_single(instr, clean)
-                    else:  # IGNORE: untouched instruction, unknown effects
-                        _kill_writes(instr, clean)
-                else:
-                    _apply_plain(instr, clean)
+            block_precleaned(block.instructions, policies, out)
+    return out
+
+
+def block_precleaned(
+    instructions: list[Instruction],
+    policies: dict[int, Policy],
+    out: dict[int, frozenset[int]] | None = None,
+) -> dict[int, frozenset[int]]:
+    """The per-block body of :func:`compute_precleaned`.
+
+    The clean set is empty at block entry and never crosses block
+    boundaries, so the result for one block depends only on that block's
+    instructions and the policies of its own candidates — the property
+    the instrumentation cache's per-block content addressing relies on.
+    """
+    if out is None:
+        out = {}
+    clean: set[int] = set()
+    for instr in instructions:
+        if instr.is_candidate:
+            policy = policies.get(instr.addr, Policy.DOUBLE)
+            if policy is Policy.DOUBLE:
+                out[instr.addr] = frozenset(clean)
+                _apply_double(instr, clean)
+            elif policy is Policy.SINGLE:
+                _apply_single(instr, clean)
+            else:  # IGNORE: untouched instruction, unknown effects
+                _kill_writes(instr, clean)
+        else:
+            _apply_plain(instr, clean)
     return out
 
 

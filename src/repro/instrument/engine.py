@@ -48,6 +48,10 @@ class InstrumentedProgram:
     config: Config
     stats: SnippetStats
     snippeted: bool
+    #: ordered (template bytes, base address) pairs tiling the text when
+    #: the program came out of an :class:`InstrumentCache`; the VM's
+    #: compiled-closure cache keys on these.  ``None`` on the cold path.
+    segments: tuple | None = None
 
     @property
     def growth(self) -> float:
@@ -80,6 +84,8 @@ def instrument(
     optimize_checks: bool = False,
     streamline: bool = False,
     telemetry=None,
+    cache=None,
+    policies: dict[int, Policy] | None = None,
 ) -> InstrumentedProgram:
     """Build the mixed-precision executable for *config* (see module doc).
 
@@ -88,38 +94,71 @@ def instrument(
     save/restore around every snippet is elided.  Only legal when the
     program provably never uses those registers; the engine verifies this
     statically and raises otherwise.
+
+    *cache* may be an :class:`~repro.instrument.cache.InstrumentCache`
+    bound to *program*; block templates are then reused across calls and
+    only blocks whose policy slice changed are re-snippeted.  The output
+    is byte-identical to the uncached path.  *policies* short-circuits
+    ``config.instruction_policies()`` when the caller already has the
+    resolved map (the evaluators do).
     """
     if mode not in ("auto", "all", "none"):
         raise InstrumentError(f"unknown mode {mode!r}")
-    if streamline and not _scratch_registers_unused(program):
-        raise InstrumentError(
-            "streamline requested but the program uses snippet-reserved "
-            "registers; save/restore cannot be elided safely"
+    if cache is not None and cache.program is not program:
+        raise InstrumentError("instrument cache is bound to a different program")
+    if streamline:
+        scratch_free = (
+            cache.scratch_registers_unused()
+            if cache is not None
+            else _scratch_registers_unused(program)
         )
-    policies = config.instruction_policies()
+        if not scratch_free:
+            raise InstrumentError(
+                "streamline requested but the program uses snippet-reserved "
+                "registers; save/restore cannot be elided safely"
+            )
+    if policies is None:
+        policies = config.instruction_policies()
     has_single = any(p is Policy.SINGLE for p in policies.values())
     snippet_all = mode == "all" or (mode == "auto" and has_single)
 
-    precleaned = None
-    if optimize_checks and snippet_all:
-        precleaned = compute_precleaned(program, policies)
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    segments = None
+    if cache is not None:
+        try:
+            cached = cache.instrument(
+                policies, snippet_all,
+                wrap_moves=(mode == "all"), streamline=streamline,
+                optimize_checks=optimize_checks,
+            )
+        except SnippetError as exc:
+            raise InstrumentError(str(exc)) from exc
+        new_program = cached.program
+        stats = cached.stats
+        segments = cached.segments
+        telemetry.count("instr.block_cache_hits", cached.block_hits)
+        telemetry.count("instr.block_cache_misses", cached.block_misses)
+    else:
+        precleaned = None
+        if optimize_checks and snippet_all:
+            precleaned = compute_precleaned(program, policies)
 
-    stats = SnippetStats()
-    try:
-        new_program = rewrite(
-            program, policies, snippet_all, stats, precleaned,
-            wrap_moves=(mode == "all"), streamline=streamline,
-        )
-    except SnippetError as exc:
-        raise InstrumentError(str(exc)) from exc
+        stats = SnippetStats()
+        try:
+            new_program = rewrite(
+                program, policies, snippet_all, stats, precleaned,
+                wrap_moves=(mode == "all"), streamline=streamline,
+            )
+        except SnippetError as exc:
+            raise InstrumentError(str(exc)) from exc
     result = InstrumentedProgram(
         program=new_program,
         original=program,
         config=config,
         stats=stats,
         snippeted=snippet_all,
+        segments=segments,
     )
-    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     if telemetry.enabled:
         telemetry.emit(
             "instr.stats",

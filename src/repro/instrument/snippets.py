@@ -62,6 +62,20 @@ class SnippetStats:
     blocks_split: int = 0     # basic blocks that had at least one snippet spliced
     by_opcode: dict = field(default_factory=dict)
 
+    def merge(self, other: "SnippetStats") -> None:
+        """Accumulate *other* (e.g. one block's counters) into this object."""
+        self.replaced_single += other.replaced_single
+        self.wrapped_double += other.wrapped_double
+        self.ignored += other.ignored
+        self.copied += other.copied
+        self.checks_emitted += other.checks_emitted
+        self.checks_skipped += other.checks_skipped
+        self.snippet_instructions += other.snippet_instructions
+        self.saves_elided += other.saves_elided
+        self.blocks_split += other.blocks_split
+        for key, value in other.by_opcode.items():
+            self.by_opcode[key] = self.by_opcode.get(key, 0) + value
+
 
 class _Emitter:
     """Counts instructions emitted through the builder on behalf of snippets.

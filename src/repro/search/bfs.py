@@ -69,6 +69,12 @@ class SearchOptions:
         independent tests if cores are available").  1 = serial; >1 uses
         a fork-based process pool, falling back to serial on platforms
         without fork.  Results are identical either way.
+    incremental:
+        Thread the incremental-evaluation caches (block-template
+        instrumentation cache, persistent VM with compiled-closure reuse,
+        semantic config dedup) through the evaluators.  Semantics-
+        invisible; ``False`` is the escape hatch that restores cold-path
+        evaluation for every config (CLI: ``--no-incremental``).
     """
 
     stop_level: str = LEVEL_INSN
@@ -79,6 +85,7 @@ class SearchOptions:
     refine: bool = False
     refine_budget: int = 64
     workers: int = 1
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.stop_level not in _LEVEL_RANK:
@@ -149,9 +156,13 @@ class SearchEngine:
             self.evaluator = ParallelEvaluator(
                 workload, self.tree, self.options.workers,
                 telemetry=self.telemetry,
+                incremental=self.options.incremental,
             )
         else:
-            self.evaluator = Evaluator(workload, telemetry=self.telemetry)
+            self.evaluator = Evaluator(
+                workload, telemetry=self.telemetry,
+                incremental=self.options.incremental,
+            )
         self.base_config = base_config or Config.all_double(self.tree)
         self._seq = 0
         self._heap: list = []
@@ -222,6 +233,26 @@ class SearchEngine:
 
     # -- main loop --------------------------------------------------------------------
 
+    def _evaluate_ordered(self, items: list[_Item], configs: list[Config]) -> list:
+        """Evaluate a batch, submitting configs in program order.
+
+        Sibling structures flip adjacent policy slices, so sorting the
+        *submission* order by node id maximizes template/closure prefix
+        sharing inside the incremental caches.  Outcomes are mapped back
+        to item order before any search decision is made, so the descent
+        trajectory — and therefore the whole search — is unchanged.
+        """
+        if len(items) < 2:
+            return self.evaluator.evaluate_batch(configs)
+        order = sorted(
+            range(len(items)), key=lambda i: items[i].nodes[0].node_id
+        )
+        ordered = self.evaluator.evaluate_batch([configs[i] for i in order])
+        outcomes: list = [None] * len(items)
+        for pos, i in enumerate(order):
+            outcomes[i] = ordered[pos]
+        return outcomes
+
     def run(self) -> SearchResult:
         with contextlib.ExitStack() as stack:
             if self._owns_evaluator:
@@ -291,7 +322,7 @@ class SearchEngine:
                 config.flags.update(item.flags())
                 configs.append(config)
             batch_start = time.perf_counter()
-            outcomes = self.evaluator.evaluate_batch(configs)
+            outcomes = self._evaluate_ordered(items, configs)
             per_eval = (time.perf_counter() - batch_start) / len(items)
             for item, (passed, cycles, trap) in zip(items, outcomes):
                 history.append(

@@ -9,6 +9,27 @@ Every *actual* evaluation (cache miss) is reported to the attached
 telemetry as one ``eval.config`` event carrying pass/fail, cycles, the
 trap message, and wall time — so a trace's ``eval.config`` count always
 equals the search's ``configs_tested``.
+
+Incremental evaluation
+----------------------
+With ``incremental`` on (the default) the evaluator threads two caches
+through every test so the marginal cost of a configuration is
+proportional to its *delta* from previously seen ones:
+
+* an :class:`~repro.instrument.cache.InstrumentCache` reuses per-block
+  instrumentation templates, so only blocks whose policy slice changed
+  are re-snippeted;
+* a persistent :class:`~repro.vm.machine.Machine` reuses compiled VM
+  closures for unchanged blocks across programs (only when the
+  workload's ``run`` is the stock single-rank runner — a workload with
+  a custom ``run`` is executed through that override, unchanged).
+
+Both caches are semantics-invisible: the instrumented bytes and the
+run's outputs/cycles/steps are bit-identical to the cold path (enforced
+by differential tests).  A second, semantic config cache recognizes
+configurations whose *flag maps* differ but whose resolved per-
+instruction policies coincide — those short-circuit as cache hits
+without an ``eval.config`` event, exactly like flag-identical repeats.
 """
 
 from __future__ import annotations
@@ -17,9 +38,50 @@ import time
 from dataclasses import dataclass, field
 
 from repro.config.model import Config
+from repro.instrument.cache import InstrumentCache
 from repro.instrument.engine import instrument
 from repro.telemetry import NULL_TELEMETRY
 from repro.vm.errors import VmTrap
+from repro.vm.machine import Machine
+from repro.workloads.base import Workload
+
+
+def machine_eligible(workload) -> bool:
+    """True when *workload* executes programs with the stock single-rank
+    runner (``Workload.run`` not overridden), so a persistent
+    :class:`~repro.vm.machine.Machine` built from ``vm_params()``
+    reproduces its runs bit-for-bit."""
+    return isinstance(workload, Workload) and type(workload).run is Workload.run
+
+
+class IncrementalState:
+    """The per-process caches of incremental evaluation.
+
+    One instance serves one (workload, evaluator) pairing — serial
+    evaluators own one directly; each parallel worker builds its own
+    after the fork so closures bind to that process's state.
+    """
+
+    __slots__ = ("icache", "machine")
+
+    def __init__(self, workload, telemetry=None) -> None:
+        self.icache = InstrumentCache(workload.program)
+        self.machine = (
+            Machine(telemetry=telemetry, **workload.vm_params())
+            if machine_eligible(workload)
+            else None
+        )
+
+    def run(self, workload, instrumented):
+        """Execute an instrumented build exactly as ``workload.run`` would."""
+        if self.machine is not None:
+            return self.machine.run(instrumented.program, instrumented.segments)
+        return workload.run(instrumented.program)
+
+
+def semantic_key(policies: dict) -> tuple:
+    """Hashable identity of a configuration's resolved policy map."""
+    return tuple(sorted(policies.items()))
 
 
 @dataclass(slots=True)
@@ -37,7 +99,12 @@ class Evaluator:
     telemetry:
         Optional :class:`repro.telemetry.Telemetry`; receives one
         ``eval.config`` event per cache miss plus the instrumentation
-        engine's ``instr.stats`` counters.
+        engine's ``instr.stats`` counters and the incremental-cache
+        metrics (``instr.block_cache_*``, ``vm.compile_cache_*``).
+    incremental:
+        Thread the instrumentation/compile caches through evaluations
+        (see module docstring).  ``False`` restores the cold path for
+        every test — results are identical either way.
     """
 
     workload: object
@@ -46,6 +113,9 @@ class Evaluator:
     evaluations: int = 0
     cache_hits: int = 0
     telemetry: object = None
+    incremental: bool = True
+    semantic_cache: dict = field(default_factory=dict)
+    _state: IncrementalState | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
@@ -58,18 +128,41 @@ class Evaluator:
             self.cache_hits += 1
             self.telemetry.count("eval.cache_hits")
             return self.cache[key]
+
+        policies = None
+        skey = None
+        if self.incremental:
+            policies = config.instruction_policies()
+            skey = semantic_key(policies)
+            hit = self.semantic_cache.get(skey)
+            if hit is not None:
+                # Same executable as an earlier config under different
+                # flags: a cache hit, not a new evaluation.
+                self.cache[key] = hit
+                self.cache_hits += 1
+                self.telemetry.count("eval.cache_hits")
+                return hit
+            if self._state is None:
+                self._state = IncrementalState(self.workload, self.telemetry)
+
         self.evaluations += 1
         telemetry = self.telemetry
+        state = self._state
         start = time.perf_counter()
         instrumented = instrument(
             self.workload.program, config,
             optimize_checks=self.optimize_checks, telemetry=telemetry,
+            cache=state.icache if state is not None else None,
+            policies=policies,
         )
         try:
-            result = self.workload.run(instrumented.program)
+            if state is not None:
+                result = state.run(self.workload, instrumented)
+            else:
+                result = self.workload.run(instrumented.program)
         except VmTrap as exc:
             outcome = (False, 0, str(exc))
-            self.cache[key] = outcome
+            self._store(key, skey, outcome)
             if telemetry.enabled:
                 telemetry.emit("vm.trap", message=str(exc), addr=exc.addr)
                 telemetry.emit(
@@ -79,13 +172,18 @@ class Evaluator:
             return outcome
         passed = bool(self.workload.verify(result))
         outcome = (passed, result.cycles, "")
-        self.cache[key] = outcome
+        self._store(key, skey, outcome)
         if telemetry.enabled:
             telemetry.emit(
                 "eval.config", passed=passed, cycles=result.cycles, trap="",
                 wall_s=round(time.perf_counter() - start, 6),
             )
         return outcome
+
+    def _store(self, key, skey, outcome) -> None:
+        self.cache[key] = outcome
+        if skey is not None:
+            self.semantic_cache[skey] = outcome
 
     def evaluate_batch(self, configs: list) -> list:
         """Serial batch evaluation (see repro.search.parallel for the

@@ -9,44 +9,111 @@ by the children without pickling) evaluating batches of configurations.
 Only the *evaluations* are parallel; the search loop itself stays
 deterministic — batches are drained in submission order, so histories
 and results are identical to a serial run with the same options.
+
+Incremental evaluation mirrors the serial :class:`Evaluator`: every
+worker process owns an :class:`~repro.search.evaluator.IncrementalState`
+(instrumentation-template cache + persistent VM) that persists across
+the jobs it executes, and ships its cache-counter deltas back with each
+outcome so the parent can aggregate them into the shared telemetry —
+workers never carry telemetry sinks of their own.  Batch deduplication
+(flag-identical and semantically identical configs) happens parent-side
+before submission, so ``eval.cache_hits`` / ``eval.config`` counts are
+identical to a serial run over the same sequence.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.config.model import Config
 from repro.instrument.engine import instrument
+from repro.search.evaluator import IncrementalState, semantic_key
 from repro.telemetry import NULL_TELEMETRY
 from repro.vm.errors import VmTrap
 
 # Per-worker state, installed by the fork (never pickled).
 _STATE: dict = {}
 
+#: cache-counter names shipped from workers to the parent, in order.
+_DELTA_COUNTERS = (
+    "instr.block_cache_hits",
+    "instr.block_cache_misses",
+    "vm.compile_cache_hits",
+    "vm.compile_cache_misses",
+)
 
-def _worker_init(workload, tree, optimize_checks) -> None:
+
+def _worker_init(workload, tree, optimize_checks, incremental) -> None:
     _STATE["workload"] = workload
     _STATE["tree"] = tree
     _STATE["optimize_checks"] = optimize_checks
+    _STATE["incremental"] = incremental
+    _STATE["state"] = None
 
 
-def _worker_eval(flags: dict) -> tuple[bool, int, str]:
+def _counter_totals(state) -> tuple[int, int, int, int]:
+    if state is None:
+        return (0, 0, 0, 0)
+    machine = state.machine
+    return (
+        state.icache.hits,
+        state.icache.misses,
+        machine.compile_cache_hits if machine is not None else 0,
+        machine.compile_cache_misses if machine is not None else 0,
+    )
+
+
+def _worker_eval(flags: dict):
+    """Evaluate one config; returns (outcome, cache-counter deltas).
+
+    The deltas (see ``_DELTA_COUNTERS``) let the parent aggregate the
+    worker-side incremental-cache activity into its telemetry.
+    """
     workload = _STATE["workload"]
     config = Config(_STATE["tree"], flags)
+    state = _STATE["state"]
+    if _STATE["incremental"] and state is None:
+        state = _STATE["state"] = IncrementalState(workload)
+    before = _counter_totals(state)
+    if state is not None:
+        policies = config.instruction_policies()
+        instrumented = instrument(
+            workload.program, config,
+            optimize_checks=_STATE["optimize_checks"],
+            cache=state.icache, policies=policies,
+        )
+        try:
+            result = state.run(workload, instrumented)
+        except VmTrap as exc:
+            return (False, 0, str(exc)), _deltas(state, before)
+        outcome = (bool(workload.verify(result)), result.cycles, "")
+        return outcome, _deltas(state, before)
     instrumented = instrument(
         workload.program, config, optimize_checks=_STATE["optimize_checks"]
     )
     try:
         result = workload.run(instrumented.program)
     except VmTrap as exc:
-        return (False, 0, str(exc))
-    return (bool(workload.verify(result)), result.cycles, "")
+        return (False, 0, str(exc)), (0, 0, 0, 0)
+    return (bool(workload.verify(result)), result.cycles, ""), (0, 0, 0, 0)
+
+
+def _deltas(state, before) -> tuple[int, int, int, int]:
+    after = _counter_totals(state)
+    return tuple(a - b for a, b in zip(after, before))
 
 
 def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _shutdown_pool(pool) -> None:
+    """Module-level so ``weakref.finalize`` holds no reference to the
+    evaluator (a bound method would keep it alive forever)."""
+    pool.shutdown()
 
 
 class ParallelEvaluator:
@@ -55,10 +122,11 @@ class ParallelEvaluator:
     fork is not available on the platform.
 
     Also a context manager: ``with ParallelEvaluator(...) as ev:`` closes
-    the worker pool on exit even when a search raises mid-batch (the
-    ``__del__`` best-effort path remains as a backstop).  Telemetry events
-    are emitted from the parent process only — worker children never carry
-    sinks, so trace files have a single writer.
+    the worker pool on exit even when a search raises mid-batch (a
+    ``weakref.finalize`` backstop reaps the pool if the evaluator is
+    dropped without ``close()``).  Telemetry events are emitted from the
+    parent process only — worker children never carry sinks, so trace
+    files have a single writer.
     """
 
     def __init__(
@@ -68,6 +136,7 @@ class ParallelEvaluator:
         workers: int,
         optimize_checks: bool = False,
         telemetry=None,
+        incremental: bool = True,
     ):
         if workers < 2:
             raise ValueError("ParallelEvaluator needs workers >= 2")
@@ -75,11 +144,15 @@ class ParallelEvaluator:
         self.tree = tree
         self.workers = workers
         self.optimize_checks = optimize_checks
+        self.incremental = incremental
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cache: dict = {}
+        self.semantic_cache: dict = {}
         self.evaluations = 0
         self.cache_hits = 0
+        self._state = None  # parent-side IncrementalState (serial fallback)
         self._pool = None
+        self._finalizer = None
         if fork_available():
             # Make sure lazily cached state (baseline, profile) exists
             # before forking so children share it.
@@ -91,8 +164,9 @@ class ParallelEvaluator:
                 max_workers=workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(workload, tree, optimize_checks),
+                initargs=(workload, tree, optimize_checks, incremental),
             )
+            self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
 
     # -- Evaluator protocol ---------------------------------------------------
 
@@ -101,32 +175,59 @@ class ParallelEvaluator:
 
     def evaluate_batch(self, configs: list[Config]) -> list[tuple[bool, int, str]]:
         keys = [frozenset(c.flags.items()) for c in configs]
-        missing: dict = {}
-        for key, config in zip(keys, configs):
-            if key not in self.cache and key not in missing:
-                missing[key] = config
 
-        if missing:
-            items = list(missing.items())
+        # Parent-side dedup: drop flag-identical repeats, configs already
+        # cached, and (incrementally) configs whose resolved policy map
+        # matches a cached or already-submitted one.  What remains is
+        # exactly the set a serial evaluator would have executed.
+        jobs: list = []           # (key, skey, config) to execute
+        job_index: dict = {}      # flag key -> job position
+        alias: dict = {}          # flag key -> job position (semantic dup)
+        skey_index: dict = {}     # semantic key -> job position
+        for key, config in zip(keys, configs):
+            if key in self.cache or key in job_index or key in alias:
+                continue
+            skey = None
+            if self.incremental:
+                skey = semantic_key(config.instruction_policies())
+                hit = self.semantic_cache.get(skey)
+                if hit is not None:
+                    self.cache[key] = hit
+                    continue
+                pos = skey_index.get(skey)
+                if pos is not None:
+                    alias[key] = pos
+                    continue
+                skey_index[skey] = len(jobs)
+            job_index[key] = len(jobs)
+            jobs.append((key, skey, config))
+
+        if jobs:
             start = time.perf_counter()
             if self._pool is not None:
                 futures = [
                     self._pool.submit(_worker_eval, dict(config.flags))
-                    for _key, config in items
+                    for _key, _skey, config in jobs
                 ]
-                outcomes = [f.result() for f in futures]
+                replies = [f.result() for f in futures]
+                outcomes = [outcome for outcome, _deltas in replies]
+                totals = [0, 0, 0, 0]
+                for _outcome, deltas in replies:
+                    for i, d in enumerate(deltas):
+                        totals[i] += d
+                for name, total in zip(_DELTA_COUNTERS, totals):
+                    if total:
+                        self.telemetry.count(name, total)
             else:  # serial fallback (no fork on this platform)
                 outcomes = [
-                    _serial_eval(
-                        self.workload, config, self.optimize_checks,
-                        telemetry=self.telemetry,
-                    )
-                    for _key, config in items
+                    self._serial_eval(config) for _key, _skey, config in jobs
                 ]
             batch_wall = time.perf_counter() - start
             telemetry = self.telemetry
-            for (key, _config), outcome in zip(items, outcomes):
+            for (key, skey, _config), outcome in zip(jobs, outcomes):
                 self.cache[key] = outcome
+                if skey is not None:
+                    self.semantic_cache[skey] = outcome
                 self.evaluations += 1
                 if telemetry.enabled:
                     passed, cycles, trap = outcome
@@ -136,21 +237,40 @@ class ParallelEvaluator:
                     # the batch wall amortized over its members.
                     telemetry.emit(
                         "eval.config", passed=passed, cycles=cycles, trap=trap,
-                        wall_s=round(batch_wall / len(items), 6),
+                        wall_s=round(batch_wall / len(jobs), 6),
                     )
+            for key, pos in alias.items():
+                self.cache[key] = outcomes[pos]
 
-        results = []
-        for key in keys:
-            results.append(self.cache[key])
-        hits = len(keys) - len(missing)
+        results = [self.cache[key] for key in keys]
+        hits = len(keys) - len(jobs)
         self.cache_hits += hits
         if hits:
             self.telemetry.count("eval.cache_hits", hits)
         return results
 
+    def _serial_eval(self, config: Config) -> tuple[bool, int, str]:
+        if self.incremental and self._state is None:
+            self._state = IncrementalState(self.workload, self.telemetry)
+        state = self._state
+        instrumented = instrument(
+            self.workload.program, config,
+            optimize_checks=self.optimize_checks, telemetry=self.telemetry,
+            cache=state.icache if state is not None else None,
+            policies=config.instruction_policies() if state is not None else None,
+        )
+        try:
+            if state is not None:
+                result = state.run(self.workload, instrumented)
+            else:
+                result = self.workload.run(instrumented.program)
+        except VmTrap as exc:
+            return (False, 0, str(exc))
+        return (bool(self.workload.verify(result)), result.cycles, "")
+
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown()
+            self._finalizer()  # idempotent: shuts the pool down once
             self._pool = None
 
     def __enter__(self) -> "ParallelEvaluator":
@@ -158,21 +278,3 @@ class ParallelEvaluator:
 
     def __exit__(self, *exc) -> None:
         self.close()
-
-    def __del__(self):  # pragma: no cover - best effort
-        try:
-            self.close()
-        except Exception:
-            pass
-
-
-def _serial_eval(workload, config: Config, optimize_checks: bool, telemetry=None):
-    instrumented = instrument(
-        workload.program, config, optimize_checks=optimize_checks,
-        telemetry=telemetry,
-    )
-    try:
-        result = workload.run(instrumented.program)
-    except VmTrap as exc:
-        return (False, 0, str(exc))
-    return (bool(workload.verify(result)), result.cycles, "")

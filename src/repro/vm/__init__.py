@@ -14,12 +14,20 @@ than single FLOPs, memory accesses are priced by bytes moved), so
 """
 
 from repro.vm.errors import VmTrap, CollectiveYield
-from repro.vm.machine import VM, ExecResult, run_program
+from repro.vm.machine import (
+    VM,
+    CompiledSegmentCache,
+    ExecResult,
+    Machine,
+    run_program,
+)
 from repro.vm.outputs import decode_outputs, outputs_close
 
 __all__ = [
     "VM",
+    "CompiledSegmentCache",
     "ExecResult",
+    "Machine",
     "run_program",
     "VmTrap",
     "CollectiveYield",

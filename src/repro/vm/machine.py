@@ -56,6 +56,19 @@ class _Halt(Exception):
 _HALT = _Halt()
 
 
+class _PendingTrap(VmTrap):
+    """Execution fault raised inside a position-independent cached closure.
+
+    Cached closures are shared between programs, so they cannot embed the
+    faulting instruction's text address; :meth:`VM.resume` stamps the
+    current program's address on before the trap escapes (the resulting
+    message is identical to an uncached VM's)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.core = message
+
+
 def _s64(v: int) -> int:
     return v - 0x10000000000000000 if v & _SIGN64 else v
 
@@ -167,6 +180,86 @@ def _irem(a: int, b: int) -> int:
     return r & _M64
 
 
+def _static_cost(instr: Instruction, model: CostModel) -> int:
+    """Fall-through cycle cost of one instruction (position-independent)."""
+    info = OPCODE_INFO[instr.opcode]
+    cost = model.op_cost(instr.opcode)
+    for o in instr.operands:
+        if isinstance(o, Mem):
+            cost += model.mem_cost(info.mem_width, o.base == 14)
+    return cost
+
+
+class _SegInstr:
+    """One instruction of a cached segment.
+
+    ``cacheable`` is False exactly for control-flow transfers (jmp / jcc /
+    call): their closures embed resolved target indices and return
+    addresses, which depend on where the segment landed in the final
+    layout.  Everything else advances ``idx + 1`` relative to wherever it
+    sits, so its compiled closure can be reused verbatim."""
+
+    __slots__ = ("instr", "off", "cost", "cacheable", "closure")
+
+    def __init__(self, instr: Instruction, off: int, cost: int, cacheable: bool) -> None:
+        self.instr = instr
+        self.off = off
+        self.cost = cost
+        self.cacheable = cacheable
+        self.closure = None
+
+
+class CompiledSegmentCache:
+    """Compiled-closure cache keyed by a segment's *unpatched* bytes.
+
+    The instrumentation cache hands the VM the template byte string of
+    every block it assembled (relocation payloads still zeroed).  Those
+    bytes are a sound content key: two occurrences decode to the same
+    instruction sequence, and the only operands that differ after
+    patching belong to the non-cacheable control-flow transfers, which
+    are re-decoded from the patched text and rebuilt on every load.
+
+    Closures capture one VM's state arrays by reference, so a cache is
+    bound to a single VM for its whole life (:class:`Machine` enforces
+    this).  ``hits``/``misses`` count segment-level lookups.
+    """
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.hits = 0
+        self.misses = 0
+        self._segments: dict[bytes, list[_SegInstr]] = {}
+
+    def lookup(self, seg_bytes: bytes) -> list[_SegInstr]:
+        entry = self._segments.get(seg_bytes)
+        if entry is None:
+            self.misses += 1
+            entry = self._decode_segment(seg_bytes)
+            self._segments[seg_bytes] = entry
+        else:
+            self.hits += 1
+        return entry
+
+    def _decode_segment(self, seg_bytes: bytes) -> list[_SegInstr]:
+        out: list[_SegInstr] = []
+        model = self.cost_model
+        offset = 0
+        n = len(seg_bytes)
+        while offset < n:
+            instr, size = decode_instruction(seg_bytes, offset)
+            info = OPCODE_INFO[instr.opcode]
+            out.append(
+                _SegInstr(
+                    instr,
+                    offset,
+                    _static_cost(instr, model),
+                    not (info.is_call or info.is_branch),
+                )
+            )
+            offset += size
+        return out
+
+
 class VM:
     """One virtual machine instance executing one Program.
 
@@ -207,6 +300,8 @@ class VM:
         profile: bool = False,
         cost_model: CostModel | None = None,
         telemetry=None,
+        segment_cache: CompiledSegmentCache | None = None,
+        segments=None,
     ) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
@@ -228,20 +323,25 @@ class VM:
         self.xmm_hi = [0] * 16
         self.flags = [0, 0, 0]  # zf, lt, unord
         self.outputs: list = []
-        self.rng = [seed & _M64 or 1]
+        self._seed0 = seed & _M64 or 1
+        self.rng = [self._seed0]
         self._cyc = [0]
         self.steps = 0
         self.finished = False
 
+        self._data_image0 = list(program.data_image)
+        self._stack_zero = [0] * stack_words
+        self._segment_cache = segment_cache
         self._instrs: list[Instruction] = []
+        #: text address of each instruction (``_instrs[i].addr`` may be
+        #: segment-relative when the instruction came out of the cache)
+        self._instr_addrs: list[int] = []
         self._addr2idx: dict[int, int] = {}
-        self._decode()
-        self._counts = [0] * len(self._instrs)
-        #: static (fall-through) cost per instruction, recorded by _build
-        #: for the opcode census; never consulted by the execution loop.
+        #: static (fall-through) cost per instruction, used by the opcode
+        #: census; never consulted by the execution loop.
         self._inst_costs: list[int] = []
-        self._code = [self._build(i) for i in range(len(self._instrs))]
-        self._entry_idx = self._addr2idx[program.entry]
+        self._code: list = []
+        self._load(program, segments)
 
     # -- public API -----------------------------------------------------------
 
@@ -275,20 +375,32 @@ class VM:
                     counts[index] += 1
                     index = code[index](index)
             else:
-                while True:
-                    n += 1
-                    if n > remaining:
-                        raise VmTrap(f"step budget exceeded ({self.max_steps})")
-                    index = code[index](index)
+                # Same step accounting as the counting loop above: a halt
+                # or trap during iteration n leaves the loop variable at
+                # n; running the budget dry charges remaining + 1 (or a
+                # single step when the budget was already exhausted).
+                if remaining > 0:
+                    for n in range(1, remaining + 1):
+                        index = code[index](index)
+                    n = remaining + 1
+                else:
+                    n = 1
+                raise VmTrap(f"step budget exceeded ({self.max_steps})")
         except _Halt:
             self.steps += n
             self.finished = True
+            # _HALT is a module-level singleton: drop the traceback it
+            # just acquired, or it pins the whole raising frame stack
+            # (and everything those frames reference) until the next run.
+            _HALT.__traceback__ = None
             return True
         except CollectiveYield:
             self.steps += n
             raise
         except VmTrap as exc:
             self.steps += n
+            if type(exc) is _PendingTrap:
+                exc = VmTrap(exc.core, self._instr_addrs[index])
             self.telemetry.emit(
                 "vm.trap",
                 message=str(exc),
@@ -296,14 +408,14 @@ class VM:
                 rank=self.rank,
                 steps=self.steps,
             )
-            raise
+            raise exc from None
 
     def result(self) -> ExecResult:
         exec_counts = {}
         if self.profile:
-            instrs = self._instrs
+            addrs = self._instr_addrs
             exec_counts = {
-                instrs[i].addr: c for i, c in enumerate(self._counts) if c
+                addrs[i]: c for i, c in enumerate(self._counts) if c
             }
         return ExecResult(
             outputs=list(self.outputs),
@@ -352,17 +464,106 @@ class VM:
             opcodes=self.opcode_stats(),
         )
 
+    def rebind(self, program: Program, segments=None) -> None:
+        """Reset all architectural state in place and load *program*.
+
+        Cached closures captured the state arrays (``mem``, ``gpr``,
+        ``xmm_*``, flags, outputs, rng, cycle counter) by reference, so
+        the reset mutates them rather than replacing them.  Only legal
+        for a program with the same data image and stack size as the one
+        this VM was created with — :class:`Machine` checks that.
+        """
+        if program.data_image != self._data_image0:
+            raise ValueError("rebind requires an identical data image")
+        mem = self.mem
+        dw = self.stack_limit
+        mem[:dw] = self._data_image0
+        mem[dw:] = self._stack_zero
+        self.gpr[:] = [0] * 16
+        self.gpr[15] = len(mem)
+        self.xmm_lo[:] = [0] * 16
+        self.xmm_hi[:] = [0] * 16
+        self.flags[:] = (0, 0, 0)
+        self.outputs.clear()
+        self.rng[0] = self._seed0
+        self._cyc[0] = 0
+        self.steps = 0
+        self.finished = False
+        self._load(program, segments)
+
     # -- compilation -----------------------------------------------------------
 
-    def _decode(self) -> None:
-        text = self.program.text
-        offset = 0
-        n = len(text)
-        while offset < n:
-            instr, size = decode_instruction(text, offset)
-            self._addr2idx[offset] = len(self._instrs)
-            self._instrs.append(instr)
-            offset += size
+    def _load(self, program: Program, segments=None) -> None:
+        """(Re)compile *program* into the closure array.
+
+        When *segments* (the instrumentation cache's template tiling) and
+        a :class:`CompiledSegmentCache` are both present, position-
+        independent closures are fetched from the cache and only
+        control-flow transfers are re-decoded from the patched text and
+        rebuilt.  Otherwise every instruction is decoded and compiled
+        fresh, exactly as the original single-program VM did.
+        """
+        self.program = program
+        instrs = self._instrs
+        addrs = self._instr_addrs
+        a2i = self._addr2idx
+        instrs.clear()
+        addrs.clear()
+        a2i.clear()  # in place: cached ret closures captured this dict
+        cache = self._segment_cache
+        text = program.text
+        costs: list[int] = []
+        if segments is None or cache is None:
+            offset = 0
+            n = len(text)
+            model = self.cost_model
+            while offset < n:
+                instr, size = decode_instruction(text, offset)
+                a2i[offset] = len(instrs)
+                instrs.append(instr)
+                addrs.append(offset)
+                costs.append(_static_cost(instr, model))
+                offset += size
+            self._inst_costs = costs
+            self._counts = [0] * len(instrs)
+            self._code = [self._build(i) for i in range(len(instrs))]
+        else:
+            entries: list[list[_SegInstr]] = []
+            expect = 0
+            for seg_bytes, base in segments:
+                if base != expect:
+                    raise ValueError("segments do not tile the text section")
+                expect += len(seg_bytes)
+                entry = cache.lookup(seg_bytes)
+                entries.append(entry)
+                for si in entry:
+                    a2i[base + si.off] = len(instrs)
+                    instrs.append(si.instr)
+                    addrs.append(base + si.off)
+                    costs.append(si.cost)
+            if expect != len(text):
+                raise ValueError("segments do not tile the text section")
+            self._inst_costs = costs
+            self._counts = [0] * len(instrs)
+            code: list = []
+            build = self._build
+            i = 0
+            for entry in entries:
+                for si in entry:
+                    if si.cacheable:
+                        closure = si.closure
+                        if closure is None:
+                            closure = si.closure = build(i)
+                    else:
+                        # Target operands were patched at assembly time;
+                        # decode the real instruction from the final text.
+                        instr, _size = decode_instruction(text, addrs[i])
+                        instrs[i] = instr
+                        closure = build(i)
+                    code.append(closure)
+                    i += 1
+            self._code = code
+        self._entry_idx = a2i[program.entry]
 
     def _trap(self, message: str, addr: int):
         raise VmTrap(message, addr)
@@ -392,7 +593,7 @@ class VM:
             a = addrf()
             if 0 <= a < top:
                 return mem[a]
-            raise VmTrap(f"memory read out of bounds: {a}", iaddr)
+            raise _PendingTrap(f"memory read out of bounds: {a}")
 
         return read
 
@@ -406,7 +607,7 @@ class VM:
             if 0 <= a < top:
                 mem[a] = value
             else:
-                raise VmTrap(f"memory write out of bounds: {a}", iaddr)
+                raise _PendingTrap(f"memory write out of bounds: {a}")
 
         return write
 
@@ -448,7 +649,7 @@ class VM:
                 a = addrf()
                 if 0 <= a and a + 1 < top:
                     return mem[a], mem[a + 1]
-                raise VmTrap(f"packed memory read out of bounds: {a}", iaddr)
+                raise _PendingTrap(f"packed memory read out of bounds: {a}")
 
             return read2
         raise VmTrap(f"bad packed source operand {operand!r}", iaddr)
@@ -460,14 +661,8 @@ class VM:
         op = instr.opcode
         info = OPCODE_INFO[op]
         ops = instr.operands
-        iaddr = instr.addr
-
-        model = self.cost_model
-        cost = model.op_cost(op)
-        for o in ops:
-            if isinstance(o, Mem):
-                cost += model.mem_cost(info.mem_width, o.base == 14)
-        self._inst_costs.append(cost)  # census only; the loop never reads it
+        iaddr = self._instr_addrs[i]
+        cost = self._inst_costs[i]
 
         cyc = self._cyc
         gpr = self.gpr
@@ -513,14 +708,14 @@ class VM:
         if op is Op.CALL:
             target = self._branch_index(ops[0], iaddr)
             next_addr = (
-                self._instrs[i + 1].addr if i + 1 < len(self._instrs) else -1
+                self._instr_addrs[i + 1] if i + 1 < len(self._instrs) else -1
             )
             limit = self.stack_limit
             def h_call(idx, cyc=cyc, cost=cost, target=target, gpr=gpr, mem=mem,
                        next_addr=next_addr, limit=limit):
                 sp = gpr[15] - 1
                 if sp < limit:
-                    raise VmTrap("stack overflow on call", iaddr)
+                    raise _PendingTrap("stack overflow on call")
                 mem[sp] = next_addr
                 gpr[15] = sp
                 cyc[0] += cost
@@ -532,12 +727,12 @@ class VM:
             def h_ret(idx, cyc=cyc, cost=cost, gpr=gpr, mem=mem, a2i=a2i, top=top):
                 sp = gpr[15]
                 if sp >= top:
-                    raise VmTrap("stack underflow on ret", iaddr)
+                    raise _PendingTrap("stack underflow on ret")
                 ra = mem[sp]
                 gpr[15] = sp + 1
                 t = a2i.get(ra)
                 if t is None:
-                    raise VmTrap(f"return to non-instruction address {ra:#x}", iaddr)
+                    raise _PendingTrap(f"return to non-instruction address {ra:#x}")
                 cyc[0] += cost
                 return t
             return h_ret
@@ -708,7 +903,7 @@ class VM:
             def h_push(idx, cyc=cyc, cost=cost, gpr=gpr, mem=mem, srcf=srcf, limit=limit):
                 sp = gpr[15] - 1
                 if sp < limit:
-                    raise VmTrap("stack overflow", iaddr)
+                    raise _PendingTrap("stack overflow")
                 mem[sp] = srcf()
                 gpr[15] = sp
                 cyc[0] += cost
@@ -721,7 +916,7 @@ class VM:
             def h_pop(idx, cyc=cyc, cost=cost, gpr=gpr, mem=mem, d=d, top=top):
                 sp = gpr[15]
                 if sp >= top:
-                    raise VmTrap("stack underflow", iaddr)
+                    raise _PendingTrap("stack underflow")
                 gpr[d] = mem[sp]
                 gpr[15] = sp + 1
                 cyc[0] += cost
@@ -735,7 +930,7 @@ class VM:
                         x=x, limit=limit):
                 sp = gpr[15] - 2
                 if sp < limit:
-                    raise VmTrap("stack overflow", iaddr)
+                    raise _PendingTrap("stack overflow")
                 mem[sp] = xl[x]
                 mem[sp + 1] = xh[x]
                 gpr[15] = sp
@@ -750,7 +945,7 @@ class VM:
                        x=x, top=top):
                 sp = gpr[15]
                 if sp + 1 >= top:
-                    raise VmTrap("stack underflow", iaddr)
+                    raise _PendingTrap("stack underflow")
                 xl[x] = mem[sp]
                 xh[x] = mem[sp + 1]
                 gpr[15] = sp + 2
@@ -802,7 +997,7 @@ class VM:
                           addrf=addrf, top=top):
                 a = addrf()
                 if not (0 <= a and a + 1 < top):
-                    raise VmTrap(f"packed memory write out of bounds: {a}", iaddr)
+                    raise _PendingTrap(f"packed memory write out of bounds: {a}")
                 mem[a] = xl[s]
                 mem[a + 1] = xh[s]
                 cyc[0] += cost
@@ -960,7 +1155,7 @@ class VM:
             def h_movssmx(idx, cyc=cyc, cost=cost, xl=xl, s=s, mem=mem, addrf=addrf, top=top):
                 a = addrf()
                 if not 0 <= a < top:
-                    raise VmTrap(f"memory write out of bounds: {a}", iaddr)
+                    raise _PendingTrap(f"memory write out of bounds: {a}")
                 mem[a] = (mem[a] & _HI32) | (xl[s] & _M32)
                 cyc[0] += cost
                 return idx + 1
@@ -1130,7 +1325,7 @@ class VM:
                     a = addrf()
                     n = gpr[cnt_reg]
                     if not (0 <= a and a + n <= top):
-                        raise VmTrap(f"vector collective out of bounds: {a}+{n}", iaddr)
+                        raise _PendingTrap(f"vector collective out of bounds: {a}+{n}")
                     cyc[0] += cost
                     return idx + 1
                 return h_mpiv1
@@ -1139,7 +1334,7 @@ class VM:
                 a = addrf()
                 n = gpr[cnt_reg]
                 if not (0 <= a and a + n <= top):
-                    raise VmTrap(f"vector collective out of bounds: {a}+{n}", iaddr)
+                    raise _PendingTrap(f"vector collective out of bounds: {a}+{n}")
                 cyc[0] += cost
                 raise CollectiveYield(kind, idx + 1, arg=arg, addr=a, count=n)
             return h_mpiv
@@ -1178,6 +1373,84 @@ _COND_TABLE = {
     Op.JP: lambda f: f[2],
     Op.JNP: lambda f: not f[2],
 }
+
+
+class Machine:
+    """Persistent single-rank executor amortizing closure compilation.
+
+    A Machine owns at most one live :class:`VM` plus the
+    :class:`CompiledSegmentCache` bound to it.  :meth:`run` reuses the
+    VM's state arrays and cached closures whenever the next program has
+    the same data image as the current one — always true across the
+    instrumented variants of a single workload, which is the search's hot
+    path — and otherwise starts a fresh VM and cache.  State is fully
+    reset between runs, so results (outputs, cycles, steps) are identical
+    to a fresh :func:`run_program` call; the differential tests assert
+    this bit-for-bit.
+
+    The optional *telemetry* only feeds the ``vm.compile_cache_*``
+    metric counters.  It is deliberately not passed into the VM: the
+    evaluation path runs the VM silent (exactly like the seed's
+    ``run_program(..., telemetry=None)``), keeping traces byte-compatible.
+    """
+
+    def __init__(
+        self,
+        stack_words: int = 8192,
+        seed: int = 0x9E3779B97F4A7C15,
+        max_steps: int = 200_000_000,
+        cost_model: CostModel | None = None,
+        telemetry=None,
+    ) -> None:
+        self.stack_words = stack_words
+        self.seed = seed
+        self.max_steps = max_steps
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.runs = 0
+        self._vm: VM | None = None
+        self._cache: CompiledSegmentCache | None = None
+
+    @property
+    def compile_cache_hits(self) -> int:
+        return self._cache.hits if self._cache is not None else 0
+
+    @property
+    def compile_cache_misses(self) -> int:
+        return self._cache.misses if self._cache is not None else 0
+
+    def run(self, program: Program, segments=None) -> ExecResult:
+        """Execute *program* to HALT, like :func:`run_program`.
+
+        *segments* is the template tiling from the instrumentation cache
+        (``InstrumentedProgram.segments``); pass ``None`` to load without
+        closure reuse (the VM and its state arrays are still recycled).
+        """
+        cache = self._cache
+        h0 = cache.hits if cache is not None else 0
+        m0 = cache.misses if cache is not None else 0
+        vm = self._vm
+        if vm is not None and program.data_image == vm._data_image0:
+            vm.rebind(program, segments)
+        else:
+            cache = self._cache = CompiledSegmentCache(self.cost_model)
+            h0 = m0 = 0
+            vm = self._vm = VM(
+                program,
+                stack_words=self.stack_words,
+                seed=self.seed,
+                max_steps=self.max_steps,
+                cost_model=self.cost_model,
+                segment_cache=cache,
+                segments=segments,
+            )
+        self.runs += 1
+        try:
+            return vm.run()
+        finally:
+            t = self.telemetry
+            t.count("vm.compile_cache_hits", cache.hits - h0)
+            t.count("vm.compile_cache_misses", cache.misses - m0)
 
 
 def run_program(

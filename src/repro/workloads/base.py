@@ -137,6 +137,19 @@ class Workload:
             max_steps=self.max_steps,
         )
 
+    def vm_params(self) -> dict:
+        """The exact VM parameters :meth:`run` uses.
+
+        A persistent :class:`repro.vm.Machine` constructed with these
+        reproduces :meth:`run` bit-for-bit; the evaluators rely on that
+        when they substitute the Machine for per-run VM construction.
+        """
+        return {
+            "stack_words": self.stack_words,
+            "seed": self.seed,
+            "max_steps": self.max_steps,
+        }
+
     def run_mpi(self, size: int, program: Program | None = None) -> MpiResult:
         """Run a build at *size* ranks."""
         runner = MultiRankRunner(

@@ -171,6 +171,7 @@ fn main() {
 """)
 
 CLASSES = {
+    "T": dict(n=4),
     "S": dict(n=8),
     "W": dict(n=16),
     "A": dict(n=32),

@@ -163,6 +163,10 @@ fn main() {
 # the attainable residual near 1e-7 — that gap is what the verification
 # routine keys on, like NAS CG's zeta check.
 CLASSES = {
+    # "T" (tiny) exists for the incremental-evaluation benchmark and the
+    # CI perf smoke: big enough to exercise every snippet kind, small
+    # enough that a full instruction-level search finishes in seconds.
+    "T": dict(n=12, row_nnz=3, niter=2),
     "S": dict(n=24, row_nnz=5, niter=10),
     "W": dict(n=48, row_nnz=6, niter=16),
     "A": dict(n=96, row_nnz=8, niter=20),

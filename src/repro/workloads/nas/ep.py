@@ -64,6 +64,7 @@ fn main() {
 """)
 
 CLASSES = {
+    "T": dict(npairs=64),
     "S": dict(npairs=256),
     "W": dict(npairs=1024),
     "A": dict(npairs=4096),

@@ -180,6 +180,7 @@ fn main() {
 """)
 
 CLASSES = {
+    "T": dict(logn=4, batch=1, nstep=2),
     "S": dict(logn=5, batch=1, nstep=3),
     "W": dict(logn=6, batch=2, nstep=4),
     "A": dict(logn=7, batch=2, nstep=5),

@@ -90,6 +90,7 @@ fn main() {
 """)
 
 CLASSES = {
+    "T": dict(n=16, band=4, niter=2),
     "S": dict(n=32, band=4, niter=3),
     "W": dict(n=64, band=8, niter=5),
     "A": dict(n=128, band=8, niter=6),

@@ -186,6 +186,7 @@ def _params(nf: int, nlev: int, ncyc: int) -> dict:
 
 
 CLASSES = {
+    "T": _params(nf=17, nlev=2, ncyc=1),
     "S": _params(nf=33, nlev=3, ncyc=2),
     "W": _params(nf=65, nlev=4, ncyc=3),
     "A": _params(nf=129, nlev=5, ncyc=4),

@@ -120,6 +120,7 @@ fn main() {
 """)
 
 CLASSES = {
+    "T": dict(n=12, nsys=1),
     "S": dict(n=24, nsys=2),
     "W": dict(n=48, nsys=3),
     "A": dict(n=96, nsys=4),

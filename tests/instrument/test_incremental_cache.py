@@ -1,0 +1,127 @@
+"""Differential tests for the incremental instrumentation cache.
+
+The cache is only allowed to be faster — never different.  For every
+NAS workload, under both ``optimize_checks`` settings, the program a
+cache-backed ``instrument()`` assembles must be byte-identical to the
+cold rewriter's output, and executing it must reproduce outputs, cycle
+counts, and step counts bit-for-bit.
+"""
+
+import pytest
+
+from repro.config import Config, Policy, build_tree
+from repro.config.model import LEVEL_FUNCTION
+from repro.instrument import InstrumentCache, InstrumentError, instrument
+from repro.vm import run_program
+from repro.workloads import make_nas
+from tests.conftest import compile_src
+
+NAS = ["cg", "bt", "ep", "ft", "lu", "mg", "sp"]
+
+
+def _configs(tree):
+    """All-double, all-single, and a mixed function-level config."""
+    yield Config.all_double(tree)
+    yield Config.all_single(tree)
+    mixed = Config.all_double(tree)
+    for k, node in enumerate(tree.nodes_at(LEVEL_FUNCTION)):
+        if k % 2 == 0:
+            mixed = mixed.set(node.node_id, Policy.SINGLE)
+    yield mixed
+
+
+@pytest.mark.parametrize("optimize_checks", [False, True])
+@pytest.mark.parametrize("bench", NAS)
+def test_cached_instrument_is_byte_identical(bench, optimize_checks):
+    workload = make_nas(bench, "T")
+    program = workload.program
+    tree = build_tree(program)
+    cache = InstrumentCache(program)
+    for config in _configs(tree):
+        cold = instrument(program, config, optimize_checks=optimize_checks)
+        warm = instrument(
+            program, config, optimize_checks=optimize_checks, cache=cache
+        )
+        assert warm.program.text == cold.program.text
+        assert warm.program.entry == cold.program.entry
+        assert warm.program.data_image == cold.program.data_image
+        assert warm.program.debug_lines == cold.program.debug_lines
+        assert warm.stats.replaced_single == cold.stats.replaced_single
+        assert warm.stats.checks_skipped == cold.stats.checks_skipped
+
+        ran_cold = workload.run(cold.program)
+        ran_warm = workload.run(warm.program)
+        assert ran_warm.outputs == ran_cold.outputs
+        assert ran_warm.cycles == ran_cold.cycles
+        assert ran_warm.steps == ran_cold.steps
+
+
+def test_repeat_instrument_hits_every_block():
+    workload = make_nas("cg", "T")
+    tree = build_tree(workload.program)
+    cache = InstrumentCache(workload.program)
+    config = Config.all_single(tree)
+
+    instrument(workload.program, config, cache=cache)
+    misses_after_first = cache.misses
+    assert misses_after_first > 0 and cache.hits == 0
+
+    instrument(workload.program, config, cache=cache)
+    assert cache.misses == misses_after_first  # nothing re-snippeted
+    assert cache.hits == misses_after_first
+
+
+def test_single_flag_change_rebuilds_one_block():
+    workload = make_nas("cg", "T")
+    tree = build_tree(workload.program)
+    cache = InstrumentCache(workload.program)
+
+    # Two candidate instructions in different basic blocks; both configs
+    # snippet every block (flag resolution is outermost-wins, so the
+    # base flag must sit on an instruction, not the root).
+    insns = list(tree.instructions())
+    first = insns[0]
+    other = next(n for n in insns if n.parent is not first.parent)
+
+    base = Config.all_double(tree).set(first.node_id, Policy.SINGLE)
+    instrument(workload.program, base, cache=cache)
+    misses_before = cache.misses
+
+    changed = base.copy().set(other.node_id, Policy.SINGLE)
+    instrument(workload.program, changed, cache=cache)
+    # Only the block containing the newly flipped instruction rebuilds.
+    assert cache.misses == misses_before + 1
+
+
+def test_cache_rejects_foreign_program():
+    cache = InstrumentCache(make_nas("cg", "T").program)
+    other = compile_src("fn main() { out(1.0); }")
+    tree = build_tree(other)
+    with pytest.raises(InstrumentError):
+        instrument(other, Config.all_double(tree), cache=cache)
+
+
+def test_segments_tile_the_text_section():
+    workload = make_nas("mg", "T")
+    tree = build_tree(workload.program)
+    cache = InstrumentCache(workload.program)
+    result = instrument(workload.program, Config.all_single(tree), cache=cache)
+    assert result.segments is not None
+    expect = 0
+    for seg_bytes, base in result.segments:
+        assert base == expect
+        expect += len(seg_bytes)
+    assert expect == len(result.program.text)
+
+
+def test_cached_program_runs_without_cfg():
+    # Cache-assembled programs defer CFG construction; running them (and
+    # rebuilding the CFG on demand) must both work.
+    workload = make_nas("lu", "T")
+    tree = build_tree(workload.program)
+    cache = InstrumentCache(workload.program)
+    result = instrument(workload.program, Config.all_single(tree), cache=cache)
+    assert all(not fn.blocks for fn in result.program.functions if fn.entry < fn.end)
+    run_program(result.program)
+    result.program.ensure_cfg()
+    assert any(fn.blocks for fn in result.program.functions)

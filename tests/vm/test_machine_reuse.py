@@ -1,0 +1,131 @@
+"""Persistent ``Machine`` reuse: rebinding, compile cache, trap parity.
+
+A ``Machine`` keeps one VM alive across ``run()`` calls and reuses
+compiled closures for instructions whose bytes are unchanged.  Every
+observable — outputs, cycles, steps, trap messages *and* trap
+addresses — must match a fresh ``run_program`` exactly, no matter how
+many runs the machine has already absorbed.
+"""
+
+import pytest
+
+from repro.config import Config, Policy, build_tree
+from repro.instrument import InstrumentCache, instrument
+from repro.vm import Machine, run_program
+from repro.vm.errors import VmTrap
+from repro.workloads import make_nas
+from tests.conftest import compile_src
+
+TRAP_SRC = """
+var a: real[4] = [1.0, 2.0, 3.0, 4.0];
+fn main() {
+    var x: real = 3.0;
+    var y: real = x * 1.0;
+    var k: i64 = i64(y);
+    out(a[k]);
+}
+"""
+
+
+def _trapping_program():
+    # Single-replace the multiply but ignore the conversion: the flagged
+    # slot reads back as NaN -> integer indefinite -> wild index -> trap.
+    program = compile_src(TRAP_SRC)
+    tree = build_tree(program)
+    nodes = list(tree.instructions())
+    config = Config(tree)
+    config.set(next(n for n in nodes if "mulsd" in n.text).node_id, Policy.SINGLE)
+    config.set(next(n for n in nodes if "cvttsd2si" in n.text).node_id, Policy.IGNORE)
+    return instrument(program, config).program
+
+
+class TestReuse:
+    def test_repeat_runs_identical(self):
+        workload = make_nas("cg", "T")
+        machine = Machine(**workload.vm_params())
+        cold = workload.run(workload.program)
+        results = [machine.run(workload.program) for _ in range(3)]
+        for warm in results:
+            assert warm.outputs == cold.outputs
+            assert warm.cycles == cold.cycles
+            assert warm.steps == cold.steps
+        assert machine.runs == 3
+
+    def test_instrumented_sequence_matches_cold(self):
+        # The searcher's actual usage: one machine, a stream of
+        # differently instrumented builds of the same workload.
+        workload = make_nas("mg", "T")
+        tree = build_tree(workload.program)
+        cache = InstrumentCache(workload.program)
+        machine = Machine(**workload.vm_params())
+        configs = [
+            Config.all_double(tree),
+            Config.all_single(tree),
+            Config.all_double(tree).set(
+                next(iter(tree.instructions())).node_id, Policy.SINGLE
+            ),
+        ]
+        for config in configs:
+            built = instrument(workload.program, config, cache=cache)
+            warm = machine.run(built.program, built.segments)
+            cold = workload.run(built.program)
+            assert warm.outputs == cold.outputs
+            assert warm.cycles == cold.cycles
+            assert warm.steps == cold.steps
+        # Later builds reused compiled closures for unchanged blocks.
+        assert machine.compile_cache_hits > 0
+
+    def test_profile_counts_identical(self):
+        workload = make_nas("ep", "T")
+        machine = Machine(**workload.vm_params())
+        machine.run(workload.program)  # prime the compile cache
+        warm = machine.run(workload.program)
+        assert warm.exec_counts == workload.run(workload.program).exec_counts
+
+
+class TestTrapParity:
+    def test_trap_address_survives_closure_reuse(self):
+        program = _trapping_program()
+        machine = Machine(stack_words=256, max_steps=100_000)
+        with pytest.raises(VmTrap) as cold:
+            machine.run(program)
+        with pytest.raises(VmTrap) as warm:
+            machine.run(program)
+        # The warm run executes cached closures; the trap must still be
+        # stamped with the faulting instruction's address.
+        assert str(warm.value) == str(cold.value)
+        assert warm.value.addr == cold.value.addr
+        assert warm.value.addr is not None
+
+    def test_trap_matches_run_program(self):
+        program = _trapping_program()
+        machine = Machine(stack_words=256, max_steps=100_000)
+        with pytest.raises(VmTrap) as fresh:
+            run_program(program, stack_words=256, max_steps=100_000)
+        with pytest.raises(VmTrap):
+            machine.run(program)  # prime the compile cache
+        with pytest.raises(VmTrap) as warm:
+            machine.run(program)
+        assert str(warm.value) == str(fresh.value)
+        assert warm.value.addr == fresh.value.addr
+
+
+class TestRebind:
+    def test_data_image_change_builds_fresh_vm(self):
+        workload = make_nas("cg", "T")
+        machine = Machine(**workload.vm_params())
+        first = machine.run(workload.program)
+        vm_before = machine._vm
+
+        # A build with different input data cannot share the bound VM's
+        # data image; the machine must fall back to a fresh VM.
+        other = make_nas("cg", "S")
+        second = machine.run(other.program)
+        assert machine._vm is not vm_before
+        assert second.outputs == other.run(other.program).outputs
+
+        # And rebinding back to the first image works again.
+        third = machine.run(other.program)
+        assert third.outputs == second.outputs
+        assert third.cycles == second.cycles
+        assert first.outputs != second.outputs
