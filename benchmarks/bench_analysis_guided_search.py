@@ -1,0 +1,165 @@
+"""Analysis-guided search: evaluations and wall time saved by guidance.
+
+Runs the breadth-first search twice per workload — unguided (the paper's
+behaviour, ``analysis=False``) and guided by the shadow-value analysis
+(``analysis=True``: one observed run up front, singleton channels
+pruned on their exact "fail" verdicts) — and reports configurations
+tested and wall time for each.  The guided wall time *includes* the
+analysis run itself, so the reduction is the real end-to-end saving.
+
+The two searches must compose identical final configurations (the
+subsystem's soundness contract); the guided one must test strictly
+fewer configurations on the cg and mg workloads (the acceptance the
+differential tests also assert).
+
+Besides the human-readable table this merges a machine-readable record
+into ``results/BENCH_search.json`` (under the ``"guided"`` key, next to
+the incremental-substrate record) so future PRs have a perf trajectory;
+CI's perf-smoke job checks the saving against
+``benchmarks/baselines/analysis_guided.json``.
+
+Standalone usage (CI uses this form)::
+
+    PYTHONPATH=src python benchmarks/bench_analysis_guided_search.py \
+        --check benchmarks/baselines/analysis_guided.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from conftest import RESULTS_DIR, emit, emit_json, full_scale
+
+from repro.experiments.guided import compare
+
+#: (bench, klass) pairs where the channel verdicts are known to prune;
+#: cg and mg carry the strict configs_tested assertions.
+WORKLOADS = (("cg", "T"), ("mg", "W"))
+FULL_WORKLOADS = (("cg", "T"), ("cg", "S"), ("mg", "W"), ("ep", "T"),
+                  ("ft", "T"), ("sp", "T"))
+
+
+def measure(bench: str, klass: str) -> dict:
+    c = compare(bench, klass, refine=True)
+    assert c.identical_final, (
+        f"{c.workload}: guided search composed a different final config"
+    )
+    return {
+        "benchmark": c.workload,
+        "unguided_configs": c.base_tested,
+        "guided_configs": c.guided_tested,
+        "pruned": c.pruned,
+        "configs_saved": c.saved,
+        "configs_saved_pct": round(100.0 * c.saved / max(1, c.base_tested), 1),
+        "unguided_wall_s": round(c.base_wall_s, 4),
+        "guided_wall_s": round(c.guided_wall_s, 4),
+        "wall_reduction_pct": round(
+            100.0 * (c.base_wall_s - c.guided_wall_s) / c.base_wall_s, 1
+        ),
+        "identical_final": c.identical_final,
+    }
+
+
+def _format(rows: list[dict]) -> str:
+    lines = ["Analysis-guided search — evaluations and wall time saved", ""]
+    header = (
+        f"{'benchmark':<10} {'unguided':>8} {'guided':>7} {'pruned':>7} "
+        f"{'saved':>10} {'wall':>18}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<10} {row['unguided_configs']:>8} "
+            f"{row['guided_configs']:>7} {row['pruned']:>7} "
+            f"{row['configs_saved']:>4} ({row['configs_saved_pct']:>4.1f}%) "
+            f"{row['unguided_wall_s']:>7.2f}s -> {row['guided_wall_s']:>6.2f}s"
+        )
+    return "\n".join(lines)
+
+
+def _merge_bench_search(payload: dict) -> None:
+    """Merge the guided record into BENCH_search.json without clobbering
+    the incremental-substrate record that shares the file."""
+    path = RESULTS_DIR / "BENCH_search.json"
+    existing = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+    existing["guided"] = payload
+    emit_json("BENCH_search", existing)
+
+
+def _assert_strict_savings(rows: list[dict]) -> None:
+    for row in rows:
+        bench = row["benchmark"].split(".")[0]
+        if bench in ("cg", "mg"):
+            assert row["guided_configs"] < row["unguided_configs"], (
+                f"{row['benchmark']}: guidance saved nothing "
+                f"({row['guided_configs']} vs {row['unguided_configs']})"
+            )
+
+
+def run_benchmark() -> dict:
+    workloads = FULL_WORKLOADS if full_scale() else WORKLOADS
+    rows = [measure(bench, klass) for bench, klass in workloads]
+    _assert_strict_savings(rows)
+    payload = {"rows": rows, "primary": rows[0]}
+    emit("analysis_guided_search", _format(rows))
+    _merge_bench_search(payload)
+    print(f"merged into {RESULTS_DIR / 'BENCH_search.json'}")
+    return payload
+
+
+def test_analysis_guided_search(benchmark):
+    payload = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    primary = payload["primary"]
+    # Acceptance: guidance prunes at least a fifth of cg.T's
+    # evaluations with an identical final configuration.
+    assert primary["identical_final"]
+    assert primary["configs_saved_pct"] >= 20.0, primary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the payload to this path (besides results/)",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a baseline json; exit 1 on >2x regression",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        saved = payload["primary"]["configs_saved_pct"]
+        floor = baseline["configs_saved_pct"] / 2.0
+        print(
+            f"configs saved {saved:.1f}% vs baseline "
+            f"{baseline['configs_saved_pct']:.1f}% (floor {floor:.1f}%)"
+        )
+        if saved < floor:
+            print(
+                "PERF REGRESSION: analysis guidance saves less than half "
+                "the baseline fraction",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

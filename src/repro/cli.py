@@ -12,6 +12,7 @@ disasm      disassemble a program
 config      emit the initial configuration exchange file (paper Fig. 3)
 instrument  rewrite a program under a configuration file
 view        render the configuration tree (paper Fig. 4, as text)
+analyze     shadow-value analysis of a built-in workload (JSON report)
 search      automatic mixed-precision search on a built-in workload
 experiment  regenerate one of the paper's tables/figures
 
@@ -179,7 +180,40 @@ def cmd_view(args) -> int:
     profile = None
     if args.profile:
         profile = run_program(program, profile=True).exec_counts
-    print(render_config_tree(config, profile=profile), end="")
+    analysis = None
+    if args.analysis:
+        from repro.analysis import AnalysisReport
+
+        with open(args.analysis) as handle:
+            analysis = AnalysisReport.loads(handle.read())
+    print(
+        render_config_tree(config, profile=profile, analysis=analysis),
+        end="",
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import analyze
+
+    klass = args.klass_opt if args.klass_opt is not None else args.klass
+    workload = make_workload(args.workload, klass)
+    telemetry, metrics = _build_telemetry(args)
+    with telemetry:
+        report = analyze(workload, telemetry=telemetry)
+    text = report.dumps()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        hist = ", ".join(
+            f"{k}={v}" for k, v in report.verdict_histogram().items()
+        )
+        print(f"{args.output}: {report.observed}/{report.candidates} "
+              f"candidates observed; verdicts: {hist or 'none'}")
+    else:
+        print(text)
+    if metrics is not None:
+        print(metrics.summary(), end="", file=sys.stderr)
     return 0
 
 
@@ -191,17 +225,24 @@ def cmd_search(args) -> int:
         workers=args.workers,
         refine=args.refine,
         incremental=not args.no_incremental,
+        analysis=args.analysis,
     )
     telemetry, metrics = _build_telemetry(args)
     with telemetry:
-        result = SearchEngine(workload, options, telemetry=telemetry).run()
+        engine = SearchEngine(workload, options, telemetry=telemetry)
+        result = engine.run()
     if args.verbose:
         print(render_search_summary(result), end="")
         print()
     row = result.row()
     if not args.quiet:
+        pruned = (
+            f" ({result.analysis_pruned} pruned by analysis)"
+            if result.analysis_used and result.analysis_pruned
+            else ""
+        )
         print(f"search {result.workload}: {result.candidates} candidates, "
-              f"{result.configs_tested} configurations tested, "
+              f"{result.configs_tested} configurations tested{pruned}, "
               f"static {row['static_pct']}% / dynamic {row['dynamic_pct']}%, "
               f"final {row['final']} in {result.wall_seconds:.2f}s")
     if result.refined_config is not None and not args.quiet:
@@ -216,7 +257,12 @@ def cmd_search(args) -> int:
         from repro.viewer.report import render_markdown_report
 
         with open(args.report, "w") as handle:
-            handle.write(render_markdown_report(result, workload, metrics=metrics))
+            handle.write(
+                render_markdown_report(
+                    result, workload, metrics=metrics,
+                    analysis=engine.analysis_report,
+                )
+            )
         print(f"wrote report to {args.report}")
     if args.output and result.final_config is not None:
         best = (
@@ -231,10 +277,19 @@ def cmd_search(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    from repro.experiments import amg, fig8, fig9, fig10, fig11
+    from repro.experiments import amg, fig8, fig9, fig10, fig11, guided
     from repro.experiments.tables import format_table
 
     name = args.figure
+    if name == "guided":
+        print(
+            format_table(
+                guided.run(classes=(args.klass,)),
+                title="Guided vs unguided search",
+            ),
+            end="",
+        )
+        return 0
     if name == "fig8":
         print(format_table(fig8.run(klass=args.klass), title="Figure 8"), end="")
     elif name == "fig9":
@@ -323,14 +378,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target", nargs="+")
     p.add_argument("--config")
     p.add_argument("--profile", action="store_true")
+    p.add_argument("--analysis", metavar="REPORT",
+                   help="JSON analysis report (from `repro analyze -o`): "
+                        "adds shadow verdict/error columns")
     _add_compile_flags(p)
     p.set_defaults(func=cmd_view)
+
+    p = sub.add_parser(
+        "analyze",
+        help="shadow-value analysis: one observed run, JSON report",
+    )
+    p.add_argument("workload", help="bt|cg|ep|ft|lu|mg|sp|amg|superlu")
+    p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
+    p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
+                   help="problem class (same as the positional argument)")
+    p.add_argument("-o", "--output",
+                   help="write the JSON report here instead of stdout")
+    _add_telemetry_flags(p, progress=False)
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("search", help="automatic search on a built-in workload")
     p.add_argument("workload", help="bt|cg|ep|ft|lu|mg|sp|amg|superlu")
     p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
     p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
                    help="problem class (same as the positional argument)")
+    p.add_argument("--analysis", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="shadow-value analysis guidance: one extra observed "
+                        "run up front prunes candidates whose singleton "
+                        "verdict is already decided (--no-analysis restores "
+                        "the paper's unguided search; the final configuration "
+                        "is identical either way)")
     p.add_argument("--stop-level", default="instruction",
                    choices=("module", "function", "block", "instruction"))
     p.add_argument("--workers", type=int, default=1)
@@ -350,7 +428,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    p.add_argument("figure", choices=("fig8", "fig9", "fig10", "fig11", "amg"))
+    p.add_argument(
+        "figure",
+        choices=("fig8", "fig9", "fig10", "fig11", "amg", "guided"),
+    )
     p.add_argument("klass", nargs="?", default="W")
     p.set_defaults(func=cmd_experiment)
 

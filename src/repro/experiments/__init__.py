@@ -13,6 +13,8 @@ amg       AMG microkernel: whole-kernel replacement, analysis
           overhead, converted speedup
 ablation  Search-optimization and engine ablations (Section 2.2
           optimizations, Section 2.5 future-work features)
+guided    Guided-vs-unguided search: evaluations saved by the
+          shadow-value analysis, with identical final configs
 ========  ==========================================================
 
 Every driver returns plain data structures (lists of row dicts) and has
@@ -20,7 +22,10 @@ a ``format_*`` helper that renders the paper-style table; the benchmark
 harness under ``benchmarks/`` and the examples call these.
 """
 
-from repro.experiments import ablation, amg, fig8, fig9, fig10, fig11
+from repro.experiments import ablation, amg, fig8, fig9, fig10, fig11, guided
 from repro.experiments.tables import format_table
 
-__all__ = ["ablation", "amg", "fig8", "fig9", "fig10", "fig11", "format_table"]
+__all__ = [
+    "ablation", "amg", "fig8", "fig9", "fig10", "fig11", "guided",
+    "format_table",
+]

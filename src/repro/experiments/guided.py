@@ -1,0 +1,92 @@
+"""Guided-vs-unguided search comparison (the analysis subsystem's value).
+
+For each workload the driver runs the breadth-first search twice — once
+as the paper describes it (every candidate configuration evaluated) and
+once guided by the shadow-value analysis (:mod:`repro.analysis`), which
+spends one extra observed run up front and prunes every singleton whose
+channel verdict is already "fail" — and reports, per workload:
+
+* configurations tested with and without guidance (and the saving);
+* how many evaluations the analysis pruned;
+* wall time both ways (the guided figure *includes* the analysis run);
+* whether the final composed configurations are identical — the
+  soundness contract; a differential test asserts it on every NAS
+  workload, and this driver re-checks it on whatever it is given.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.search.bfs import SearchEngine, SearchOptions
+from repro.workloads import make_workload
+
+BENCHMARKS = ("bt", "cg", "ep", "ft", "lu", "mg", "sp")
+
+
+@dataclass(slots=True)
+class GuidedComparison:
+    workload: str
+    base_tested: int
+    guided_tested: int
+    pruned: int
+    identical_final: bool
+    base_wall_s: float
+    guided_wall_s: float
+
+    @property
+    def saved(self) -> int:
+        return self.base_tested - self.guided_tested
+
+
+def compare(bench: str, klass: str, refine: bool = True,
+            telemetry=None) -> GuidedComparison:
+    """Run one workload both ways and diff the outcomes."""
+    base_options = SearchOptions(refine=refine, analysis=False)
+    guided_options = SearchOptions(refine=refine, analysis=True)
+
+    workload = make_workload(bench, klass)
+    start = time.perf_counter()
+    base = SearchEngine(workload, base_options, telemetry=telemetry).run()
+    base_wall = time.perf_counter() - start
+
+    workload = make_workload(bench, klass)
+    start = time.perf_counter()
+    guided = SearchEngine(
+        workload, guided_options, telemetry=telemetry
+    ).run()
+    guided_wall = time.perf_counter() - start
+
+    return GuidedComparison(
+        workload=f"{bench}.{klass}",
+        base_tested=base.configs_tested,
+        guided_tested=guided.configs_tested,
+        pruned=guided.analysis_pruned,
+        identical_final=(
+            base.final_config.flags == guided.final_config.flags
+        ),
+        base_wall_s=base_wall,
+        guided_wall_s=guided_wall,
+    )
+
+
+def run(benchmarks=BENCHMARKS, classes=("T",), refine: bool = True) -> list[dict]:
+    """Regenerate the guided-vs-unguided table."""
+    rows = []
+    for bench in benchmarks:
+        for klass in classes:
+            c = compare(bench, klass, refine=refine)
+            rows.append(
+                {
+                    "workload": c.workload,
+                    "unguided": c.base_tested,
+                    "guided": c.guided_tested,
+                    "pruned": c.pruned,
+                    "saved": f"{c.saved} "
+                    f"({100.0 * c.saved / max(1, c.base_tested):.0f}%)",
+                    "identical_final": c.identical_final,
+                    "wall": f"{c.base_wall_s:.2f}s -> {c.guided_wall_s:.2f}s",
+                }
+            )
+    return rows

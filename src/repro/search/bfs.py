@@ -30,7 +30,7 @@ from repro.config.model import (
     ProgramTree,
 )
 from repro.search.evaluator import Evaluator
-from repro.search.results import EvalRecord, SearchResult
+from repro.search.results import REASON_PRUNED, EvalRecord, SearchResult
 from repro.telemetry import NULL_TELEMETRY
 
 _LEVEL_RANK = {
@@ -75,6 +75,18 @@ class SearchOptions:
         semantic config dedup) through the evaluators.  Semantics-
         invisible; ``False`` is the escape hatch that restores cold-path
         evaluation for every config (CLI: ``--no-incremental``).
+    analysis:
+        Shadow-value analysis guidance (``repro.analysis``): run the
+        workload once under the shadow observer before the search, then
+        (1) seed prioritization with predicted-replaceable items ahead
+        of profile counts and (2) prune candidates whose shadow error
+        already exceeds the workload's verification bound.  Pruned items
+        are treated exactly like observed failures (recorded in history
+        with ``reason="pruned"`` and descended), so the final composed
+        configuration is identical to the unguided search as long as the
+        predictor never prunes an item that would have passed —
+        differential tests assert exactly that.  ``False`` (the CLI's
+        ``--no-analysis``) keeps the cold path untouched.
     """
 
     stop_level: str = LEVEL_INSN
@@ -86,6 +98,7 @@ class SearchOptions:
     refine_budget: int = 64
     workers: int = 1
     incremental: bool = True
+    analysis: bool = False
 
     def __post_init__(self) -> None:
         if self.stop_level not in _LEVEL_RANK:
@@ -128,6 +141,10 @@ class SearchEngine:
     telemetry:
         Optional :class:`repro.telemetry.Telemetry`; see the module
         docstring for the events a traced search produces.
+    report:
+        Optional pre-computed :class:`repro.analysis.AnalysisReport`.
+        Only consulted when ``options.analysis`` is on; when omitted the
+        engine runs the analysis itself at search start.
     """
 
     def __init__(
@@ -137,6 +154,7 @@ class SearchEngine:
         base_config: Config | None = None,
         evaluator: Evaluator | None = None,
         telemetry=None,
+        report=None,
     ) -> None:
         self.workload = workload
         self.options = options or SearchOptions()
@@ -168,6 +186,15 @@ class SearchEngine:
         self._heap: list = []
         self._fifo: deque = deque()
         self._profile: dict[int, int] = {}
+        self._report = report
+        self._guide = None  # built in _run when options.analysis is on
+        self._pruned = 0
+
+    @property
+    def analysis_report(self):
+        """The :class:`repro.analysis.AnalysisReport` the search used
+        (None before a guided run, or when ``options.analysis`` is off)."""
+        return self._report
 
     # -- queue ------------------------------------------------------------------
 
@@ -178,10 +205,27 @@ class SearchEngine:
                 total += self._profile.get(insn.addr, 0)
         return total
 
+    def _addrs(self, item: _Item) -> list[int]:
+        return [
+            insn.addr for node in item.nodes for insn in node.instructions()
+        ]
+
     def _push(self, item: _Item) -> None:
         if self.options.prioritize:
             self._seq += 1
-            heapq.heappush(self._heap, (-self._weight(item), self._seq, item))
+            guide = self._guide
+            if guide is not None:
+                # Predicted-replaceable items rank ahead of profile
+                # counts (tentpole: analysis seeds prioritization).
+                key = (
+                    -guide.replaceable_rank(self._addrs(item)),
+                    -self._weight(item),
+                    self._seq,
+                    item,
+                )
+            else:
+                key = (-self._weight(item), self._seq, item)
+            heapq.heappush(self._heap, key)
         else:
             self._fifo.append(item)
 
@@ -189,7 +233,7 @@ class SearchEngine:
         if self.options.prioritize:
             if not self._heap:
                 return None
-            return heapq.heappop(self._heap)[2]
+            return heapq.heappop(self._heap)[-1]
         if not self._fifo:
             return None
         return self._fifo.popleft()
@@ -279,10 +323,22 @@ class SearchEngine:
             pass  # trap event already emitted; census below still valid
         vm.publish()
 
+    def _setup_guide(self) -> None:
+        """Build the analysis guide (running the shadow analysis if no
+        report was supplied).  Imported lazily so searches with
+        ``analysis=False`` never touch the subsystem."""
+        from repro.analysis import SearchGuide, analyze
+
+        if self._report is None:
+            self._report = analyze(self.workload, telemetry=self.telemetry)
+        self._guide = SearchGuide(self._report, self.workload)
+
     def _run(self) -> SearchResult:
         tel = self.telemetry
         start = time.perf_counter()
         self._profile = self.workload.profile() if self.options.prioritize else {}
+        if self.options.analysis:
+            self._setup_guide()
 
         workload_name = getattr(self.workload, "name", self.tree.program_name)
         if tel.enabled:
@@ -304,6 +360,7 @@ class SearchEngine:
         history: list[EvalRecord] = []
         passing: list[_Item] = []
         batch_size = max(1, self.options.workers)
+        guide = self._guide
 
         while True:
             if self.evaluator.evaluations >= self.options.max_configs:
@@ -313,6 +370,26 @@ class SearchEngine:
                 item = self._pop()
                 if item is None:
                     break
+                if guide is not None and guide.predict_fail(self._addrs(item)):
+                    # Analysis prune: the shadow run already showed this
+                    # item's error exceeding the verification bound, so
+                    # skip the evaluation and treat it as a failure
+                    # (recorded + descended exactly like one).
+                    self._pruned += 1
+                    history.append(
+                        EvalRecord(
+                            item.label(), False, reason=REASON_PRUNED
+                        )
+                    )
+                    if tel.enabled:
+                        tel.count("analysis.pruned")
+                        tel.emit(
+                            "search.prune",
+                            label=item.label(),
+                            level=item.nodes[0].level,
+                        )
+                    self._descend(item)
+                    continue
                 items.append(item)
             if not items:
                 break
@@ -324,9 +401,13 @@ class SearchEngine:
             batch_start = time.perf_counter()
             outcomes = self._evaluate_ordered(items, configs)
             per_eval = (time.perf_counter() - batch_start) / len(items)
-            for item, (passed, cycles, trap) in zip(items, outcomes):
+            for item, outcome in zip(items, outcomes):
+                passed, cycles, trap, reason = outcome
                 history.append(
-                    EvalRecord(item.label(), passed, cycles, trap, wall_s=per_eval)
+                    EvalRecord(
+                        item.label(), passed, cycles, trap,
+                        wall_s=per_eval, reason=reason,
+                    )
                 )
                 if tel.enabled:
                     tel.emit(
@@ -336,6 +417,7 @@ class SearchEngine:
                         passed=passed,
                         cycles=cycles,
                         trap=trap,
+                        reason=reason,
                         wall_s=round(per_eval, 6),
                         phase="bfs",
                     )
@@ -358,12 +440,12 @@ class SearchEngine:
         final_verified = False
         if passing:
             eval_start = time.perf_counter()
-            passed, cycles, trap = self.evaluator.evaluate(final)
+            passed, cycles, trap, reason = self.evaluator.evaluate(final)
             wall = time.perf_counter() - eval_start
             history.append(
                 EvalRecord(
                     "FINAL(union)", passed, cycles, trap,
-                    wall_s=wall, phase="final",
+                    wall_s=wall, phase="final", reason=reason,
                 )
             )
             final_verified = passed
@@ -375,6 +457,7 @@ class SearchEngine:
                     passed=passed,
                     cycles=cycles,
                     trap=trap,
+                    reason=reason,
                     wall_s=round(wall, 6),
                     phase="final",
                 )
@@ -390,6 +473,8 @@ class SearchEngine:
             dynamic_pct=final.dynamic_replaced_fraction(profile),
             history=history,
             wall_seconds=time.perf_counter() - start,
+            analysis_used=self._guide is not None,
+            analysis_pruned=self._pruned,
         )
 
         if self.options.refine and passing and not final_verified:
@@ -406,6 +491,7 @@ class SearchEngine:
                 static_pct=round(result.static_pct * 100.0, 1),
                 dynamic_pct=round(result.dynamic_pct * 100.0, 1),
                 wall_s=round(result.wall_seconds, 6),
+                pruned=self._pruned,
             )
         return result
 
@@ -438,11 +524,14 @@ class SearchEngine:
                 candidate.flags.update(item.flags())
             label = f"REFINE({len(items)} items)"
             eval_start = time.perf_counter()
-            passed, cycles, trap = self.evaluator.evaluate(candidate)
+            passed, cycles, trap, reason = self.evaluator.evaluate(candidate)
             wall = time.perf_counter() - eval_start
             budget[0] -= 1
             history.append(
-                EvalRecord(label, passed, cycles, trap, wall_s=wall, phase="refine")
+                EvalRecord(
+                    label, passed, cycles, trap,
+                    wall_s=wall, phase="refine", reason=reason,
+                )
             )
             if tel.enabled:
                 tel.emit(
@@ -452,6 +541,7 @@ class SearchEngine:
                     passed=passed,
                     cycles=cycles,
                     trap=trap,
+                    reason=reason,
                     wall_s=round(wall, 6),
                     phase="refine",
                 )

@@ -40,10 +40,21 @@ from dataclasses import dataclass, field
 from repro.config.model import Config
 from repro.instrument.cache import InstrumentCache
 from repro.instrument.engine import instrument
+from repro.search.results import (
+    REASON_TIMEOUT,
+    REASON_TRAP,
+    REASON_VERIFY,
+    EvalOutcome,
+)
 from repro.telemetry import NULL_TELEMETRY
-from repro.vm.errors import VmTrap
+from repro.vm.errors import VmTimeout, VmTrap
 from repro.vm.machine import Machine
 from repro.workloads.base import Workload
+
+
+def trap_reason(exc: VmTrap) -> str:
+    """Classify a VM trap for :class:`EvalOutcome.reason`."""
+    return REASON_TIMEOUT if isinstance(exc, VmTimeout) else REASON_TRAP
 
 
 def machine_eligible(workload) -> bool:
@@ -121,8 +132,8 @@ class Evaluator:
         if self.telemetry is None:
             self.telemetry = NULL_TELEMETRY
 
-    def evaluate(self, config: Config) -> tuple[bool, int, str]:
-        """Returns (passed, cycles, trap_message)."""
+    def evaluate(self, config: Config) -> EvalOutcome:
+        """Returns EvalOutcome(passed, cycles, trap_message, reason)."""
         key = frozenset(config.flags.items())
         if key in self.cache:
             self.cache_hits += 1
@@ -161,21 +172,25 @@ class Evaluator:
             else:
                 result = self.workload.run(instrumented.program)
         except VmTrap as exc:
-            outcome = (False, 0, str(exc))
+            outcome = EvalOutcome(False, 0, str(exc), trap_reason(exc))
             self._store(key, skey, outcome)
             if telemetry.enabled:
                 telemetry.emit("vm.trap", message=str(exc), addr=exc.addr)
                 telemetry.emit(
                     "eval.config", passed=False, cycles=0, trap=str(exc),
+                    reason=outcome.reason,
                     wall_s=round(time.perf_counter() - start, 6),
                 )
             return outcome
         passed = bool(self.workload.verify(result))
-        outcome = (passed, result.cycles, "")
+        outcome = EvalOutcome(
+            passed, result.cycles, "", "" if passed else REASON_VERIFY
+        )
         self._store(key, skey, outcome)
         if telemetry.enabled:
             telemetry.emit(
                 "eval.config", passed=passed, cycles=result.cycles, trap="",
+                reason=outcome.reason,
                 wall_s=round(time.perf_counter() - start, 6),
             )
         return outcome

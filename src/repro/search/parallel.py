@@ -30,7 +30,8 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.config.model import Config
 from repro.instrument.engine import instrument
-from repro.search.evaluator import IncrementalState, semantic_key
+from repro.search.evaluator import IncrementalState, semantic_key, trap_reason
+from repro.search.results import REASON_VERIFY, EvalOutcome
 from repro.telemetry import NULL_TELEMETRY
 from repro.vm.errors import VmTrap
 
@@ -88,8 +89,12 @@ def _worker_eval(flags: dict):
         try:
             result = state.run(workload, instrumented)
         except VmTrap as exc:
-            return (False, 0, str(exc)), _deltas(state, before)
-        outcome = (bool(workload.verify(result)), result.cycles, "")
+            outcome = EvalOutcome(False, 0, str(exc), trap_reason(exc))
+            return outcome, _deltas(state, before)
+        passed = bool(workload.verify(result))
+        outcome = EvalOutcome(
+            passed, result.cycles, "", "" if passed else REASON_VERIFY
+        )
         return outcome, _deltas(state, before)
     instrumented = instrument(
         workload.program, config, optimize_checks=_STATE["optimize_checks"]
@@ -97,8 +102,10 @@ def _worker_eval(flags: dict):
     try:
         result = workload.run(instrumented.program)
     except VmTrap as exc:
-        return (False, 0, str(exc)), (0, 0, 0, 0)
-    return (bool(workload.verify(result)), result.cycles, ""), (0, 0, 0, 0)
+        return EvalOutcome(False, 0, str(exc), trap_reason(exc)), (0, 0, 0, 0)
+    passed = bool(workload.verify(result))
+    outcome = EvalOutcome(passed, result.cycles, "", "" if passed else REASON_VERIFY)
+    return outcome, (0, 0, 0, 0)
 
 
 def _deltas(state, before) -> tuple[int, int, int, int]:
@@ -170,10 +177,10 @@ class ParallelEvaluator:
 
     # -- Evaluator protocol ---------------------------------------------------
 
-    def evaluate(self, config: Config) -> tuple[bool, int, str]:
+    def evaluate(self, config: Config) -> EvalOutcome:
         return self.evaluate_batch([config])[0]
 
-    def evaluate_batch(self, configs: list[Config]) -> list[tuple[bool, int, str]]:
+    def evaluate_batch(self, configs: list[Config]) -> list[EvalOutcome]:
         keys = [frozenset(c.flags.items()) for c in configs]
 
         # Parent-side dedup: drop flag-identical repeats, configs already
@@ -230,13 +237,14 @@ class ParallelEvaluator:
                     self.semantic_cache[skey] = outcome
                 self.evaluations += 1
                 if telemetry.enabled:
-                    passed, cycles, trap = outcome
+                    passed, cycles, trap, reason = outcome
                     if trap:
                         telemetry.emit("vm.trap", message=trap)
                     # Workers run concurrently, so per-config wall time is
                     # the batch wall amortized over its members.
                     telemetry.emit(
                         "eval.config", passed=passed, cycles=cycles, trap=trap,
+                        reason=reason,
                         wall_s=round(batch_wall / len(jobs), 6),
                     )
             for key, pos in alias.items():
@@ -249,7 +257,7 @@ class ParallelEvaluator:
             self.telemetry.count("eval.cache_hits", hits)
         return results
 
-    def _serial_eval(self, config: Config) -> tuple[bool, int, str]:
+    def _serial_eval(self, config: Config) -> EvalOutcome:
         if self.incremental and self._state is None:
             self._state = IncrementalState(self.workload, self.telemetry)
         state = self._state
@@ -265,8 +273,11 @@ class ParallelEvaluator:
             else:
                 result = self.workload.run(instrumented.program)
         except VmTrap as exc:
-            return (False, 0, str(exc))
-        return (bool(self.workload.verify(result)), result.cycles, "")
+            return EvalOutcome(False, 0, str(exc), trap_reason(exc))
+        passed = bool(self.workload.verify(result))
+        return EvalOutcome(
+            passed, result.cycles, "", "" if passed else REASON_VERIFY
+        )
 
     def close(self) -> None:
         if self._pool is not None:

@@ -3,8 +3,31 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.config.model import Config
+
+#: why an evaluation failed (EvalOutcome.reason / EvalRecord.reason)
+REASON_TRAP = "trap"          # hard VM fault (bad access, NaN-sentinel crash, ...)
+REASON_TIMEOUT = "timeout"    # step budget exhausted (wrecked loop bound)
+REASON_VERIFY = "verify"      # ran to completion but missed the verification bound
+REASON_PRUNED = "pruned"      # skipped: shadow-value analysis predicted failure
+
+
+class EvalOutcome(NamedTuple):
+    """What one configuration evaluation produced.
+
+    A NamedTuple so existing ``(passed, cycles, trap)``-style consumers
+    keep working via indexing while the failure *reason* — ``""`` on a
+    pass, else one of :data:`REASON_TRAP` / :data:`REASON_TIMEOUT` /
+    :data:`REASON_VERIFY` — rides along for diagnosis and for the
+    analysis-vs-reality comparison.
+    """
+
+    passed: bool
+    cycles: int
+    trap: str
+    reason: str = ""
 
 
 @dataclass(slots=True)
@@ -17,6 +40,10 @@ class EvalRecord:
     trap: str = ""        # trap message if the run crashed
     wall_s: float = 0.0   # wall time of the evaluation (batch-amortized)
     phase: str = "bfs"    # search phase: "bfs" | "final" | "refine"
+    #: why the evaluation failed: "" on a pass, else "trap" /
+    #: "timeout" / "verify", or "pruned" when the shadow-value analysis
+    #: skipped the evaluation outright.
+    reason: str = ""
 
 
 @dataclass(slots=True)
@@ -43,6 +70,20 @@ class SearchResult:
     refined_static_pct: float = 0.0
     refined_dynamic_pct: float = 0.0
     refine_drops: int = 0
+    #: shadow-value analysis guidance (repro.analysis): whether the
+    #: search consumed a report, and how many candidate evaluations its
+    #: predictions pruned (those appear in history with reason="pruned"
+    #: and are NOT counted in configs_tested).
+    analysis_used: bool = False
+    analysis_pruned: int = 0
+
+    def fail_reasons(self) -> dict:
+        """Histogram of failure reasons over the evaluation history."""
+        counts: dict[str, int] = {}
+        for record in self.history:
+            if not record.passed and record.reason:
+                counts[record.reason] = counts.get(record.reason, 0) + 1
+        return counts
 
     def row(self) -> dict:
         """One row of the paper's Figure 10 table, extended with the

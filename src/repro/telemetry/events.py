@@ -26,6 +26,9 @@ EVENT_FIELDS: dict[str, frozenset] = {
     "search.queue": frozenset({"depth", "tested"}),
     "search.descend": frozenset({"label", "action"}),
     "search.refine": frozenset({"drops", "verified"}),
+    # analysis-guided prune: a queue item skipped without evaluation
+    # because the shadow-value report predicted a verification failure.
+    "search.prune": frozenset({"label", "level"}),
     # -- evaluation (one per configuration actually executed) --------------
     "eval.config": frozenset({"passed", "cycles", "trap", "wall_s"}),
     # -- instrumentation layer ---------------------------------------------
@@ -40,6 +43,9 @@ EVENT_FIELDS: dict[str, frozenset] = {
             "bytes_grown",
         }
     ),
+    # -- shadow-value analysis (repro.analysis) ----------------------------
+    "analysis.run.begin": frozenset({"workload"}),
+    "analysis.run.end": frozenset({"workload"}),
     # -- VM ----------------------------------------------------------------
     "vm.opcodes": frozenset({"program", "steps", "cycles", "opcodes"}),
     "vm.trap": frozenset({"message"}),

@@ -13,11 +13,14 @@ from repro.config.fileformat import dump_config
 from repro.config.model import LEVEL_FUNCTION, Policy
 
 
-def render_markdown_report(result, workload=None, metrics=None) -> str:
+def render_markdown_report(result, workload=None, metrics=None,
+                           analysis=None) -> str:
     """Render *result* (a SearchResult) as a Markdown document.
 
     ``metrics`` may be a :class:`repro.telemetry.MetricsRegistry` collected
     during the search; its summary table is embedded as an extra section.
+    ``analysis`` may be the :class:`repro.analysis.AnalysisReport` that
+    guided the search; its verdict census is embedded too.
     """
     lines = [f"# Mixed-precision analysis: {result.workload}", ""]
     lines += [
@@ -34,8 +37,46 @@ def render_markdown_report(result, workload=None, metrics=None) -> str:
             f"verification **{'pass' if result.refined_verified else 'FAIL'}** "
             f"({result.refine_drops} replacement(s) dropped)",
         ]
+    if getattr(result, "analysis_used", False):
+        lines.append(
+            f"* analysis guidance: **{result.analysis_pruned}** "
+            f"evaluation(s) pruned by shadow-channel verdicts"
+        )
     lines.append(f"* wall time: {result.wall_seconds:.1f}s")
     lines.append("")
+
+    if analysis is not None:
+        lines += ["## Shadow analysis", ""]
+        lines += [
+            f"* observed: **{analysis.observed}** of "
+            f"{analysis.candidates} candidates",
+            "",
+            "| verdict | instructions |",
+            "|---|---|",
+        ]
+        for verdict, count in analysis.verdict_histogram().items():
+            lines.append(f"| {verdict} | {count} |")
+        lines.append("")
+        flagged = [
+            ia
+            for ia in analysis.instructions.values()
+            if ia.cancel_events or ia.overflow or ia.flips
+        ]
+        if flagged:
+            lines += [
+                "Instructions with shadow warnings "
+                "(cancellation / float32 overflow / decision flips):",
+                "",
+                "| insn | mnemonic | verdict | cancels | overflows | flips |",
+                "|---|---|---|---|---|---|",
+            ]
+            for ia in sorted(flagged, key=lambda e: e.addr):
+                lines.append(
+                    f"| `{ia.node_id or hex(ia.addr)}` | {ia.mnemonic} "
+                    f"| {ia.verdict} | {ia.cancel_events} "
+                    f"| {ia.overflow} | {ia.flips} |"
+                )
+            lines.append("")
 
     config = (
         result.refined_config
@@ -69,7 +110,14 @@ def render_markdown_report(result, workload=None, metrics=None) -> str:
         "|---|---|---|---|---|",
     ]
     for index, record in enumerate(result.history, start=1):
-        outcome = "pass" if record.passed else ("trap" if record.trap else "fail")
+        if record.passed:
+            outcome = "pass"
+        elif record.trap:
+            outcome = "trap"
+        elif getattr(record, "reason", "") == "pruned":
+            outcome = "pruned"
+        else:
+            outcome = "fail"
         wall = f"{record.wall_s * 1000.0:.0f} ms" if record.wall_s else "-"
         lines.append(
             f"| {index} | `{record.label}` | {record.phase} "

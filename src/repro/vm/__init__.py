@@ -13,7 +13,7 @@ than single FLOPs, memory accesses are priced by bytes moved), so
 "overhead" and "speedup" are deterministic, reproducible ratios.
 """
 
-from repro.vm.errors import VmTrap, CollectiveYield
+from repro.vm.errors import VmTrap, VmTimeout, CollectiveYield
 from repro.vm.machine import (
     VM,
     CompiledSegmentCache,
@@ -30,6 +30,7 @@ __all__ = [
     "Machine",
     "run_program",
     "VmTrap",
+    "VmTimeout",
     "CollectiveYield",
     "decode_outputs",
     "outputs_close",

@@ -19,6 +19,13 @@ class VmTrap(Exception):
         super().__init__(message)
 
 
+class VmTimeout(VmTrap):
+    """Step-budget exhaustion, distinguished from hard faults so the
+    search can report *why* an evaluation failed (a wrecked loop bound
+    that spins forever is a different diagnosis than an out-of-bounds
+    access)."""
+
+
 class CollectiveYield(Exception):
     """Raised by MPI opcodes in multi-rank mode to hand control back to the
     rank scheduler.  Carries everything needed to resume the rank.

@@ -36,7 +36,7 @@ from repro.isa.opcodes import (
 from repro.isa.operands import Imm, Mem, Reg, Xmm
 from repro.telemetry import NULL_TELEMETRY
 from repro.vm.costs import DEFAULT_COST_MODEL, CostModel
-from repro.vm.errors import CollectiveYield, VmTrap
+from repro.vm.errors import CollectiveYield, VmTimeout, VmTrap
 
 _M64 = 0xFFFFFFFFFFFFFFFF
 _M32 = 0xFFFFFFFF
@@ -287,6 +287,19 @@ class VM:
         are byte-identical with telemetry on or off), emits a
         ``vm.trap`` event on any hard fault, and :meth:`publish` reports
         the per-opcode execution/cycle census as a ``vm.opcodes`` event.
+    observer:
+        Optional execution observer (see :mod:`repro.analysis`): an
+        object whose ``wrap(vm, index, instr, addr, closure)`` may
+        return a replacement closure for instructions it wants to watch
+        (or None to leave the instruction alone).  Wrappers are applied
+        *after* compilation, outside the shared segment cache — a VM
+        with an observer always compiles cold so cached closures stay
+        pristine.  Detached-is-free: with ``observer=None`` the hook is
+        a single None check at load time and the execution loop is
+        untouched.  Observers must not mutate architectural state;
+        outputs, cycle counts, step counts and trap addresses are
+        identical with the hook attached or not (asserted by
+        tests/vm/test_observer_parity.py).
     """
 
     def __init__(
@@ -302,11 +315,18 @@ class VM:
         telemetry=None,
         segment_cache: CompiledSegmentCache | None = None,
         segments=None,
+        observer=None,
     ) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
         if not 0 <= rank < size:
             raise ValueError("rank out of range")
+        if observer is not None:
+            # Observer wrappers must never leak into the shared closure
+            # cache; an observed VM always compiles cold.
+            segment_cache = None
+            segments = None
+        self._observer = observer
         self.program = program
         self.rank = rank
         self.size = size
@@ -371,7 +391,7 @@ class VM:
                 while True:
                     n += 1
                     if n > remaining:
-                        raise VmTrap(f"step budget exceeded ({self.max_steps})")
+                        raise VmTimeout(f"step budget exceeded ({self.max_steps})")
                     counts[index] += 1
                     index = code[index](index)
             else:
@@ -385,7 +405,7 @@ class VM:
                     n = remaining + 1
                 else:
                     n = 1
-                raise VmTrap(f"step budget exceeded ({self.max_steps})")
+                raise VmTimeout(f"step budget exceeded ({self.max_steps})")
         except _Halt:
             self.steps += n
             self.finished = True
@@ -563,6 +583,13 @@ class VM:
                     code.append(closure)
                     i += 1
             self._code = code
+        observer = self._observer
+        if observer is not None:
+            code = self._code
+            for i, instr in enumerate(instrs):
+                wrapped = observer.wrap(self, i, instr, addrs[i], code[i])
+                if wrapped is not None:
+                    code[i] = wrapped
         self._entry_idx = a2i[program.entry]
 
     def _trap(self, message: str, addr: int):
@@ -1461,11 +1488,14 @@ def run_program(
     profile: bool = False,
     cost_model: CostModel | None = None,
     telemetry=None,
+    observer=None,
 ) -> ExecResult:
     """Load and run *program* single-rank; returns its :class:`ExecResult`.
 
     With *telemetry* enabled, a ``vm.opcodes`` census event is emitted
-    after the run (trap events are emitted from inside the VM).
+    after the run (trap events are emitted from inside the VM).  An
+    *observer* (see :mod:`repro.analysis`) watches execution without
+    changing outputs, cycles, or trap behaviour.
     """
     vm = VM(
         program,
@@ -1475,6 +1505,7 @@ def run_program(
         profile=profile,
         cost_model=cost_model,
         telemetry=telemetry,
+        observer=observer,
     )
     result = vm.run()
     vm.publish()

@@ -1,0 +1,50 @@
+"""The analyze() entry point: stats + verdicts from one observed run."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze
+from repro.analysis.report import VERDICT_FAIL, VERDICT_PASS, VERDICT_UNKNOWN
+from repro.config.generator import build_tree
+from repro.telemetry import MetricsRegistry, Telemetry
+from repro.workloads import make_workload
+
+
+def test_analyze_cg_populates_stats_and_verdicts():
+    workload = make_workload("cg", "T")
+    report = analyze(workload)
+    assert report.workload == "cg.T"
+    assert report.observed == report.candidates == 27
+    tree = build_tree(workload.program)
+    for addr, ia in report.instructions.items():
+        assert ia.addr == addr
+        assert ia.node_id == tree.by_addr[addr].node_id
+        assert ia.execs > 0
+        assert ia.verdict in (VERDICT_PASS, VERDICT_FAIL, VERDICT_UNKNOWN)
+        if ia.verdict != VERDICT_UNKNOWN:
+            assert ia.verdict_why == ""
+    # cg.T is fully decided (no unknowns) and has both verdicts
+    hist = report.verdict_histogram()
+    assert set(hist) == {"pass", "fail"}
+
+
+def test_analyze_accepts_prebuilt_tree():
+    workload = make_workload("mg", "T")
+    tree = build_tree(workload.program)
+    report = analyze(workload, tree=tree)
+    assert {ia.node_id for ia in report.instructions.values()} <= {
+        n.node_id for n in tree.walk()
+    }
+
+
+def test_analyze_emits_telemetry():
+    workload = make_workload("cg", "T")
+    metrics = MetricsRegistry()
+    telemetry = Telemetry(metrics=metrics)
+    with telemetry:
+        report = analyze(workload, telemetry=telemetry)
+    counters = metrics.counters
+    assert counters["analysis.instructions"] == report.observed
+    verdict_total = sum(
+        n for k, n in counters.items() if k.startswith("analysis.verdict.")
+    )
+    assert verdict_total == report.observed

@@ -1,0 +1,211 @@
+"""Per-instruction shadow channels: exactness and soundness.
+
+The central claim of :mod:`repro.analysis.channels`: after one observed
+run, substituting a channel's output overrides into the baseline output
+stream reproduces the *exact* outcome of really instrumenting that one
+instruction as single and re-running.  Verified here instruction by
+instruction against the real evaluator on small programs and on cg.T —
+and suite-wide by the differential search tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ChannelObserver
+from repro.config.generator import build_tree
+from repro.config.model import Config, Policy
+from repro.search.evaluator import Evaluator
+from repro.vm.machine import ExecResult, run_program
+from repro.workloads import make_workload
+from tests.conftest import compile_src
+
+
+def _verdicts(workload):
+    """addr -> "pass"/"fail"/"unknown" from one channel-observed run."""
+    observer = ChannelObserver()
+    result = run_program(
+        workload.program, observer=observer, **workload.vm_params()
+    )
+    verdicts = {}
+    for addr in observer.channels:
+        outs = observer.outputs_for(addr, result.outputs)
+        if outs is None:
+            verdicts[addr] = "unknown"
+        else:
+            fake = ExecResult(
+                outputs=outs, cycles=result.cycles, steps=result.steps
+            )
+            verdicts[addr] = "pass" if workload.verify(fake) else "fail"
+    return verdicts
+
+
+def _real_outcomes(workload, addrs):
+    """addr -> real singleton-replacement outcome via the evaluator."""
+    tree = build_tree(workload.program)
+    evaluator = Evaluator(workload)
+    outcomes = {}
+    for addr in addrs:
+        node = tree.by_addr[addr]
+        config = Config(tree, {node.node_id: Policy.SINGLE})
+        passed, _cycles, _trap, _reason = evaluator.evaluate(config)
+        outcomes[addr] = "pass" if passed else "fail"
+    return outcomes
+
+
+class _SrcWorkload:
+    """Minimal workload around a compiled source: verify against the
+    double-precision baseline under a relative tolerance."""
+
+    rel_tol = 1e-6
+
+    def __init__(self, program, rel_tol=1e-6):
+        self.program = program
+        self.rel_tol = rel_tol
+        self.name = "src"
+        self._base = run_program(program)
+
+    def vm_params(self):
+        return {}
+
+    def run(self, program=None):
+        return run_program(program if program is not None else self.program)
+
+    def profile(self):
+        return run_program(self.program, profile=True).exec_counts
+
+    def verify(self, result) -> bool:
+        want = self._base.values()
+        got = result.values()
+        if len(want) != len(got):
+            return False
+        for w, g in zip(want, got):
+            if w != w or g != g:  # NaN never verifies
+                return False
+            if abs(g - w) > self.rel_tol * max(1.0, abs(w)):
+                return False
+        return True
+
+
+SRC_MIXED = """
+var total: real;
+fn main() {
+    var s: real = 0.0;
+    var tiny: real = 1.0;
+    for i in 0 .. 30 {
+        s = s + real(i) * 0.125;
+        tiny = tiny * 0.5;
+    }
+    total = s + tiny * 0.0000001;
+    out(s);
+    out(tiny);
+    out(sqrt(total));
+}
+"""
+
+
+class TestExactness:
+    def test_verdicts_match_real_singleton_evals_small(self):
+        workload = _SrcWorkload(compile_src(SRC_MIXED))
+        verdicts = _verdicts(workload)
+        assert verdicts, "no channels observed"
+        real = _real_outcomes(workload, list(verdicts))
+        for addr, verdict in verdicts.items():
+            if verdict != "unknown":
+                assert verdict == real[addr], hex(addr)
+
+    def test_verdicts_match_real_singleton_evals_cg(self):
+        workload = make_workload("cg", "T")
+        verdicts = _verdicts(workload)
+        assert len(verdicts) == 27  # every candidate observed
+        real = _real_outcomes(workload, list(verdicts))
+        for addr, verdict in verdicts.items():
+            if verdict != "unknown":
+                assert verdict == real[addr], hex(addr)
+        # the analysis must actually decide things on cg.T: no unknowns,
+        # and both verdicts represented
+        assert "unknown" not in verdicts.values()
+        assert "fail" in verdicts.values()
+        assert "pass" in verdicts.values()
+
+    def test_soundness_is_one_sided(self):
+        """Every "fail" verdict must be a real failure (the prune
+        soundness contract); "pass" is advisory and asserted exact
+        above, but pruning never keys on it."""
+        workload = make_workload("mg", "T")
+        verdicts = _verdicts(workload)
+        fails = [a for a, v in verdicts.items() if v == "fail"]
+        real = _real_outcomes(workload, fails)
+        assert all(real[a] == "fail" for a in fails)
+
+
+SRC_COMPARE_FLIP = """
+fn main() {
+    var eps: real = 0.0000000001;
+    var a: real = 1.0 + eps;
+    if a > 1.0 {
+        out(1.0);
+    } else {
+        out(2.0);
+    }
+}
+"""
+
+
+class TestUnknowns:
+    def test_compare_flip_kills_channel(self):
+        """1.0 + 1e-10 rounds to 1.0 in float32, so the singleton run of
+        the addition would branch differently: its channel must end
+        unknown (never a guessed verdict)."""
+        program = compile_src(SRC_COMPARE_FLIP)
+        observer = ChannelObserver()
+        result = run_program(program, observer=observer)
+        flipped = [
+            ch for ch in observer.channels.values()
+            if ch.unknown and ch.why == "compare-flip"
+        ]
+        assert flipped, {
+            hex(a): (ch.unknown, ch.why)
+            for a, ch in observer.channels.items()
+        }
+        for ch in flipped:
+            assert observer.outputs_for(ch.addr, result.outputs) is None
+
+    def test_unknown_reasons_are_labelled(self):
+        workload = make_workload("ft", "T")
+        observer = ChannelObserver()
+        run_program(workload.program, observer=observer, **workload.vm_params())
+        for ch in observer.channels.values():
+            if ch.unknown:
+                assert ch.why, hex(ch.addr)
+            else:
+                assert ch.why == ""
+
+
+class TestChannelMechanics:
+    def test_outputs_for_unobserved_addr_is_baseline(self):
+        workload = _SrcWorkload(compile_src(SRC_MIXED))
+        observer = ChannelObserver()
+        result = run_program(workload.program, observer=observer)
+        outs = observer.outputs_for(0x999999, result.outputs)
+        assert outs == result.outputs
+        assert outs is not result.outputs  # a private copy
+
+    def test_divergent_channels_override_outputs(self):
+        workload = make_workload("cg", "T")
+        observer = ChannelObserver()
+        result = run_program(
+            workload.program, observer=observer, **workload.vm_params()
+        )
+        diverged = [
+            ch for ch in observer.channels.values()
+            if not ch.unknown and ch.out
+        ]
+        assert diverged, "no channel reached an output on cg.T?"
+        for ch in diverged:
+            outs = observer.outputs_for(ch.addr, result.outputs)
+            assert outs != result.outputs
+            assert len(outs) == len(result.outputs)
+            # overridden records keep their kind, change only the bits
+            for got, base in zip(outs, result.outputs):
+                assert got[0] == base[0]

@@ -1,0 +1,130 @@
+"""Exchange-file round-trip property: dump → parse → identical tree.
+
+Property-based (hypothesis): any reachable flag assignment — every
+policy including ``ignore``, at every granularity from module down to
+single instructions — survives the Figure-3 exchange format exactly:
+the parsed configuration carries identical explicit flags *and*
+resolves to identical effective per-instruction policies.
+
+The virtual ISA is scalar (the NAS programs carry no packed lanes, and
+the config tree's finest granularity is the instruction), so lane-level
+flags collapse to instruction flags; the per-instruction cases below
+are the lane-granular coverage for this ISA.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import Config, Policy, build_tree, dump_config, load_config
+from repro.workloads import make_workload
+from tests.conftest import compile_src
+
+MULTI_SRC = """
+module linalg;
+fn dot(n: i64) -> real {
+    var s: real = 0.0;
+    for i in 0 .. n {
+        s = s + real(i) * 0.5;
+    }
+    return s;
+}
+fn scale(x: real) -> real {
+    if x > 10.0 {
+        return x / 2.0;
+    }
+    return x * 2.0;
+}
+fn main() {
+    var a: real = dot(8);
+    var b: real = scale(a);
+    out(a);
+    out(b);
+    out(sqrt(a + b));
+}
+"""
+
+POLICIES = [None, Policy.SINGLE, Policy.DOUBLE, Policy.IGNORE]
+
+
+def _tree():
+    return build_tree(compile_src(MULTI_SRC))
+
+
+def _assert_roundtrip(tree, config):
+    loaded = load_config(tree, dump_config(config))
+    assert loaded.flags == config.flags
+    for insn in tree.instructions():
+        assert loaded.effective_policy(insn) is config.effective_policy(insn)
+
+
+@given(st.data())
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_roundtrip_any_flag_assignment(data):
+    tree = _tree()
+    config = Config(tree)
+    for node in tree.walk():
+        flag = data.draw(st.sampled_from(POLICIES))
+        if flag is not None:
+            config.set(node.node_id, flag)
+    _assert_roundtrip(tree, config)
+
+
+@given(st.data())
+@settings(
+    suppress_health_check=[HealthCheck.too_slow], deadline=None,
+    max_examples=20,
+)
+def test_roundtrip_instruction_flags_nas_tree(data):
+    """Lane-granular coverage on a real workload tree: random flags on
+    the instruction level only (the finest the scalar ISA has)."""
+    tree = build_tree(make_workload("cg", "T").program)
+    config = Config(tree)
+    for insn in tree.instructions():
+        flag = data.draw(st.sampled_from(POLICIES))
+        if flag is not None:
+            config.set(insn.node_id, flag)
+    _assert_roundtrip(tree, config)
+
+
+@given(st.data())
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_roundtrip_ignore_overrides(data):
+    """`ignore` at an aggregate with single/double leaves beneath —
+    the paper's RNG escape hatch — resolves identically after a trip
+    through the exchange file."""
+    tree = _tree()
+    config = Config(tree)
+    aggregates = [n for n in tree.walk() if n.children]
+    target = data.draw(st.sampled_from(aggregates))
+    config.set(target.node_id, Policy.IGNORE)
+    for insn in tree.instructions():
+        flag = data.draw(st.sampled_from(POLICIES))
+        if flag is not None:
+            config.set(insn.node_id, flag)
+    assert any(
+        config.effective_policy(i) is Policy.IGNORE
+        for i in target.instructions()
+    )
+    _assert_roundtrip(tree, config)
+
+
+def test_dump_is_deterministic():
+    tree = _tree()
+    config = Config.all_single(tree)
+    assert dump_config(config) == dump_config(config)
+
+
+def test_parse_rejects_truncated_file():
+    tree = _tree()
+    text = dump_config(Config.all_single(tree))
+    lines = text.splitlines()
+    # cutting a quoted disassembly line mid-way must not parse silently
+    broken = "\n".join(lines[:-1] + [lines[-1][: len(lines[-1]) // 2]])
+    try:
+        config = load_config(tree, broken)
+    except Exception:
+        return
+    # if it parsed, the flags must still be a subset of the original's
+    original = load_config(tree, text)
+    assert set(config.flags) <= set(original.flags)

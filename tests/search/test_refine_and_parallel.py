@@ -170,7 +170,9 @@ class TestParallelEvaluation:
         tree = build_tree(compiled)
         evaluator = ParallelEvaluator(workload, tree, workers=2)
         try:
-            passed, _cycles, trap = evaluator.evaluate(Config.all_single(tree))
+            passed, _cycles, trap, _reason = evaluator.evaluate(
+                Config.all_single(tree)
+            )
             assert not passed
             assert "out of bounds" in trap
         finally:
@@ -193,7 +195,9 @@ class TestEvaluatorLifecycle:
         workload = _Workload(1e-9)
         with Evaluator(workload) as evaluator:
             tree = build_tree(workload.program)
-            passed, _cycles, _trap = evaluator.evaluate(Config.all_double(tree))
+            passed, _cycles, _trap, _reason = evaluator.evaluate(
+                Config.all_double(tree)
+            )
             assert passed
 
     @pytest.mark.skipif(not fork_available(), reason="needs fork start method")

@@ -167,7 +167,9 @@ class TestEvaluator:
 
         evaluator = Evaluator(Trapping())
         tree = build_tree(workload.program)
-        passed, _cycles, trap = evaluator.evaluate(Config.all_single(tree))
+        passed, _cycles, trap, _reason = evaluator.evaluate(
+            Config.all_single(tree)
+        )
         assert not passed and "boom" in trap
 
 

@@ -1,0 +1,74 @@
+"""Observer-hook parity: observation must never perturb execution.
+
+The analysis subsystem rides the VM observer hook
+(:meth:`repro.vm.machine.VM` ``observer=``).  Its contract: outputs,
+cycle counts, step counts and trap addresses are bit-identical with the
+hook attached or detached — the observers read architectural state but
+never write it.  Asserted here for both observers (and their chain)
+across every NAS benchmark at class T.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ChainedObserver, ChannelObserver, ShadowObserver
+from repro.vm.errors import VmTrap
+from repro.vm.machine import run_program
+from repro.workloads import BENCHMARKS, make_workload
+from tests.conftest import compile_src
+
+OBSERVERS = {
+    "shadow": ShadowObserver,
+    "channels": ChannelObserver,
+    "chained": lambda: ChainedObserver(ShadowObserver(), ChannelObserver()),
+}
+
+
+@pytest.mark.parametrize("bench", sorted(BENCHMARKS))
+@pytest.mark.parametrize("factory", OBSERVERS.values(), ids=OBSERVERS.keys())
+def test_nas_outputs_bit_identical(bench, factory):
+    workload = make_workload(bench, "T")
+    plain = run_program(workload.program, **workload.vm_params())
+    observed = run_program(
+        workload.program, observer=factory(), **workload.vm_params()
+    )
+    assert observed.outputs == plain.outputs  # raw records, bit-exact
+    assert observed.cycles == plain.cycles
+    assert observed.steps == plain.steps
+    assert observed.halted == plain.halted
+
+
+TRAP_SRC = """
+var a: real[4] = [1.0, 2.0, 3.0, 4.0];
+fn main() {
+    var s: real = 0.0;
+    for i in 0 .. 9 {
+        s = s + a[i * 100000000];
+    }
+    out(s);
+}
+"""
+
+
+@pytest.mark.parametrize("factory", OBSERVERS.values(), ids=OBSERVERS.keys())
+def test_trap_address_identical(factory):
+    program = compile_src(TRAP_SRC)
+    with pytest.raises(VmTrap) as plain:
+        run_program(program)
+    with pytest.raises(VmTrap) as observed:
+        run_program(program, observer=factory())
+    assert observed.value.addr == plain.value.addr
+    assert str(observed.value) == str(plain.value)
+
+
+@pytest.mark.parametrize("bench", ("cg", "mg"))
+def test_profile_counts_identical(bench):
+    """exec_counts (profiling) are part of the parity contract too."""
+    workload = make_workload(bench, "T")
+    plain = run_program(workload.program, profile=True, **workload.vm_params())
+    observed = run_program(
+        workload.program, observer=ShadowObserver(), profile=True,
+        **workload.vm_params(),
+    )
+    assert observed.exec_counts == plain.exec_counts
