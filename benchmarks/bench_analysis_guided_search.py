@@ -30,7 +30,7 @@ import argparse
 import json
 import sys
 
-from conftest import RESULTS_DIR, emit, emit_json, full_scale
+from conftest import RESULTS_DIR, emit, full_scale, merge_json_rows
 
 from repro.experiments.guided import compare
 
@@ -82,16 +82,9 @@ def _format(rows: list[dict]) -> str:
 
 def _merge_bench_search(payload: dict) -> None:
     """Merge the guided record into BENCH_search.json without clobbering
-    the incremental-substrate record that shares the file."""
-    path = RESULTS_DIR / "BENCH_search.json"
-    existing = {}
-    if path.exists():
-        try:
-            existing = json.loads(path.read_text())
-        except ValueError:
-            existing = {}
-    existing["guided"] = payload
-    emit_json("BENCH_search", existing)
+    the incremental-substrate record that shares the file; rows for a
+    workload already present are replaced, not appended."""
+    merge_json_rows("BENCH_search", payload, section="guided")
 
 
 def _assert_strict_savings(rows: list[dict]) -> None:

@@ -25,7 +25,7 @@ import json
 import sys
 import time
 
-from conftest import emit, emit_json, full_scale
+from conftest import emit, full_scale, merge_json_rows
 
 from repro.search import SearchEngine, SearchOptions
 from repro.workloads import make_nas
@@ -103,7 +103,7 @@ def run_benchmark(klass: str = "T") -> dict:
     rows = [measure(bench, klass) for bench in benches]
     payload = {"rows": rows, "primary": rows[0]}
     emit("incremental_search", _format(rows))
-    path = emit_json("BENCH_search", payload)
+    path = merge_json_rows("BENCH_search", payload)
     print(f"wrote {path}")
     return payload
 
@@ -133,7 +133,7 @@ def main(argv=None) -> int:
     row = measure(args.bench, args.klass)
     payload = {"rows": [row], "primary": row}
     emit("incremental_search", _format([row]))
-    emit_json("BENCH_search", payload)
+    merge_json_rows("BENCH_search", payload)
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

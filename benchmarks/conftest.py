@@ -40,3 +40,38 @@ def emit_json(name: str, payload: dict) -> pathlib.Path:
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def merge_json_rows(name: str, payload: dict, section: str | None = None) -> pathlib.Path:
+    """Merge a ``{"rows": [...], "primary": ...}`` payload into
+    ``results/<name>.json`` without duplicating or clobbering.
+
+    Rows are keyed by their ``"benchmark"`` field (``bench.class``):
+    re-running the same workload *replaces* its row in place rather than
+    appending a second copy, and rows for other workloads — plus any
+    other top-level sections of the file — are preserved.  ``section``
+    nests the record under a top-level key (the guided bench shares
+    ``BENCH_search.json`` with the incremental record this way).
+    A missing or unparseable file starts fresh.
+    """
+    path = RESULTS_DIR / f"{name}.json"
+    existing: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                existing = loaded
+        except ValueError:
+            pass
+    target = existing.setdefault(section, {}) if section else existing
+    fresh = {row["benchmark"]: row for row in payload.get("rows", [])}
+    rows = []
+    for row in target.get("rows", []):
+        key = row.get("benchmark")
+        rows.append(fresh.pop(key) if key in fresh else row)
+    rows.extend(fresh.values())
+    target["rows"] = rows
+    for key, value in payload.items():
+        if key != "rows":
+            target[key] = value
+    return emit_json(name, existing)

@@ -1,0 +1,79 @@
+"""Durable search campaigns: interrupt, resume, warm-start.
+
+A campaign directory makes the automatic search restartable: the engine
+journals its frontier after every batch (``journal.jsonl``) and records
+every decided outcome in a content-addressed SQLite store
+(``results.sqlite``).  Kill the process at any point — Ctrl-C, SIGKILL,
+a dead worker — and ``--resume`` continues from the exact batch
+boundary, replaying decided configurations from the store instead of
+re-executing them.  The resumed search provably composes the same final
+configuration as an uninterrupted one, and a *second* search sharing the
+store re-executes nothing at all.
+
+This script demonstrates all three on the CG analogue (class T), using
+the same ``interrupt_after`` hook the integration tests and CI use to
+simulate a mid-campaign Ctrl-C.
+
+Run:  python examples/resume_search.py
+
+CLI equivalent::
+
+    python -m repro search cg T --campaign camp/   # ^C at any point
+    python -m repro search --resume camp/
+
+See docs/CAMPAIGNS.md for the store schema and resume semantics.
+"""
+
+import tempfile
+
+from repro.campaign import Campaign
+from repro.config import dump_config
+from repro.search import SearchEngine, SearchOptions
+from repro.store import ResultStore
+from repro.workloads import make_nas
+
+
+def main() -> None:
+    options = SearchOptions()
+
+    # The reference: one uninterrupted in-memory search.
+    reference = SearchEngine(make_nas("cg", "T"), options).run()
+    print(f"uninterrupted: {reference.configs_tested} configurations tested")
+
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as workdir:
+        # A campaign that we "Ctrl-C" after its second batch checkpoint.
+        campaign = Campaign.create(workdir, "cg", "T", options)
+        campaign.interrupt_after = 2
+        try:
+            SearchEngine(make_nas("cg", "T"), options, campaign=campaign).run()
+        except KeyboardInterrupt:
+            print(f"interrupted after {campaign.checkpoints_written} checkpoints "
+                  f"({campaign.store.count()} outcomes already durable)")
+        finally:
+            campaign.close()
+
+        # Resume: restores the journaled frontier, replays the store.
+        with Campaign.open(workdir) as resumed_campaign:
+            resumed = SearchEngine(
+                make_nas("cg", "T"),
+                resumed_campaign.options,
+                campaign=resumed_campaign,
+            ).run()
+        print(f"resumed:       {resumed.configs_tested} configurations tested, "
+              f"{resumed.store_replays} replayed from the store")
+
+        same = dump_config(resumed.final_config) == dump_config(
+            reference.final_config
+        )
+        print(f"identical final configuration: {same}")
+
+        # Warm start: a fresh search over the same store runs nothing.
+        with ResultStore(f"{workdir}/results.sqlite") as store:
+            engine = SearchEngine(make_nas("cg", "T"), options, store=store)
+            warm = engine.run()
+            print(f"warm start:    {warm.configs_tested} configurations tested, "
+                  f"{engine.evaluator.executions} actually executed")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,7 @@ the drivers that regenerate every table and figure of the paper.
 
 from repro.asm import AsmBuilder, assemble_text, disassemble_program
 from repro.binary import Program, build_cfg
+from repro.campaign import Campaign
 from repro.compiler import CompileOptions, compile_program, compile_source
 from repro.config import Config, Policy, build_tree, dump_config, load_config
 from repro.instrument import InstrumentedProgram, instrument
@@ -48,6 +49,7 @@ from repro.telemetry import (
     Telemetry,
 )
 from repro.vm import VM, ExecResult, VmTrap, run_program
+from repro.store import ResultStore
 from repro.vm.costs import CostModel, DEFAULT_COST_MODEL
 from repro.workloads import Workload, make_nas, make_workload
 
@@ -74,6 +76,8 @@ __all__ = [
     "SearchEngine",
     "SearchOptions",
     "SearchResult",
+    "Campaign",
+    "ResultStore",
     "Telemetry",
     "JsonlSink",
     "MetricsRegistry",

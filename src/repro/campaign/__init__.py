@@ -1,0 +1,43 @@
+"""Durable search campaigns: journaled frontier state + result store.
+
+A *campaign* is one automatic search made durable on disk.  Where the
+in-memory :class:`~repro.search.bfs.SearchEngine` loses the whole run to
+a crash, timeout, or Ctrl-C, a campaign directory carries everything
+needed to continue from the exact batch boundary the search last
+completed:
+
+``campaign.json``
+    Metadata: workload name/class, the serialized
+    :class:`~repro.search.bfs.SearchOptions`, status
+    (``running`` / ``interrupted`` / ``complete``), schema version.
+``journal.jsonl``
+    One frontier snapshot per completed batch — queue contents (with
+    their priority sequence numbers), passing items, evaluation
+    history, counters.  Appended and flushed after every batch, so a
+    SIGKILL loses at most the batch in flight.
+``results.sqlite``
+    The campaign's :class:`~repro.store.ResultStore`.  Evaluations from
+    the lost in-flight batch are still here (the store commits per
+    outcome), so resuming replays them as store hits instead of
+    re-running them.
+
+``repro search --resume <dir>`` reloads all three and continues;
+differential tests assert the resumed search composes a final
+configuration byte-identical to an uninterrupted run.
+"""
+
+from repro.campaign.core import (
+    CAMPAIGN_VERSION,
+    Campaign,
+    CampaignError,
+    options_from_dict,
+    options_to_dict,
+)
+
+__all__ = [
+    "CAMPAIGN_VERSION",
+    "Campaign",
+    "CampaignError",
+    "options_from_dict",
+    "options_to_dict",
+]

@@ -1,0 +1,227 @@
+"""Campaign lifecycle: the directory, the journal, the metadata file.
+
+The journal is deliberately append-only JSONL: each line is one
+self-contained frontier snapshot (see
+:meth:`repro.search.bfs.SearchEngine._snapshot` for the producer), so a
+reader only ever needs the *last parseable* line.  Writes are flushed
+and fsynced per checkpoint; a process killed mid-write leaves at most
+one truncated trailing line, which :meth:`Campaign.latest_checkpoint`
+skips — resume then falls back to the previous batch boundary and the
+result store replays the difference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+from repro.search.bfs import SearchOptions
+from repro.store import ResultStore
+
+#: campaign.json schema version.
+CAMPAIGN_VERSION = 1
+
+STATUS_RUNNING = "running"
+STATUS_INTERRUPTED = "interrupted"
+STATUS_COMPLETE = "complete"
+
+
+class CampaignError(RuntimeError):
+    """Malformed or incompatible campaign directory."""
+
+
+def options_to_dict(options: SearchOptions) -> dict:
+    """JSON-serializable form of :class:`SearchOptions`."""
+    return dataclasses.asdict(options)
+
+
+def options_from_dict(data: dict) -> SearchOptions:
+    """Rebuild :class:`SearchOptions`, ignoring unknown keys so campaign
+    files survive option additions in later versions."""
+    known = {f.name for f in dataclasses.fields(SearchOptions)}
+    return SearchOptions(**{k: v for k, v in data.items() if k in known})
+
+
+class Campaign:
+    """One durable search campaign rooted at a directory.
+
+    Use :meth:`create` for a fresh campaign and :meth:`open` to resume
+    an existing one; the constructor itself is shared plumbing.  The
+    object is a context manager; :meth:`close` flushes the journal and
+    closes the store and is safe to call repeatedly (including from
+    ``KeyboardInterrupt`` cleanup paths).
+    """
+
+    def __init__(self, path: str, meta: dict, *, fresh: bool) -> None:
+        self.path = str(path)
+        self.meta = meta
+        self._journal_path = os.path.join(self.path, "journal.jsonl")
+        self._store: ResultStore | None = None
+        self._journal = open(self._journal_path, "a")
+        self._closed = False
+        self.checkpoints_written = 0
+        #: test/CI hook — raise KeyboardInterrupt after this many
+        #: checkpoints have been written (None = never).  Exercises the
+        #: exact mid-campaign interrupt path a real Ctrl-C takes.
+        self.interrupt_after: int | None = None
+        if fresh:
+            self._write_meta()
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        workload: str,
+        klass: str,
+        options: SearchOptions,
+    ) -> "Campaign":
+        """Initialize a new campaign directory (must not already hold one)."""
+        path = str(path)
+        os.makedirs(path, exist_ok=True)
+        meta_path = os.path.join(path, "campaign.json")
+        if os.path.exists(meta_path):
+            raise CampaignError(
+                f"{path}: campaign already exists (resume it, or pick a new directory)"
+            )
+        meta = {
+            "version": CAMPAIGN_VERSION,
+            "workload": workload,
+            "klass": klass,
+            "options": options_to_dict(options),
+            "status": STATUS_RUNNING,
+            "created": time.time(),
+        }
+        return cls(path, meta, fresh=True)
+
+    @classmethod
+    def open(cls, path: str) -> "Campaign":
+        """Open an existing campaign directory for resumption."""
+        meta_path = os.path.join(str(path), "campaign.json")
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except FileNotFoundError:
+            raise CampaignError(f"{path}: no campaign.json here") from None
+        except ValueError as exc:
+            raise CampaignError(f"{meta_path}: unreadable ({exc})") from None
+        version = meta.get("version")
+        if version != CAMPAIGN_VERSION:
+            raise CampaignError(
+                f"{path}: campaign version {version!r}, expected {CAMPAIGN_VERSION}"
+            )
+        return cls(path, meta, fresh=False)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def workload(self) -> str:
+        return self.meta["workload"]
+
+    @property
+    def klass(self) -> str:
+        return self.meta["klass"]
+
+    @property
+    def status(self) -> str:
+        return self.meta["status"]
+
+    @property
+    def options(self) -> SearchOptions:
+        return options_from_dict(self.meta["options"])
+
+    @property
+    def store(self) -> ResultStore:
+        """The campaign's result store (opened lazily, closed with us)."""
+        if self._store is None:
+            self._store = ResultStore(os.path.join(self.path, "results.sqlite"))
+        return self._store
+
+    # -- journal ----------------------------------------------------------------
+
+    def checkpoint(self, snapshot: dict) -> None:
+        """Append one frontier snapshot; durable once this returns."""
+        line = json.dumps(snapshot, sort_keys=True)
+        self._journal.write(line + "\n")
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+        self.checkpoints_written += 1
+        if (
+            self.interrupt_after is not None
+            and self.checkpoints_written >= self.interrupt_after
+        ):
+            raise KeyboardInterrupt(
+                f"campaign test hook: interrupted after "
+                f"{self.checkpoints_written} checkpoints"
+            )
+
+    def latest_checkpoint(self) -> dict | None:
+        """The last parseable journal snapshot (None on a fresh campaign).
+
+        A truncated trailing line — the signature of a SIGKILL mid-write
+        — is skipped silently; earlier lines are complete by
+        construction (each was flushed before the next began).
+        """
+        latest = None
+        try:
+            with open(self._journal_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        latest = json.loads(line)
+                    except ValueError:
+                        break  # truncated tail; keep the previous snapshot
+        except FileNotFoundError:
+            return None
+        return latest
+
+    # -- status transitions -----------------------------------------------------
+
+    def mark_complete(self, result_row: dict | None = None) -> None:
+        self.meta["status"] = STATUS_COMPLETE
+        if result_row is not None:
+            self.meta["result"] = result_row
+        self.meta["finished"] = time.time()
+        self._write_meta()
+
+    def mark_interrupted(self) -> None:
+        if self.meta["status"] != STATUS_COMPLETE:
+            self.meta["status"] = STATUS_INTERRUPTED
+            self._write_meta()
+
+    def _write_meta(self) -> None:
+        # Write-then-rename so campaign.json is never observed half-written.
+        meta_path = os.path.join(self.path, "campaign.json")
+        tmp_path = meta_path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(self.meta, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, meta_path)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+        self._journal.close()
+        if self._store is not None:
+            self._store.close()
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Campaign {self.path} {self.meta.get('status')}>"

@@ -218,19 +218,68 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_search(args) -> int:
-    klass = args.klass_opt if args.klass_opt is not None else args.klass
-    workload = make_workload(args.workload, klass)
-    options = SearchOptions(
-        stop_level=args.stop_level,
-        workers=args.workers,
-        refine=args.refine,
-        incremental=not args.no_incremental,
-        analysis=args.analysis,
-    )
+    campaign = None
+    store = None
+    if args.resume:
+        if args.workload:
+            raise SystemExit(
+                "search: --resume takes the workload from the campaign "
+                "directory; drop the positional argument"
+            )
+        from repro.campaign import Campaign
+
+        campaign = Campaign.open(args.resume)
+        workload = make_workload(campaign.workload, campaign.klass)
+        options = campaign.options
+    else:
+        if not args.workload:
+            raise SystemExit(
+                "search: a workload is required (or --resume CAMPAIGN)"
+            )
+        klass = args.klass_opt if args.klass_opt is not None else args.klass
+        workload = make_workload(args.workload, klass)
+        options = SearchOptions(
+            stop_level=args.stop_level,
+            workers=args.workers,
+            refine=args.refine,
+            incremental=not args.no_incremental,
+            analysis=args.analysis,
+        )
+        if args.campaign:
+            from repro.campaign import Campaign
+
+            campaign = Campaign.create(args.campaign, args.workload, klass, options)
+    if args.store:
+        if campaign is not None:
+            raise SystemExit(
+                "search: --store conflicts with --campaign/--resume "
+                "(a campaign owns its own result store)"
+            )
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
     telemetry, metrics = _build_telemetry(args)
-    with telemetry:
-        engine = SearchEngine(workload, options, telemetry=telemetry)
-        result = engine.run()
+    try:
+        with telemetry:
+            engine = SearchEngine(
+                workload, options, telemetry=telemetry,
+                campaign=campaign, store=store,
+            )
+            result = engine.run()
+    except KeyboardInterrupt:
+        where = args.resume or args.campaign
+        if where:
+            print(f"\ninterrupted; resume with: repro search --resume {where}",
+                  file=sys.stderr)
+        else:
+            print("\ninterrupted (no --campaign directory, progress not kept)",
+                  file=sys.stderr)
+        return 130
+    finally:
+        if campaign is not None:
+            campaign.close()
+        if store is not None:
+            store.close()
     if args.verbose:
         print(render_search_summary(result), end="")
         print()
@@ -241,7 +290,11 @@ def cmd_search(args) -> int:
             if result.analysis_used and result.analysis_pruned
             else ""
         )
-        print(f"search {result.workload}: {result.candidates} candidates, "
+        if result.store_replays:
+            pruned += f" ({result.store_replays} replayed from store)"
+        resumed = " [resumed]" if result.resumed else ""
+        print(f"search {result.workload}{resumed}: "
+              f"{result.candidates} candidates, "
               f"{result.configs_tested} configurations tested{pruned}, "
               f"static {row['static_pct']}% / dynamic {row['dynamic_pct']}%, "
               f"final {row['final']} in {result.wall_seconds:.2f}s")
@@ -277,10 +330,19 @@ def cmd_search(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    from repro.experiments import amg, fig8, fig9, fig10, fig11, guided
+    from repro.experiments import amg, fig8, fig9, fig10, fig11, guided, resume
     from repro.experiments.tables import format_table
 
     name = args.figure
+    if name == "resume":
+        print(
+            format_table(
+                resume.run(classes=(args.klass,)),
+                title="Checkpoint/resume differential",
+            ),
+            end="",
+        )
+        return 0
     if name == "guided":
         print(
             format_table(
@@ -398,7 +460,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("search", help="automatic search on a built-in workload")
-    p.add_argument("workload", help="bt|cg|ep|ft|lu|mg|sp|amg|superlu")
+    p.add_argument("workload", nargs="?",
+                   help="bt|cg|ep|ft|lu|mg|sp|amg|superlu "
+                        "(omitted with --resume)")
     p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
     p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
                    help="problem class (same as the positional argument)")
@@ -418,6 +482,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the incremental evaluation caches "
                         "(block-template instrumentation reuse, persistent "
                         "VM); results are identical, only slower")
+    p.add_argument("--campaign", metavar="DIR",
+                   help="run as a durable campaign: journal the frontier "
+                        "after every batch and record outcomes in "
+                        "DIR/results.sqlite so the search survives "
+                        "interruption (see --resume)")
+    p.add_argument("--resume", metavar="DIR",
+                   help="resume an interrupted campaign from its journal; "
+                        "replays decided outcomes from the result store and "
+                        "continues from the exact frontier")
+    p.add_argument("--store", metavar="DB",
+                   help="standalone result store (SQLite file): decided "
+                        "outcomes persist across runs, so a repeated search "
+                        "warm-starts without re-executing anything")
     p.add_argument("-o", "--output", help="write the best configuration here")
     p.add_argument("--report", help="write a Markdown analysis report here")
     p.add_argument("--quiet", action="store_true",
@@ -430,7 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(
         "figure",
-        choices=("fig8", "fig9", "fig10", "fig11", "amg", "guided"),
+        choices=("fig8", "fig9", "fig10", "fig11", "amg", "guided", "resume"),
     )
     p.add_argument("klass", nargs="?", default="W")
     p.set_defaults(func=cmd_experiment)

@@ -15,6 +15,8 @@ ablation  Search-optimization and engine ablations (Section 2.2
           optimizations, Section 2.5 future-work features)
 guided    Guided-vs-unguided search: evaluations saved by the
           shadow-value analysis, with identical final configs
+resume    Checkpoint/resume differential: interrupted-and-resumed and
+          warm-started campaigns vs the uninterrupted reference
 ========  ==========================================================
 
 Every driver returns plain data structures (lists of row dicts) and has
@@ -22,10 +24,19 @@ a ``format_*`` helper that renders the paper-style table; the benchmark
 harness under ``benchmarks/`` and the examples call these.
 """
 
-from repro.experiments import ablation, amg, fig8, fig9, fig10, fig11, guided
+from repro.experiments import (
+    ablation,
+    amg,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    guided,
+    resume,
+)
 from repro.experiments.tables import format_table
 
 __all__ = [
-    "ablation", "amg", "fig8", "fig9", "fig10", "fig11", "guided",
+    "ablation", "amg", "fig8", "fig9", "fig10", "fig11", "guided", "resume",
     "format_table",
 ]

@@ -1,0 +1,144 @@
+"""Checkpoint/resume differential (the campaign subsystem's soundness).
+
+For each workload the driver runs the breadth-first search three ways —
+
+* **uninterrupted**: the plain in-memory search (the reference);
+* **interrupted + resumed**: a durable campaign, killed at a batch
+  boundary (the journal's ``interrupt_after`` test hook takes the same
+  ``KeyboardInterrupt`` path a real Ctrl-C does), then resumed from the
+  journal with the result store replaying everything already decided;
+* **warm-started**: a second, fresh search sharing the campaign's
+  result store, which must re-execute *nothing*.
+
+— and reports, per workload: configurations tested each way, store
+replays, executions in the warm pass, and whether the resumed search
+composed a final configuration (and history) identical to the
+uninterrupted reference.  Differential tests assert the identity on
+NAS workloads; this driver re-checks it on whatever it is given.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+
+from repro.campaign import Campaign
+from repro.config.fileformat import dump_config
+from repro.search.bfs import SearchEngine, SearchOptions
+from repro.store import ResultStore
+from repro.workloads import make_workload
+
+BENCHMARKS = ("cg", "mg")
+
+
+def history_key(result) -> list:
+    """The deterministic columns of an evaluation history (wall time is
+    machine noise and deliberately excluded)."""
+    return [
+        (r.label, r.passed, r.cycles, r.trap, r.phase, r.reason)
+        for r in result.history
+    ]
+
+
+@dataclass(slots=True)
+class ResumeComparison:
+    workload: str
+    interrupted_after: int       # checkpoints written before the kill
+    base_tested: int             # uninterrupted configs_tested
+    resumed_tested: int          # must equal base_tested
+    store_replays: int           # outcomes replayed while resuming
+    warm_tested: int             # warm-started configs_tested
+    warm_executions: int         # must be 0: everything came from the store
+    identical_final: bool        # byte-identical exchange files
+    identical_history: bool
+
+
+def compare(
+    bench: str,
+    klass: str = "T",
+    interrupt_after: int = 2,
+    options: SearchOptions | None = None,
+    workdir: str | None = None,
+) -> ResumeComparison:
+    """Interrupt, resume, and warm-start one workload; diff everything.
+
+    ``workdir`` hosts the campaign directory (a temp dir is created and
+    removed when omitted).
+    """
+    options = options or SearchOptions()
+    base = SearchEngine(make_workload(bench, klass), options).run()
+
+    owns_dir = workdir is None
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-resume-")
+    try:
+        campaign = Campaign.create(workdir, bench, klass, options)
+        campaign.interrupt_after = interrupt_after
+        try:
+            SearchEngine(
+                make_workload(bench, klass), options, campaign=campaign
+            ).run()
+            raise RuntimeError(
+                f"{bench}.{klass}: search finished in under "
+                f"{interrupt_after} batches; nothing was interrupted"
+            )
+        except KeyboardInterrupt:
+            pass
+        finally:
+            campaign.close()
+
+        resumed_campaign = Campaign.open(workdir)
+        try:
+            resumed = SearchEngine(
+                make_workload(bench, klass),
+                resumed_campaign.options,
+                campaign=resumed_campaign,
+            ).run()
+        finally:
+            resumed_campaign.close()
+
+        with ResultStore(f"{workdir}/results.sqlite") as store:
+            warm_engine = SearchEngine(
+                make_workload(bench, klass), options, store=store
+            )
+            warm = warm_engine.run()
+            warm_executions = warm_engine.evaluator.executions
+    finally:
+        if owns_dir:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    return ResumeComparison(
+        workload=f"{bench}.{klass}",
+        interrupted_after=interrupt_after,
+        base_tested=base.configs_tested,
+        resumed_tested=resumed.configs_tested,
+        store_replays=resumed.store_replays,
+        warm_tested=warm.configs_tested,
+        warm_executions=warm_executions,
+        identical_final=(
+            dump_config(resumed.final_config) == dump_config(base.final_config)
+            and dump_config(warm.final_config) == dump_config(base.final_config)
+        ),
+        identical_history=history_key(resumed) == history_key(base),
+    )
+
+
+def run(benchmarks=BENCHMARKS, classes=("T",), interrupt_after: int = 2) -> list[dict]:
+    """Regenerate the checkpoint/resume differential table."""
+    rows = []
+    for bench in benchmarks:
+        for klass in classes:
+            c = compare(bench, klass, interrupt_after=interrupt_after)
+            rows.append(
+                {
+                    "workload": c.workload,
+                    "killed_after": f"batch {c.interrupted_after}",
+                    "tested": c.base_tested,
+                    "resumed_tested": c.resumed_tested,
+                    "replays": c.store_replays,
+                    "warm_executions": c.warm_executions,
+                    "identical_final": c.identical_final,
+                    "identical_history": c.identical_history,
+                }
+            )
+    return rows

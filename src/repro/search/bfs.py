@@ -87,6 +87,13 @@ class SearchOptions:
         predictor never prunes an item that would have passed —
         differential tests assert exactly that.  ``False`` (the CLI's
         ``--no-analysis``) keeps the cold path untouched.
+    retry_limit / retry_backoff:
+        Crash-fault tolerance of parallel evaluation (``workers > 1``):
+        a configuration whose worker process dies is retried on a fresh
+        pool at most ``retry_limit`` times, sleeping
+        ``retry_backoff * 2**(attempt-1)`` seconds before each round;
+        a config still crashing after that is recorded as failed with
+        reason ``worker_crash`` instead of aborting the campaign.
     """
 
     stop_level: str = LEVEL_INSN
@@ -99,6 +106,8 @@ class SearchOptions:
     workers: int = 1
     incremental: bool = True
     analysis: bool = False
+    retry_limit: int = 3
+    retry_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         if self.stop_level not in _LEVEL_RANK:
@@ -145,6 +154,18 @@ class SearchEngine:
         Optional pre-computed :class:`repro.analysis.AnalysisReport`.
         Only consulted when ``options.analysis`` is on; when omitted the
         engine runs the analysis itself at search start.
+    campaign:
+        Optional :class:`repro.campaign.Campaign`.  The engine journals
+        its full frontier state (queue, passing set, history, counters)
+        to the campaign after every batch, resumes from the campaign's
+        latest checkpoint when one exists, and uses the campaign's
+        result store unless ``store`` overrides it.  The campaign stays
+        open after :meth:`run` — its owner closes it.
+    store:
+        Optional :class:`repro.store.ResultStore` threaded into the
+        evaluator: decided outcomes are replayed instead of re-executed
+        (resume + warm start), new outcomes are persisted as they
+        arrive.
     """
 
     def __init__(
@@ -155,6 +176,8 @@ class SearchEngine:
         evaluator: Evaluator | None = None,
         telemetry=None,
         report=None,
+        campaign=None,
+        store=None,
     ) -> None:
         self.workload = workload
         self.options = options or SearchOptions()
@@ -162,6 +185,17 @@ class SearchEngine:
         self.tree: ProgramTree = (
             base_config.tree if base_config is not None else build_tree(workload.program)
         )
+        self._campaign = campaign
+        if store is None and campaign is not None:
+            store = campaign.store
+        self._store = store
+        store_kwargs = {}
+        if store is not None:
+            from repro.store import workload_id
+
+            store_kwargs = {
+                "store": store, "store_workload": workload_id(workload),
+            }
         # The engine closes evaluators it created itself (worker pools,
         # pending trace flushes) when run() exits; externally supplied
         # evaluators stay open for their owner to reuse.
@@ -175,11 +209,15 @@ class SearchEngine:
                 workload, self.tree, self.options.workers,
                 telemetry=self.telemetry,
                 incremental=self.options.incremental,
+                retry_limit=self.options.retry_limit,
+                retry_backoff=self.options.retry_backoff,
+                **store_kwargs,
             )
         else:
             self.evaluator = Evaluator(
                 workload, telemetry=self.telemetry,
                 incremental=self.options.incremental,
+                **store_kwargs,
             )
         self.base_config = base_config or Config.all_double(self.tree)
         self._seq = 0
@@ -189,6 +227,8 @@ class SearchEngine:
         self._report = report
         self._guide = None  # built in _run when options.analysis is on
         self._pruned = 0
+        self._batches = 0
+        self._resumed = False
 
     @property
     def analysis_report(self):
@@ -301,7 +341,19 @@ class SearchEngine:
         with contextlib.ExitStack() as stack:
             if self._owns_evaluator:
                 stack.enter_context(self.evaluator)
-            return self._run()
+            try:
+                result = self._run()
+            except BaseException:
+                # A Ctrl-C (or any crash) mid-batch: the journal already
+                # holds the last batch boundary and the store every
+                # outcome decided since, so just record the status — the
+                # ExitStack still reaps worker pools on the way out.
+                if self._campaign is not None:
+                    self._campaign.mark_interrupted()
+                raise
+            if self._campaign is not None:
+                self._campaign.mark_complete(result.row())
+            return result
 
     def _baseline_census(self) -> None:
         """Run the uninstrumented workload once with telemetry attached so
@@ -333,6 +385,102 @@ class SearchEngine:
             self._report = analyze(self.workload, telemetry=self.telemetry)
         self._guide = SearchGuide(self._report, self.workload)
 
+    # -- campaign journal (checkpoint/resume) -------------------------------------
+
+    def _item_key(self, item: _Item, seq: int):
+        """The priority-heap key `_push` would build for *item* at *seq*.
+
+        Factored out so :meth:`_restore` reconstructs the exact ordering
+        a fresh run would have had: weights and analysis ranks are
+        recomputed (both are deterministic functions of the profile and
+        the report), only the sequence number is journaled.
+        """
+        guide = self._guide
+        if guide is not None:
+            return (
+                -guide.replaceable_rank(self._addrs(item)),
+                -self._weight(item),
+                seq,
+                item,
+            )
+        return (-self._weight(item), seq, item)
+
+    def _snapshot(self, history: list, passing: list) -> dict:
+        """One self-contained, JSON-serializable frontier snapshot.
+
+        Everything a resumed engine needs that is not deterministically
+        recomputable: the queue (node ids + their priority sequence
+        numbers), the passing set, the evaluation history, and the
+        counters.  Tree structure, weights, and analysis verdicts are
+        *not* journaled — they are rebuilt from the workload, which is
+        what keeps snapshots small and version-tolerant.
+        """
+        if self.options.prioritize:
+            # Heap entries sorted by key so the journal line is
+            # deterministic; heapify on restore rebuilds the same heap.
+            queue = [
+                [key[-2], key[-1].is_group, [n.node_id for n in key[-1].nodes]]
+                for key in sorted(self._heap, key=lambda k: k[:-1])
+            ]
+        else:
+            queue = [
+                [None, item.is_group, [n.node_id for n in item.nodes]]
+                for item in self._fifo
+            ]
+        return {
+            "batch": self._batches,
+            "seq": self._seq,
+            "evaluations": self.evaluator.evaluations,
+            "decided": sorted(getattr(self.evaluator, "decided", ())),
+            "pruned": self._pruned,
+            "queue": queue,
+            "passing": [
+                [item.is_group, [n.node_id for n in item.nodes]]
+                for item in passing
+            ],
+            "history": [
+                [r.label, r.passed, r.cycles, r.trap, r.wall_s, r.phase, r.reason]
+                for r in history
+            ],
+        }
+
+    def _restore(self, snap: dict) -> tuple[list, list]:
+        """Rebuild engine state from a journal snapshot; returns the
+        restored (history, passing) lists.  Must run after the profile
+        and analysis guide are set up — heap keys are recomputed."""
+        by_id = self.tree.by_id
+        self._seq = snap["seq"]
+        self._pruned = snap["pruned"]
+        self._batches = snap["batch"]
+        # Evaluations already decided before the interruption count
+        # against max_configs and configs_tested exactly as they did
+        # then; the store replays them without re-executing, and the
+        # decided set keeps replay counting identical to an
+        # uninterrupted run.
+        self.evaluator.evaluations = snap["evaluations"]
+        self.evaluator.decided = set(snap.get("decided", ()))
+        for seq, is_group, node_ids in snap["queue"]:
+            item = _Item([by_id[i] for i in node_ids], is_group)
+            if self.options.prioritize:
+                self._heap.append(self._item_key(item, seq))
+            else:
+                self._fifo.append(item)
+        heapq.heapify(self._heap)
+        passing = [
+            _Item([by_id[i] for i in node_ids], is_group)
+            for is_group, node_ids in snap["passing"]
+        ]
+        history = [
+            EvalRecord(
+                label, passed, cycles, trap,
+                wall_s=wall_s, phase=phase, reason=reason,
+            )
+            for label, passed, cycles, trap, wall_s, phase, reason
+            in snap["history"]
+        ]
+        self._resumed = True
+        return history, passing
+
     def _run(self) -> SearchResult:
         tel = self.telemetry
         start = time.perf_counter()
@@ -354,11 +502,21 @@ class SearchEngine:
             )
             self._baseline_census()
 
-        for root in self.tree.roots:
-            self._push(_Item([root], False))
-
-        history: list[EvalRecord] = []
-        passing: list[_Item] = []
+        campaign = self._campaign
+        snap = campaign.latest_checkpoint() if campaign is not None else None
+        if snap is not None:
+            history, passing = self._restore(snap)
+            if tel.enabled:
+                tel.emit(
+                    "campaign.resume",
+                    batch=self._batches,
+                    tested=self.evaluator.evaluations,
+                )
+        else:
+            for root in self.tree.roots:
+                self._push(_Item([root], False))
+            history = []
+            passing = []
         batch_size = max(1, self.options.workers)
         guide = self._guide
 
@@ -431,6 +589,15 @@ class SearchEngine:
                     depth=len(self._heap) + len(self._fifo),
                     tested=self.evaluator.evaluations,
                 )
+            self._batches += 1
+            if campaign is not None:
+                campaign.checkpoint(self._snapshot(history, passing))
+                if tel.enabled:
+                    tel.emit(
+                        "campaign.checkpoint",
+                        batch=self._batches,
+                        tested=self.evaluator.evaluations,
+                    )
 
         # Compose the final configuration: union of everything that passed.
         final = self.base_config.copy()
@@ -475,11 +642,14 @@ class SearchEngine:
             wall_seconds=time.perf_counter() - start,
             analysis_used=self._guide is not None,
             analysis_pruned=self._pruned,
+            resumed=self._resumed,
+            store_replays=getattr(self.evaluator, "store_hits", 0),
         )
 
         if self.options.refine and passing and not final_verified:
             self._refine(result, passing, history, profile)
             result.configs_tested = self.evaluator.evaluations
+            result.store_replays = getattr(self.evaluator, "store_hits", 0)
             result.wall_seconds = time.perf_counter() - start
 
         if tel.enabled:

@@ -8,7 +8,8 @@ crash" property at work.
 Every *actual* evaluation (cache miss) is reported to the attached
 telemetry as one ``eval.config`` event carrying pass/fail, cycles, the
 trap message, and wall time — so a trace's ``eval.config`` count always
-equals the search's ``configs_tested``.
+equals the search's ``configs_tested`` minus its ``store.hit`` replays
+(exactly ``configs_tested`` when no result store is attached).
 
 Incremental evaluation
 ----------------------
@@ -116,6 +117,17 @@ class Evaluator:
         Thread the instrumentation/compile caches through evaluations
         (see module docstring).  ``False`` restores the cold path for
         every test — results are identical either way.
+    store:
+        Optional :class:`repro.store.ResultStore`.  Decided outcomes are
+        looked up by ``(store_workload, policy digest)`` before any
+        execution and persisted after each one, so campaigns resume and
+        warm-start without re-running configurations.  A store *replay*
+        counts toward ``evaluations`` (the search's decision budget is
+        unchanged either way) but not toward executions — ``store_hits``
+        tracks the split.
+    store_workload:
+        The :func:`repro.store.workload_id` the store rows are keyed by;
+        computed from ``workload`` on first use when left empty.
     """
 
     workload: object
@@ -126,11 +138,43 @@ class Evaluator:
     telemetry: object = None
     incremental: bool = True
     semantic_cache: dict = field(default_factory=dict)
+    store: object = None
+    store_workload: str = ""
+    store_hits: int = 0
+    #: configurations actually run (excludes every kind of replay)
+    executions: int = 0
+    #: policy digests this campaign has counted toward ``evaluations``.
+    #: Journaled and restored on resume so a store replay of a config
+    #: that was merely an in-memory cache hit before the interruption
+    #: does not inflate configs_tested — resumed counts match an
+    #: uninterrupted run exactly.  Empty (and unused) without a store.
+    decided: set = field(default_factory=set)
     _state: IncrementalState | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
             self.telemetry = NULL_TELEMETRY
+
+    def _store_id(self) -> str:
+        if not self.store_workload:
+            from repro.store import workload_id
+
+            self.store_workload = workload_id(self.workload)
+        return self.store_workload
+
+    def _store_lookup(self, policies) -> tuple[str, EvalOutcome | None]:
+        """(policy digest, replayed outcome or None) for a store-backed
+        evaluator; ("", None) when no store is attached."""
+        if self.store is None:
+            return "", None
+        from repro.store import policy_digest
+
+        digest = policy_digest(policies)
+        return digest, self.store.get(self._store_id(), digest)
+
+    def _persist(self, digest: str, outcome: EvalOutcome, wall_s: float) -> None:
+        if self.store is not None and digest:
+            self.store.put(self._store_id(), digest, outcome, wall_s=wall_s)
 
     def evaluate(self, config: Config) -> EvalOutcome:
         """Returns EvalOutcome(passed, cycles, trap_message, reason)."""
@@ -153,10 +197,33 @@ class Evaluator:
                 self.cache_hits += 1
                 self.telemetry.count("eval.cache_hits")
                 return hit
-            if self._state is None:
-                self._state = IncrementalState(self.workload, self.telemetry)
+
+        digest = ""
+        if self.store is not None:
+            if policies is None:
+                policies = config.instruction_policies()
+            digest, stored = self._store_lookup(policies)
+            if stored is not None:
+                # Decided in a previous run: replay without executing.
+                # Counts toward evaluations only the first time this
+                # campaign sees the config (see ``decided``).
+                if digest not in self.decided:
+                    self.decided.add(digest)
+                    self.evaluations += 1
+                self.store_hits += 1
+                self._store(key, skey, stored)
+                if self.telemetry.enabled:
+                    self.telemetry.count("store.hits")
+                    self.telemetry.emit("store.hit", key=digest[:12])
+                return stored
+
+        if self.incremental and self._state is None:
+            self._state = IncrementalState(self.workload, self.telemetry)
 
         self.evaluations += 1
+        self.executions += 1
+        if digest:
+            self.decided.add(digest)
         telemetry = self.telemetry
         state = self._state
         start = time.perf_counter()
@@ -172,26 +239,30 @@ class Evaluator:
             else:
                 result = self.workload.run(instrumented.program)
         except VmTrap as exc:
+            wall = time.perf_counter() - start
             outcome = EvalOutcome(False, 0, str(exc), trap_reason(exc))
             self._store(key, skey, outcome)
+            self._persist(digest, outcome, wall)
             if telemetry.enabled:
                 telemetry.emit("vm.trap", message=str(exc), addr=exc.addr)
                 telemetry.emit(
                     "eval.config", passed=False, cycles=0, trap=str(exc),
                     reason=outcome.reason,
-                    wall_s=round(time.perf_counter() - start, 6),
+                    wall_s=round(wall, 6),
                 )
             return outcome
         passed = bool(self.workload.verify(result))
+        wall = time.perf_counter() - start
         outcome = EvalOutcome(
             passed, result.cycles, "", "" if passed else REASON_VERIFY
         )
         self._store(key, skey, outcome)
+        self._persist(digest, outcome, wall)
         if telemetry.enabled:
             telemetry.emit(
                 "eval.config", passed=passed, cycles=result.cycles, trap="",
                 reason=outcome.reason,
-                wall_s=round(time.perf_counter() - start, 6),
+                wall_s=round(wall, 6),
             )
         return outcome
 

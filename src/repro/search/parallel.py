@@ -19,6 +19,22 @@ workers never carry telemetry sinks of their own.  Batch deduplication
 (flag-identical and semantically identical configs) happens parent-side
 before submission, so ``eval.cache_hits`` / ``eval.config`` counts are
 identical to a serial run over the same sequence.
+
+Crash-fault tolerance
+---------------------
+A worker process that dies mid-evaluation (OOM kill, segfault in a
+native extension, fault injection) breaks the whole
+``ProcessPoolExecutor``: every unfinished future raises
+``BrokenProcessPool``.  Instead of letting that abort a multi-hour
+campaign, the evaluator reaps the broken pool, respawns a fresh one,
+and resubmits the unfinished configurations with exponential backoff.
+A configuration that keeps killing its worker through ``retry_limit``
+respawns is classified as a failed evaluation with reason
+``worker_crash`` — the search records it and descends, exactly like a
+trap.  Outcomes that completed before the crash are never re-run, and
+a result store (``store=``) additionally persists each outcome the
+moment it arrives, so even a parent-process SIGKILL loses at most the
+in-flight configurations.
 """
 
 from __future__ import annotations
@@ -26,17 +42,31 @@ from __future__ import annotations
 import multiprocessing
 import time
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.config.model import Config
 from repro.instrument.engine import instrument
 from repro.search.evaluator import IncrementalState, semantic_key, trap_reason
-from repro.search.results import REASON_VERIFY, EvalOutcome
+from repro.search.results import (
+    REASON_VERIFY,
+    REASON_WORKER_CRASH,
+    EvalOutcome,
+)
 from repro.telemetry import NULL_TELEMETRY
 from repro.vm.errors import VmTrap
 
 # Per-worker state, installed by the fork (never pickled).
 _STATE: dict = {}
+
+#: Fault-injection hook for crash-recovery tests and CI smoke jobs:
+#: when set (parent-side, *before* the pool forks — children inherit
+#: it, including respawned pools), every worker calls it with the
+#: config's flag map right before evaluating.  A hook simulates a
+#: worker crash by calling ``os._exit()``; see
+#: tests/campaign/test_worker_crash.py for the file-sentinel idiom
+#: that crashes exactly once across respawns.
+FAULT_HOOK = None
 
 #: cache-counter names shipped from workers to the parent, in order.
 _DELTA_COUNTERS = (
@@ -73,6 +103,8 @@ def _worker_eval(flags: dict):
     The deltas (see ``_DELTA_COUNTERS``) let the parent aggregate the
     worker-side incremental-cache activity into its telemetry.
     """
+    if FAULT_HOOK is not None:
+        FAULT_HOOK(flags)
     workload = _STATE["workload"]
     config = Config(_STATE["tree"], flags)
     state = _STATE["state"]
@@ -119,8 +151,16 @@ def fork_available() -> bool:
 
 def _shutdown_pool(pool) -> None:
     """Module-level so ``weakref.finalize`` holds no reference to the
-    evaluator (a bound method would keep it alive forever)."""
-    pool.shutdown()
+    evaluator (a bound method would keep it alive forever).
+
+    ``cancel_futures`` matters on the interrupt path: a
+    ``KeyboardInterrupt`` mid-batch leaves submitted-but-unstarted jobs
+    in the pool's queue, and a plain ``shutdown()`` would block on all
+    of them — keeping worker processes alive long after the search is
+    dead.  Cancelling drains the queue; workers finish (at most) their
+    current evaluation and exit, so no orphans survive the search.
+    """
+    pool.shutdown(wait=True, cancel_futures=True)
 
 
 class ParallelEvaluator:
@@ -144,9 +184,15 @@ class ParallelEvaluator:
         optimize_checks: bool = False,
         telemetry=None,
         incremental: bool = True,
+        store=None,
+        store_workload: str = "",
+        retry_limit: int = 3,
+        retry_backoff: float = 0.05,
     ):
         if workers < 2:
             raise ValueError("ParallelEvaluator needs workers >= 2")
+        if retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
         self.workload = workload
         self.tree = tree
         self.workers = workers
@@ -157,6 +203,22 @@ class ParallelEvaluator:
         self.semantic_cache: dict = {}
         self.evaluations = 0
         self.cache_hits = 0
+        self.store = store
+        self.store_workload = store_workload
+        self.store_hits = 0
+        #: configurations actually run (excludes every kind of replay)
+        self.executions = 0
+        #: policy digests counted toward ``evaluations`` — journaled and
+        #: restored on resume so replay counting matches an
+        #: uninterrupted run; see the serial Evaluator's field.
+        self.decided: set = set()
+        #: bounded-retry policy for crashed workers: a config is retried
+        #: at most retry_limit times across pool respawns, sleeping
+        #: retry_backoff * 2**(attempt-1) seconds before each round.
+        self.retry_limit = retry_limit
+        self.retry_backoff = retry_backoff
+        self.pool_respawns = 0
+        self.crashed_configs = 0
         self._state = None  # parent-side IncrementalState (serial fallback)
         self._pool = None
         self._finalizer = None
@@ -166,14 +228,39 @@ class ParallelEvaluator:
             workload.baseline()
             if hasattr(workload, "profile"):
                 workload.profile()
-            context = multiprocessing.get_context("fork")
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=context,
-                initializer=_worker_init,
-                initargs=(workload, tree, optimize_checks, incremental),
-            )
+            self._pool = self._spawn_pool()
             self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+
+    def _store_id(self) -> str:
+        if not self.store_workload:
+            from repro.store import workload_id
+
+            self.store_workload = workload_id(self.workload)
+        return self.store_workload
+
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(
+                self.workload, self.tree, self.optimize_checks, self.incremental
+            ),
+        )
+
+    def _respawn_pool(self) -> None:
+        """Replace a broken pool with a fresh one (same fork'd state)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        if self._pool is not None:
+            # The pool is broken: surviving workers exit after their
+            # current item, dead ones are reaped.  Nothing is pending
+            # that we still want (unfinished configs are resubmitted).
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        self.pool_respawns += 1
+        self._pool = self._spawn_pool()
+        self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
 
     # -- Evaluator protocol ---------------------------------------------------
 
@@ -184,19 +271,23 @@ class ParallelEvaluator:
         keys = [frozenset(c.flags.items()) for c in configs]
 
         # Parent-side dedup: drop flag-identical repeats, configs already
-        # cached, and (incrementally) configs whose resolved policy map
-        # matches a cached or already-submitted one.  What remains is
-        # exactly the set a serial evaluator would have executed.
-        jobs: list = []           # (key, skey, config) to execute
+        # cached, configs decided by the result store in an earlier run,
+        # and (incrementally) configs whose resolved policy map matches
+        # a cached or already-submitted one.  What remains is exactly
+        # the set a serial evaluator would have executed.
+        jobs: list = []           # (key, skey, digest, config) to execute
         job_index: dict = {}      # flag key -> job position
         alias: dict = {}          # flag key -> job position (semantic dup)
         skey_index: dict = {}     # semantic key -> job position
+        store_replays = 0
         for key, config in zip(keys, configs):
             if key in self.cache or key in job_index or key in alias:
                 continue
             skey = None
+            policies = None
             if self.incremental:
-                skey = semantic_key(config.instruction_policies())
+                policies = config.instruction_policies()
+                skey = semantic_key(policies)
                 hit = self.semantic_cache.get(skey)
                 if hit is not None:
                     self.cache[key] = hit
@@ -205,57 +296,150 @@ class ParallelEvaluator:
                 if pos is not None:
                     alias[key] = pos
                     continue
+            digest = ""
+            if self.store is not None:
+                from repro.store import policy_digest
+
+                if policies is None:
+                    policies = config.instruction_policies()
+                digest = policy_digest(policies)
+                stored = self.store.get(self._store_id(), digest)
+                if stored is not None:
+                    # Decided in a previous run: replay, don't execute.
+                    # Counts toward evaluations only the first time this
+                    # campaign sees the config (see ``decided``).
+                    self.cache[key] = stored
+                    if skey is not None:
+                        self.semantic_cache[skey] = stored
+                    if digest not in self.decided:
+                        self.decided.add(digest)
+                        self.evaluations += 1
+                    self.store_hits += 1
+                    store_replays += 1
+                    if self.telemetry.enabled:
+                        self.telemetry.count("store.hits")
+                        self.telemetry.emit("store.hit", key=digest[:12])
+                    continue
+            if skey is not None:
                 skey_index[skey] = len(jobs)
             job_index[key] = len(jobs)
-            jobs.append((key, skey, config))
+            jobs.append((key, skey, digest, config))
 
         if jobs:
             start = time.perf_counter()
             if self._pool is not None:
-                futures = [
-                    self._pool.submit(_worker_eval, dict(config.flags))
-                    for _key, _skey, config in jobs
-                ]
-                replies = [f.result() for f in futures]
-                outcomes = [outcome for outcome, _deltas in replies]
-                totals = [0, 0, 0, 0]
-                for _outcome, deltas in replies:
-                    for i, d in enumerate(deltas):
-                        totals[i] += d
-                for name, total in zip(_DELTA_COUNTERS, totals):
-                    if total:
-                        self.telemetry.count(name, total)
+                outcomes = self._run_jobs(
+                    [dict(config.flags) for _k, _s, _d, config in jobs]
+                )
             else:  # serial fallback (no fork on this platform)
                 outcomes = [
-                    self._serial_eval(config) for _key, _skey, config in jobs
+                    self._serial_eval(config) for _k, _s, _d, config in jobs
                 ]
             batch_wall = time.perf_counter() - start
             telemetry = self.telemetry
-            for (key, skey, _config), outcome in zip(jobs, outcomes):
+            for (key, skey, digest, _config), outcome in zip(jobs, outcomes):
                 self.cache[key] = outcome
                 if skey is not None:
                     self.semantic_cache[skey] = outcome
                 self.evaluations += 1
+                self.executions += 1
+                if digest:
+                    self.decided.add(digest)
+                # Workers run concurrently, so per-config wall time is
+                # the batch wall amortized over its members.
+                per_config_wall = batch_wall / len(jobs)
+                if self.store is not None and digest:
+                    self.store.put(
+                        self._store_id(), digest, outcome,
+                        wall_s=per_config_wall,
+                    )
                 if telemetry.enabled:
                     passed, cycles, trap, reason = outcome
                     if trap:
                         telemetry.emit("vm.trap", message=trap)
-                    # Workers run concurrently, so per-config wall time is
-                    # the batch wall amortized over its members.
                     telemetry.emit(
                         "eval.config", passed=passed, cycles=cycles, trap=trap,
                         reason=reason,
-                        wall_s=round(batch_wall / len(jobs), 6),
+                        wall_s=round(per_config_wall, 6),
                     )
             for key, pos in alias.items():
                 self.cache[key] = outcomes[pos]
 
         results = [self.cache[key] for key in keys]
-        hits = len(keys) - len(jobs)
+        hits = len(keys) - len(jobs) - store_replays
         self.cache_hits += hits
         if hits:
             self.telemetry.count("eval.cache_hits", hits)
         return results
+
+    def _run_jobs(self, flag_maps: list[dict]) -> list[EvalOutcome]:
+        """Execute *flag_maps* on the pool, surviving worker crashes.
+
+        A dead worker breaks the whole pool: every unfinished future
+        raises ``BrokenProcessPool`` (or comes back cancelled).  Results
+        that completed before the crash are kept; the pool is respawned
+        and the rest resubmitted with exponential backoff, each config
+        at most ``retry_limit`` times before it is classified as failed
+        with reason ``worker_crash``.
+        """
+        telemetry = self.telemetry
+        outcomes: list = [None] * len(flag_maps)
+        totals = [0, 0, 0, 0]
+        attempts = [0] * len(flag_maps)
+        pending = list(range(len(flag_maps)))
+        while pending:
+            futures = {
+                i: self._pool.submit(_worker_eval, flag_maps[i])
+                for i in pending
+            }
+            crashed = []
+            for i, future in futures.items():
+                try:
+                    outcome, deltas = future.result()
+                except (BrokenProcessPool, CancelledError):
+                    crashed.append(i)
+                else:
+                    outcomes[i] = outcome
+                    for j, delta in enumerate(deltas):
+                        totals[j] += delta
+            if not crashed:
+                break
+            self._respawn_pool()
+            retry = []
+            for i in crashed:
+                attempts[i] += 1
+                if attempts[i] > self.retry_limit:
+                    # This config (or its cohort) kept killing workers:
+                    # classify as a failed evaluation and move on — a
+                    # crash must never abort the campaign.
+                    self.crashed_configs += 1
+                    outcomes[i] = EvalOutcome(
+                        False, 0,
+                        f"worker process died (x{attempts[i]} attempts)",
+                        REASON_WORKER_CRASH,
+                    )
+                    if telemetry.enabled:
+                        telemetry.count("eval.worker_crashes")
+                        telemetry.emit(
+                            "eval.worker_crash", attempts=attempts[i]
+                        )
+                else:
+                    retry.append(i)
+            if retry:
+                attempt = max(attempts[i] for i in retry)
+                delay = self.retry_backoff * (2 ** (attempt - 1))
+                if telemetry.enabled:
+                    telemetry.count("eval.retries", len(retry))
+                    telemetry.emit(
+                        "eval.retry", attempt=attempt, pending=len(retry),
+                        backoff_s=round(delay, 3),
+                    )
+                time.sleep(delay)
+            pending = retry
+        for name, total in zip(_DELTA_COUNTERS, totals):
+            if total:
+                telemetry.count(name, total)
+        return outcomes
 
     def _serial_eval(self, config: Config) -> EvalOutcome:
         if self.incremental and self._state is None:

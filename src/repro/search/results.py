@@ -12,6 +12,10 @@ REASON_TRAP = "trap"          # hard VM fault (bad access, NaN-sentinel crash, .
 REASON_TIMEOUT = "timeout"    # step budget exhausted (wrecked loop bound)
 REASON_VERIFY = "verify"      # ran to completion but missed the verification bound
 REASON_PRUNED = "pruned"      # skipped: shadow-value analysis predicted failure
+#: the evaluating worker process died (and kept dying through every
+#: bounded retry) — the config is treated as failed so the campaign
+#: continues instead of aborting; see repro.search.parallel.
+REASON_WORKER_CRASH = "worker_crash"
 
 
 class EvalOutcome(NamedTuple):
@@ -41,8 +45,9 @@ class EvalRecord:
     wall_s: float = 0.0   # wall time of the evaluation (batch-amortized)
     phase: str = "bfs"    # search phase: "bfs" | "final" | "refine"
     #: why the evaluation failed: "" on a pass, else "trap" /
-    #: "timeout" / "verify", or "pruned" when the shadow-value analysis
-    #: skipped the evaluation outright.
+    #: "timeout" / "verify", "pruned" when the shadow-value analysis
+    #: skipped the evaluation outright, or "worker_crash" when the
+    #: evaluating worker process kept dying through every retry.
     reason: str = ""
 
 
@@ -76,6 +81,13 @@ class SearchResult:
     #: and are NOT counted in configs_tested).
     analysis_used: bool = False
     analysis_pruned: int = 0
+    #: durable-campaign provenance (repro.campaign / repro.store):
+    #: whether this run resumed from a journal checkpoint, and how many
+    #: of configs_tested were replayed from the result store instead of
+    #: executed.  Deliberately excluded from row() so warm and cold runs
+    #: of the same search compare equal.
+    resumed: bool = False
+    store_replays: int = 0
 
     def fail_reasons(self) -> dict:
         """Histogram of failure reasons over the evaluation history."""

@@ -1,0 +1,39 @@
+"""Durable evaluation results (the campaign subsystem's ground truth).
+
+The paper's breadth-first search spends essentially all of its wall time
+*evaluating* instrumented configurations — hundreds of deterministic
+(program, configuration) runs whose verdicts never change between
+invocations.  :class:`ResultStore` makes those verdicts durable: every
+:class:`~repro.search.results.EvalOutcome` is recorded in a SQLite
+database keyed by ``(workload id, semantic config key)``, so an
+interrupted search resumes from its last batch without re-running a
+single decided configuration, and a *second* search over the same
+workload (different :class:`~repro.search.bfs.SearchOptions`, a refine
+pass, a CI re-run) warm-starts from everything already known.
+
+Keys are content-addressed: the workload id hashes the program image the
+search actually ran (name, class, code bytes, data image), and the config
+key hashes the *resolved per-instruction policy map* — two configurations
+whose flag maps differ but whose executables coincide share one row,
+exactly like the evaluators' semantic cache.
+"""
+
+from repro.store.result_store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    StoreCollisionError,
+    StoreSchemaError,
+    StoredOutcome,
+    policy_digest,
+    workload_id,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "StoreCollisionError",
+    "StoreSchemaError",
+    "StoredOutcome",
+    "policy_digest",
+    "workload_id",
+]

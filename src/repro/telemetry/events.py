@@ -31,6 +31,17 @@ EVENT_FIELDS: dict[str, frozenset] = {
     "search.prune": frozenset({"label", "level"}),
     # -- evaluation (one per configuration actually executed) --------------
     "eval.config": frozenset({"passed", "cycles", "trap", "wall_s"}),
+    # crash-fault tolerance: a worker died, unfinished configs resubmitted
+    # on a fresh pool after a backoff; one eval.worker_crash per config
+    # that exhausted its bounded retries (classified reason=worker_crash).
+    "eval.retry": frozenset({"attempt", "pending"}),
+    "eval.worker_crash": frozenset({"attempts"}),
+    # -- durable campaigns (repro.store / repro.campaign) -------------------
+    # store.hit: a previously decided outcome replayed from the result
+    # store instead of executed (resume and warm-start paths).
+    "store.hit": frozenset({"key"}),
+    "campaign.checkpoint": frozenset({"batch", "tested"}),
+    "campaign.resume": frozenset({"batch", "tested"}),
     # -- instrumentation layer ---------------------------------------------
     "instr.stats": frozenset(
         {

@@ -1,0 +1,154 @@
+"""Durable campaigns: journal lifecycle and the resume differential.
+
+The contract under test (the tentpole's acceptance): a search that is
+interrupted mid-campaign and resumed produces a final configuration —
+and an evaluation history — *identical* to the same search run
+uninterrupted, with every previously decided outcome replayed from the
+result store instead of re-executed.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CAMPAIGN_VERSION, Campaign, CampaignError
+from repro.experiments.resume import compare
+from repro.search import SearchOptions
+from repro.search.parallel import fork_available
+
+
+class TestCampaignLifecycle:
+    def test_create_then_open_round_trips_metadata(self, tmp_path):
+        options = SearchOptions(workers=2, analysis=True, refine=True)
+        with Campaign.create(tmp_path, "cg", "T", options) as campaign:
+            assert campaign.status == "running"
+        with Campaign.open(tmp_path) as campaign:
+            assert campaign.workload == "cg"
+            assert campaign.klass == "T"
+            assert campaign.options == options
+
+    def test_create_refuses_existing_campaign(self, tmp_path):
+        Campaign.create(tmp_path, "cg", "T", SearchOptions()).close()
+        with pytest.raises(CampaignError, match="already exists"):
+            Campaign.create(tmp_path, "mg", "W", SearchOptions())
+
+    def test_open_requires_campaign_json(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign.json"):
+            Campaign.open(tmp_path)
+
+    def test_open_rejects_version_mismatch(self, tmp_path):
+        Campaign.create(tmp_path, "cg", "T", SearchOptions()).close()
+        meta_path = tmp_path / "campaign.json"
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = CAMPAIGN_VERSION + 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(CampaignError, match="version"):
+            Campaign.open(tmp_path)
+
+    def test_latest_checkpoint_skips_truncated_tail(self, tmp_path):
+        with Campaign.create(tmp_path, "cg", "T", SearchOptions()) as campaign:
+            campaign.checkpoint({"batch": 1})
+            campaign.checkpoint({"batch": 2})
+        # Simulate a SIGKILL mid-write: a garbage, unterminated tail.
+        with open(tmp_path / "journal.jsonl", "a") as handle:
+            handle.write('{"batch": 3, "queue": [truncat')
+        with Campaign.open(tmp_path) as campaign:
+            assert campaign.latest_checkpoint() == {"batch": 2}
+
+    def test_latest_checkpoint_none_when_journal_empty(self, tmp_path):
+        with Campaign.create(tmp_path, "cg", "T", SearchOptions()) as campaign:
+            assert campaign.latest_checkpoint() is None
+
+    def test_status_transitions(self, tmp_path):
+        campaign = Campaign.create(tmp_path, "cg", "T", SearchOptions())
+        campaign.mark_interrupted()
+        assert campaign.status == "interrupted"
+        campaign.mark_complete({"final": "pass"})
+        assert campaign.status == "complete"
+        # A late interrupt (cleanup racing completion) must not regress
+        # a finished campaign.
+        campaign.mark_interrupted()
+        assert campaign.status == "complete"
+        campaign.close()
+        assert Campaign.open(tmp_path).meta["result"] == {"final": "pass"}
+
+    def test_close_idempotent(self, tmp_path):
+        campaign = Campaign.create(tmp_path, "cg", "T", SearchOptions())
+        campaign.checkpoint({"batch": 1})
+        campaign.close()
+        campaign.close()
+
+    def test_interrupt_hook_raises_keyboard_interrupt(self, tmp_path):
+        with Campaign.create(tmp_path, "cg", "T", SearchOptions()) as campaign:
+            campaign.interrupt_after = 2
+            campaign.checkpoint({"batch": 1})
+            with pytest.raises(KeyboardInterrupt):
+                campaign.checkpoint({"batch": 2})
+            # The interrupting checkpoint itself is durable.
+            assert campaign.latest_checkpoint() == {"batch": 2}
+
+
+class TestResumeDifferential:
+    """Interrupt → resume → warm start on real NAS workloads."""
+
+    def test_serial_resume_identical_on_cg(self, tmp_path):
+        c = compare("cg", "T", interrupt_after=2, workdir=str(tmp_path))
+        assert c.identical_final, "resumed search composed a different config"
+        assert c.identical_history
+        assert c.resumed_tested == c.base_tested
+        assert c.store_replays >= 1
+        # Warm start: the second search re-executes nothing.
+        assert c.warm_tested == c.base_tested
+        assert c.warm_executions == 0
+        # The campaign directory records the finished run.
+        meta = json.loads((tmp_path / "campaign.json").read_text())
+        assert meta["status"] == "complete"
+
+    def test_serial_resume_identical_on_mg(self, tmp_path):
+        c = compare("mg", "W", interrupt_after=2, workdir=str(tmp_path))
+        assert c.identical_final
+        assert c.identical_history
+        assert c.resumed_tested == c.base_tested
+        assert c.warm_executions == 0
+
+    def test_resume_with_analysis_guidance(self, tmp_path):
+        options = SearchOptions(analysis=True)
+        c = compare("cg", "T", interrupt_after=2, options=options,
+                    workdir=str(tmp_path))
+        assert c.identical_final
+        assert c.identical_history
+        assert c.resumed_tested == c.base_tested
+        assert c.warm_executions == 0
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_parallel_resume_identical_on_cg(self, tmp_path):
+        options = SearchOptions(workers=2)
+        c = compare("cg", "T", interrupt_after=1, options=options,
+                    workdir=str(tmp_path))
+        assert c.identical_final
+        assert c.identical_history
+        assert c.resumed_tested == c.base_tested
+        assert c.warm_executions == 0
+
+    def test_interrupted_campaign_marked_and_journaled(self, tmp_path):
+        from repro.search import SearchEngine
+        from repro.workloads import make_workload
+
+        campaign = Campaign.create(tmp_path, "cg", "T", SearchOptions())
+        campaign.interrupt_after = 1
+        with pytest.raises(KeyboardInterrupt):
+            SearchEngine(
+                make_workload("cg", "T"), SearchOptions(), campaign=campaign
+            ).run()
+        campaign.close()
+        meta = json.loads((tmp_path / "campaign.json").read_text())
+        assert meta["status"] == "interrupted"
+        # The journal holds exactly the checkpoints written before the
+        # interrupt, each a complete JSON line (satellite: a mid-batch
+        # KeyboardInterrupt never truncates the journal).
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        snap = json.loads(lines[0])
+        assert snap["batch"] == 1
+        assert os.path.exists(tmp_path / "results.sqlite")

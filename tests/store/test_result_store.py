@@ -1,0 +1,183 @@
+"""Property tests for the durable result store (repro.store).
+
+The store's contract: every :class:`EvalOutcome` — all verdicts, all
+failure reasons including ``worker_crash`` — survives
+store → reload → export bit-exactly; semantic-key collisions (a second
+put that disagrees with the recorded outcome) are rejected, never
+silently overwritten; and a store written by a different schema version
+refuses to open.
+"""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.model import Policy
+from repro.search.results import (
+    REASON_PRUNED,
+    REASON_TIMEOUT,
+    REASON_TRAP,
+    REASON_VERIFY,
+    REASON_WORKER_CRASH,
+    EvalOutcome,
+)
+from repro.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    StoreCollisionError,
+    StoreSchemaError,
+    policy_digest,
+)
+
+REASONS = ("", REASON_TRAP, REASON_TIMEOUT, REASON_VERIFY, REASON_PRUNED,
+           REASON_WORKER_CRASH)
+
+# Arbitrary text that JSON and SQLite both round-trip (no surrogates).
+clean_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40
+)
+
+outcomes = st.builds(
+    EvalOutcome,
+    passed=st.booleans(),
+    cycles=st.integers(min_value=0, max_value=2**48),
+    trap=clean_text,
+    reason=st.sampled_from(REASONS),
+)
+
+#: (workload, key) -> (outcome, wall_s); unique keys by construction.
+row_maps = st.dictionaries(
+    st.tuples(clean_text.filter(bool), clean_text.filter(bool)),
+    st.tuples(outcomes, st.floats(min_value=0, max_value=1e6,
+                                  allow_nan=False, allow_infinity=False)),
+    max_size=12,
+)
+
+
+def _fill(store, rows):
+    for (workload, key), (outcome, wall) in rows.items():
+        store.put(workload, key, outcome, wall_s=wall)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=row_maps)
+def test_store_reload_export_bit_exact(rows):
+    """Outcomes written to disk read back and export identically after
+    the store is closed and reopened."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "results.sqlite")
+        with ResultStore(path) as store:
+            _fill(store, rows)
+            first = list(store.export_lines())
+        with ResultStore(path) as store:
+            assert list(store.export_lines()) == first
+            for (workload, key), (outcome, _) in rows.items():
+                assert store.get(workload, key) == outcome
+            assert store.count() == len(rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=row_maps)
+def test_export_import_export_bit_exact(rows):
+    """A JSONL export merged into a fresh store exports the same bytes
+    (timestamps are provenance and carried through the exchange)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        dump = os.path.join(tmp, "outcomes.jsonl")
+        with ResultStore() as store:
+            _fill(store, rows)
+            assert store.export_jsonl(dump) == len(rows)
+            first = list(store.export_lines())
+        with ResultStore() as fresh:
+            assert fresh.import_jsonl(dump) == len(rows)
+            assert list(fresh.export_lines()) == first
+
+
+@settings(max_examples=30, deadline=None)
+@given(first=outcomes, second=outcomes)
+def test_collisions_rejected_identical_reputs_ignored(first, second):
+    with ResultStore() as store:
+        store.put("w", "k", first, wall_s=1.0)
+        # An identical re-put (even with a different wall time) no-ops.
+        store.put("w", "k", first, wall_s=2.0)
+        assert store.puts == 1
+        assert store.get("w", "k") == first
+        if second == first:
+            return
+        with pytest.raises(StoreCollisionError):
+            store.put("w", "k", second)
+        assert store.get("w", "k") == first
+
+
+@settings(max_examples=30, deadline=None)
+@given(outcome=outcomes)
+def test_every_reason_survives_one_row(outcome):
+    with ResultStore() as store:
+        store.put("w", "k", outcome)
+        got = store.get("w", "k")
+        assert got == outcome
+        assert isinstance(got.passed, bool)
+
+
+def test_worker_crash_reason_round_trips_to_disk():
+    crash = EvalOutcome(False, 0, "worker process died (x4 attempts)",
+                        REASON_WORKER_CRASH)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "results.sqlite")
+        with ResultStore(path) as store:
+            store.put("cg.T@abc", "deadbeef", crash, wall_s=0.5)
+        with ResultStore(path) as store:
+            assert store.get("cg.T@abc", "deadbeef") == crash
+            (row,) = store.rows()
+            assert row.outcome.reason == REASON_WORKER_CRASH
+            assert row.wall_s == 0.5
+
+
+def test_schema_version_mismatch_refuses_to_open():
+    import sqlite3
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "results.sqlite")
+        ResultStore(path).close()
+        db = sqlite3.connect(path)
+        db.execute("UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                   (str(SCHEMA_VERSION + 1),))
+        db.commit()
+        db.close()
+        with pytest.raises(StoreSchemaError):
+            ResultStore(path)
+
+
+def test_close_is_idempotent():
+    store = ResultStore()
+    store.put("w", "k", EvalOutcome(True, 10, "", ""))
+    store.close()
+    store.close()
+
+
+# -- policy_digest ----------------------------------------------------------
+
+policies_maps = st.dictionaries(
+    st.integers(min_value=0, max_value=2**32),
+    st.sampled_from(list(Policy)),
+    max_size=16,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(policies=policies_maps)
+def test_policy_digest_order_independent(policies):
+    shuffled = dict(sorted(policies.items(), reverse=True))
+    assert policy_digest(policies) == policy_digest(shuffled)
+
+
+@settings(max_examples=50, deadline=None)
+@given(policies=policies_maps.filter(bool), flip=st.data())
+def test_policy_digest_sensitive_to_any_change(policies, flip):
+    addr = flip.draw(st.sampled_from(sorted(policies)))
+    changed = dict(policies)
+    changed[addr] = flip.draw(
+        st.sampled_from([p for p in Policy if p is not policies[addr]])
+    )
+    assert policy_digest(changed) != policy_digest(policies)

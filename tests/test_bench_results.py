@@ -1,0 +1,104 @@
+"""The benchmark harness's results-file merge semantics.
+
+``benchmarks/results/BENCH_search.json`` is shared by the incremental
+and guided benches and accumulates across runs: re-running a workload
+must *replace* its row (same ``benchmark`` key), never append a
+duplicate, and must leave the other bench's section untouched.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def harness(tmp_path, monkeypatch):
+    """The benchmarks/conftest.py helpers, redirected to a temp dir."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", ROOT / "benchmarks" / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
+    return module
+
+
+def _read(harness, name="BENCH_search"):
+    return json.loads((harness.RESULTS_DIR / f"{name}.json").read_text())
+
+
+def row(bench, **extra):
+    return {"benchmark": bench, **extra}
+
+
+def test_same_workload_replaces_row(harness):
+    harness.merge_json_rows("BENCH_search", {"rows": [row("cg.T", speedup=3.0)]})
+    harness.merge_json_rows("BENCH_search", {"rows": [row("cg.T", speedup=4.5)]})
+    data = _read(harness)
+    assert data["rows"] == [row("cg.T", speedup=4.5)]
+
+
+def test_new_workload_appends_after_existing(harness):
+    harness.merge_json_rows("BENCH_search", {"rows": [row("cg.T", speedup=3.0)]})
+    harness.merge_json_rows("BENCH_search", {"rows": [row("mg.W", speedup=2.0)]})
+    data = _read(harness)
+    assert [r["benchmark"] for r in data["rows"]] == ["cg.T", "mg.W"]
+
+
+def test_replace_preserves_row_order(harness):
+    harness.merge_json_rows(
+        "BENCH_search",
+        {"rows": [row("cg.T", v=1), row("mg.W", v=1), row("lu.T", v=1)]},
+    )
+    harness.merge_json_rows("BENCH_search", {"rows": [row("mg.W", v=2)]})
+    data = _read(harness)
+    assert [(r["benchmark"], r["v"]) for r in data["rows"]] == [
+        ("cg.T", 1), ("mg.W", 2), ("lu.T", 1),
+    ]
+
+
+def test_sections_do_not_clobber_each_other(harness):
+    harness.merge_json_rows(
+        "BENCH_search", {"rows": [row("cg.T", speedup=3.0)], "primary": row("cg.T")}
+    )
+    harness.merge_json_rows(
+        "BENCH_search", {"rows": [row("cg.T", saved=7)]}, section="guided"
+    )
+    harness.merge_json_rows("BENCH_search", {"rows": [row("cg.T", speedup=5.0)]})
+    data = _read(harness)
+    assert data["rows"] == [row("cg.T", speedup=5.0)]
+    assert data["guided"]["rows"] == [row("cg.T", saved=7)]
+    assert data["primary"] == row("cg.T")
+
+
+def test_section_rows_dedupe_too(harness):
+    harness.merge_json_rows(
+        "BENCH_search", {"rows": [row("cg.T", saved=7)]}, section="guided"
+    )
+    harness.merge_json_rows(
+        "BENCH_search",
+        {"rows": [row("cg.T", saved=9), row("mg.W", saved=1)]},
+        section="guided",
+    )
+    data = _read(harness)
+    assert data["guided"]["rows"] == [row("cg.T", saved=9), row("mg.W", saved=1)]
+
+
+def test_non_row_keys_updated(harness):
+    harness.merge_json_rows(
+        "BENCH_search", {"rows": [row("cg.T")], "primary": row("cg.T")}
+    )
+    harness.merge_json_rows(
+        "BENCH_search", {"rows": [row("mg.W")], "primary": row("mg.W")}
+    )
+    assert _read(harness)["primary"] == row("mg.W")
+
+
+def test_unparseable_file_starts_fresh(harness):
+    (harness.RESULTS_DIR / "BENCH_search.json").write_text("{not json")
+    harness.merge_json_rows("BENCH_search", {"rows": [row("cg.T")]})
+    assert _read(harness)["rows"] == [row("cg.T")]

@@ -25,3 +25,9 @@ class TestExamples:
         assert "vendor binary" in out
         assert "recommended configuration" in out
         assert "final pass" in out
+
+    def test_resume_search(self, capsys):
+        out = _run_example("resume_search", capsys)
+        assert "interrupted after 2 checkpoints" in out
+        assert "identical final configuration: True" in out
+        assert "0 actually executed" in out
