@@ -14,17 +14,27 @@ instrument  rewrite a program under a configuration file
 view        render the configuration tree (paper Fig. 4, as text)
 analyze     shadow-value analysis of a built-in workload (JSON report)
 search      automatic mixed-precision search on a built-in workload
+serve       run a search as a cluster coordinator (network workers)
+worker      evaluation worker for a coordinator (`repro serve`)
+store       result-store maintenance (JSONL export/import)
 experiment  regenerate one of the paper's tables/figures
 
 Program images are plain pickles of :class:`repro.binary.model.Program`;
 anything ending in ``.mh`` (or any readable text) is compiled on the fly.
+
+Exit codes (documented in README.md): 0 success, 1 runtime failure,
+2 usage error (argparse), 130 interrupted search (resumable when run
+under ``--campaign``).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pickle
 import sys
+
+from repro import __version__
 
 from repro.asm.disassembler import disassemble_program
 from repro.binary.model import Program
@@ -231,6 +241,14 @@ def cmd_search(args) -> int:
         campaign = Campaign.open(args.resume)
         workload = make_workload(campaign.workload, campaign.klass)
         options = campaign.options
+        if args.cluster:
+            # The bind address is host-specific, not part of the durable
+            # search definition — a resumed campaign may serve anywhere.
+            options = dataclasses.replace(
+                options,
+                cluster=args.cluster,
+                lease_timeout=args.lease_timeout,
+            )
     else:
         if not args.workload:
             raise SystemExit(
@@ -244,6 +262,8 @@ def cmd_search(args) -> int:
             refine=args.refine,
             incremental=not args.no_incremental,
             analysis=args.analysis,
+            cluster=args.cluster or "",
+            lease_timeout=args.lease_timeout,
         )
         if args.campaign:
             from repro.campaign import Campaign
@@ -265,6 +285,15 @@ def cmd_search(args) -> int:
                 workload, options, telemetry=telemetry,
                 campaign=campaign, store=store,
             )
+            if options.cluster:
+                # Announce the bound address (port 0 lets the OS pick)
+                # so workers know where to dial before run() blocks.
+                print(
+                    f"serving {workload.name} on "
+                    f"{engine.evaluator.address} — connect workers with: "
+                    f"repro worker {engine.evaluator.address}",
+                    file=sys.stderr, flush=True,
+                )
             result = engine.run()
     except KeyboardInterrupt:
         where = args.resume or args.campaign
@@ -329,6 +358,50 @@ def cmd_search(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Thin alias: a cluster coordinator *is* a search with --cluster."""
+    args.cluster = args.address
+    return cmd_search(args)
+
+
+def cmd_worker(args) -> int:
+    from repro.cluster import WorkerError, run_worker
+
+    try:
+        stats = run_worker(
+            args.address,
+            max_tasks=args.max_tasks,
+            connect_retries=args.connect_retries,
+        )
+    except WorkerError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("\nworker: interrupted", file=sys.stderr)
+        return 130
+    if not args.quiet:
+        print(f"worker done: {stats['tasks']} tasks "
+              f"({stats['workload'] or 'no workload'})")
+    return 0
+
+
+def cmd_store(args) -> int:
+    from repro.store import ResultStore, StoreCollisionError
+
+    with ResultStore(args.db) as store:
+        if args.store_command == "export":
+            count = store.export_jsonl(args.file, workload=args.workload)
+            print(f"exported {count} outcomes to {args.file}")
+        else:  # import
+            try:
+                count = store.import_jsonl(args.file)
+            except StoreCollisionError as exc:
+                print(f"store import: {exc}", file=sys.stderr)
+                return 1
+            print(f"imported {count} outcomes into {args.db}")
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from repro.experiments import amg, fig8, fig9, fig10, fig11, guided, resume
     from repro.experiments.tables import format_table
@@ -390,6 +463,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Mixed-precision binary analysis on the virtual ISA "
         "(reproduction of Lam et al.)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -495,6 +571,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="standalone result store (SQLite file): decided "
                         "outcomes persist across runs, so a repeated search "
                         "warm-starts without re-executing anything")
+    p.add_argument("--cluster", metavar="HOST:PORT",
+                   help="serve evaluations to network workers instead of "
+                        "running them locally: bind a coordinator here "
+                        "(port 0 picks a free port) and lease "
+                        "configurations to `repro worker` processes; "
+                        "--workers then sets the batch size, not a "
+                        "process count")
+    p.add_argument("--lease-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="cluster: requeue a worker's leases after this "
+                        "much silence (default 30)")
     p.add_argument("-o", "--output", help="write the best configuration here")
     p.add_argument("--report", help="write a Markdown analysis report here")
     p.add_argument("--quiet", action="store_true",
@@ -503,6 +590,85 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the full evaluation history")
     _add_telemetry_flags(p, progress=True)
     p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a search as a cluster coordinator "
+             "(same flags as `search`, plus a bind address)",
+    )
+    p.add_argument("address", metavar="HOST:PORT",
+                   help="address to serve on (port 0 picks a free port)")
+    p.add_argument("workload", nargs="?",
+                   help="bt|cg|ep|ft|lu|mg|sp|amg|superlu "
+                        "(omitted with --resume)")
+    p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
+    p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
+                   help="problem class (same as the positional argument)")
+    p.add_argument("--analysis", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="shadow-value analysis guidance (see `search`)")
+    p.add_argument("--stop-level", default="instruction",
+                   choices=("module", "function", "block", "instruction"))
+    p.add_argument("--workers", type=int, default=4,
+                   help="batch size: configurations leased concurrently "
+                        "(default 4)")
+    p.add_argument("--refine", action="store_true",
+                   help="second search phase when the union fails")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable the incremental evaluation caches")
+    p.add_argument("--campaign", metavar="DIR",
+                   help="journal the frontier + persist outcomes in DIR "
+                        "(see `search --campaign`)")
+    p.add_argument("--resume", metavar="DIR",
+                   help="resume an interrupted campaign (see `search`)")
+    p.add_argument("--store", metavar="DB",
+                   help="standalone result store (see `search --store`)")
+    p.add_argument("--lease-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="requeue a worker's leases after this much "
+                        "silence (default 30)")
+    p.add_argument("-o", "--output", help="write the best configuration here")
+    p.add_argument("--report", help="write a Markdown analysis report here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the one-line human summary")
+    p.add_argument("--verbose", action="store_true",
+                   help="print the full evaluation history")
+    _add_telemetry_flags(p, progress=True)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="evaluation worker: lease and execute configurations "
+             "from a coordinator",
+    )
+    p.add_argument("address", metavar="HOST:PORT",
+                   help="coordinator address (printed by `repro serve`)")
+    p.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                   help="exit after N evaluations (default: serve until "
+                        "the coordinator says bye)")
+    p.add_argument("--connect-retries", type=int, default=50, metavar="N",
+                   help="dial attempts while the coordinator comes up "
+                        "(default 50)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the end-of-run summary line")
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser("store", help="result-store maintenance")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    sp = store_sub.add_parser(
+        "export", help="dump a store to canonical JSONL"
+    )
+    sp.add_argument("db", help="SQLite result store")
+    sp.add_argument("file", help="JSONL output path")
+    sp.add_argument("--workload", default=None, metavar="ID",
+                    help="only rows of this workload id")
+    sp.set_defaults(func=cmd_store)
+    sp = store_sub.add_parser(
+        "import", help="merge an exported JSONL file into a store"
+    )
+    sp.add_argument("db", help="SQLite result store (created if missing)")
+    sp.add_argument("file", help="JSONL input path")
+    sp.set_defaults(func=cmd_store)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(

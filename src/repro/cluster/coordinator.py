@@ -1,0 +1,612 @@
+"""The cluster coordinator: lease-based dispatch over TCP workers.
+
+:class:`ClusterEvaluator` is the third sibling of the evaluator family
+(serial :class:`~repro.search.evaluator.Evaluator`, fork-pool
+:class:`~repro.search.parallel.ParallelEvaluator`): the search engine
+hands it batches of configurations, and it shards them across however
+many ``repro worker`` processes are currently connected.  The engine —
+and therefore the whole search trajectory — cannot tell the difference:
+batch deduplication, store replay, and counter semantics are the shared
+:mod:`repro.search.batching` logic, outcomes come back in submission
+order, and every evaluation a worker runs goes through the shared
+:mod:`repro.search.execution` kernel, so the final configuration is
+byte-identical to a serial search (differential-tested).
+
+Threading model
+---------------
+The asyncio TCP server runs on one dedicated background thread; all
+coordinator state (workers, leases, the pending queue) lives on that
+loop and is never touched from the engine thread.  ``evaluate_batch``
+submits a batch with ``run_coroutine_threadsafe`` and blocks, draining
+the coordinator's event queue into the telemetry hub while it waits —
+so traces keep a single writer (the engine thread) and ``--progress``
+still renders worker occupancy live.
+
+Fault tolerance
+---------------
+Liveness is heartbeat-based: any worker message refreshes its deadline,
+and a worker silent for ``lease_timeout`` seconds — or whose connection
+reaches EOF, the usual fate of a SIGKILLed process — is declared lost.
+Its leases are requeued under the shared
+:class:`~repro.search.retry.RetryPolicy` (exponential per-task backoff);
+a task that keeps losing its worker through every retry is classified
+``worker_crash`` exactly like a fork-pool crash.  Results are
+first-wins: if a presumed-dead worker resurfaces and reports a requeued
+task, the duplicate is ignored — evaluations are deterministic, so
+either copy is the same outcome — and re-connected workers never
+re-execute configs the store already decided, because decided configs
+are filtered out parent-side before tasks are ever created.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import threading
+import time
+from collections import deque
+
+from repro.cluster.protocol import (
+    BYE,
+    ERROR,
+    HEARTBEAT,
+    HELLO,
+    LEASE,
+    OK,
+    PROTOCOL_VERSION,
+    RESULT,
+    TASK,
+    WAIT,
+    WELCOME,
+    ProtocolError,
+    outcome_from_wire,
+    pack_frame,
+    parse_address,
+    recv_frame_async,
+    send_frame_async,
+)
+from repro.config.model import Config
+from repro.search.batching import plan_batch, record_batch
+from repro.search.execution import DELTA_COUNTERS
+from repro.search.results import EvalOutcome
+from repro.search.retry import RetryPolicy
+from repro.telemetry import NULL_TELEMETRY
+
+#: how long an idle worker is told to wait before polling for work again
+#: (doubles as the heartbeat that keeps it alive while the queue is dry).
+POLL_DELAY = 0.02
+
+
+class ClusterError(RuntimeError):
+    """Coordinator-side setup or dispatch failure."""
+
+
+class _Task:
+    """One leased unit of work: a deduplicated configuration."""
+
+    __slots__ = ("task_id", "index", "flags", "digest", "attempts",
+                 "not_before", "done")
+
+    def __init__(self, task_id: int, index: int, flags: dict, digest: str):
+        self.task_id = task_id
+        self.index = index          # position in the current batch
+        self.flags = flags          # wire form: node id -> policy char
+        self.digest = digest
+        self.attempts = 0           # crashes so far (not normal failures)
+        self.not_before = 0.0       # backoff gate for requeued tasks
+        self.done = False
+
+    def payload(self) -> dict:
+        return {
+            "type": TASK,
+            "task": self.task_id,
+            "flags": self.flags,
+            "digest": self.digest,
+        }
+
+
+class _Batch:
+    """One engine batch in flight on the loop."""
+
+    __slots__ = ("outcomes", "remaining", "deltas", "done")
+
+    def __init__(self, size: int, loop) -> None:
+        self.outcomes: list = [None] * size
+        self.remaining = size
+        self.deltas = [0, 0, 0, 0]
+        self.done = loop.create_future()
+
+    def finish_one(self, index: int, outcome: EvalOutcome, deltas=None) -> None:
+        self.outcomes[index] = outcome
+        if deltas:
+            for i, delta in enumerate(deltas[: len(self.deltas)]):
+                self.deltas[i] += int(delta)
+        self.remaining -= 1
+        if self.remaining == 0 and not self.done.done():
+            self.done.set_result(None)
+
+
+class _WorkerConn:
+    """Loop-side connection state for one network worker."""
+
+    __slots__ = ("wid", "name", "writer", "leases", "last_seen", "reaped")
+
+    def __init__(self, wid: str, name: str, writer, now: float) -> None:
+        self.wid = wid
+        self.name = name
+        self.writer = writer
+        self.leases: dict[int, _Task] = {}
+        self.last_seen = now
+        self.reaped = False
+
+
+class _Coordinator:
+    """Everything that runs on the event-loop thread."""
+
+    def __init__(
+        self,
+        welcome: dict,
+        retry: RetryPolicy,
+        lease_timeout: float,
+        events: deque,
+    ) -> None:
+        self.welcome = welcome
+        self.retry = retry
+        self.lease_timeout = lease_timeout
+        self.events = events        # (kind, fields) — drained engine-side
+        self.workers: dict[str, _WorkerConn] = {}
+        self.pending: deque[_Task] = deque()
+        self.delayed: list[_Task] = []
+        self.tasks: dict[int, _Task] = {}
+        self.batch: _Batch | None = None
+        self.closing = False
+        self.server = None
+        self.sweeper = None
+        self._worker_seq = 0
+        self._task_seq = 0
+        # stats (read engine-side after drain; plain ints, GIL-safe)
+        self.workers_seen = 0
+        self.leases_granted = 0
+        self.requeues = 0
+        self.crashed_tasks = 0
+
+    def event(self, kind: str, **fields) -> None:
+        self.events.append((kind, fields))
+
+    # -- lifecycle (loop thread) --------------------------------------------
+
+    async def start(self, host: str, port: int) -> tuple[str, int]:
+        self.server = await asyncio.start_server(self._handle, host, port)
+        self.sweeper = asyncio.ensure_future(self._sweep())
+        bound = self.server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def shutdown(self) -> None:
+        self.closing = True
+        if self.sweeper is not None:
+            self.sweeper.cancel()
+        for worker in list(self.workers.values()):
+            worker.reaped = True  # a closed connection is not a lost worker
+            with contextlib.suppress(Exception):
+                worker.writer.write(pack_frame({"type": BYE}))
+            with contextlib.suppress(Exception):
+                worker.writer.close()
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+
+    # -- batch dispatch (loop thread) ---------------------------------------
+
+    async def run_batch(self, payload: list) -> tuple[list, list]:
+        """Queue *payload* (``(flags, digest)`` pairs) as leasable tasks
+        and wait until every one is decided."""
+        loop = asyncio.get_running_loop()
+        batch = _Batch(len(payload), loop)
+        self.batch = batch
+        for index, (flags, digest) in enumerate(payload):
+            self._task_seq += 1
+            task = _Task(self._task_seq, index, flags, digest)
+            self.tasks[task.task_id] = task
+            self.pending.append(task)
+        try:
+            await batch.done
+        finally:
+            self.batch = None
+            self.tasks.clear()
+            self.pending.clear()
+            self.delayed.clear()
+        return batch.outcomes, batch.deltas
+
+    def _next_task(self) -> _Task | None:
+        now = asyncio.get_running_loop().time()
+        if self.delayed:
+            still_delayed = []
+            for task in self.delayed:
+                if task.done:
+                    continue
+                if task.not_before <= now:
+                    self.pending.append(task)
+                else:
+                    still_delayed.append(task)
+            self.delayed[:] = still_delayed
+        while self.pending:
+            task = self.pending.popleft()
+            if not task.done:
+                return task
+        return None
+
+    # -- connection handling (loop thread) ----------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        worker = None
+        try:
+            worker = await self._handshake(reader, writer)
+            if worker is None:
+                return
+            await self._serve(worker, reader, writer)
+        except (ProtocolError, ConnectionError, asyncio.TimeoutError):
+            pass
+        finally:
+            if worker is not None:
+                self._reap(worker, "disconnect")
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _handshake(self, reader, writer) -> _WorkerConn | None:
+        hello = await recv_frame_async(reader)
+        if hello is None or hello.get("type") != HELLO:
+            return None
+        if hello.get("version") != PROTOCOL_VERSION:
+            await send_frame_async(writer, {
+                "type": ERROR,
+                "message": f"protocol version {hello.get('version')!r}, "
+                           f"coordinator speaks {PROTOCOL_VERSION}",
+            })
+            return None
+        self._worker_seq += 1
+        wid = f"w{self._worker_seq}"
+        name = f"{hello.get('host', '?')}:{hello.get('pid', '?')}"
+        now = asyncio.get_running_loop().time()
+        worker = _WorkerConn(wid, name, writer, now)
+        self.workers[wid] = worker
+        self.workers_seen += 1
+        self.event("cluster.worker_join", worker=wid, name=name)
+        await send_frame_async(writer, dict(self.welcome))
+        return worker
+
+    async def _serve(self, worker: _WorkerConn, reader, writer) -> None:
+        while True:
+            message = await recv_frame_async(reader)
+            if message is None:
+                return  # EOF: worker gone (reaped by caller)
+            worker.last_seen = asyncio.get_running_loop().time()
+            kind = message.get("type")
+            if kind == LEASE:
+                if self.closing:
+                    await send_frame_async(writer, {"type": BYE})
+                    worker.reaped = True  # clean exit: not "lost"
+                    self.workers.pop(worker.wid, None)
+                    return
+                task = self._next_task()
+                if task is None:
+                    await send_frame_async(
+                        writer, {"type": WAIT, "delay": POLL_DELAY}
+                    )
+                else:
+                    worker.leases[task.task_id] = task
+                    self.leases_granted += 1
+                    self.event(
+                        "cluster.lease",
+                        worker=worker.wid, task=task.task_id,
+                        busy=len(worker.leases),
+                    )
+                    await send_frame_async(writer, task.payload())
+            elif kind == RESULT:
+                self._complete(worker, message)
+                await send_frame_async(writer, {"type": OK})
+            elif kind == ERROR:
+                # The worker survived but its evaluation blew up
+                # (instrumentation bug, unpicklable trap, ...): treat it
+                # like a crash of that one task — requeue elsewhere.
+                worker.leases.pop(message.get("task"), None)
+                self._task_lost(message.get("task"), "worker_error")
+                await send_frame_async(writer, {"type": OK})
+            elif kind == HEARTBEAT:
+                self.event(
+                    "cluster.heartbeat",
+                    worker=worker.wid, busy=len(worker.leases),
+                )
+            elif kind == BYE:
+                worker.reaped = True
+                self.workers.pop(worker.wid, None)
+                self._requeue_leases(worker, "bye")
+                return
+            else:
+                raise ProtocolError(f"unexpected message {kind!r}")
+
+    # -- lease accounting (loop thread) --------------------------------------
+
+    def _complete(self, worker: _WorkerConn, message: dict) -> None:
+        task_id = message.get("task")
+        worker.leases.pop(task_id, None)
+        task = self.tasks.get(task_id)
+        if task is None or task.done:
+            return  # late duplicate from a presumed-dead worker: first wins
+        task.done = True
+        if self.batch is not None:
+            self.batch.finish_one(
+                task.index,
+                outcome_from_wire(message["outcome"]),
+                message.get("deltas"),
+            )
+
+    def _task_lost(self, task_id, reason: str) -> None:
+        task = self.tasks.get(task_id)
+        if task is None or task.done:
+            return
+        task.attempts += 1
+        if self.retry.exhausted(task.attempts):
+            # Kept killing (or losing) its executor: classify, descend.
+            self.crashed_tasks += 1
+            self.event("eval.worker_crash", attempts=task.attempts)
+            task.done = True
+            if self.batch is not None:
+                self.batch.finish_one(
+                    task.index,
+                    self.retry.crash_outcome(
+                        task.attempts, what="cluster worker died"
+                    ),
+                )
+            return
+        self.requeues += 1
+        now = asyncio.get_running_loop().time()
+        task.not_before = now + self.retry.delay(task.attempts)
+        self.delayed.append(task)
+        self.event(
+            "cluster.requeue",
+            task=task.task_id, attempts=task.attempts, reason=reason,
+        )
+
+    def _requeue_leases(self, worker: _WorkerConn, reason: str) -> None:
+        leases = list(worker.leases.values())
+        worker.leases.clear()
+        for task in leases:
+            self._task_lost(task.task_id, reason)
+
+    def _reap(self, worker: _WorkerConn, reason: str) -> None:
+        """A worker is gone (EOF, protocol error, expired heartbeat)."""
+        if worker.reaped:
+            return
+        worker.reaped = True
+        self.workers.pop(worker.wid, None)
+        self.event(
+            "cluster.worker_lost",
+            worker=worker.wid, leases=len(worker.leases), reason=reason,
+        )
+        self._requeue_leases(worker, reason)
+
+    async def _sweep(self) -> None:
+        """Expire workers whose heartbeats stopped (network partition,
+        frozen process — a SIGKILL usually surfaces as EOF instead)."""
+        interval = max(0.01, min(1.0, self.lease_timeout / 4))
+        while True:
+            await asyncio.sleep(interval)
+            now = asyncio.get_running_loop().time()
+            for worker in list(self.workers.values()):
+                if now - worker.last_seen > self.lease_timeout:
+                    self._reap(worker, "expired")
+                    with contextlib.suppress(Exception):
+                        worker.writer.close()
+
+
+class ClusterEvaluator:
+    """Evaluator that dispatches batches to network workers.
+
+    Parameters mirror :class:`~repro.search.parallel.ParallelEvaluator`
+    where they overlap; the extras:
+
+    bind:
+        ``HOST:PORT`` to listen on (port 0 = let the OS pick; the bound
+        address is in :attr:`address`).
+    retry:
+        Shared :class:`~repro.search.retry.RetryPolicy` for tasks whose
+        worker dies (requeue with exponential backoff, classify as
+        ``worker_crash`` on exhaustion).
+    lease_timeout:
+        Seconds of worker silence (no result/heartbeat/poll) before its
+        leases are requeued and the connection is declared lost.
+        Workers heartbeat at a quarter of this, so only a dead — not
+        merely busy — worker expires.
+
+    Workers may connect at any time, including mid-search; a batch with
+    no connected workers simply waits for the first one to join.
+    """
+
+    def __init__(
+        self,
+        workload,
+        tree,
+        bind: str = "127.0.0.1:0",
+        optimize_checks: bool = False,
+        telemetry=None,
+        incremental: bool = True,
+        store=None,
+        store_workload: str = "",
+        retry: RetryPolicy | None = None,
+        lease_timeout: float = 30.0,
+    ) -> None:
+        from repro.store import workload_id
+
+        self.workload = workload
+        self.tree = tree
+        self.optimize_checks = optimize_checks
+        self.incremental = incremental
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.cache: dict = {}
+        self.semantic_cache: dict = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+        self.store = store
+        self.store_workload = store_workload
+        self.store_hits = 0
+        #: configurations actually run on some worker (excludes replays)
+        self.executions = 0
+        #: policy digests counted toward ``evaluations`` (see Evaluator)
+        self.decided: set = set()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.lease_timeout = lease_timeout
+        self._drain_interval = 0.05
+
+        name = getattr(workload, "name", tree.program_name)
+        klass = getattr(workload, "klass", "")
+        if klass and name.endswith("." + klass):
+            name = name[: -(len(klass) + 1)]
+        welcome = {
+            "type": WELCOME,
+            "version": PROTOCOL_VERSION,
+            "workload": name,
+            "klass": klass,
+            "workload_id": workload_id(workload),
+            "incremental": incremental,
+            "optimize_checks": optimize_checks,
+            "lease_timeout": lease_timeout,
+        }
+
+        self._events: deque = deque()
+        self._coord = _Coordinator(
+            welcome, self.retry, lease_timeout, self._events
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-cluster", daemon=True
+        )
+        self._thread.start()
+        host, port = parse_address(bind)
+        try:
+            self.host, self.port = asyncio.run_coroutine_threadsafe(
+                self._coord.start(host, port), self._loop
+            ).result(timeout=10)
+        except BaseException:
+            self._stop_loop()
+            raise
+        self._closed = False
+
+    # -- coordinator stats ---------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The bound ``host:port`` workers should connect to."""
+        return f"{self.host}:{self.port}"
+
+    @property
+    def workers_connected(self) -> int:
+        return len(self._coord.workers)
+
+    @property
+    def workers_seen(self) -> int:
+        return self._coord.workers_seen
+
+    @property
+    def leases_granted(self) -> int:
+        return self._coord.leases_granted
+
+    @property
+    def requeues(self) -> int:
+        return self._coord.requeues
+
+    @property
+    def crashed_configs(self) -> int:
+        return self._coord.crashed_tasks
+
+    def _store_id(self) -> str:
+        if not self.store_workload:
+            from repro.store import workload_id
+
+            self.store_workload = workload_id(self.workload)
+        return self.store_workload
+
+    # -- telemetry bridge ----------------------------------------------------
+
+    def _drain_events(self) -> None:
+        """Emit queued coordinator events from the engine thread (the
+        trace's single writer)."""
+        telemetry = self.telemetry
+        events = self._events
+        while events:
+            kind, fields = events.popleft()
+            if not telemetry.enabled:
+                continue
+            if kind == "eval.worker_crash":
+                telemetry.count("eval.worker_crashes")
+            elif kind == "cluster.requeue":
+                telemetry.count("cluster.requeues")
+            elif kind == "cluster.lease":
+                telemetry.count("cluster.leases")
+            telemetry.emit(kind, **fields)
+
+    # -- Evaluator protocol ---------------------------------------------------
+
+    def evaluate(self, config: Config) -> EvalOutcome:
+        return self.evaluate_batch([config])[0]
+
+    def evaluate_batch(self, configs: list[Config]) -> list[EvalOutcome]:
+        if self._closed:
+            raise ClusterError("evaluator is closed")
+        # Parent-side dedup (shared with ParallelEvaluator): what remains
+        # in plan.jobs is exactly what a serial evaluator would execute —
+        # re-connected or duplicate workers can never re-run a decided
+        # config because decided configs never become tasks.
+        plan = plan_batch(self, configs)
+        outcomes: list = []
+        batch_wall = 0.0
+        if plan.jobs:
+            payload = [
+                (
+                    {nid: policy.value for nid, policy in job.config.flags.items()},
+                    job.digest,
+                )
+                for job in plan.jobs
+            ]
+            start = time.perf_counter()
+            future = asyncio.run_coroutine_threadsafe(
+                self._coord.run_batch(payload), self._loop
+            )
+            while True:
+                try:
+                    outcomes, deltas = future.result(self._drain_interval)
+                    break
+                except concurrent.futures.TimeoutError:
+                    self._drain_events()  # keep progress/traces live
+            batch_wall = time.perf_counter() - start
+            for name, total in zip(DELTA_COUNTERS, deltas):
+                if total:
+                    self.telemetry.count(name, total)
+        self._drain_events()
+        return record_batch(self, plan, outcomes, batch_wall)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self._coord.shutdown(), self._loop
+            ).result(timeout=5)
+        except (concurrent.futures.TimeoutError, RuntimeError):
+            pass
+        finally:
+            self._stop_loop()
+            self._drain_events()
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        if not self._loop.is_running():
+            self._loop.close()
+
+    def __enter__(self) -> "ClusterEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,181 @@
+"""The coordinator/worker wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON encoding a single object with a ``type`` key.  The format is
+deliberately boring: debuggable with ``nc`` + ``xxd``, versioned with a
+single integer, and byte-order-explicit so heterogeneous hosts agree.
+
+Message flow (worker-initiated request/response, except heartbeats)::
+
+    worker                         coordinator
+    ------                         -----------
+    hello {version, host, pid}  ->
+                                <- welcome {workload, klass, workload_id,
+                                            incremental, optimize_checks,
+                                            lease_timeout}
+    lease {}                    ->
+                                <- task {task, flags, digest}
+                                   | wait {delay}   (no work right now)
+                                   | bye {}         (search over)
+    result {task, outcome,
+            deltas}             ->
+                                <- ok {}
+    error {task, message}       ->
+                                <- ok {}
+    heartbeat {}                ->    (one-way: never answered, sent by
+                                       the worker's heartbeat thread to
+                                       keep its leases alive during long
+                                       evaluations)
+    bye {}                      ->    (clean disconnect)
+
+Every worker→coordinator message refreshes the worker's liveness
+deadline; a worker silent for longer than the lease timeout — or whose
+connection reaches EOF, the usual fate of a SIGKILLed process — is
+declared lost and its leases are requeued.
+
+Both a synchronous (blocking-socket, worker-side) and an asyncio
+(coordinator-side) implementation of the framing live here so the two
+endpoints cannot drift.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+#: bump on any incompatible message-shape change; hello/welcome carry it
+#: and mismatches are refused at handshake time.
+PROTOCOL_VERSION = 1
+
+#: frames above this are a protocol violation (a config flag map for a
+#: huge program is ~100 KiB; 16 MiB is three orders of magnitude slack).
+MAX_FRAME = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+# message types
+HELLO = "hello"
+WELCOME = "welcome"
+LEASE = "lease"
+TASK = "task"
+WAIT = "wait"
+RESULT = "result"
+ERROR = "error"
+HEARTBEAT = "heartbeat"
+OK = "ok"
+BYE = "bye"
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame, oversized frame, or an unexpected message."""
+
+
+def pack_frame(message: dict) -> bytes:
+    """Serialize one message to its wire form (header + JSON payload)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"frame is not a typed message: {message!r}")
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame header claims {length} bytes (> MAX_FRAME)")
+
+
+# -- synchronous (worker-side) endpoints ------------------------------------
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    sock.sendall(pack_frame(message))
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame from a blocking socket; None on clean EOF at a
+    frame boundary, :class:`ProtocolError` on EOF mid-frame."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    payload = _recv_exact(sock, length, eof_ok=False)
+    return _decode(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int, eof_ok: bool) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- asyncio (coordinator-side) endpoints -----------------------------------
+
+
+async def send_frame_async(writer: asyncio.StreamWriter, message: dict) -> None:
+    writer.write(pack_frame(message))
+    await writer.drain()
+
+
+async def recv_frame_async(reader: asyncio.StreamReader) -> dict | None:
+    """Asyncio twin of :func:`recv_frame` (None on clean EOF)."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError(
+            f"connection closed mid-frame (wanted {length} bytes)"
+        ) from None
+    return _decode(payload)
+
+
+# -- shared helpers ----------------------------------------------------------
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split ``HOST:PORT`` (port may be 0 = let the OS pick)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {address!r} is not HOST:PORT")
+    return host, int(port)
+
+
+def outcome_to_wire(outcome) -> list:
+    """EvalOutcome -> JSON-safe list (NamedTuples serialize as lists
+    anyway; this pins the order as part of the protocol)."""
+    return [bool(outcome.passed), int(outcome.cycles), outcome.trap, outcome.reason]
+
+
+def outcome_from_wire(wire) -> tuple:
+    from repro.search.results import EvalOutcome
+
+    passed, cycles, trap, reason = wire
+    return EvalOutcome(bool(passed), int(cycles), str(trap), str(reason))

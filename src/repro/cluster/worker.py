@@ -1,0 +1,218 @@
+"""The network worker: a stateless evaluation client.
+
+``repro worker HOST:PORT`` connects to a coordinator, learns which
+workload the search is over from the ``welcome`` message, rebuilds that
+workload *locally* (programs are compiled deterministically, so the
+coordinator only ships a name — and the content-addressed
+``workload_id`` in the handshake catches any version skew between the
+two hosts), then loops: lease a task, execute it through the shared
+:mod:`repro.search.execution` kernel, report the outcome.  All search
+state lives on the coordinator; a worker can be killed, restarted, or
+added mid-search without changing the result.
+
+A heartbeat thread sends one-way ``heartbeat`` frames at a quarter of
+the coordinator's lease timeout so a long-running evaluation does not
+look like a dead worker.  Heartbeats are never answered — the main
+loop's request/response pairing stays strict.
+
+Fault injection: when the environment variable named by
+:data:`EXIT_SENTINEL_VAR` points at an existing file, the worker unlinks
+the file and ``os._exit(1)``-s right before executing its next task —
+the crash-exactly-once idiom the differential and CI smoke tests use to
+prove lost leases are requeued (the unlink happens first, so a respawned
+or sibling worker does not crash again).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+from repro.cluster.protocol import (
+    BYE,
+    ERROR,
+    HEARTBEAT,
+    HELLO,
+    LEASE,
+    OK,
+    PROTOCOL_VERSION,
+    RESULT,
+    TASK,
+    WAIT,
+    WELCOME,
+    ProtocolError,
+    outcome_to_wire,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.config.generator import build_tree
+from repro.config.model import Config, Policy
+from repro.search.evaluator import IncrementalState
+from repro.search.execution import execute_config
+from repro.workloads import make_workload
+
+#: environment variable holding a sentinel-file path; see module docstring.
+EXIT_SENTINEL_VAR = "REPRO_WORKER_EXIT_SENTINEL"
+
+
+class WorkerError(RuntimeError):
+    """Handshake refusal or workload mismatch — not worth retrying."""
+
+
+def _maybe_crash() -> None:
+    sentinel = os.environ.get(EXIT_SENTINEL_VAR)
+    if sentinel and os.path.exists(sentinel):
+        try:
+            os.unlink(sentinel)  # crash exactly once across restarts
+        except OSError:
+            pass
+        os._exit(1)
+
+
+def connect(
+    address: str,
+    connect_retries: int = 50,
+    connect_backoff: float = 0.1,
+) -> socket.socket:
+    """Dial the coordinator, retrying while it is still coming up."""
+    host, port = parse_address(address)
+    last_error: Exception | None = None
+    for attempt in range(connect_retries + 1):
+        try:
+            return socket.create_connection((host, port), timeout=30)
+        except OSError as exc:
+            last_error = exc
+            time.sleep(connect_backoff * min(attempt + 1, 10))
+    raise WorkerError(f"cannot reach coordinator at {address}: {last_error}")
+
+
+def _handshake(sock: socket.socket) -> dict:
+    send_frame(sock, {
+        "type": HELLO,
+        "version": PROTOCOL_VERSION,
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+    })
+    welcome = recv_frame(sock)
+    if welcome is None:
+        raise WorkerError("coordinator closed the connection during handshake")
+    if welcome.get("type") == ERROR:
+        raise WorkerError(welcome.get("message", "handshake refused"))
+    if welcome.get("type") != WELCOME:
+        raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
+    return welcome
+
+
+def _build_workload(welcome: dict):
+    from repro.store import workload_id
+
+    workload = make_workload(welcome["workload"], welcome["klass"] or "W")
+    local_id = workload_id(workload)
+    if local_id != welcome["workload_id"]:
+        raise WorkerError(
+            f"workload {welcome['workload']!r} class {welcome['klass']!r} "
+            f"builds to id {local_id[:12]} here but the coordinator expects "
+            f"{welcome['workload_id'][:12]} — version skew between hosts"
+        )
+    return workload
+
+
+class _Heartbeat(threading.Thread):
+    """One-way keepalives under the shared send lock."""
+
+    def __init__(self, sock, lock: threading.Lock, interval: float) -> None:
+        super().__init__(name="repro-worker-heartbeat", daemon=True)
+        self.sock = sock
+        self.lock = lock
+        self.interval = interval
+        self.stopping = threading.Event()
+
+    def run(self) -> None:
+        while not self.stopping.wait(self.interval):
+            try:
+                with self.lock:
+                    send_frame(self.sock, {"type": HEARTBEAT})
+            except OSError:
+                return  # connection gone; main loop will notice too
+
+    def stop(self) -> None:
+        self.stopping.set()
+
+
+def run_worker(
+    address: str,
+    max_tasks: int | None = None,
+    connect_retries: int = 50,
+    connect_backoff: float = 0.1,
+) -> dict:
+    """Serve one coordinator until it says ``bye`` (or *max_tasks* runs
+    out); returns ``{"tasks": n, "workload": name}`` run statistics."""
+    sock = connect(address, connect_retries, connect_backoff)
+    send_lock = threading.Lock()
+    heartbeat = None
+    tasks_done = 0
+    welcome = {}
+    try:
+        welcome = _handshake(sock)
+        workload = _build_workload(welcome)
+        tree = build_tree(workload.program)
+        state = IncrementalState(workload) if welcome.get("incremental") else None
+        optimize_checks = bool(welcome.get("optimize_checks"))
+        interval = max(0.005, float(welcome.get("lease_timeout", 30.0)) / 4)
+        heartbeat = _Heartbeat(sock, send_lock, interval)
+        heartbeat.start()
+        while max_tasks is None or tasks_done < max_tasks:
+            with send_lock:
+                send_frame(sock, {"type": LEASE})
+            reply = recv_frame(sock)
+            if reply is None or reply.get("type") == BYE:
+                break
+            kind = reply.get("type")
+            if kind == WAIT:
+                time.sleep(float(reply.get("delay", 0.02)))
+                continue
+            if kind != TASK:
+                raise ProtocolError(f"expected task/wait/bye, got {kind!r}")
+            _maybe_crash()
+            flags = {
+                nid: Policy(policy) for nid, policy in reply["flags"].items()
+            }
+            config = Config(tree, flags)
+            try:
+                outcome, deltas = execute_config(
+                    workload, config, state, optimize_checks
+                )
+            except Exception as exc:  # an evaluation bug, not a protocol one
+                with send_lock:
+                    send_frame(sock, {
+                        "type": ERROR,
+                        "task": reply["task"],
+                        "message": f"{type(exc).__name__}: {exc}",
+                    })
+            else:
+                with send_lock:
+                    send_frame(sock, {
+                        "type": RESULT,
+                        "task": reply["task"],
+                        "outcome": outcome_to_wire(outcome),
+                        "deltas": list(deltas),
+                    })
+                tasks_done += 1
+            ack = recv_frame(sock)
+            if ack is None:
+                break
+            if ack.get("type") != OK:
+                raise ProtocolError(f"expected ok, got {ack.get('type')!r}")
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        try:
+            with send_lock:
+                send_frame(sock, {"type": BYE})
+        except OSError:
+            pass
+        sock.close()
+    return {"tasks": tasks_done, "workload": welcome.get("workload", "")}

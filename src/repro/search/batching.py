@@ -1,0 +1,154 @@
+"""Parent-side batch planning shared by the distributed evaluators.
+
+Both the fork-pool :class:`~repro.search.parallel.ParallelEvaluator`
+and the network :class:`~repro.cluster.ClusterEvaluator` receive batches
+of configurations from the search engine and must ship *only* the jobs a
+serial :class:`~repro.search.evaluator.Evaluator` would actually have
+executed — everything else is answered locally so ``evaluations`` /
+``cache_hits`` / ``store_hits`` counters (and therefore the search's
+``configs_tested``) are identical across all three backends.  The
+filtering rules, in order:
+
+1. flag-identical repeats and configs already in the outcome cache are
+   cache hits;
+2. (incremental) configs whose *resolved policy map* matches a cached or
+   already-planned one are semantic duplicates — answered by the twin's
+   outcome, never shipped;
+3. configs decided by the result store in an earlier run are replayed,
+   counting toward ``evaluations`` only the first time this campaign
+   sees them (the ``decided`` digest set, journaled across resumes).
+
+The evaluator object just needs the shared counter/cache protocol the
+two backends already have (``cache``, ``semantic_cache``, ``decided``,
+``evaluations``, ``executions``, ``store``/``store_hits``,
+``telemetry``, ``incremental``, ``_store_id()``).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.config.model import Config
+from repro.search.evaluator import semantic_key
+
+
+class PlannedJob(NamedTuple):
+    """One configuration that survived deduplication and must execute."""
+
+    key: frozenset          # flag-map identity
+    skey: tuple | None      # semantic identity (None when non-incremental)
+    digest: str             # policy digest ("" without a store)
+    config: Config
+
+
+class BatchPlan(NamedTuple):
+    """What :func:`plan_batch` decided about one engine batch."""
+
+    keys: list              # flag key per input config (result lookup order)
+    jobs: list              # list[PlannedJob] to actually execute
+    alias: dict             # flag key -> job position (semantic twins)
+    store_replays: int      # outcomes replayed from the result store
+
+
+def plan_batch(ev, configs: list[Config]) -> BatchPlan:
+    """Dedup *configs* against caches and the result store.
+
+    Mutates the evaluator's caches/counters exactly as the serial
+    evaluator would (store replays recorded, telemetry ``store.hit``
+    events emitted); execution of the surviving jobs — and the matching
+    :func:`record_batch` call — is the backend's business.
+    """
+    keys = [frozenset(c.flags.items()) for c in configs]
+    jobs: list[PlannedJob] = []
+    job_index: dict = {}      # flag key -> job position
+    alias: dict = {}          # flag key -> job position (semantic dup)
+    skey_index: dict = {}     # semantic key -> job position
+    store_replays = 0
+    for key, config in zip(keys, configs):
+        if key in ev.cache or key in job_index or key in alias:
+            continue
+        skey = None
+        policies = None
+        if ev.incremental:
+            policies = config.instruction_policies()
+            skey = semantic_key(policies)
+            hit = ev.semantic_cache.get(skey)
+            if hit is not None:
+                ev.cache[key] = hit
+                continue
+            pos = skey_index.get(skey)
+            if pos is not None:
+                alias[key] = pos
+                continue
+        digest = ""
+        if ev.store is not None:
+            from repro.store import policy_digest
+
+            if policies is None:
+                policies = config.instruction_policies()
+            digest = policy_digest(policies)
+            stored = ev.store.get(ev._store_id(), digest)
+            if stored is not None:
+                # Decided in a previous run: replay, don't execute.
+                # Counts toward evaluations only the first time this
+                # campaign sees the config (see ``decided``).
+                ev.cache[key] = stored
+                if skey is not None:
+                    ev.semantic_cache[skey] = stored
+                if digest not in ev.decided:
+                    ev.decided.add(digest)
+                    ev.evaluations += 1
+                ev.store_hits += 1
+                store_replays += 1
+                if ev.telemetry.enabled:
+                    ev.telemetry.count("store.hits")
+                    ev.telemetry.emit("store.hit", key=digest[:12])
+                continue
+        if skey is not None:
+            skey_index[skey] = len(jobs)
+        job_index[key] = len(jobs)
+        jobs.append(PlannedJob(key, skey, digest, config))
+    return BatchPlan(keys, jobs, alias, store_replays)
+
+
+def record_batch(ev, plan: BatchPlan, outcomes: list, batch_wall: float) -> list:
+    """Fold executed *outcomes* (one per planned job) back into the
+    evaluator's caches, counters, store, and telemetry; returns the
+    batch's results in input order."""
+    keys, jobs, alias, store_replays = plan
+    if jobs:
+        telemetry = ev.telemetry
+        for (key, skey, digest, _config), outcome in zip(jobs, outcomes):
+            ev.cache[key] = outcome
+            if skey is not None:
+                ev.semantic_cache[skey] = outcome
+            ev.evaluations += 1
+            ev.executions += 1
+            if digest:
+                ev.decided.add(digest)
+            # Jobs run concurrently, so per-config wall time is the
+            # batch wall amortized over its members.
+            per_config_wall = batch_wall / len(jobs)
+            if ev.store is not None and digest:
+                ev.store.put(
+                    ev._store_id(), digest, outcome,
+                    wall_s=per_config_wall,
+                )
+            if telemetry.enabled:
+                passed, cycles, trap, reason = outcome
+                if trap:
+                    telemetry.emit("vm.trap", message=trap)
+                telemetry.emit(
+                    "eval.config", passed=passed, cycles=cycles, trap=trap,
+                    reason=reason,
+                    wall_s=round(per_config_wall, 6),
+                )
+        for key, pos in alias.items():
+            ev.cache[key] = outcomes[pos]
+
+    results = [ev.cache[key] for key in keys]
+    hits = len(keys) - len(jobs) - store_replays
+    ev.cache_hits += hits
+    if hits:
+        ev.telemetry.count("eval.cache_hits", hits)
+    return results

@@ -88,12 +88,24 @@ class SearchOptions:
         differential tests assert exactly that.  ``False`` (the CLI's
         ``--no-analysis``) keeps the cold path untouched.
     retry_limit / retry_backoff:
-        Crash-fault tolerance of parallel evaluation (``workers > 1``):
-        a configuration whose worker process dies is retried on a fresh
-        pool at most ``retry_limit`` times, sleeping
-        ``retry_backoff * 2**(attempt-1)`` seconds before each round;
-        a config still crashing after that is recorded as failed with
-        reason ``worker_crash`` instead of aborting the campaign.
+        Crash-fault tolerance of distributed evaluation (``workers > 1``
+        or ``cluster``): a configuration whose worker dies is retried at
+        most ``retry_limit`` times with ``retry_backoff * 2**(attempt-1)``
+        seconds of backoff; a config still crashing after that is
+        recorded as failed with reason ``worker_crash`` instead of
+        aborting the campaign (shared :mod:`repro.search.retry` policy).
+    cluster:
+        ``HOST:PORT`` to serve the search's evaluations on (port 0 lets
+        the OS pick).  Non-empty switches the engine to the network
+        :class:`~repro.cluster.ClusterEvaluator`: batches are leased to
+        ``repro worker`` processes instead of a local fork pool.
+        ``workers`` then only sets the batch size (how many leases can
+        be outstanding at once), not a process count.  Results are
+        byte-identical to a serial search regardless of worker count,
+        joins, or crashes.
+    lease_timeout:
+        Cluster only: seconds of worker silence before its leases are
+        requeued (workers heartbeat at a quarter of this).
     """
 
     stop_level: str = LEVEL_INSN
@@ -108,6 +120,8 @@ class SearchOptions:
     analysis: bool = False
     retry_limit: int = 3
     retry_backoff: float = 0.05
+    cluster: str = ""
+    lease_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if self.stop_level not in _LEVEL_RANK:
@@ -202,6 +216,20 @@ class SearchEngine:
         self._owns_evaluator = evaluator is None
         if evaluator is not None:
             self.evaluator = evaluator
+        elif self.options.cluster:
+            from repro.search.retry import RetryPolicy
+            from repro.cluster import ClusterEvaluator
+
+            self.evaluator = ClusterEvaluator(
+                workload, self.tree, bind=self.options.cluster,
+                telemetry=self.telemetry,
+                incremental=self.options.incremental,
+                retry=RetryPolicy(
+                    self.options.retry_limit, self.options.retry_backoff
+                ),
+                lease_timeout=self.options.lease_timeout,
+                **store_kwargs,
+            )
         elif self.options.workers > 1:
             from repro.search.parallel import ParallelEvaluator
 

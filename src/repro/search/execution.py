@@ -1,0 +1,94 @@
+"""The single-configuration execution kernel shared by every remote
+evaluation backend.
+
+A :class:`~repro.search.parallel.ParallelEvaluator` worker process and a
+:mod:`repro.cluster` network worker do exactly the same thing per job:
+instrument the workload's program under one configuration (through the
+per-process :class:`~repro.search.evaluator.IncrementalState` when
+incremental evaluation is on), run it, verify, and classify traps — then
+ship the outcome home together with the incremental-cache counter deltas
+so the parent can fold worker-side cache activity into its telemetry.
+This module is that kernel, factored out so the two backends cannot
+drift: an outcome computed here is bit-identical to what the serial
+:class:`~repro.search.evaluator.Evaluator` would have produced.
+"""
+
+from __future__ import annotations
+
+from repro.config.model import Config
+from repro.instrument.engine import instrument
+from repro.search.evaluator import trap_reason
+from repro.search.results import REASON_VERIFY, EvalOutcome
+from repro.vm.errors import VmTrap
+
+#: cache-counter names shipped from workers to the parent, in order —
+#: the aggregation contract of :func:`execute_config`'s deltas tuple.
+DELTA_COUNTERS = (
+    "instr.block_cache_hits",
+    "instr.block_cache_misses",
+    "vm.compile_cache_hits",
+    "vm.compile_cache_misses",
+)
+
+#: the all-zero deltas of a non-incremental execution.
+ZERO_DELTAS = (0, 0, 0, 0)
+
+
+def counter_totals(state) -> tuple[int, int, int, int]:
+    """Current absolute cache counters of an IncrementalState (or None)."""
+    if state is None:
+        return ZERO_DELTAS
+    machine = state.machine
+    return (
+        state.icache.hits,
+        state.icache.misses,
+        machine.compile_cache_hits if machine is not None else 0,
+        machine.compile_cache_misses if machine is not None else 0,
+    )
+
+
+def execute_config(
+    workload,
+    config: Config,
+    state,
+    optimize_checks: bool = False,
+) -> tuple[EvalOutcome, tuple[int, int, int, int]]:
+    """Instrument + run + verify one configuration.
+
+    *state* is the executor's :class:`IncrementalState` (None restores
+    the cold path).  Returns the outcome plus the cache-counter deltas
+    this execution contributed (see :data:`DELTA_COUNTERS`).
+    """
+    if state is not None:
+        before = counter_totals(state)
+        policies = config.instruction_policies()
+        instrumented = instrument(
+            workload.program, config,
+            optimize_checks=optimize_checks,
+            cache=state.icache, policies=policies,
+        )
+        try:
+            result = state.run(workload, instrumented)
+        except VmTrap as exc:
+            outcome = EvalOutcome(False, 0, str(exc), trap_reason(exc))
+            return outcome, _deltas(state, before)
+        passed = bool(workload.verify(result))
+        outcome = EvalOutcome(
+            passed, result.cycles, "", "" if passed else REASON_VERIFY
+        )
+        return outcome, _deltas(state, before)
+    instrumented = instrument(
+        workload.program, config, optimize_checks=optimize_checks
+    )
+    try:
+        result = workload.run(instrumented.program)
+    except VmTrap as exc:
+        return EvalOutcome(False, 0, str(exc), trap_reason(exc)), ZERO_DELTAS
+    passed = bool(workload.verify(result))
+    outcome = EvalOutcome(passed, result.cycles, "", "" if passed else REASON_VERIFY)
+    return outcome, ZERO_DELTAS
+
+
+def _deltas(state, before) -> tuple[int, int, int, int]:
+    after = counter_totals(state)
+    return tuple(a - b for a, b in zip(after, before))

@@ -17,8 +17,10 @@ the jobs it executes, and ships its cache-counter deltas back with each
 outcome so the parent can aggregate them into the shared telemetry —
 workers never carry telemetry sinks of their own.  Batch deduplication
 (flag-identical and semantically identical configs) happens parent-side
-before submission, so ``eval.cache_hits`` / ``eval.config`` counts are
-identical to a serial run over the same sequence.
+before submission — :mod:`repro.search.batching`, shared with the
+network :class:`~repro.cluster.ClusterEvaluator` — so
+``eval.cache_hits`` / ``eval.config`` counts are identical to a serial
+run over the same sequence.
 
 Crash-fault tolerance
 ---------------------
@@ -27,8 +29,9 @@ native extension, fault injection) breaks the whole
 ``ProcessPoolExecutor``: every unfinished future raises
 ``BrokenProcessPool``.  Instead of letting that abort a multi-hour
 campaign, the evaluator reaps the broken pool, respawns a fresh one,
-and resubmits the unfinished configurations with exponential backoff.
-A configuration that keeps killing its worker through ``retry_limit``
+and resubmits the unfinished configurations under the shared
+:class:`~repro.search.retry.RetryPolicy` (exponential backoff).  A
+configuration that keeps killing its worker through ``retry_limit``
 respawns is classified as a failed evaluation with reason
 ``worker_crash`` — the search records it and descends, exactly like a
 trap.  Outcomes that completed before the crash are never re-run, and
@@ -46,15 +49,16 @@ from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.config.model import Config
-from repro.instrument.engine import instrument
-from repro.search.evaluator import IncrementalState, semantic_key, trap_reason
-from repro.search.results import (
-    REASON_VERIFY,
-    REASON_WORKER_CRASH,
-    EvalOutcome,
+from repro.search.batching import plan_batch, record_batch
+from repro.search.evaluator import IncrementalState
+from repro.search.execution import (
+    DELTA_COUNTERS,
+    ZERO_DELTAS,
+    execute_config,
 )
+from repro.search.results import EvalOutcome
+from repro.search.retry import RetryPolicy
 from repro.telemetry import NULL_TELEMETRY
-from repro.vm.errors import VmTrap
 
 # Per-worker state, installed by the fork (never pickled).
 _STATE: dict = {}
@@ -68,14 +72,6 @@ _STATE: dict = {}
 #: that crashes exactly once across respawns.
 FAULT_HOOK = None
 
-#: cache-counter names shipped from workers to the parent, in order.
-_DELTA_COUNTERS = (
-    "instr.block_cache_hits",
-    "instr.block_cache_misses",
-    "vm.compile_cache_hits",
-    "vm.compile_cache_misses",
-)
-
 
 def _worker_init(workload, tree, optimize_checks, incremental) -> None:
     _STATE["workload"] = workload
@@ -85,23 +81,12 @@ def _worker_init(workload, tree, optimize_checks, incremental) -> None:
     _STATE["state"] = None
 
 
-def _counter_totals(state) -> tuple[int, int, int, int]:
-    if state is None:
-        return (0, 0, 0, 0)
-    machine = state.machine
-    return (
-        state.icache.hits,
-        state.icache.misses,
-        machine.compile_cache_hits if machine is not None else 0,
-        machine.compile_cache_misses if machine is not None else 0,
-    )
-
-
 def _worker_eval(flags: dict):
     """Evaluate one config; returns (outcome, cache-counter deltas).
 
-    The deltas (see ``_DELTA_COUNTERS``) let the parent aggregate the
-    worker-side incremental-cache activity into its telemetry.
+    The deltas (see :data:`~repro.search.execution.DELTA_COUNTERS`) let
+    the parent aggregate the worker-side incremental-cache activity into
+    its telemetry.
     """
     if FAULT_HOOK is not None:
         FAULT_HOOK(flags)
@@ -110,39 +95,9 @@ def _worker_eval(flags: dict):
     state = _STATE["state"]
     if _STATE["incremental"] and state is None:
         state = _STATE["state"] = IncrementalState(workload)
-    before = _counter_totals(state)
-    if state is not None:
-        policies = config.instruction_policies()
-        instrumented = instrument(
-            workload.program, config,
-            optimize_checks=_STATE["optimize_checks"],
-            cache=state.icache, policies=policies,
-        )
-        try:
-            result = state.run(workload, instrumented)
-        except VmTrap as exc:
-            outcome = EvalOutcome(False, 0, str(exc), trap_reason(exc))
-            return outcome, _deltas(state, before)
-        passed = bool(workload.verify(result))
-        outcome = EvalOutcome(
-            passed, result.cycles, "", "" if passed else REASON_VERIFY
-        )
-        return outcome, _deltas(state, before)
-    instrumented = instrument(
-        workload.program, config, optimize_checks=_STATE["optimize_checks"]
+    return execute_config(
+        workload, config, state, _STATE["optimize_checks"]
     )
-    try:
-        result = workload.run(instrumented.program)
-    except VmTrap as exc:
-        return EvalOutcome(False, 0, str(exc), trap_reason(exc)), (0, 0, 0, 0)
-    passed = bool(workload.verify(result))
-    outcome = EvalOutcome(passed, result.cycles, "", "" if passed else REASON_VERIFY)
-    return outcome, (0, 0, 0, 0)
-
-
-def _deltas(state, before) -> tuple[int, int, int, int]:
-    after = _counter_totals(state)
-    return tuple(a - b for a, b in zip(after, before))
 
 
 def fork_available() -> bool:
@@ -191,8 +146,6 @@ class ParallelEvaluator:
     ):
         if workers < 2:
             raise ValueError("ParallelEvaluator needs workers >= 2")
-        if retry_limit < 0:
-            raise ValueError("retry_limit must be >= 0")
         self.workload = workload
         self.tree = tree
         self.workers = workers
@@ -212,11 +165,9 @@ class ParallelEvaluator:
         #: restored on resume so replay counting matches an
         #: uninterrupted run; see the serial Evaluator's field.
         self.decided: set = set()
-        #: bounded-retry policy for crashed workers: a config is retried
-        #: at most retry_limit times across pool respawns, sleeping
-        #: retry_backoff * 2**(attempt-1) seconds before each round.
-        self.retry_limit = retry_limit
-        self.retry_backoff = retry_backoff
+        #: bounded-retry policy for crashed workers (shared with the
+        #: cluster coordinator — see :mod:`repro.search.retry`).
+        self.retry = RetryPolicy(retry_limit, retry_backoff)
         self.pool_respawns = 0
         self.crashed_configs = 0
         self._state = None  # parent-side IncrementalState (serial fallback)
@@ -230,6 +181,14 @@ class ParallelEvaluator:
                 workload.profile()
             self._pool = self._spawn_pool()
             self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+
+    @property
+    def retry_limit(self) -> int:
+        return self.retry.limit
+
+    @property
+    def retry_backoff(self) -> float:
+        return self.retry.backoff
 
     def _store_id(self) -> str:
         if not self.store_workload:
@@ -268,109 +227,22 @@ class ParallelEvaluator:
         return self.evaluate_batch([config])[0]
 
     def evaluate_batch(self, configs: list[Config]) -> list[EvalOutcome]:
-        keys = [frozenset(c.flags.items()) for c in configs]
-
-        # Parent-side dedup: drop flag-identical repeats, configs already
-        # cached, configs decided by the result store in an earlier run,
-        # and (incrementally) configs whose resolved policy map matches
-        # a cached or already-submitted one.  What remains is exactly
-        # the set a serial evaluator would have executed.
-        jobs: list = []           # (key, skey, digest, config) to execute
-        job_index: dict = {}      # flag key -> job position
-        alias: dict = {}          # flag key -> job position (semantic dup)
-        skey_index: dict = {}     # semantic key -> job position
-        store_replays = 0
-        for key, config in zip(keys, configs):
-            if key in self.cache or key in job_index or key in alias:
-                continue
-            skey = None
-            policies = None
-            if self.incremental:
-                policies = config.instruction_policies()
-                skey = semantic_key(policies)
-                hit = self.semantic_cache.get(skey)
-                if hit is not None:
-                    self.cache[key] = hit
-                    continue
-                pos = skey_index.get(skey)
-                if pos is not None:
-                    alias[key] = pos
-                    continue
-            digest = ""
-            if self.store is not None:
-                from repro.store import policy_digest
-
-                if policies is None:
-                    policies = config.instruction_policies()
-                digest = policy_digest(policies)
-                stored = self.store.get(self._store_id(), digest)
-                if stored is not None:
-                    # Decided in a previous run: replay, don't execute.
-                    # Counts toward evaluations only the first time this
-                    # campaign sees the config (see ``decided``).
-                    self.cache[key] = stored
-                    if skey is not None:
-                        self.semantic_cache[skey] = stored
-                    if digest not in self.decided:
-                        self.decided.add(digest)
-                        self.evaluations += 1
-                    self.store_hits += 1
-                    store_replays += 1
-                    if self.telemetry.enabled:
-                        self.telemetry.count("store.hits")
-                        self.telemetry.emit("store.hit", key=digest[:12])
-                    continue
-            if skey is not None:
-                skey_index[skey] = len(jobs)
-            job_index[key] = len(jobs)
-            jobs.append((key, skey, digest, config))
-
-        if jobs:
+        # Parent-side dedup (shared with the cluster coordinator): what
+        # remains in plan.jobs is exactly the set a serial evaluator
+        # would have executed.
+        plan = plan_batch(self, configs)
+        outcomes: list = []
+        batch_wall = 0.0
+        if plan.jobs:
             start = time.perf_counter()
             if self._pool is not None:
                 outcomes = self._run_jobs(
-                    [dict(config.flags) for _k, _s, _d, config in jobs]
+                    [dict(job.config.flags) for job in plan.jobs]
                 )
             else:  # serial fallback (no fork on this platform)
-                outcomes = [
-                    self._serial_eval(config) for _k, _s, _d, config in jobs
-                ]
+                outcomes = [self._serial_eval(job.config) for job in plan.jobs]
             batch_wall = time.perf_counter() - start
-            telemetry = self.telemetry
-            for (key, skey, digest, _config), outcome in zip(jobs, outcomes):
-                self.cache[key] = outcome
-                if skey is not None:
-                    self.semantic_cache[skey] = outcome
-                self.evaluations += 1
-                self.executions += 1
-                if digest:
-                    self.decided.add(digest)
-                # Workers run concurrently, so per-config wall time is
-                # the batch wall amortized over its members.
-                per_config_wall = batch_wall / len(jobs)
-                if self.store is not None and digest:
-                    self.store.put(
-                        self._store_id(), digest, outcome,
-                        wall_s=per_config_wall,
-                    )
-                if telemetry.enabled:
-                    passed, cycles, trap, reason = outcome
-                    if trap:
-                        telemetry.emit("vm.trap", message=trap)
-                    telemetry.emit(
-                        "eval.config", passed=passed, cycles=cycles, trap=trap,
-                        reason=reason,
-                        wall_s=round(per_config_wall, 6),
-                    )
-            for key, pos in alias.items():
-                self.cache[key] = outcomes[pos]
-
-        results = [self.cache[key] for key in keys]
-        hits = len(keys) - len(jobs) - store_replays
-        self.cache_hits += hits
-        if hits:
-            self.telemetry.count("eval.cache_hits", hits)
-        return results
+        return record_batch(self, plan, outcomes, batch_wall)
 
     def _run_jobs(self, flag_maps: list[dict]) -> list[EvalOutcome]:
         """Execute *flag_maps* on the pool, surviving worker crashes.
@@ -378,8 +250,8 @@ class ParallelEvaluator:
         A dead worker breaks the whole pool: every unfinished future
         raises ``BrokenProcessPool`` (or comes back cancelled).  Results
         that completed before the crash are kept; the pool is respawned
-        and the rest resubmitted with exponential backoff, each config
-        at most ``retry_limit`` times before it is classified as failed
+        and the rest resubmitted under the retry policy, each config at
+        most ``retry_limit`` times before it is classified as failed
         with reason ``worker_crash``.
         """
         telemetry = self.telemetry
@@ -408,16 +280,12 @@ class ParallelEvaluator:
             retry = []
             for i in crashed:
                 attempts[i] += 1
-                if attempts[i] > self.retry_limit:
+                if self.retry.exhausted(attempts[i]):
                     # This config (or its cohort) kept killing workers:
                     # classify as a failed evaluation and move on — a
                     # crash must never abort the campaign.
                     self.crashed_configs += 1
-                    outcomes[i] = EvalOutcome(
-                        False, 0,
-                        f"worker process died (x{attempts[i]} attempts)",
-                        REASON_WORKER_CRASH,
-                    )
+                    outcomes[i] = self.retry.crash_outcome(attempts[i])
                     if telemetry.enabled:
                         telemetry.count("eval.worker_crashes")
                         telemetry.emit(
@@ -427,7 +295,7 @@ class ParallelEvaluator:
                     retry.append(i)
             if retry:
                 attempt = max(attempts[i] for i in retry)
-                delay = self.retry_backoff * (2 ** (attempt - 1))
+                delay = self.retry.delay(attempt)
                 if telemetry.enabled:
                     telemetry.count("eval.retries", len(retry))
                     telemetry.emit(
@@ -436,7 +304,7 @@ class ParallelEvaluator:
                     )
                 time.sleep(delay)
             pending = retry
-        for name, total in zip(_DELTA_COUNTERS, totals):
+        for name, total in zip(DELTA_COUNTERS, totals):
             if total:
                 telemetry.count(name, total)
         return outcomes
@@ -444,24 +312,14 @@ class ParallelEvaluator:
     def _serial_eval(self, config: Config) -> EvalOutcome:
         if self.incremental and self._state is None:
             self._state = IncrementalState(self.workload, self.telemetry)
-        state = self._state
-        instrumented = instrument(
-            self.workload.program, config,
-            optimize_checks=self.optimize_checks, telemetry=self.telemetry,
-            cache=state.icache if state is not None else None,
-            policies=config.instruction_policies() if state is not None else None,
+        outcome, deltas = execute_config(
+            self.workload, config, self._state, self.optimize_checks
         )
-        try:
-            if state is not None:
-                result = state.run(self.workload, instrumented)
-            else:
-                result = self.workload.run(instrumented.program)
-        except VmTrap as exc:
-            return EvalOutcome(False, 0, str(exc), trap_reason(exc))
-        passed = bool(self.workload.verify(result))
-        return EvalOutcome(
-            passed, result.cycles, "", "" if passed else REASON_VERIFY
-        )
+        if deltas != ZERO_DELTAS:
+            for name, total in zip(DELTA_COUNTERS, deltas):
+                if total:
+                    self.telemetry.count(name, total)
+        return outcome
 
     def close(self) -> None:
         if self._pool is not None:

@@ -42,6 +42,18 @@ EVENT_FIELDS: dict[str, frozenset] = {
     "store.hit": frozenset({"key"}),
     "campaign.checkpoint": frozenset({"batch", "tested"}),
     "campaign.resume": frozenset({"batch", "tested"}),
+    # -- distributed search service (repro.cluster) -------------------------
+    # Coordinator-side lease lifecycle: every event carries the worker's
+    # coordinator-assigned id ("w1", "w2", ...).  lease/heartbeat also
+    # carry `busy` (that worker's outstanding leases) so live progress
+    # can render per-worker occupancy.
+    "cluster.worker_join": frozenset({"worker", "name"}),
+    "cluster.worker_lost": frozenset({"worker", "leases", "reason"}),
+    "cluster.lease": frozenset({"worker", "task", "busy"}),
+    "cluster.heartbeat": frozenset({"worker", "busy"}),
+    # a lease whose worker died/errored, put back on the queue with
+    # exponential backoff (exhausted retries become eval.worker_crash).
+    "cluster.requeue": frozenset({"task", "attempts", "reason"}),
     # -- instrumentation layer ---------------------------------------------
     "instr.stats": frozenset(
         {

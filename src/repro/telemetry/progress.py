@@ -6,6 +6,10 @@ hundreds-of-configurations searches.  Rendering is throttled (default
 10 Hz) so a fast search does not spend its time repainting a terminal,
 and the line is finished with a newline on ``search.end``/``close`` so
 ordinary output is never glued to a stale carriage return.
+
+Cluster searches additionally render per-worker occupancy: the
+``cluster.*`` lease lifecycle events maintain a worker -> outstanding-
+leases map, summarized as e.g. ``workers=3(2 busy)`` on the same line.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ class ProgressRenderer(Sink):
         self.failed = 0
         self.phase = "bfs"
         self.last_label = ""
+        self.workers: dict = {}  # worker id -> outstanding leases
         self._last_render = 0.0
         self._line_open = False
 
@@ -45,6 +50,15 @@ class ProgressRenderer(Sink):
             self.phase = event["phase"]
             self.last_label = event["label"]
             self._render()
+        elif kind == "cluster.worker_join":
+            self.workers[event["worker"]] = 0
+            self._render()
+        elif kind == "cluster.worker_lost":
+            self.workers.pop(event["worker"], None)
+            self._render()
+        elif kind in ("cluster.lease", "cluster.heartbeat"):
+            self.workers[event["worker"]] = event["busy"]
+            self._render()
         elif kind == "search.end":
             self._render(force=True)
             self._finish()
@@ -54,10 +68,14 @@ class ProgressRenderer(Sink):
         if not force and now - self._last_render < self.min_interval:
             return
         self._last_render = now
+        cluster = ""
+        if self.workers:
+            busy = sum(1 for leases in self.workers.values() if leases)
+            cluster = f"  workers={len(self.workers)}({busy} busy)"
         line = (
             f"[search:{self.phase}] {self.tested} tested "
             f"({self.passed} pass / {self.failed} fail) "
-            f"of {self.candidates} candidates  last={self.last_label}"
+            f"of {self.candidates} candidates{cluster}  last={self.last_label}"
         )
         self.stream.write("\r" + line[:118].ljust(118))
         self.stream.flush()

@@ -60,6 +60,46 @@ class TestCampaignLifecycle:
         with Campaign.create(tmp_path, "cg", "T", SearchOptions()) as campaign:
             assert campaign.latest_checkpoint() is None
 
+    def test_latest_checkpoint_none_on_zero_length_journal(self, tmp_path):
+        """A zero-length journal (killed before the first checkpoint's
+        write ever hit the disk) is a fresh start, not an error — unlike
+        a truncated *tail*, which still yields the previous snapshot."""
+        with Campaign.create(tmp_path, "cg", "T", SearchOptions()) as campaign:
+            campaign.checkpoint({"batch": 1})
+        open(tmp_path / "journal.jsonl", "w").close()  # truncate to nothing
+        with Campaign.open(tmp_path) as campaign:
+            assert campaign.latest_checkpoint() is None
+
+    def test_resume_from_zero_length_journal_restarts_via_store(self, tmp_path):
+        """Resuming with an empty journal restarts the search from the
+        roots, but the campaign's result store still replays every
+        decided outcome — nothing re-executes and the final
+        configuration is unchanged."""
+        from repro.config.fileformat import dump_config
+        from repro.search import SearchEngine
+        from repro.workloads import make_workload
+
+        options = SearchOptions()
+        reference = SearchEngine(make_workload("mg", "T"), options).run()
+
+        with Campaign.create(tmp_path, "mg", "T", options) as campaign:
+            first = SearchEngine(
+                make_workload("mg", "T"), options, campaign=campaign
+            ).run()
+        open(tmp_path / "journal.jsonl", "w").close()
+        with Campaign.open(tmp_path) as campaign:
+            engine = SearchEngine(
+                make_workload("mg", "T"), options, campaign=campaign
+            )
+            rerun = engine.run()
+            assert engine.evaluator.executions == 0
+        assert not rerun.resumed  # no checkpoint to restore
+        assert rerun.store_replays >= 1
+        assert rerun.configs_tested == first.configs_tested
+        assert dump_config(rerun.final_config) == dump_config(
+            reference.final_config
+        )
+
     def test_status_transitions(self, tmp_path):
         campaign = Campaign.create(tmp_path, "cg", "T", SearchOptions())
         campaign.mark_interrupted()

@@ -1,0 +1,50 @@
+"""Shared fixtures for the cluster test suite.
+
+Serial reference results are session-scoped: every differential test
+compares against the same uninterrupted serial search, so the (cheap but
+not free) references run once per session.
+"""
+
+import contextlib
+import threading
+
+import pytest
+
+from repro.cluster import run_worker
+from repro.config.fileformat import dump_config
+from repro.search import SearchEngine, SearchOptions
+from repro.workloads import make_workload
+
+
+@contextlib.contextmanager
+def workers_running(address: str, count: int = 1, **kwargs):
+    """Run *count* in-thread workers against *address* until the
+    coordinator dismisses them (the engine closing its evaluator)."""
+    threads = [
+        threading.Thread(target=run_worker, args=(address,),
+                         kwargs=kwargs, daemon=True)
+        for _ in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        yield threads
+    finally:
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(t.is_alive() for t in threads), "worker never dismissed"
+
+
+def serial_reference(name: str, klass: str):
+    result = SearchEngine(make_workload(name, klass), SearchOptions()).run()
+    return result, dump_config(result.final_config)
+
+
+@pytest.fixture(scope="session")
+def serial_cg():
+    return serial_reference("cg", "T")
+
+
+@pytest.fixture(scope="session")
+def serial_mg():
+    return serial_reference("mg", "T")

@@ -140,6 +140,80 @@ class TestSearchAndExperiment:
             main(["search", "nonesuch"])
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+
+class TestStoreCommand:
+    def _populated_store(self, tmp_path):
+        from repro.search.results import EvalOutcome
+        from repro.store import ResultStore
+
+        db = str(tmp_path / "results.sqlite")
+        with ResultStore(db) as store:
+            store.put("wl-a", "k1", EvalOutcome(True, 100, "", ""))
+            store.put("wl-a", "k2", EvalOutcome(False, 0, "boom", "trap"))
+            store.put("wl-b", "k1", EvalOutcome(True, 50, "", ""))
+        return db
+
+    def test_export_import_round_trip(self, tmp_path, capsys):
+        from repro.store import ResultStore
+
+        db = self._populated_store(tmp_path)
+        dump = str(tmp_path / "dump.jsonl")
+        assert main(["store", "export", db, dump]) == 0
+        assert "exported 3 outcomes" in capsys.readouterr().out
+
+        fresh = str(tmp_path / "fresh.sqlite")
+        assert main(["store", "import", fresh, dump]) == 0
+        assert "imported 3 outcomes" in capsys.readouterr().out
+        with ResultStore(fresh) as store:
+            assert store.count() == 3
+            outcome = store.get("wl-a", "k2")
+            assert not outcome.passed and outcome.reason == "trap"
+
+    def test_export_filters_by_workload(self, tmp_path, capsys):
+        db = self._populated_store(tmp_path)
+        dump = str(tmp_path / "wl-a.jsonl")
+        assert main(["store", "export", db, dump, "--workload", "wl-a"]) == 0
+        assert "exported 2 outcomes" in capsys.readouterr().out
+        lines = open(dump).read().splitlines()
+        assert len(lines) == 2
+        assert all('"workload": "wl-a"' in line for line in lines)
+
+    def test_import_collision_fails_with_exit_one(self, tmp_path, capsys):
+        from repro.search.results import EvalOutcome
+        from repro.store import ResultStore
+
+        db = self._populated_store(tmp_path)
+        dump = str(tmp_path / "dump.jsonl")
+        assert main(["store", "export", db, dump]) == 0
+        capsys.readouterr()
+        # A target holding a *different* outcome under the same key.
+        clashing = str(tmp_path / "clash.sqlite")
+        with ResultStore(clashing) as store:
+            store.put("wl-a", "k1", EvalOutcome(False, 0, "", "verify"))
+        assert main(["store", "import", clashing, dump]) == 1
+        assert "store import:" in capsys.readouterr().err
+
+    def test_import_same_rows_is_idempotent(self, tmp_path, capsys):
+        from repro.store import ResultStore
+
+        db = self._populated_store(tmp_path)
+        dump = str(tmp_path / "dump.jsonl")
+        assert main(["store", "export", db, dump]) == 0
+        assert main(["store", "import", db, dump]) == 0  # repeats no-op
+        capsys.readouterr()
+        with ResultStore(db) as store:
+            assert store.count() == 3
+
+
 class TestTelemetryFlags:
     def test_search_trace_and_metrics(self, tmp_path, capsys):
         import json

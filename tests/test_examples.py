@@ -31,3 +31,9 @@ class TestExamples:
         assert "interrupted after 2 checkpoints" in out
         assert "identical final configuration: True" in out
         assert "0 actually executed" in out
+
+    def test_cluster_search(self, capsys):
+        out = _run_example("cluster_search", capsys)
+        assert "identical final configuration: True" in out
+        assert "crashed worker exit code 1" in out
+        assert "identical final configuration after crash: True" in out
