@@ -27,7 +27,9 @@ import time
 
 from conftest import emit, full_scale, merge_json_rows
 
+from repro.profile import CycleObserver
 from repro.search import SearchEngine, SearchOptions
+from repro.vm.machine import VM
 from repro.workloads import make_nas
 
 
@@ -84,6 +86,95 @@ def measure(bench: str = "cg", klass: str = "T", repeats: int = 3) -> dict:
     }
 
 
+def measure_profiling_overhead(
+    bench: str = "cg", klass: str = "S", repeats: int = 5
+) -> dict:
+    """Guard: the profiling subsystem costs nothing unless asked for.
+
+    Runs the workload's VM four ways — default (no profiling), with the
+    profiling knobs explicitly off, with the native ``profile=True``
+    counting loop, and with a :class:`CycleObserver` on the observer
+    hook — and asserts the deterministic outputs (cycle clock, step
+    count, output values) are byte-identical everywhere: neither the
+    *existence* of the profiling machinery nor its use may perturb the
+    cycle model.  Wall time of the explicitly-disabled run must stay
+    within generous noise of the default run (they are the same code
+    path; a divergence means the disabled path started paying for
+    hooks).  The enabled paths' overhead is recorded, not bounded.
+    """
+    workload = make_nas(bench, klass)
+    program, params = workload.program, workload.vm_params()
+
+    def timed(make_kwargs):
+        best_wall, result = float("inf"), None
+        for _ in range(repeats):
+            vm = VM(program, **make_kwargs(), **params)
+            start = time.perf_counter()
+            result = vm.run()
+            best_wall = min(best_wall, time.perf_counter() - start)
+        return result, best_wall
+
+    plain_res, plain_wall = timed(dict)
+    disabled_res, disabled_wall = timed(
+        lambda: {"profile": False, "observer": None}
+    )
+    profiled_res, profiled_wall = timed(lambda: {"profile": True})
+    observed_res, observed_wall = timed(
+        lambda: {"observer": CycleObserver()}
+    )
+
+    for name, res in (
+        ("disabled", disabled_res),
+        ("profiled", profiled_res),
+        ("observed", observed_res),
+    ):
+        assert res.cycles == plain_res.cycles, (
+            f"{name} run changed the cycle clock: "
+            f"{res.cycles} != {plain_res.cycles}"
+        )
+        assert res.steps == plain_res.steps, name
+        assert res.values() == plain_res.values(), (
+            f"{name} run changed program output"
+        )
+
+    # Same code path, so only scheduler noise may separate them; 1.5x
+    # either way is far beyond any observed jitter on these runs.
+    assert disabled_wall <= plain_wall * 1.5 and plain_wall <= disabled_wall * 1.5, (
+        f"profiling-disabled run left the noise band: "
+        f"default {plain_wall:.4f}s vs disabled {disabled_wall:.4f}s"
+    )
+
+    return {
+        "benchmark": f"{bench}.{klass}",
+        "cycles": plain_res.cycles,
+        "plain_wall_s": round(plain_wall, 4),
+        "disabled_wall_s": round(disabled_wall, 4),
+        "profiled_wall_s": round(profiled_wall, 4),
+        "observer_wall_s": round(observed_wall, 4),
+        "disabled_ratio": round(disabled_wall / plain_wall, 3),
+        "profiled_ratio": round(profiled_wall / plain_wall, 3),
+        "observer_ratio": round(observed_wall / plain_wall, 3),
+    }
+
+
+def _format_overhead(row: dict) -> str:
+    return "\n".join(
+        [
+            "Profiling overhead — VM wall time relative to the default run",
+            "",
+            f"{row['benchmark']}: {row['cycles']} cycles (byte-identical in "
+            f"all modes)",
+            f"  default   {row['plain_wall_s']:>8.4f}s   1.000x",
+            f"  disabled  {row['disabled_wall_s']:>8.4f}s   "
+            f"{row['disabled_ratio']:.3f}x",
+            f"  profile=True {row['profiled_wall_s']:>5.4f}s   "
+            f"{row['profiled_ratio']:.3f}x",
+            f"  observer  {row['observer_wall_s']:>8.4f}s   "
+            f"{row['observer_ratio']:.3f}x",
+        ]
+    )
+
+
 def _format(rows: list[dict]) -> str:
     lines = ["Incremental evaluation — search throughput (cold vs warm)", ""]
     header = f"{'benchmark':<10} {'configs':>7} {'cold cfg/s':>10} {'warm cfg/s':>10} {'speedup':>8}"
@@ -104,6 +195,13 @@ def run_benchmark(klass: str = "T") -> dict:
     payload = {"rows": rows, "primary": rows[0]}
     emit("incremental_search", _format(rows))
     path = merge_json_rows("BENCH_search", payload)
+    overhead = measure_profiling_overhead()
+    emit("profiling_overhead", _format_overhead(overhead))
+    merge_json_rows(
+        "BENCH_search",
+        {"rows": [overhead], "primary": overhead},
+        section="profiling_overhead",
+    )
     print(f"wrote {path}")
     return payload
 
@@ -134,6 +232,13 @@ def main(argv=None) -> int:
     payload = {"rows": [row], "primary": row}
     emit("incremental_search", _format([row]))
     merge_json_rows("BENCH_search", payload)
+    overhead = measure_profiling_overhead()
+    emit("profiling_overhead", _format_overhead(overhead))
+    merge_json_rows(
+        "BENCH_search",
+        {"rows": [overhead], "primary": overhead},
+        section="profiling_overhead",
+    )
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

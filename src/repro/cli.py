@@ -13,10 +13,12 @@ config      emit the initial configuration exchange file (paper Fig. 3)
 instrument  rewrite a program under a configuration file
 view        render the configuration tree (paper Fig. 4, as text)
 analyze     shadow-value analysis of a built-in workload (JSON report)
+profile     per-site cycle census of a built-in workload (profile.json)
 search      automatic mixed-precision search on a built-in workload
 serve       run a search as a cluster coordinator (network workers)
 worker      evaluation worker for a coordinator (`repro serve`)
 store       result-store maintenance (JSONL export/import)
+trace       trace toolkit: summary | compare | profile | flame
 experiment  regenerate one of the paper's tables/figures
 
 Program images are plain pickles of :class:`repro.binary.model.Program`;
@@ -69,6 +71,13 @@ def _build_telemetry(args) -> tuple[Telemetry, MetricsRegistry | None]:
         sinks.append(ProgressRenderer())
     metrics = MetricsRegistry() if getattr(args, "metrics", False) else None
     return Telemetry(sinks=sinks, metrics=metrics), metrics
+
+
+def _clear_progress(telemetry: Telemetry) -> None:
+    """Blank any live progress line before ordinary stderr output."""
+    for sink in telemetry.sinks:
+        if isinstance(sink, ProgressRenderer):
+            sink.clear()
 
 
 def _load_program(paths: list[str], options: CompileOptions) -> Program:
@@ -288,6 +297,7 @@ def cmd_search(args) -> int:
             if options.cluster:
                 # Announce the bound address (port 0 lets the OS pick)
                 # so workers know where to dial before run() blocks.
+                _clear_progress(telemetry)
                 print(
                     f"serving {workload.name} on "
                     f"{engine.evaluator.address} — connect workers with: "
@@ -296,12 +306,13 @@ def cmd_search(args) -> int:
                 )
             result = engine.run()
     except KeyboardInterrupt:
+        _clear_progress(telemetry)
         where = args.resume or args.campaign
         if where:
-            print(f"\ninterrupted; resume with: repro search --resume {where}",
+            print(f"interrupted; resume with: repro search --resume {where}",
                   file=sys.stderr)
         else:
-            print("\ninterrupted (no --campaign directory, progress not kept)",
+            print("interrupted (no --campaign directory, progress not kept)",
                   file=sys.stderr)
         return 130
     finally:
@@ -346,6 +357,25 @@ def cmd_search(args) -> int:
                 )
             )
         print(f"wrote report to {args.report}")
+    if args.explain:
+        from repro.profile import collect_profile
+        from repro.viewer.explain import render_explain_report
+
+        events = None
+        if args.trace:
+            from repro.telemetry.tools import load_events
+
+            events = load_events(args.trace)
+        with open(args.explain, "w") as handle:
+            handle.write(
+                render_explain_report(
+                    result,
+                    analysis=engine.analysis_report,
+                    events=events,
+                    profile=collect_profile(workload),
+                )
+            )
+        print(f"wrote explanation to {args.explain}")
     if args.output and result.final_config is not None:
         best = (
             result.refined_config
@@ -355,6 +385,77 @@ def cmd_search(args) -> int:
         with open(args.output, "w") as handle:
             handle.write(dump_config(best))
         print(f"wrote configuration to {args.output}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.profile import collect_profile, dumps
+
+    klass = args.klass_opt if args.klass_opt is not None else args.klass
+    workload = make_workload(args.workload, klass)
+    telemetry, metrics = _build_telemetry(args)
+    with telemetry:
+        profile = collect_profile(
+            workload, use_observer=args.observer, telemetry=telemetry
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dumps(profile))
+        print(f"wrote profile to {args.output}")
+    candidates = sum(1 for site in profile["sites"] if site["node"])
+    print(
+        f"profile {profile['workload']} class {profile['klass'] or '-'}: "
+        f"{profile['steps']} steps, {profile['cycles']} cycles, "
+        f"{len(profile['sites'])} sites ({candidates} candidates), "
+        f"{profile['candidate_cycles']} candidate cycles"
+    )
+    hot = sorted(
+        (s for s in profile["sites"] if s["node"]),
+        key=lambda s: (-s["cycles"], s["addr"]),
+    )[: args.top]
+    if hot:
+        print("hottest candidate sites:")
+        for site in hot:
+            share = 100.0 * site["cycles"] / max(1, profile["cycles"])
+            print(
+                f"  {site['node']:<8} {site['addr']:#08x} "
+                f"{site['mnemonic']:<8} {site['execs']:>10} execs "
+                f"{site['cycles']:>12} cycles ({share:.1f}%)"
+            )
+    if metrics is not None:
+        print(metrics.summary(), end="")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.telemetry import tools
+
+    try:
+        if args.trace_command == "summary":
+            print(tools.summarize(tools.load_events(args.file)))
+        elif args.trace_command == "compare":
+            print(
+                tools.compare(
+                    tools.load_events(args.file_a),
+                    tools.load_events(args.file_b),
+                    label_a=args.file_a,
+                    label_b=args.file_b,
+                )
+            )
+        elif args.trace_command == "profile":
+            print(tools.profile_view(tools.load_events(args.file), top=args.top))
+        else:  # flame
+            text = tools.flame_view(tools.load_events(args.file))
+            if args.output:
+                with open(args.output, "w") as handle:
+                    handle.write(text + "\n" if text else "")
+                stacks = len(text.splitlines())
+                print(f"wrote {stacks} stacks to {args.output}")
+            else:
+                print(text)
+    except ValueError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -535,6 +636,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(p, progress=False)
     p.set_defaults(func=cmd_analyze)
 
+    p = sub.add_parser(
+        "profile",
+        help="per-site cycle census: one profiled run, schema-versioned "
+             "profile.json",
+    )
+    p.add_argument("workload", help="bt|cg|ep|ft|lu|mg|sp|amg|superlu")
+    p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
+    p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
+                   help="problem class (same as the positional argument)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the profile document here (profile.json)")
+    p.add_argument("--observer", action="store_true",
+                   help="count executions through the VM observer hook "
+                        "instead of the native profile loop (bit-identical "
+                        "output; differential-test mechanism)")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="candidate sites in the human summary (default 10)")
+    _add_telemetry_flags(p, progress=False)
+    p.set_defaults(func=cmd_profile)
+
     p = sub.add_parser("search", help="automatic search on a built-in workload")
     p.add_argument("workload", nargs="?",
                    help="bt|cg|ep|ft|lu|mg|sp|amg|superlu "
@@ -584,6 +705,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "much silence (default 30)")
     p.add_argument("-o", "--output", help="write the best configuration here")
     p.add_argument("--report", help="write a Markdown analysis report here")
+    p.add_argument("--explain", metavar="FILE",
+                   help="write a per-site decision-provenance report here "
+                        "(analysis verdicts, eval evidence, crash history, "
+                        "cycle shares; richer with --trace)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the one-line human summary")
     p.add_argument("--verbose", action="store_true",
@@ -629,6 +754,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "silence (default 30)")
     p.add_argument("-o", "--output", help="write the best configuration here")
     p.add_argument("--report", help="write a Markdown analysis report here")
+    p.add_argument("--explain", metavar="FILE",
+                   help="write a per-site decision-provenance report here "
+                        "(see `search --explain`)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the one-line human summary")
     p.add_argument("--verbose", action="store_true",
@@ -669,6 +797,42 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("db", help="SQLite result store (created if missing)")
     sp.add_argument("file", help="JSONL input path")
     sp.set_defaults(func=cmd_store)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace toolkit: read a JSONL trace back "
+             "(every event re-validated against the schema)",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    tp = trace_sub.add_parser(
+        "summary",
+        help="per-kind/per-phase timing plus the replayed metrics table "
+             "(byte-identical to the live run's summary)",
+    )
+    tp.add_argument("file", help="JSONL trace (from --trace)")
+    tp.set_defaults(func=cmd_trace)
+    tp = trace_sub.add_parser(
+        "compare", help="diff two traces (e.g. warm vs cold, serial vs cluster)"
+    )
+    tp.add_argument("file_a", help="baseline trace")
+    tp.add_argument("file_b", help="trace to compare against it")
+    tp.set_defaults(func=cmd_trace)
+    tp = trace_sub.add_parser(
+        "profile", help="cycle attribution: top sites (or the opcode census)"
+    )
+    tp.add_argument("file", help="JSONL trace")
+    tp.add_argument("--top", type=int, default=20, metavar="N",
+                    help="rows to show (default 20)")
+    tp.set_defaults(func=cmd_trace)
+    tp = trace_sub.add_parser(
+        "flame",
+        help="collapsed-stack cycle attribution "
+             "(flamegraph.pl / speedscope input)",
+    )
+    tp.add_argument("file", help="JSONL trace")
+    tp.add_argument("-o", "--output", metavar="FILE",
+                    help="write the collapsed stacks here instead of stdout")
+    tp.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(

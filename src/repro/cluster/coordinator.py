@@ -50,6 +50,7 @@ from collections import deque
 from repro.cluster.protocol import (
     BYE,
     ERROR,
+    EVENTS,
     HEARTBEAT,
     HELLO,
     LEASE,
@@ -68,7 +69,6 @@ from repro.cluster.protocol import (
 )
 from repro.config.model import Config
 from repro.search.batching import plan_batch, record_batch
-from repro.search.execution import DELTA_COUNTERS
 from repro.search.results import EvalOutcome
 from repro.search.retry import RetryPolicy
 from repro.telemetry import NULL_TELEMETRY
@@ -317,6 +317,22 @@ class _Coordinator:
                     "cluster.heartbeat",
                     worker=worker.wid, busy=len(worker.leases),
                 )
+            elif kind == EVENTS:
+                # One-way telemetry forwarding (protocol v2): merge the
+                # worker's per-task events into the coordinator's queue,
+                # tagged with the worker id.  The worker's own clock is
+                # preserved as `worker_ts`; the engine-side drain stamps
+                # the merged trace's single monotonic `ts` on emission.
+                task_id = message.get("task")
+                for forwarded in message.get("events", ()):
+                    if not isinstance(forwarded, dict) or "kind" not in forwarded:
+                        continue
+                    fields = dict(forwarded)
+                    event_kind = fields.pop("kind")
+                    fields["worker_ts"] = fields.pop("ts", 0.0)
+                    fields["worker"] = worker.wid
+                    fields.setdefault("task", task_id)
+                    self.event(event_kind, **fields)
             elif kind == BYE:
                 worker.reaped = True
                 self.workers.pop(worker.wid, None)
@@ -579,9 +595,10 @@ class ClusterEvaluator:
                 except concurrent.futures.TimeoutError:
                     self._drain_events()  # keep progress/traces live
             batch_wall = time.perf_counter() - start
-            for name, total in zip(DELTA_COUNTERS, deltas):
-                if total:
-                    self.telemetry.count(name, total)
+            # Cache counters arrive through the forwarded worker event
+            # stream (metric.count, protocol v2); the RESULT deltas stay
+            # on the wire as a cross-check but are not folded in twice.
+            del deltas
         self._drain_events()
         return record_batch(self, plan, outcomes, batch_wall)
 

@@ -17,6 +17,12 @@ Message flow (worker-initiated request/response, except heartbeats)::
                                 <- task {task, flags, digest}
                                    | wait {delay}   (no work right now)
                                    | bye {}         (search over)
+    events {task, events}       ->    (one-way: never answered, sent
+                                       right before result/error — the
+                                       worker's telemetry events for
+                                       that task, merged by the
+                                       coordinator into the unified
+                                       trace tagged with the worker id)
     result {task, outcome,
             deltas}             ->
                                 <- ok {}
@@ -47,7 +53,9 @@ import struct
 
 #: bump on any incompatible message-shape change; hello/welcome carry it
 #: and mismatches are refused at handshake time.
-PROTOCOL_VERSION = 1
+#: v2: one-way ``events`` frames forward worker telemetry to the
+#: coordinator for merged-trace aggregation.
+PROTOCOL_VERSION = 2
 
 #: frames above this are a protocol violation (a config flag map for a
 #: huge program is ~100 KiB; 16 MiB is three orders of magnitude slack).
@@ -64,6 +72,7 @@ WAIT = "wait"
 RESULT = "result"
 ERROR = "error"
 HEARTBEAT = "heartbeat"
+EVENTS = "events"
 OK = "ok"
 BYE = "bye"
 

@@ -33,6 +33,7 @@ import time
 from repro.cluster.protocol import (
     BYE,
     ERROR,
+    EVENTS,
     HEARTBEAT,
     HELLO,
     LEASE,
@@ -52,6 +53,7 @@ from repro.config.generator import build_tree
 from repro.config.model import Config, Policy
 from repro.search.evaluator import IncrementalState
 from repro.search.execution import execute_config
+from repro.telemetry import ListSink, Telemetry
 from repro.workloads import make_workload
 
 #: environment variable holding a sentinel-file path; see module docstring.
@@ -120,6 +122,22 @@ def _build_workload(welcome: dict):
     return workload
 
 
+def _forward_events(sock, send_lock, task, events_sink) -> None:
+    """Ship the task's buffered telemetry as one one-way frame.
+
+    Sent *before* the result/error frame so the coordinator merges the
+    evidence into its trace ahead of the outcome it explains (TCP
+    preserves the order).  Never answered; an empty buffer sends
+    nothing.
+    """
+    events = list(events_sink.events)
+    events_sink.events.clear()
+    if not events:
+        return
+    with send_lock:
+        send_frame(sock, {"type": EVENTS, "task": task, "events": events})
+
+
 class _Heartbeat(threading.Thread):
     """One-way keepalives under the shared send lock."""
 
@@ -159,7 +177,18 @@ def run_worker(
         welcome = _handshake(sock)
         workload = _build_workload(welcome)
         tree = build_tree(workload.program)
-        state = IncrementalState(workload) if welcome.get("incremental") else None
+        # Local telemetry buffer: per-task events are flushed to the
+        # coordinator as one-way `events` frames so the search's trace
+        # covers worker-side activity too (protocol v2).  Cache counters
+        # ride this stream as metric.count events, superseding the
+        # deltas fold-in the coordinator used to do from RESULT frames.
+        events_sink = ListSink()
+        wtel = Telemetry(sinks=[events_sink])
+        state = (
+            IncrementalState(workload, telemetry=wtel)
+            if welcome.get("incremental")
+            else None
+        )
         optimize_checks = bool(welcome.get("optimize_checks"))
         interval = max(0.005, float(welcome.get("lease_timeout", 30.0)) / 4)
         heartbeat = _Heartbeat(sock, send_lock, interval)
@@ -181,11 +210,13 @@ def run_worker(
                 nid: Policy(policy) for nid, policy in reply["flags"].items()
             }
             config = Config(tree, flags)
+            started = time.perf_counter()
             try:
                 outcome, deltas = execute_config(
-                    workload, config, state, optimize_checks
+                    workload, config, state, optimize_checks, telemetry=wtel
                 )
             except Exception as exc:  # an evaluation bug, not a protocol one
+                _forward_events(sock, send_lock, reply["task"], events_sink)
                 with send_lock:
                     send_frame(sock, {
                         "type": ERROR,
@@ -193,6 +224,16 @@ def run_worker(
                         "message": f"{type(exc).__name__}: {exc}",
                     })
             else:
+                wtel.emit(
+                    "eval.remote",
+                    task=reply["task"],
+                    passed=outcome.passed,
+                    cycles=outcome.cycles,
+                    trap=outcome.trap,
+                    reason=outcome.reason,
+                    wall_s=round(time.perf_counter() - started, 6),
+                )
+                _forward_events(sock, send_lock, reply["task"], events_sink)
                 with send_lock:
                     send_frame(sock, {
                         "type": RESULT,

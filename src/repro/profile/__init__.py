@@ -1,0 +1,27 @@
+"""Profiling: per-site cycle census with config-tree attribution.
+
+The substrate for cost-aware search objectives — see
+:mod:`repro.profile.census` for the document shape and
+:mod:`repro.profile.observer` for the hook-based counter that is
+bit-identical to the VM's native ``profile=True`` tallies.
+"""
+
+from repro.profile.census import (
+    PROFILE_VERSION,
+    build_profile,
+    collect_profile,
+    dumps,
+    emit_profile,
+    load_profile,
+)
+from repro.profile.observer import CycleObserver
+
+__all__ = [
+    "PROFILE_VERSION",
+    "CycleObserver",
+    "build_profile",
+    "collect_profile",
+    "dumps",
+    "emit_profile",
+    "load_profile",
+]

@@ -52,12 +52,16 @@ def execute_config(
     config: Config,
     state,
     optimize_checks: bool = False,
+    telemetry=None,
 ) -> tuple[EvalOutcome, tuple[int, int, int, int]]:
     """Instrument + run + verify one configuration.
 
     *state* is the executor's :class:`IncrementalState` (None restores
     the cold path).  Returns the outcome plus the cache-counter deltas
-    this execution contributed (see :data:`DELTA_COUNTERS`).
+    this execution contributed (see :data:`DELTA_COUNTERS`).  With
+    *telemetry* attached, instrumentation statistics and trap events
+    land in the executor's local stream (cluster workers forward that
+    stream to the coordinator).
     """
     if state is not None:
         before = counter_totals(state)
@@ -66,10 +70,13 @@ def execute_config(
             workload.program, config,
             optimize_checks=optimize_checks,
             cache=state.icache, policies=policies,
+            telemetry=telemetry,
         )
         try:
             result = state.run(workload, instrumented)
         except VmTrap as exc:
+            if telemetry is not None:
+                telemetry.emit("vm.trap", message=str(exc))
             outcome = EvalOutcome(False, 0, str(exc), trap_reason(exc))
             return outcome, _deltas(state, before)
         passed = bool(workload.verify(result))
@@ -78,11 +85,14 @@ def execute_config(
         )
         return outcome, _deltas(state, before)
     instrumented = instrument(
-        workload.program, config, optimize_checks=optimize_checks
+        workload.program, config, optimize_checks=optimize_checks,
+        telemetry=telemetry,
     )
     try:
         result = workload.run(instrumented.program)
     except VmTrap as exc:
+        if telemetry is not None:
+            telemetry.emit("vm.trap", message=str(exc))
         return EvalOutcome(False, 0, str(exc), trap_reason(exc)), ZERO_DELTAS
     passed = bool(workload.verify(result))
     outcome = EvalOutcome(passed, result.cycles, "", "" if passed else REASON_VERIFY)

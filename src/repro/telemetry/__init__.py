@@ -20,17 +20,21 @@ Design rules (see ``docs/OBSERVABILITY.md`` for the full schema):
   (:class:`JsonlSink`), so traces are replayable with nothing but
   ``json.loads``.
 * **Metrics ride the same stream.**  A :class:`MetricsRegistry` attached
-  to the telemetry consumes every event it emits, so the ``summary()``
-  table always reconciles with the trace.
+  to the telemetry consumes every event it emits — including the
+  ``metric.count``/``metric.observe`` events that carry direct counter
+  updates — so the ``summary()`` table is a pure function of the trace:
+  replaying a JSONL file (:func:`repro.telemetry.tools.replay_metrics`)
+  reproduces it byte-for-byte.
 """
 
 from repro.telemetry.core import NULL_TELEMETRY, Telemetry
-from repro.telemetry.events import EVENT_KINDS, validate_event
+from repro.telemetry.events import EVENT_FIELDS, EVENT_KINDS, validate_event
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.progress import ProgressRenderer
 from repro.telemetry.sinks import JsonlSink, ListSink, NullSink, Sink
 
 __all__ = [
+    "EVENT_FIELDS",
     "EVENT_KINDS",
     "JsonlSink",
     "ListSink",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
+from repro.telemetry.events import validate_event
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.sinks import Sink
 
@@ -28,19 +29,31 @@ class Telemetry:
         emitted event is delivered to each, in order.
     metrics:
         Optional :class:`~repro.telemetry.metrics.MetricsRegistry`.  When
-        present it consumes every emitted event and also receives direct
-        ``count``/``observe`` updates.
+        present it consumes every emitted event, including the
+        ``metric.count`` / ``metric.observe`` events that back the
+        :meth:`count` / :meth:`observe` shorthands.
+    validate:
+        Debug mode: run :func:`~repro.telemetry.events.validate_event`
+        on every emitted event and raise on a schema violation.  The
+        test suite turns this on globally so no layer can ship an event
+        missing its ``EVENT_FIELDS`` floor.
 
     A telemetry with no sinks and no metrics is *disabled*: ``emit`` is a
     near-free no-op and ``enabled`` is False.
     """
 
-    __slots__ = ("sinks", "metrics", "enabled", "_t0")
+    __slots__ = ("sinks", "metrics", "enabled", "validate", "_t0")
 
-    def __init__(self, sinks=(), metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        sinks=(),
+        metrics: MetricsRegistry | None = None,
+        validate: bool = False,
+    ) -> None:
         self.sinks: list[Sink] = list(sinks)
         self.metrics = metrics
         self.enabled = bool(self.sinks) or metrics is not None
+        self.validate = validate
         self._t0 = time.perf_counter()
 
     # -- event stream ------------------------------------------------------
@@ -51,6 +64,8 @@ class Telemetry:
             return
         event = {"kind": kind, "ts": round(time.perf_counter() - self._t0, 6)}
         event.update(fields)
+        if self.validate:
+            validate_event(event)
         for sink in self.sinks:
             sink.emit(event)
         if self.metrics is not None:
@@ -83,14 +98,17 @@ class Telemetry:
                 self.emit(kind + ".end", wall_s=wall, **fields)
 
     # -- direct metric updates --------------------------------------------
+    # These ride the event stream (metric.count / metric.observe) rather
+    # than poking the registry directly, so a persisted trace replays
+    # into a byte-identical MetricsRegistry summary.
 
     def count(self, name: str, value: int = 1) -> None:
-        if self.metrics is not None:
-            self.metrics.inc(name, value)
+        if self.enabled:
+            self.emit("metric.count", name=name, value=value)
 
     def observe(self, name: str, value) -> None:
-        if self.metrics is not None:
-            self.metrics.observe(name, value)
+        if self.enabled:
+            self.emit("metric.observe", name=name, value=value)
 
     # -- lifecycle ---------------------------------------------------------
 

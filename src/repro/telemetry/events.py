@@ -69,6 +69,27 @@ EVENT_FIELDS: dict[str, frozenset] = {
     # -- shadow-value analysis (repro.analysis) ----------------------------
     "analysis.run.begin": frozenset({"workload"}),
     "analysis.run.end": frozenset({"workload"}),
+    # -- direct metric updates ---------------------------------------------
+    # Telemetry.count()/observe() ride the event stream as these kinds so
+    # a JSONL trace replays into a byte-identical MetricsRegistry summary.
+    "metric.count": frozenset({"name", "value"}),
+    "metric.observe": frozenset({"name", "value"}),
+    # -- worker-side evaluation (repro.cluster) ------------------------------
+    # One per task executed on a remote worker; the coordinator tags the
+    # forwarded event with `worker` (coordinator-assigned id) and
+    # `worker_ts` (the worker's own clock) before merging it into the
+    # unified trace.  Distinct from eval.config so that "eval.config count
+    # == configs_tested" stays true in merged cluster traces.
+    "eval.remote": frozenset({"task", "passed", "cycles", "trap", "wall_s"}),
+    # -- profiling (repro.profile) ------------------------------------------
+    # profile.census: one per profiled run — whole-program totals plus the
+    # per-opcode breakdown.  profile.site: one per executed instruction
+    # site, with config-tree attribution (`node` is "" for instructions
+    # that are not precision candidates).
+    "profile.census": frozenset(
+        {"program", "steps", "cycles", "sites", "attributed_cycles"}
+    ),
+    "profile.site": frozenset({"node", "addr", "mnemonic", "execs", "cycles"}),
     # -- VM ----------------------------------------------------------------
     "vm.opcodes": frozenset({"program", "steps", "cycles", "opcodes"}),
     "vm.trap": frozenset({"message"}),

@@ -51,6 +51,15 @@ class MetricsRegistry:
     def consume(self, event: dict) -> None:
         """Aggregate one emitted event (called by Telemetry.emit)."""
         kind = event["kind"]
+        # Direct metric updates ride the stream as their own event kinds;
+        # apply them verbatim (no events.* bump — they are not trace
+        # milestones, just the transport for count()/observe()).
+        if kind == "metric.count":
+            self.inc(event["name"], event["value"])
+            return
+        if kind == "metric.observe":
+            self.observe(event["name"], event["value"])
+            return
         self.inc(f"events.{kind}")
         if kind == "search.eval":
             self.inc("search.evals")
@@ -75,6 +84,15 @@ class MetricsRegistry:
             self.inc("instr.bytes_grown", event["bytes_grown"])
         elif kind == "search.queue":
             self.observe("search.queue_depth", event["depth"])
+        elif kind == "eval.remote":
+            self.inc("cluster.remote_evals")
+            self.observe("cluster.eval_wall_s", event["wall_s"])
+            if "worker" in event:
+                self.inc(f"cluster.tasks.{event['worker']}")
+        elif kind == "cluster.heartbeat":
+            # Per-worker occupancy: mean outstanding leases over the
+            # heartbeat stream approximates time-weighted busy-ness.
+            self.observe(f"cluster.busy.{event['worker']}", event["busy"])
         elif kind == "vm.trap":
             self.inc("vm.traps")
         elif kind == "mpi.rank":

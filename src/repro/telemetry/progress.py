@@ -16,8 +16,12 @@ from __future__ import annotations
 
 import sys
 import time
+from collections import deque
 
 from repro.telemetry.sinks import Sink
+
+#: rendered line width (also the span blanked by :meth:`clear`).
+_WIDTH = 118
 
 
 class ProgressRenderer(Sink):
@@ -33,6 +37,10 @@ class ProgressRenderer(Sink):
         self.phase = "bfs"
         self.last_label = ""
         self.workers: dict = {}  # worker id -> outstanding leases
+        # Sliding window of search.eval arrival times; only evals feed it
+        # (cluster.heartbeat merely repaints), so the displayed rate never
+        # collapses to zero under a chatty but idle cluster.
+        self._eval_times: deque = deque(maxlen=50)
         self._last_render = 0.0
         self._line_open = False
 
@@ -49,6 +57,7 @@ class ProgressRenderer(Sink):
                 self.failed += 1
             self.phase = event["phase"]
             self.last_label = event["label"]
+            self._eval_times.append(time.perf_counter())
             self._render()
         elif kind == "cluster.worker_join":
             self.workers[event["worker"]] = 0
@@ -72,14 +81,31 @@ class ProgressRenderer(Sink):
         if self.workers:
             busy = sum(1 for leases in self.workers.values() if leases)
             cluster = f"  workers={len(self.workers)}({busy} busy)"
+        rate = ""
+        if len(self._eval_times) >= 2:
+            window = self._eval_times[-1] - self._eval_times[0]
+            if window > 0:
+                rate = f"  {(len(self._eval_times) - 1) / window:.1f}/s"
         line = (
             f"[search:{self.phase}] {self.tested} tested "
             f"({self.passed} pass / {self.failed} fail) "
-            f"of {self.candidates} candidates{cluster}  last={self.last_label}"
+            f"of {self.candidates} candidates{rate}{cluster}"
+            f"  last={self.last_label}"
         )
-        self.stream.write("\r" + line[:118].ljust(118))
+        self.stream.write("\r" + line[:_WIDTH].ljust(_WIDTH))
         self.stream.flush()
         self._line_open = True
+
+    def clear(self) -> None:
+        """Blank the live line so ordinary output is not interleaved.
+
+        Callers printing to the same stream mid-search (announcements,
+        warnings) call this first; the next event repaints the line.
+        """
+        if self._line_open:
+            self.stream.write("\r" + " " * _WIDTH + "\r")
+            self.stream.flush()
+            self._line_open = False
 
     def _finish(self) -> None:
         if self._line_open:

@@ -1,0 +1,238 @@
+"""Trace toolkit: read JSONL traces back and make them explainable.
+
+Everything in here consumes the same event dicts the hub emits, after
+re-validating every line against :data:`~repro.telemetry.events
+.EVENT_FIELDS` — a trace that drifted from the schema fails loudly at
+load time, not silently in a report.
+
+The key invariant the toolkit leans on: a :class:`MetricsRegistry` is a
+pure function of the event stream (``count``/``observe`` ride the
+stream as ``metric.*`` events), so :func:`replay_metrics` over a trace
+file reproduces the live registry's ``summary()`` byte-for-byte.  That
+is what lets ``repro trace summary`` regenerate a finished search's —
+serial or cluster — metrics table from nothing but the JSONL.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import validate_event
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sinks import read_trace
+
+
+def load_events(path: str) -> list:
+    """Read + validate a JSONL trace; line numbers ride any error."""
+    events = read_trace(path)
+    for lineno, event in enumerate(events, start=1):
+        try:
+            validate_event(event)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from None
+    return events
+
+
+def replay_metrics(events: list) -> MetricsRegistry:
+    """Feed a trace through a fresh registry (identical to the live one)."""
+    registry = MetricsRegistry()
+    for event in events:
+        registry.consume(event)
+    return registry
+
+
+# -- summary -----------------------------------------------------------------
+
+
+def summarize(events: list) -> str:
+    """Per-kind and per-phase timing plus the replayed metrics table."""
+    lines = []
+    span = events[-1]["ts"] - events[0]["ts"] if events else 0.0
+    lines.append(
+        f"trace: {len(events)} events, "
+        f"{len({e['kind'] for e in events})} kinds, "
+        f"{span:.6g}s span"
+    )
+    lines.append("")
+    lines.append(_kind_table(events))
+    phase_table = _phase_table(events)
+    if phase_table:
+        lines.append("")
+        lines.append(phase_table)
+    workers = sorted({e["worker"] for e in events if "worker" in e})
+    if workers:
+        lines.append("")
+        lines.append(f"workers: {', '.join(workers)}")
+    lines.append("")
+    lines.append(replay_metrics(events).summary())
+    return "\n".join(lines)
+
+
+def _kind_table(events: list) -> str:
+    per: dict[str, list] = {}
+    for event in events:
+        entry = per.setdefault(event["kind"], [0, event["ts"], event["ts"]])
+        entry[0] += 1
+        if event["ts"] < entry[1]:
+            entry[1] = event["ts"]
+        if event["ts"] > entry[2]:
+            entry[2] = event["ts"]
+    rows = [("kind", "count", "first_ts", "last_ts")]
+    for kind in sorted(per):
+        count, first, last = per[kind]
+        rows.append((kind, str(count), f"{first:.6g}", f"{last:.6g}"))
+    return _align("events by kind:", rows)
+
+
+def _phase_table(events: list) -> str:
+    per: dict[str, list] = {}
+    for event in events:
+        if event["kind"] != "search.eval":
+            continue
+        entry = per.setdefault(event["phase"], [0, 0, 0.0])
+        entry[0] += 1
+        entry[1] += 1 if event["passed"] else 0
+        entry[2] += event.get("wall_s", 0.0)
+    if not per:
+        return ""
+    rows = [("phase", "evals", "pass", "wall_s")]
+    for phase in sorted(per):
+        count, passed, wall = per[phase]
+        rows.append((phase, str(count), str(passed), f"{wall:.6g}"))
+    return _align("search phases:", rows)
+
+
+def _align(title: str, rows: list) -> str:
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = [title]
+    for k, row in enumerate(rows):
+        lines.append(
+            "  "
+            + row[0].ljust(widths[0])
+            + "".join(
+                "  " + row[i].rjust(widths[i]) for i in range(1, len(row))
+            )
+        )
+        if k == 0:
+            lines.append("  " + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+# -- diff --------------------------------------------------------------------
+
+
+def compare(events_a: list, events_b: list, label_a="a", label_b="b") -> str:
+    """Diff two traces: event-kind counts and the replayed counters."""
+    kinds_a: dict[str, int] = {}
+    kinds_b: dict[str, int] = {}
+    for event in events_a:
+        kinds_a[event["kind"]] = kinds_a.get(event["kind"], 0) + 1
+    for event in events_b:
+        kinds_b[event["kind"]] = kinds_b.get(event["kind"], 0) + 1
+    rows = [("kind", label_a, label_b, "delta")]
+    for kind in sorted(set(kinds_a) | set(kinds_b)):
+        na, nb = kinds_a.get(kind, 0), kinds_b.get(kind, 0)
+        rows.append((kind, str(na), str(nb), f"{nb - na:+d}"))
+    lines = [
+        f"compare: {label_a} ({len(events_a)} events) "
+        f"vs {label_b} ({len(events_b)} events)",
+        "",
+        _align("events by kind:", rows),
+    ]
+    reg_a = replay_metrics(events_a).counters
+    reg_b = replay_metrics(events_b).counters
+    rows = [("counter", label_a, label_b, "delta")]
+    for name in sorted(set(reg_a) | set(reg_b)):
+        if name.startswith("events."):
+            continue  # already covered by the kind table
+        va, vb = reg_a.get(name, 0), reg_b.get(name, 0)
+        if va != vb:
+            rows.append((name, str(va), str(vb), f"{vb - va:+d}"))
+    if len(rows) > 1:
+        lines.append("")
+        lines.append(_align("counters that differ:", rows))
+    return "\n".join(lines)
+
+
+# -- cycle attribution -------------------------------------------------------
+
+
+def profile_view(events: list, top: int = 20) -> str:
+    """Top cycle sinks: per-site when the trace was profiled, else the
+    per-opcode census."""
+    sites = [e for e in events if e["kind"] == "profile.site"]
+    if sites:
+        total = sum(site["cycles"] for site in sites) or 1
+        sites.sort(key=lambda s: (-s["cycles"], s["addr"]))
+        rows = [("addr", "node", "mnemonic", "execs", "cycles", "share")]
+        for site in sites[:top]:
+            rows.append(
+                (
+                    f"{site['addr']:#x}",
+                    site["node"] or "-",
+                    site["mnemonic"],
+                    str(site["execs"]),
+                    str(site["cycles"]),
+                    f"{100.0 * site['cycles'] / total:.1f}%",
+                )
+            )
+        title = f"top {min(top, len(sites))} of {len(sites)} sites by cycles:"
+        return _align(title, rows)
+    census = _opcode_totals(events)
+    if not census:
+        return "no profile.site or vm.opcodes events in this trace"
+    total = sum(c for _e, c in census.values()) or 1
+    ordered = sorted(census.items(), key=lambda kv: (-kv[1][1], kv[0]))
+    rows = [("mnemonic", "execs", "cycles", "share")]
+    for mnemonic, (execs, cycles) in ordered[:top]:
+        rows.append(
+            (
+                mnemonic,
+                str(execs),
+                str(cycles),
+                f"{100.0 * cycles / total:.1f}%",
+            )
+        )
+    return _align("opcode census (no per-site profile in trace):", rows)
+
+
+def _opcode_totals(events: list) -> dict:
+    census: dict[str, list] = {}
+    for event in events:
+        if event["kind"] != "vm.opcodes":
+            continue
+        for mnemonic, stat in event["opcodes"].items():
+            entry = census.setdefault(mnemonic, [0, 0])
+            entry[0] += stat["execs"]
+            entry[1] += stat["cycles"]
+    return census
+
+
+def flame_view(events: list) -> str:
+    """Collapsed-stack cycle attribution (one ``frame;frame;... count``
+    per line, the format flamegraph.pl and speedscope ingest)."""
+    stacks: dict[str, int] = {}
+    program = ""
+    for event in events:
+        if event["kind"] == "profile.census":
+            program = event["program"]
+    for event in events:
+        if event["kind"] != "profile.site":
+            continue
+        frames = [program or "program"]
+        frames.append(event.get("function") or "(other)")
+        if event.get("block"):
+            frames.append(event["block"])
+        leaf = event["node"] or f"{event['addr']:#x}"
+        frames.append(f"{leaf}:{event['mnemonic']}")
+        key = ";".join(frames)
+        stacks[key] = stacks.get(key, 0) + event["cycles"]
+    if not stacks:
+        # opcode-census fallback: one level of attribution is still a
+        # valid (flat) flame graph.
+        for event in events:
+            if event["kind"] != "vm.opcodes":
+                continue
+            name = event.get("program", "program")
+            for mnemonic, stat in event["opcodes"].items():
+                key = f"{name};{mnemonic}"
+                stacks[key] = stacks.get(key, 0) + stat["cycles"]
+    return "\n".join(f"{key} {count}" for key, count in sorted(stacks.items()))

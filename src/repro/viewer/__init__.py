@@ -10,10 +10,12 @@ profile weights, and an annotated source view.
 from repro.viewer.tree import render_config_tree, render_search_summary
 from repro.viewer.source_view import render_source_view
 from repro.viewer.report import render_markdown_report
+from repro.viewer.explain import render_explain_report
 
 __all__ = [
     "render_config_tree",
     "render_search_summary",
     "render_source_view",
     "render_markdown_report",
+    "render_explain_report",
 ]

@@ -471,6 +471,32 @@ class VM:
             m: {"execs": e, "cycles": c} for m, (e, c) in sorted(per.items())
         }
 
+    def instruction_stats(self, counts=None) -> list:
+        """Per-instruction ``(addr, mnemonic, execs, cycles)`` census.
+
+        Same static cycle attribution as :meth:`opcode_stats`, but at
+        instruction-address granularity — the substrate for per-site
+        profiles.  *counts* overrides the VM's own execution counters
+        (an observer's independently collected tallies); by default the
+        native ``profile``/telemetry counters are used.  Cold path only:
+        nothing here touches the execution loop.
+        """
+        if counts is None:
+            counts = self._counts
+        instrs = self._instrs
+        addrs = self._instr_addrs
+        costs = self._inst_costs
+        return [
+            (
+                addrs[i],
+                OPCODE_INFO[instrs[i].opcode].mnemonic,
+                count,
+                count * costs[i],
+            )
+            for i, count in enumerate(counts)
+            if count
+        ]
+
     def publish(self) -> None:
         """Emit the ``vm.opcodes`` census event (no-op when disabled)."""
         if not self.telemetry.enabled:

@@ -5,7 +5,22 @@ from __future__ import annotations
 import pytest
 
 from repro.compiler import CompileOptions, compile_source
+from repro.telemetry import Telemetry
 from repro.vm import run_program
+
+_telemetry_init = Telemetry.__init__
+
+
+def _validating_init(self, sinks=(), metrics=None, validate=True):
+    _telemetry_init(self, sinks=sinks, metrics=metrics, validate=validate)
+
+
+@pytest.fixture(autouse=True)
+def _validate_all_events(monkeypatch):
+    """Debug mode for the whole suite: every Telemetry built by code under
+    test validates each emitted event against EVENT_FIELDS, so a malformed
+    event fails the test that produced it rather than poisoning a trace."""
+    monkeypatch.setattr(Telemetry, "__init__", _validating_init)
 
 
 def run_src(source: str, real_type: str = "f64", **run_kwargs):

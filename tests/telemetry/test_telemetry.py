@@ -127,17 +127,17 @@ class TestTelemetryHub:
     def test_span_emits_begin_and_end(self):
         sink = ListSink()
         telemetry = Telemetry(sinks=[sink])
-        with telemetry.span("search", workload="cg", candidates=1):
+        with telemetry.span("analysis.run", workload="cg"):
             pass
         kinds = [e["kind"] for e in sink.events]
-        assert kinds == ["search.begin", "search.end"]
+        assert kinds == ["analysis.run.begin", "analysis.run.end"]
         assert "wall_s" in sink.events[1]
 
     def test_span_records_error_and_propagates(self):
         sink = ListSink()
         telemetry = Telemetry(sinks=[sink])
         with pytest.raises(RuntimeError):
-            with telemetry.span("search", workload="cg", candidates=1):
+            with telemetry.span("analysis.run", workload="cg"):
                 raise RuntimeError("boom")
         assert sink.events[-1]["error"] == "RuntimeError"
 
@@ -227,3 +227,46 @@ class TestProgressRenderer:
         renderer.close()
         renderer.close()
         assert stream.getvalue() == ""
+
+    @staticmethod
+    def _eval(label="MODL01"):
+        return {
+            "kind": "search.eval",
+            "ts": 0.0,
+            "label": label,
+            "passed": True,
+            "cycles": 10,
+            "trap": "",
+            "phase": "bfs",
+        }
+
+    def test_heartbeat_does_not_reset_eval_rate_window(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream=stream, min_interval=0.0)
+        renderer.emit(self._eval())
+        renderer.emit(self._eval())
+        assert len(renderer._eval_times) == 2
+        # A chatty but idle cluster repaints without touching the window:
+        # the displayed rate must not collapse to zero under heartbeats.
+        for _ in range(10):
+            renderer.emit(
+                {"kind": "cluster.heartbeat", "ts": 0.0,
+                 "worker": "w1", "busy": 0}
+            )
+        assert len(renderer._eval_times) == 2
+        assert "/s" in stream.getvalue()
+
+    def test_clear_blanks_open_line(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream=stream, min_interval=0.0)
+        renderer.emit(self._eval())
+        renderer.clear()
+        text = stream.getvalue()
+        # The clear ends with a bare carriage return on a blanked span,
+        # so the next ordinary write starts on a clean column 0.
+        assert text.endswith("\r")
+        assert text.rsplit("\r", 2)[-2].strip() == ""
+        # Repainting after clear works; clearing a closed line is a no-op.
+        renderer.clear()
+        renderer.emit(self._eval())
+        assert "tested" in stream.getvalue().rsplit("\r", 1)[-1]

@@ -1,0 +1,142 @@
+"""Trace toolkit tests: load/validate, replay exactness, views, diff.
+
+The toolkit's contract is replay purity: because counters and
+observations ride the event stream as ``metric.*`` events, feeding a
+trace file through a fresh :class:`MetricsRegistry` reproduces the live
+registry's ``summary()`` byte-for-byte.
+"""
+
+import json
+
+import pytest
+
+from repro.profile import collect_profile
+from repro.search.bfs import SearchEngine
+from repro.telemetry import JsonlSink, ListSink, MetricsRegistry, Telemetry
+from repro.telemetry.tools import (
+    compare,
+    flame_view,
+    load_events,
+    profile_view,
+    replay_metrics,
+    summarize,
+)
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def traced_search(tmp_path_factory):
+    path = tmp_path_factory.mktemp("tools") / "trace.jsonl"
+    registry = MetricsRegistry()
+    with Telemetry(sinks=[JsonlSink(str(path))], metrics=registry) as tel:
+        result = SearchEngine(make_workload("cg", "S"), telemetry=tel).run()
+    return str(path), registry, result
+
+
+class TestLoadEvents:
+    def test_loads_and_validates(self, traced_search):
+        path, _registry, result = traced_search
+        events = load_events(path)
+        assert events
+        n_eval = sum(1 for e in events if e["kind"] == "eval.config")
+        assert n_eval == result.configs_tested
+
+    def test_unknown_kind_fails_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = json.dumps({"kind": "search.begin", "ts": 0.0,
+                           "workload": "x", "stop_level": "block",
+                           "candidates": 1})
+        bad = json.dumps({"kind": "no.such.kind", "ts": 0.1})
+        path.write_text(good + "\n" + bad + "\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            load_events(str(path))
+
+    def test_missing_field_fails_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "search.eval", "ts": 0.0}) + "\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:1"):
+            load_events(str(path))
+
+
+class TestReplayExactness:
+    def test_replayed_summary_is_byte_identical(self, traced_search):
+        path, registry, _result = traced_search
+        events = load_events(path)
+        assert replay_metrics(events).summary() == registry.summary()
+
+    def test_replayed_counters_equal_live(self, traced_search):
+        path, registry, _result = traced_search
+        replayed = replay_metrics(load_events(path))
+        assert replayed.counters == registry.counters
+        assert replayed.observations == registry.observations
+
+
+class TestSummarize:
+    def test_summary_contains_kinds_phases_and_metrics(self, traced_search):
+        path, registry, _result = traced_search
+        text = summarize(load_events(path))
+        assert "events by kind:" in text
+        assert "search.eval" in text
+        assert "search phases:" in text
+        assert "bfs" in text
+        # The replayed metrics table is embedded verbatim.
+        assert registry.summary() in text
+
+    def test_empty_trace_summarizes(self):
+        assert "0 events" in summarize([])
+
+
+class TestCompare:
+    def test_identical_traces_have_zero_deltas(self, traced_search):
+        path, _registry, _result = traced_search
+        events = load_events(path)
+        text = compare(events, events)
+        assert "+0" in text
+        assert "counters that differ:" not in text
+
+    def test_differing_traces_show_delta(self, traced_search):
+        path, _registry, _result = traced_search
+        events = load_events(path)
+        evals = [e for e in events if e["kind"] == "eval.config"]
+        text = compare(events, events + evals[:1], "full", "extra")
+        assert "eval.config" in text
+        assert "+1" in text
+
+
+class TestCycleViews:
+    def test_profile_view_prefers_sites(self):
+        sink = ListSink()
+        with Telemetry(sinks=[sink]) as telemetry:
+            collect_profile(make_workload("cg", "S"), telemetry=telemetry)
+        text = profile_view(sink.events, top=5)
+        assert "sites by cycles:" in text
+        assert "INSN" in text
+
+    def test_profile_view_falls_back_to_opcode_census(self, traced_search):
+        path, _registry, _result = traced_search
+        text = profile_view(load_events(path))
+        assert "opcode census" in text
+        assert "mulsd" in text
+
+    def test_flame_view_collapsed_stacks(self):
+        sink = ListSink()
+        with Telemetry(sinks=[sink]) as telemetry:
+            doc = collect_profile(make_workload("cg", "S"),
+                                  telemetry=telemetry)
+        text = flame_view(sink.events)
+        lines = text.splitlines()
+        assert lines
+        total = 0
+        for line in lines:
+            frames, count = line.rsplit(" ", 1)
+            assert ";" in frames
+            total += int(count)
+        assert total == doc["attributed_cycles"]
+
+    def test_flame_view_opcode_fallback(self, traced_search):
+        path, _registry, _result = traced_search
+        text = flame_view(load_events(path))
+        assert text
+        for line in text.splitlines():
+            frames, count = line.rsplit(" ", 1)
+            assert int(count) >= 0
