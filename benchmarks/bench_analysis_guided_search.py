@@ -1,16 +1,20 @@
 """Analysis-guided search: evaluations and wall time saved by guidance.
 
-Runs the breadth-first search twice per workload — unguided (the paper's
-behaviour, ``analysis=False``) and guided by the shadow-value analysis
-(``analysis=True``: one observed run up front, singleton channels
-pruned on their exact "fail" verdicts) — and reports configurations
-tested and wall time for each.  The guided wall time *includes* the
-analysis run itself, so the reduction is the real end-to-end saving.
+Runs the breadth-first search three times per workload — unguided (the
+paper's behaviour, ``analysis=False``), guided by the shadow-value
+analysis (``analysis=True``: one observed run up front, singleton
+channels pruned on their exact "fail" verdicts), and in economics mode
+(``analysis="auto"``: the engine consults what the guided run measured
+and skips the shadow run where it cost more wall time than the prunes
+saved — mg.W's guided search was slower end-to-end than the unguided
+one).  The guided wall time *includes* the analysis run itself, so the
+reduction is the real end-to-end saving.
 
-The two searches must compose identical final configurations (the
+All searches must compose identical final configurations (the
 subsystem's soundness contract); the guided one must test strictly
 fewer configurations on the cg and mg workloads (the acceptance the
-differential tests also assert).
+differential tests also assert).  The auto run's evaluation count must
+match whichever fixed mode its decision selected.
 
 Besides the human-readable table this merges a machine-readable record
 into ``results/BENCH_search.json`` (under the ``"guided"`` key, next to
@@ -46,6 +50,16 @@ def measure(bench: str, klass: str) -> dict:
     assert c.identical_final, (
         f"{c.workload}: guided search composed a different final config"
     )
+    assert c.auto_identical, (
+        f"{c.workload}: auto search composed a different final config"
+    )
+    # The auto run must behave exactly like whichever fixed mode its
+    # economics decision selected — no third behaviour.
+    expected = c.guided_tested if c.auto_analyzed else c.base_tested
+    assert c.auto_tested == expected, (
+        f"{c.workload}: auto (analyzed={c.auto_analyzed}) tested "
+        f"{c.auto_tested} configs, expected {expected}"
+    )
     return {
         "benchmark": c.workload,
         "unguided_configs": c.base_tested,
@@ -58,6 +72,12 @@ def measure(bench: str, klass: str) -> dict:
         "wall_reduction_pct": round(
             100.0 * (c.base_wall_s - c.guided_wall_s) / c.base_wall_s, 1
         ),
+        "auto_configs": c.auto_tested,
+        "auto_wall_s": round(c.auto_wall_s, 4),
+        "auto_analyzed": c.auto_analyzed,
+        "auto_wall_reduction_pct": round(
+            100.0 * (c.base_wall_s - c.auto_wall_s) / c.base_wall_s, 1
+        ),
         "identical_final": c.identical_final,
     }
 
@@ -66,16 +86,18 @@ def _format(rows: list[dict]) -> str:
     lines = ["Analysis-guided search — evaluations and wall time saved", ""]
     header = (
         f"{'benchmark':<10} {'unguided':>8} {'guided':>7} {'pruned':>7} "
-        f"{'saved':>10} {'wall':>18}"
+        f"{'saved':>10} {'wall':>18} {'auto':>16}"
     )
     lines.append(header)
     lines.append("-" * len(header))
     for row in rows:
+        auto_mode = "analyze" if row["auto_analyzed"] else "skip"
         lines.append(
             f"{row['benchmark']:<10} {row['unguided_configs']:>8} "
             f"{row['guided_configs']:>7} {row['pruned']:>7} "
             f"{row['configs_saved']:>4} ({row['configs_saved_pct']:>4.1f}%) "
-            f"{row['unguided_wall_s']:>7.2f}s -> {row['guided_wall_s']:>6.2f}s"
+            f"{row['unguided_wall_s']:>7.2f}s -> {row['guided_wall_s']:>6.2f}s "
+            f"{row['auto_wall_s']:>7.2f}s ({auto_mode})"
         )
     return "\n".join(lines)
 

@@ -9,8 +9,12 @@ candidate verdicts, same cycle counts, same final configuration.
 
 Besides the human-readable table this writes a machine-readable
 ``BENCH_search.json`` under ``results/`` so future PRs have a perf
-trajectory to compare against; CI's perf-smoke job checks the ratio
-against ``benchmarks/baselines/incremental.json``.
+trajectory to compare against; CI's perf-smoke job checks absolute
+cold/warm configs-per-second floors from
+``benchmarks/baselines/incremental.json``.  The gate moved off the
+warm/cold *ratio* when fused superinstruction dispatch made the cold
+path several times faster: a cold-path speedup shrinks the ratio while
+making every search strictly faster, which a ratio gate would punish.
 
 Standalone usage (CI uses this form)::
 
@@ -206,12 +210,23 @@ def run_benchmark(klass: str = "T") -> dict:
     return payload
 
 
+#: absolute throughput floors for the CG instruction-level search
+#: (configs/s, generous noise margin below measured ~94 cold / ~165
+#: warm with fused dispatch).  Keep in sync with
+#: benchmarks/baselines/incremental.json.
+COLD_FLOOR = 55.0
+WARM_FLOOR = 110.0
+
+
 def test_incremental_search_speedup(benchmark):
     payload = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
     primary = payload["primary"]
-    # Acceptance: warm-path throughput >= 3x cold on the CG
-    # instruction-level search.
-    assert primary["speedup"] >= 3.0, primary
+    # Acceptance: absolute cold and warm throughput floors on the CG
+    # instruction-level search.  The warm path must also never lose to
+    # the cold path — the caches may not make evaluation slower.
+    assert primary["cold_configs_per_s"] >= COLD_FLOOR, primary
+    assert primary["warm_configs_per_s"] >= WARM_FLOOR, primary
+    assert primary["speedup"] >= 1.0, primary
 
 
 def main(argv=None) -> int:
@@ -224,7 +239,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--check", default=None, metavar="BASELINE",
-        help="compare against a baseline json; exit 1 on >2x regression",
+        help="enforce cold/warm configs-per-second floors from a baseline json",
     )
     args = parser.parse_args(argv)
 
@@ -247,13 +262,24 @@ def main(argv=None) -> int:
     if args.check:
         with open(args.check) as fh:
             baseline = json.load(fh)
-        floor = baseline["speedup"] / 2.0
-        print(
-            f"speedup {row['speedup']:.2f}x vs baseline {baseline['speedup']:.2f}x "
-            f"(floor {floor:.2f}x)"
-        )
-        if row["speedup"] < floor:
-            print("PERF REGRESSION: speedup fell below half the baseline", file=sys.stderr)
+        failed = False
+        for kind in ("cold", "warm"):
+            key = f"{kind}_configs_per_s"
+            floor = baseline[key]
+            print(f"{kind} {row[key]:.2f} configs/s (floor {floor:.2f})")
+            if row[key] < floor:
+                print(
+                    f"PERF REGRESSION: {kind} throughput fell below the "
+                    f"baseline floor",
+                    file=sys.stderr,
+                )
+                failed = True
+        if row["speedup"] < 1.0:
+            print(
+                "PERF REGRESSION: warm path slower than cold", file=sys.stderr
+            )
+            failed = True
+        if failed:
             return 1
     return 0
 

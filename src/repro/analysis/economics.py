@@ -1,0 +1,86 @@
+"""Guidance economics: is the shadow analysis worth its up-front run?
+
+The shadow-value analysis saves evaluations (pruned singletons) but
+costs one observed run before the search starts.  On workloads with
+cheap evaluations and many prunes the trade wins; on workloads with
+expensive evaluations and few prunes it loses outright — mg.W's guided
+search was measurably *slower* end-to-end than the unguided one.
+
+This module keeps a process-global record of what guidance actually
+cost and saved per workload, measured by the engine itself after every
+guided search.  ``SearchOptions(analysis="auto")`` consults it: the
+first search of a workload always analyzes (there is nothing to predict
+from, and the run doubles as the measurement); later searches skip the
+analysis when its measured cost exceeds the evaluation time the
+measured prune count is predicted to save.
+
+The registry is deliberately latest-wins and in-memory only: guidance
+economics are a property of this machine, this workload scale, and this
+build, none of which survive a process boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class GuidanceRecord:
+    """What one guided search measured for a workload."""
+
+    analysis_wall_s: float   #: wall cost of the shadow run + guide build
+    avg_eval_wall_s: float   #: mean wall per evaluated configuration
+    pruned: int              #: evaluations the guide skipped outright
+
+
+@dataclass(frozen=True, slots=True)
+class GuidanceDecision:
+    """An ``analysis="auto"`` verdict, with the numbers behind it."""
+
+    analyze: bool
+    reason: str              #: "no-prior" | "profitable" | "unprofitable"
+    predicted_saving_s: float = 0.0
+    predicted_cost_s: float = 0.0
+
+
+_LOCK = threading.Lock()
+_RECORDS: dict[str, GuidanceRecord] = {}
+
+
+def record(
+    workload: str,
+    analysis_wall_s: float,
+    avg_eval_wall_s: float,
+    pruned: int,
+) -> None:
+    """Store what a guided search just measured (latest run wins)."""
+    with _LOCK:
+        _RECORDS[workload] = GuidanceRecord(
+            analysis_wall_s, avg_eval_wall_s, pruned
+        )
+
+
+def stats(workload: str) -> GuidanceRecord | None:
+    return _RECORDS.get(workload)
+
+
+def should_analyze(workload: str) -> GuidanceDecision:
+    """Decide whether an ``analysis="auto"`` search should pay for the
+    shadow run: yes when nothing is known yet (the run is also the
+    measurement), otherwise only when the measured prune count times the
+    measured per-evaluation wall exceeds the measured analysis wall."""
+    prior = _RECORDS.get(workload)
+    if prior is None:
+        return GuidanceDecision(True, "no-prior")
+    saving = prior.pruned * prior.avg_eval_wall_s
+    cost = prior.analysis_wall_s
+    if saving >= cost:
+        return GuidanceDecision(True, "profitable", saving, cost)
+    return GuidanceDecision(False, "unprofitable", saving, cost)
+
+
+def clear() -> None:
+    """Forget all measurements (tests; never needed in production)."""
+    with _LOCK:
+        _RECORDS.clear()

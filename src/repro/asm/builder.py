@@ -23,10 +23,10 @@ from dataclasses import dataclass
 
 from repro.binary.cfg import build_cfg
 from repro.binary.model import FunctionInfo, GlobalSymbol, Program
-from repro.isa.encode import encode_instruction, encoded_length
-from repro.isa.instruction import Instruction
+from repro.isa.encode import encode_body, encode_instruction
+from repro.isa.instruction import Instruction, validate_signature
 from repro.isa.opcodes import Op, OPCODE_INFO
-from repro.isa.operands import Imm, KIND_IMM, Operand
+from repro.isa.operands import Imm, KIND_IMM, KIND_MEM, Operand
 
 
 class AsmError(Exception):
@@ -50,6 +50,8 @@ class _PendingInstr:
     opcode: Op
     operands: tuple
     line: int
+    raw: bytes | None  # final encoding, known at emit time unless a label is involved
+    size: int
 
 
 @dataclass(slots=True)
@@ -125,9 +127,20 @@ class AsmBuilder:
         """Append one instruction to the current function."""
         if self._current is None:
             raise AsmError("emit outside a function")
-        # Validate against the opcode signature now (LabelRef counts as Imm).
-        Instruction(opcode, tuple(_as_imm_placeholder(o) for o in operands))
-        self._current.items.append(_PendingInstr(opcode, tuple(operands), line))
+        # Validate against the opcode signature now (LabelRef counts as Imm
+        # — it carries KIND_IMM, so no placeholder substitution is needed).
+        validate_signature(opcode, operands)
+        size = 3
+        has_label = False
+        for o in operands:
+            kind = o.kind  # LabelRef carries KIND_IMM
+            size += 12 if kind == KIND_MEM else 9 if kind == KIND_IMM else 2
+            if o.__class__ is LabelRef:
+                has_label = True
+        # Encodings are address-independent, so label-free instructions can
+        # be encoded once here instead of again at every link.
+        raw = None if has_label else encode_body(opcode, operands)
+        self._current.items.append(_PendingInstr(opcode, tuple(operands), line, raw, size))
 
     def mark(self, label: str) -> None:
         """Define a local label at the current position."""
@@ -139,6 +152,30 @@ class AsmBuilder:
         """Return a unique local label name."""
         self._label_counter += 1
         return f".{stem}{self._label_counter}"
+
+    # -- replay (caching clients) -------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Position marker in the current function's item stream."""
+        if self._current is None:
+            raise AsmError("checkpoint outside a function")
+        return len(self._current.items)
+
+    def emitted_since(self, pos: int) -> list:
+        """The instructions and label marks appended after *pos*.
+
+        The returned items are shared, not copied: linking never mutates
+        them, so a caller may cache the list and :meth:`replay` it into a
+        later build of the same program.
+        """
+        return self._current.items[pos:]
+
+    def replay(self, items: list) -> None:
+        """Append previously captured items verbatim (label names included,
+        so they must be deterministic for the emission site)."""
+        if self._current is None:
+            raise AsmError("replay outside a function")
+        self._current.items.extend(items)
 
     # -- link ---------------------------------------------------------------
 
@@ -165,9 +202,7 @@ class AsmBuilder:
                         raise AsmError(f"duplicate label {item!r} in {fn.name!r}")
                     local_addrs[key] = offset
                 else:
-                    offset += encoded_length(
-                        Instruction(item.opcode, tuple(_as_imm_placeholder(o) for o in item.operands))
-                    )
+                    offset += item.size
             placed.append((fn, start, offset))
 
         # Pass 2: resolve and encode.
@@ -184,19 +219,29 @@ class AsmBuilder:
         chunks: list[bytes] = []
         debug_lines: dict[int, int] = {}
         functions: list[FunctionInfo] = []
+        decoded: list[list[Instruction]] = []
         offset = 0
         for fn, start, end in placed:
+            fn_instrs: list[Instruction] = []
             for item in fn.items:
                 if isinstance(item, str):
                     continue
-                ops = tuple(resolve(fn.name, o) for o in item.operands)
-                instr = Instruction(item.opcode, ops, addr=offset, line=item.line)
-                raw = encode_instruction(instr)
+                raw = item.raw
+                if raw is None:
+                    ops = tuple(resolve(fn.name, o) for o in item.operands)
+                    instr = Instruction(item.opcode, ops, addr=offset, line=item.line)
+                    raw = encode_instruction(instr)
+                else:
+                    instr = Instruction(
+                        item.opcode, item.operands, addr=offset, line=item.line
+                    )
                 if item.line:
                     debug_lines[offset] = item.line
                 chunks.append(raw)
-                offset += len(raw)
+                fn_instrs.append(instr)
+                offset += item.size
             functions.append(FunctionInfo(fn.name, fn.module, start, end))
+            decoded.append(fn_instrs)
 
         if entry not in func_addrs:
             raise AsmError(f"entry function {entry!r} not defined")
@@ -211,12 +256,7 @@ class AsmBuilder:
             debug_lines=debug_lines,
             name=self.name,
         )
-        build_cfg(program)
+        build_cfg(program, decoded)
         return program
 
 
-def _as_imm_placeholder(operand) -> Operand:
-    """Map LabelRef to a placeholder Imm for signature validation/layout."""
-    if isinstance(operand, LabelRef):
-        return Imm(0)
-    return operand

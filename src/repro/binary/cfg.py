@@ -34,9 +34,17 @@ def _decode_range(text: bytes, start: int, end: int) -> list[Instruction]:
     return out
 
 
-def function_blocks(program: Program, fn: FunctionInfo) -> list[BasicBlock]:
-    """Build and return the basic blocks of *fn* (does not mutate *fn*)."""
-    instrs = _decode_range(program.text, fn.entry, fn.end)
+def function_blocks(
+    program: Program, fn: FunctionInfo, instrs: list[Instruction] | None = None
+) -> list[BasicBlock]:
+    """Build and return the basic blocks of *fn* (does not mutate *fn*).
+
+    *instrs* may supply the function's already-decoded instructions (the
+    assembler has them in hand at link time); they must carry final
+    addresses.  When omitted the extent is decoded from the text.
+    """
+    if instrs is None:
+        instrs = _decode_range(program.text, fn.entry, fn.end)
     if not instrs:
         return []
 
@@ -93,7 +101,16 @@ def function_blocks(program: Program, fn: FunctionInfo) -> list[BasicBlock]:
     return blocks
 
 
-def build_cfg(program: Program) -> None:
-    """Populate ``fn.blocks`` for every function in *program* (idempotent)."""
-    for fn in program.functions:
-        fn.blocks = function_blocks(program, fn)
+def build_cfg(
+    program: Program, decoded: list[list[Instruction]] | None = None
+) -> None:
+    """Populate ``fn.blocks`` for every function in *program* (idempotent).
+
+    *decoded* optionally provides each function's instructions (parallel
+    to ``program.functions``), skipping the re-decode of bytes the caller
+    just encoded.
+    """
+    for i, fn in enumerate(program.functions):
+        fn.blocks = function_blocks(
+            program, fn, decoded[i] if decoded is not None else None
+        )

@@ -69,6 +69,7 @@ from repro.cluster.protocol import (
 )
 from repro.config.model import Config
 from repro.search.batching import plan_batch, record_batch
+from repro.search.execution import DELTA_COUNTERS
 from repro.search.results import EvalOutcome
 from repro.search.retry import RetryPolicy
 from repro.telemetry import NULL_TELEMETRY
@@ -114,7 +115,7 @@ class _Batch:
     def __init__(self, size: int, loop) -> None:
         self.outcomes: list = [None] * size
         self.remaining = size
-        self.deltas = [0, 0, 0, 0]
+        self.deltas = [0] * len(DELTA_COUNTERS)
         self.done = loop.create_future()
 
     def finish_one(self, index: int, outcome: EvalOutcome, deltas=None) -> None:

@@ -12,6 +12,15 @@ channel verdict is already "fail" — and reports, per workload:
 * whether the final composed configurations are identical — the
   soundness contract; a differential test asserts it on every NAS
   workload, and this driver re-checks it on whatever it is given.
+
+A third search runs with ``analysis="auto"``: by then the guided run
+has populated the economics registry (:mod:`repro.analysis.economics`),
+so the engine skips the shadow run on workloads where its measured cost
+exceeded the predicted prune saving — mg.W decisively, cg.T on the
+margin now that fused dispatch made its evaluations nearly free.  The
+auto row is the fix for guided mg.W's end-to-end wall regression: auto
+must never be slower than the better of the two fixed modes by more
+than noise.
 """
 
 from __future__ import annotations
@@ -34,6 +43,12 @@ class GuidedComparison:
     identical_final: bool
     base_wall_s: float
     guided_wall_s: float
+    #: the analysis="auto" run (guidance economics applied); auto_analyzed
+    #: says whether the engine judged the shadow run worth paying for.
+    auto_tested: int = 0
+    auto_wall_s: float = 0.0
+    auto_analyzed: bool = False
+    auto_identical: bool = True
 
     @property
     def saved(self) -> int:
@@ -42,9 +57,14 @@ class GuidedComparison:
 
 def compare(bench: str, klass: str, refine: bool = True,
             telemetry=None) -> GuidedComparison:
-    """Run one workload both ways and diff the outcomes."""
+    """Run one workload unguided, guided, and in auto mode; diff them.
+
+    The guided run executes before the auto run on purpose: it measures
+    the guidance economics the auto run decides from.
+    """
     base_options = SearchOptions(refine=refine, analysis=False)
     guided_options = SearchOptions(refine=refine, analysis=True)
+    auto_options = SearchOptions(refine=refine, analysis="auto")
 
     workload = make_workload(bench, klass)
     start = time.perf_counter()
@@ -58,6 +78,11 @@ def compare(bench: str, klass: str, refine: bool = True,
     ).run()
     guided_wall = time.perf_counter() - start
 
+    workload = make_workload(bench, klass)
+    start = time.perf_counter()
+    auto = SearchEngine(workload, auto_options, telemetry=telemetry).run()
+    auto_wall = time.perf_counter() - start
+
     return GuidedComparison(
         workload=f"{bench}.{klass}",
         base_tested=base.configs_tested,
@@ -68,6 +93,12 @@ def compare(bench: str, klass: str, refine: bool = True,
         ),
         base_wall_s=base_wall,
         guided_wall_s=guided_wall,
+        auto_tested=auto.configs_tested,
+        auto_wall_s=auto_wall,
+        auto_analyzed=auto.analysis_used,
+        auto_identical=(
+            base.final_config.flags == auto.final_config.flags
+        ),
     )
 
 

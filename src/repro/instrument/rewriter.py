@@ -36,6 +36,30 @@ def _addr_label(addr: int) -> str:
     return f".A{addr:x}"
 
 
+#: id(original program) -> (program, {site key: (items, stats delta)}).
+#: One instruction's emission is a pure function of (instruction identity,
+#: its policy, its precleaned set, the mode switches) — the same facts the
+#: block-template cache keys on — so the expansion captured on first
+#: emission is replayed verbatim on every later rewrite of the same
+#: program.  Snippet labels are site-scoped (see ``_Emitter.fresh``), so
+#: replayed and freshly generated labels can never collide.  The strong
+#: program reference pins the id; the FIFO cap bounds memory when many
+#: distinct programs flow through one process.
+_REPLAY: dict[int, tuple[Program, dict]] = {}
+_REPLAY_MAX = 8
+
+
+
+def _replay_sites(program: Program) -> dict:
+    entry = _REPLAY.get(id(program))
+    if entry is None:
+        if len(_REPLAY) >= _REPLAY_MAX:
+            _REPLAY.pop(next(iter(_REPLAY)))
+        entry = (program, {})
+        _REPLAY[id(program)] = entry
+    return entry[1]
+
+
 def rewrite(
     program: Program,
     policies: dict[int, Policy],
@@ -69,17 +93,63 @@ def rewrite(
         raise ValueError("program entry is not a function entry")
     precleaned = precleaned or {}
 
+    sites = _replay_sites(program)
+    variant = (snippet_all, wrap_moves, streamline)
     for fn in program.functions:
         builder.module(fn.module)
         builder.func(fn.name)
         for block in fn.blocks:
             snippets_before = stats.replaced_single + stats.wrapped_double
             for instr in block.instructions:
-                builder.mark(_addr_label(instr.addr))
+                addr = instr.addr
+                builder.mark(_addr_label(addr))
+                key = (addr, policies.get(addr), precleaned.get(addr), variant)
+                hit = sites.get(key)
+                if hit is not None:
+                    builder.replay(hit[0])
+                    d_rs, d_wd, d_ig, d_cp, d_ce, d_cs, d_si, d_se, mn = hit[1]
+                    stats.replaced_single += d_rs
+                    stats.wrapped_double += d_wd
+                    stats.ignored += d_ig
+                    stats.copied += d_cp
+                    stats.checks_emitted += d_ce
+                    stats.checks_skipped += d_cs
+                    stats.snippet_instructions += d_si
+                    stats.saves_elided += d_se
+                    if mn is not None:
+                        stats.by_opcode[mn] = stats.by_opcode.get(mn, 0) + 1
+                    continue
+                pos = builder.checkpoint()
+                b_rs = stats.replaced_single
+                b_wd = stats.wrapped_double
+                b_ig = stats.ignored
+                b_cp = stats.copied
+                b_ce = stats.checks_emitted
+                b_cs = stats.checks_skipped
+                b_si = stats.snippet_instructions
+                b_se = stats.saves_elided
                 _emit_instruction(
                     builder, instr, entry_names, policies, snippet_all, stats,
-                    precleaned.get(instr.addr, frozenset()), wrap_moves,
+                    precleaned.get(addr, frozenset()), wrap_moves,
                     streamline,
+                )
+                d_rs = stats.replaced_single - b_rs
+                # by_opcode moves in lockstep with replaced_single (only
+                # emit_single_snippet touches either), so the mnemonic is
+                # the whole dict delta.
+                sites[key] = (
+                    builder.emitted_since(pos),
+                    (
+                        d_rs,
+                        stats.wrapped_double - b_wd,
+                        stats.ignored - b_ig,
+                        stats.copied - b_cp,
+                        stats.checks_emitted - b_ce,
+                        stats.checks_skipped - b_cs,
+                        stats.snippet_instructions - b_si,
+                        stats.saves_elided - b_se,
+                        OPCODE_INFO[instr.opcode].mnemonic if d_rs else None,
+                    ),
                 )
             if stats.replaced_single + stats.wrapped_double > snippets_before:
                 stats.blocks_split += 1

@@ -88,11 +88,17 @@ class _Emitter:
     """
 
     def __init__(
-        self, builder: AsmBuilder, stats: SnippetStats, streamline: bool = False
+        self,
+        builder: AsmBuilder,
+        stats: SnippetStats,
+        streamline: bool = False,
+        addr: int = 0,
     ) -> None:
         self.builder = builder
         self.stats = stats
         self.streamline = streamline
+        self.addr = addr
+        self._counter = 0
 
     def save(self, opcode: Op, operand, line: int) -> None:
         if not self.streamline:
@@ -108,7 +114,13 @@ class _Emitter:
         self.builder.mark(label)
 
     def fresh(self, stem: str) -> str:
-        return self.builder.fresh_label(stem)
+        # Labels are scoped by the snippeted instruction's original
+        # address: deterministic across re-emissions of the same site, so
+        # a cached emission (rewriter replay cache, block templates) can
+        # be replayed verbatim without colliding with labels generated
+        # fresh for other sites.  Names never reach the byte stream.
+        self._counter += 1
+        return f".{stem}{self.addr:x}x{self._counter}"
 
 
 def _check_conflicts(instr: Instruction) -> None:
@@ -270,7 +282,7 @@ def emit_single_snippet(
 ) -> None:
     """Emit the single-precision replacement of *instr* (paper Figure 6)."""
     _check_conflicts(instr)
-    e = _Emitter(builder, stats, streamline)
+    e = _Emitter(builder, stats, streamline, instr.addr)
     info = OPCODE_INFO[instr.opcode]
     line = instr.line
     packed = info.packed
@@ -334,7 +346,7 @@ def emit_move_guard(
     are bit-for-bit unchanged.
     """
     _check_conflicts(instr)
-    e = _Emitter(builder, stats, streamline)
+    e = _Emitter(builder, stats, streamline, instr.addr)
     line = instr.line
     e.emit(instr.opcode, *instr.operands, line=line)
     # Check the register side of the move (destination for loads and
@@ -375,7 +387,7 @@ def emit_double_snippet(
     checks are skipped.
     """
     _check_conflicts(instr)
-    e = _Emitter(builder, stats, streamline)
+    e = _Emitter(builder, stats, streamline, instr.addr)
     info = OPCODE_INFO[instr.opcode]
     line = instr.line
     packed = info.packed

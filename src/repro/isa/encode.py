@@ -64,10 +64,20 @@ def encode_operand(op) -> bytes:
     raise IsaError(f"cannot encode operand {op!r}")
 
 
-def encode_instruction(instr: Instruction) -> bytes:
-    parts = [_U16.pack(int(instr.opcode)), bytes((len(instr.operands),))]
-    parts.extend(encode_operand(o) for o in instr.operands)
+def encode_body(opcode: Op, operands: tuple) -> bytes:
+    """Encode an (opcode, operands) pair without an Instruction wrapper.
+
+    The encoding is independent of the instruction's address, so callers
+    that know their operands are final (no unresolved labels) can encode
+    before layout and reuse the bytes.
+    """
+    parts = [_U16.pack(int(opcode)), bytes((len(operands),))]
+    parts.extend(encode_operand(o) for o in operands)
     return b"".join(parts)
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    return encode_body(instr.opcode, instr.operands)
 
 
 def encoded_length(instr: Instruction) -> int:

@@ -80,16 +80,28 @@ class Instruction:
         return prefix + self.render()
 
 
+#: accepted (opcode, operand classes) pairs.  The ISA is finite and small,
+#: so this converges to a few hundred entries; it turns the per-instruction
+#: signature scan (every construction — assembly, decode, rewrite — pays
+#: it) into one tuple hash.  Keyed by operand *classes* rather than kind
+#: letters so the hot-path key is built by C-level ``map(type, ...)``.
+_SIG_OK: set = set()
+
+
 def validate_signature(opcode: Op, operands: tuple[Operand, ...]) -> None:
     """Raise :class:`IsaError` unless *operands* match one allowed signature."""
+    key = (opcode, *map(type, operands))
+    if key in _SIG_OK:
+        return
+    letters = tuple(operand_letter(o) for o in operands)
     inf = OPCODE_INFO.get(opcode)
     if inf is None:
         raise IsaError(f"unknown opcode {opcode!r}")
-    letters = tuple(operand_letter(o) for o in operands)
     for sig in inf.sigs:
         if len(sig) != len(letters):
             continue
         if all(letter in allowed for letter, allowed in zip(letters, sig)):
+            _SIG_OK.add(key)
             return
     raise IsaError(
         f"{inf.mnemonic}: operand kinds {letters} do not match any signature "

@@ -87,6 +87,17 @@ class SearchOptions:
         predictor never prunes an item that would have passed —
         differential tests assert exactly that.  ``False`` (the CLI's
         ``--no-analysis``) keeps the cold path untouched.
+
+        ``"auto"`` makes the engine decide per run whether the guidance
+        pays for itself (:mod:`repro.analysis.economics`): the first
+        search of a workload analyzes and measures; later searches skip
+        the shadow run when its measured wall cost exceeds the
+        evaluation time the measured prune count is predicted to save
+        (mg.W-style workloads, where guidance was a net wall-time
+        loss).  ``True`` keeps the unconditional-analysis contract —
+        callers relying on pruning behaviour are unaffected by auto
+        mode existing.  Every decision is recorded as a
+        ``search.guidance`` telemetry event.
     retry_limit / retry_backoff:
         Crash-fault tolerance of distributed evaluation (``workers > 1``
         or ``cluster``): a configuration whose worker dies is retried at
@@ -117,7 +128,7 @@ class SearchOptions:
     refine_budget: int = 64
     workers: int = 1
     incremental: bool = True
-    analysis: bool = False
+    analysis: bool | str = False
     retry_limit: int = 3
     retry_backoff: float = 0.05
     cluster: str = ""
@@ -126,6 +137,11 @@ class SearchOptions:
     def __post_init__(self) -> None:
         if self.stop_level not in _LEVEL_RANK:
             raise ValueError(f"bad stop_level {self.stop_level!r}")
+        if self.analysis not in (True, False, "auto"):
+            raise ValueError(
+                f"analysis must be True, False or 'auto', "
+                f"not {self.analysis!r}"
+            )
 
 
 class _Item:
@@ -254,6 +270,7 @@ class SearchEngine:
         self._profile: dict[int, int] = {}
         self._report = report
         self._guide = None  # built in _run when options.analysis is on
+        self._analysis_wall = 0.0
         self._pruned = 0
         self._batches = 0
         self._resumed = False
@@ -413,6 +430,49 @@ class SearchEngine:
             self._report = analyze(self.workload, telemetry=self.telemetry)
         self._guide = SearchGuide(self._report, self.workload)
 
+    def _maybe_setup_guide(self, workload_name: str) -> None:
+        """Honour ``options.analysis``: unconditionally build the guide
+        for ``True``; for ``"auto"`` ask the economics registry whether
+        the shadow run is predicted to pay for itself, and record the
+        verdict either way.  The guide build is timed so the search can
+        report what the guidance actually cost."""
+        tel = self.telemetry
+        if self.options.analysis == "auto":
+            from repro.analysis import economics
+
+            decision = economics.should_analyze(workload_name)
+            if tel.enabled:
+                tel.emit(
+                    "search.guidance",
+                    workload=workload_name,
+                    analyze=decision.analyze,
+                    reason=decision.reason,
+                    predicted_saving_s=round(decision.predicted_saving_s, 4),
+                    predicted_cost_s=round(decision.predicted_cost_s, 4),
+                )
+            if not decision.analyze:
+                return
+        guide_start = time.perf_counter()
+        self._setup_guide()
+        self._analysis_wall = time.perf_counter() - guide_start
+
+    def _record_guidance_economics(self, workload_name: str, result) -> None:
+        """After a guided run, store what the guidance cost and saved so
+        later ``analysis="auto"`` searches of this workload can decide
+        from measurement instead of hope."""
+        from repro.analysis import economics
+
+        evaluated = result.configs_tested
+        if evaluated <= 0:
+            return
+        eval_wall = max(0.0, result.wall_seconds - self._analysis_wall)
+        economics.record(
+            workload_name,
+            self._analysis_wall,
+            eval_wall / evaluated,
+            self._pruned,
+        )
+
     # -- campaign journal (checkpoint/resume) -------------------------------------
 
     def _item_key(self, item: _Item, seq: int):
@@ -513,10 +573,9 @@ class SearchEngine:
         tel = self.telemetry
         start = time.perf_counter()
         self._profile = self.workload.profile() if self.options.prioritize else {}
-        if self.options.analysis:
-            self._setup_guide()
-
         workload_name = getattr(self.workload, "name", self.tree.program_name)
+        if self.options.analysis:
+            self._maybe_setup_guide(workload_name)
         if tel.enabled:
             tel.emit(
                 "search.begin",
@@ -679,6 +738,9 @@ class SearchEngine:
             result.configs_tested = self.evaluator.evaluations
             result.store_replays = getattr(self.evaluator, "store_hits", 0)
             result.wall_seconds = time.perf_counter() - start
+
+        if self._guide is not None:
+            self._record_guidance_economics(workload_name, result)
 
         if tel.enabled:
             tel.emit(

@@ -28,22 +28,28 @@ DELTA_COUNTERS = (
     "instr.block_cache_misses",
     "vm.compile_cache_hits",
     "vm.compile_cache_misses",
+    "vm.fuse_cache_hits",
+    "vm.fuse_cache_misses",
 )
 
 #: the all-zero deltas of a non-incremental execution.
-ZERO_DELTAS = (0, 0, 0, 0)
+ZERO_DELTAS = (0,) * len(DELTA_COUNTERS)
 
 
-def counter_totals(state) -> tuple[int, int, int, int]:
+def counter_totals(state) -> tuple[int, ...]:
     """Current absolute cache counters of an IncrementalState (or None)."""
     if state is None:
         return ZERO_DELTAS
     machine = state.machine
+    if machine is None:
+        return (state.icache.hits, state.icache.misses, 0, 0, 0, 0)
     return (
         state.icache.hits,
         state.icache.misses,
-        machine.compile_cache_hits if machine is not None else 0,
-        machine.compile_cache_misses if machine is not None else 0,
+        machine.compile_cache_hits,
+        machine.compile_cache_misses,
+        machine.fuse_cache_hits,
+        machine.fuse_cache_misses,
     )
 
 
@@ -53,7 +59,7 @@ def execute_config(
     state,
     optimize_checks: bool = False,
     telemetry=None,
-) -> tuple[EvalOutcome, tuple[int, int, int, int]]:
+) -> tuple[EvalOutcome, tuple[int, ...]]:
     """Instrument + run + verify one configuration.
 
     *state* is the executor's :class:`IncrementalState` (None restores
@@ -99,6 +105,6 @@ def execute_config(
     return outcome, ZERO_DELTAS
 
 
-def _deltas(state, before) -> tuple[int, int, int, int]:
+def _deltas(state, before) -> tuple[int, ...]:
     after = counter_totals(state)
     return tuple(a - b for a, b in zip(after, before))

@@ -256,7 +256,7 @@ class ParallelEvaluator:
         """
         telemetry = self.telemetry
         outcomes: list = [None] * len(flag_maps)
-        totals = [0, 0, 0, 0]
+        totals = [0] * len(DELTA_COUNTERS)
         attempts = [0] * len(flag_maps)
         pending = list(range(len(flag_maps)))
         while pending:

@@ -29,6 +29,10 @@ EVENT_FIELDS: dict[str, frozenset] = {
     # analysis-guided prune: a queue item skipped without evaluation
     # because the shadow-value report predicted a verification failure.
     "search.prune": frozenset({"label", "level"}),
+    # analysis="auto" economics verdict: whether this search pays for the
+    # shadow run, and the measured numbers the decision came from
+    # (predicted_saving_s / predicted_cost_s ride along as extras).
+    "search.guidance": frozenset({"workload", "analyze", "reason"}),
     # -- evaluation (one per configuration actually executed) --------------
     "eval.config": frozenset({"passed", "cycles", "trap", "wall_s"}),
     # crash-fault tolerance: a worker died, unfinished configs resubmitted

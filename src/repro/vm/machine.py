@@ -14,6 +14,8 @@ deterministic stand-in for the paper's wall-clock measurements.
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field
 
 from repro.binary.model import Program
@@ -24,7 +26,7 @@ from repro.fpbits.ieee import (
     double_to_bits,
     single_to_bits,
 )
-from repro.isa.encode import decode_instruction
+from repro.isa.encode import decode_instruction, encoded_length
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import (
     Op,
@@ -35,8 +37,14 @@ from repro.isa.opcodes import (
 )
 from repro.isa.operands import Imm, Mem, Reg, Xmm
 from repro.telemetry import NULL_TELEMETRY
+from repro.vm import fuse
 from repro.vm.costs import DEFAULT_COST_MODEL, CostModel
 from repro.vm.errors import CollectiveYield, VmTimeout, VmTrap
+
+#: escape hatch: set REPRO_NO_FUSE=1 to force the per-instruction
+#: reference loop everywhere (used by the dispatch microbenchmark and
+#: when bisecting a suspected specialization bug).
+_NO_FUSE = bool(os.environ.get("REPRO_NO_FUSE"))
 
 _M64 = 0xFFFFFFFFFFFFFFFF
 _M32 = 0xFFFFFFFF
@@ -180,14 +188,52 @@ def _irem(a: int, b: int) -> int:
     return r & _M64
 
 
+#: memo for :func:`_static_cost`.  The cost is a pure function of
+#: (opcode, operands, model) — all hashable and drawn from a small set of
+#: shapes that repeat across every rewrite of the same program — so one
+#: dict hit replaces the cost-table lookup and operand scan.
+_COST_CACHE: dict = {}
+
+
 def _static_cost(instr: Instruction, model: CostModel) -> int:
     """Fall-through cycle cost of one instruction (position-independent)."""
-    info = OPCODE_INFO[instr.opcode]
-    cost = model.op_cost(instr.opcode)
-    for o in instr.operands:
-        if isinstance(o, Mem):
-            cost += model.mem_cost(info.mem_width, o.base == 14)
+    key = (instr.opcode, instr.operands, model)
+    cost = _COST_CACHE.get(key)
+    if cost is None:
+        info = OPCODE_INFO[instr.opcode]
+        cost = model.op_cost(instr.opcode)
+        for o in instr.operands:
+            if isinstance(o, Mem):
+                cost += model.mem_cost(info.mem_width, o.base == 14)
+        _COST_CACHE[key] = cost
     return cost
+
+
+def _harvest_blocks(program: Program) -> list[Instruction] | None:
+    """The program's instructions from its CFG blocks, or None.
+
+    Programs assembled by :class:`~repro.asm.builder.AsmBuilder` carry
+    their decoded instructions in ``fn.blocks`` — the loader reuses them
+    instead of decoding the text again.  The harvest is verified against
+    the text layout (every address in sequence, total length matching),
+    falling back to a fresh decode on any mismatch, so hand-built or
+    CFG-less programs behave exactly as before.
+    """
+    fns = program.functions
+    if not fns:
+        return None
+    out: list[Instruction] = []
+    offset = 0
+    for fn in fns:
+        if not fn.blocks and fn.entry < fn.end:
+            return None
+        for block in fn.blocks:
+            for instr in block.instructions:
+                if instr.addr != offset:
+                    return None
+                out.append(instr)
+                offset += encoded_length(instr)
+    return out if offset == len(program.text) else None
 
 
 class _SegInstr:
@@ -229,6 +275,10 @@ class CompiledSegmentCache:
         self.hits = 0
         self.misses = 0
         self._segments: dict[bytes, list[_SegInstr]] = {}
+        #: template bytes -> fused-run partition (see fuse.build_fcode_cached);
+        #: sound per-template for the same reason the closure cache is, and
+        #: safe to share across loads because terminator targets stay out.
+        self._fuse_partitions: dict[bytes, list] = {}
 
     def lookup(self, seg_bytes: bytes) -> list[_SegInstr]:
         entry = self._segments.get(seg_bytes)
@@ -316,6 +366,7 @@ class VM:
         segment_cache: CompiledSegmentCache | None = None,
         segments=None,
         observer=None,
+        fused: bool = True,
     ) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
@@ -348,6 +399,13 @@ class VM:
         self._cyc = [0]
         self.steps = 0
         self.finished = False
+        #: steps-left scratch cell shared with the fused closures; only
+        #: meaningful inside one _resume_fused call.
+        self._sl = [0]
+        self._fused = fused and not _NO_FUSE
+        self._fcode = None
+        self.fuse_hits = 0
+        self.fuse_misses = 0
 
         self._data_image0 = list(program.data_image)
         self._stack_zero = [0] * stack_words
@@ -382,6 +440,15 @@ class VM:
         In multi-rank mode a :class:`CollectiveYield` escapes to the caller
         (the rank scheduler) with the resume index inside.
         """
+        if (
+            self._fcode is not None
+            and not self.profile
+            and not self.telemetry.enabled
+        ):
+            # Fast path: fused superinstruction dispatch.  Profiling,
+            # telemetry counting and observers deoptimize to the
+            # reference loop below (they need per-instruction hooks).
+            return self._resume_fused(index)
         code = self._code
         counts = self._counts
         remaining = self.max_steps - self.steps
@@ -429,6 +496,89 @@ class VM:
                 steps=self.steps,
             )
             raise exc from None
+
+    def _resume_fused(self, index: int) -> bool:
+        """Execute from *index* through the fused dispatch array.
+
+        ``_fcode`` holds a fused closure at every run head and None
+        everywhere else (run interiors, control flow the builder left
+        alone) — interior entries, e.g. a branch target or a collective
+        resume point landing mid-run, single-step the reference closures
+        until dispatch reaches the next run head.  The steps-left cell
+        ``_sl`` carries the budget: fused runs debit it in bulk and
+        repay the unexecuted suffix on any early exit, so ``steps`` is
+        exact to the instruction on every path (asserted against the
+        reference loop by tests/vm/test_fused_parity.py).
+        """
+        fcode = self._fcode
+        code = self._code
+        sl = self._sl
+        remaining = self.max_steps - self.steps
+        sl[0] = remaining
+        try:
+            while True:
+                f = fcode[index]
+                if f is not None:
+                    index = f(index)
+                elif sl[0] > 0:
+                    sl[0] -= 1
+                    index = code[index](index)
+                else:
+                    raise VmTimeout(
+                        f"step budget exceeded ({self.max_steps})"
+                    )
+        except _Halt:
+            self.steps += remaining - sl[0]
+            self.finished = True
+            _HALT.__traceback__ = None
+            return True
+        except VmTimeout as exc:
+            # The attempted step past the budget is charged, matching
+            # the reference loop's n = remaining + 1 accounting.
+            self.steps += remaining - sl[0] + 1
+            self.telemetry.emit(
+                "vm.trap",
+                message=str(exc),
+                addr=exc.addr,
+                rank=self.rank,
+                steps=self.steps,
+            )
+            raise
+        except CollectiveYield:
+            self.steps += remaining - sl[0]
+            raise
+        except VmTrap as exc:
+            self.steps += remaining - sl[0]
+            if type(exc) is _PendingTrap:
+                exc = VmTrap(exc.core, self._instr_addrs[index])
+            elif type(exc) is fuse.FusedTrap:
+                exc = VmTrap(exc.core, self._instr_addrs[index + exc.rel])
+            self.telemetry.emit(
+                "vm.trap",
+                message=str(exc),
+                addr=exc.addr,
+                rank=self.rank,
+                steps=self.steps,
+            )
+            raise exc from None
+
+    def _fused_tail(self, idx: int):
+        """Deoptimized tail: the next fused run is larger than the
+        remaining budget, so no fused entry can be correct — single-step
+        the reference closures until the budget expires or a trap, halt
+        or collective yield wins the race.  Never returns normally."""
+        code = self._code
+        sl = self._sl
+        try:
+            while True:
+                if sl[0] <= 0:
+                    raise VmTimeout(
+                        f"step budget exceeded ({self.max_steps})"
+                    )
+                sl[0] -= 1
+                idx = code[idx](idx)
+        except _PendingTrap as exc:
+            raise VmTrap(exc.core, self._instr_addrs[idx]) from None
 
     def result(self) -> ExecResult:
         exec_counts = {}
@@ -559,22 +709,54 @@ class VM:
         cache = self._segment_cache
         text = program.text
         costs: list[int] = []
+        #: run fusion seams — instruction indices starting a new segment.
+        bounds: list[int] = [0]
+        fuse_here = self._fused and self._observer is None
         if segments is None or cache is None:
-            offset = 0
-            n = len(text)
             model = self.cost_model
-            while offset < n:
-                instr, size = decode_instruction(text, offset)
-                a2i[offset] = len(instrs)
-                instrs.append(instr)
-                addrs.append(offset)
-                costs.append(_static_cost(instr, model))
-                offset += size
+            harvested = _harvest_blocks(program)
+            if harvested is not None:
+                # The linker just decoded these instructions; reuse them
+                # instead of decoding the text a second time.
+                for instr in harvested:
+                    a2i[instr.addr] = len(instrs)
+                    instrs.append(instr)
+                    addrs.append(instr.addr)
+                    costs.append(_static_cost(instr, model))
+            else:
+                offset = 0
+                n = len(text)
+                while offset < n:
+                    instr, size = decode_instruction(text, offset)
+                    a2i[offset] = len(instrs)
+                    instrs.append(instr)
+                    addrs.append(offset)
+                    costs.append(_static_cost(instr, model))
+                    offset += size
             self._inst_costs = costs
             self._counts = [0] * len(instrs)
-            self._code = [self._build(i) for i in range(len(instrs))]
+            covered = None
+            self._fcode = None
+            if fuse_here:
+                fcode, covered = fuse.build_fcode(self, bounds, _HALT)
+                # A program with no fusable run gains nothing from the
+                # fused loop's extra None checks; keep the reference loop.
+                self._fcode = fcode if any(fcode) else None
+            build = self._build
+            if self._fcode is not None:
+                # Instructions inside fused runs compile their reference
+                # closure lazily — only deopt paths (mid-run resume,
+                # budget tail, profile loop) ever dispatch through them.
+                lazy = self._lazy
+                self._code = [
+                    lazy(i) if covered[i] else build(i)
+                    for i in range(len(instrs))
+                ]
+            else:
+                self._code = [build(i) for i in range(len(instrs))]
         else:
             entries: list[list[_SegInstr]] = []
+            spans: list[tuple[bytes, int, int]] = []
             expect = 0
             for seg_bytes, base in segments:
                 if base != expect:
@@ -582,11 +764,15 @@ class VM:
                 expect += len(seg_bytes)
                 entry = cache.lookup(seg_bytes)
                 entries.append(entry)
+                lo = len(instrs)
+                if lo:
+                    bounds.append(lo)
                 for si in entry:
                     a2i[base + si.off] = len(instrs)
                     instrs.append(si.instr)
                     addrs.append(base + si.off)
                     costs.append(si.cost)
+                spans.append((seg_bytes, lo, len(instrs)))
             if expect != len(text):
                 raise ValueError("segments do not tile the text section")
             self._inst_costs = costs
@@ -609,6 +795,15 @@ class VM:
                     code.append(closure)
                     i += 1
             self._code = code
+            # Fused superinstruction dispatch (see repro.vm.fuse).
+            # Observed VMs never fuse: wrappers must see every dispatch.
+            if fuse_here:
+                fcode = fuse.build_fcode_cached(
+                    self, spans, cache._fuse_partitions, _HALT
+                )
+                self._fcode = fcode if any(fcode) else None
+            else:
+                self._fcode = None
         observer = self._observer
         if observer is not None:
             code = self._code
@@ -617,6 +812,19 @@ class VM:
                 if wrapped is not None:
                     code[i] = wrapped
         self._entry_idx = a2i[program.entry]
+
+    def _lazy(self, i: int):
+        """Deferred compile: a stand-in closure that builds instruction
+        *i*'s reference closure on its first dispatch and replaces
+        itself.  Only instructions covered by a fused run get one, and
+        fusion already validated their shape, so the deferral never
+        hides a load-time error."""
+
+        def shim(idx):
+            closure = self._code[i] = self._build(i)
+            return closure(idx)
+
+        return shim
 
     def _trap(self, message: str, addr: int):
         raise VmTrap(message, addr)
@@ -1472,6 +1680,14 @@ class Machine:
     def compile_cache_misses(self) -> int:
         return self._cache.misses if self._cache is not None else 0
 
+    @property
+    def fuse_cache_hits(self) -> int:
+        return self._vm.fuse_hits if self._vm is not None else 0
+
+    @property
+    def fuse_cache_misses(self) -> int:
+        return self._vm.fuse_misses if self._vm is not None else 0
+
     def run(self, program: Program, segments=None) -> ExecResult:
         """Execute *program* to HALT, like :func:`run_program`.
 
@@ -1515,6 +1731,7 @@ def run_program(
     cost_model: CostModel | None = None,
     telemetry=None,
     observer=None,
+    fused: bool = True,
 ) -> ExecResult:
     """Load and run *program* single-rank; returns its :class:`ExecResult`.
 
@@ -1532,6 +1749,7 @@ def run_program(
         cost_model=cost_model,
         telemetry=telemetry,
         observer=observer,
+        fused=fused,
     )
     result = vm.run()
     vm.publish()

@@ -1,0 +1,136 @@
+"""Guidance economics: the ``analysis="auto"`` decision and its wiring.
+
+Unit tests pin the decision rule in :mod:`repro.analysis.economics`;
+engine tests pin the contract that an auto search behaves exactly like
+one of the two fixed modes — analyze-first when nothing is known, skip
+after an unprofitable measurement — and that ``analysis=True`` keeps
+its unconditional-analysis contract regardless of what the registry
+says.
+"""
+
+import pytest
+
+from repro.analysis import economics
+from repro.search.bfs import SearchEngine, SearchOptions
+from repro.telemetry import Telemetry
+from repro.telemetry.sinks import ListSink
+from repro.workloads import make_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    economics.clear()
+    yield
+    economics.clear()
+
+
+class TestDecisionRule:
+    def test_no_prior_always_analyzes(self):
+        decision = economics.should_analyze("cg.T")
+        assert decision.analyze
+        assert decision.reason == "no-prior"
+
+    def test_profitable_prior_keeps_analyzing(self):
+        economics.record("cg.T", analysis_wall_s=0.1,
+                         avg_eval_wall_s=0.05, pruned=10)
+        decision = economics.should_analyze("cg.T")
+        assert decision.analyze
+        assert decision.reason == "profitable"
+        assert decision.predicted_saving_s == pytest.approx(0.5)
+        assert decision.predicted_cost_s == pytest.approx(0.1)
+
+    def test_unprofitable_prior_skips(self):
+        # mg.W's shape: few prunes, analysis wall dwarfs what they save.
+        economics.record("mg.W", analysis_wall_s=0.9,
+                         avg_eval_wall_s=0.1, pruned=7)
+        decision = economics.should_analyze("mg.W")
+        assert not decision.analyze
+        assert decision.reason == "unprofitable"
+        assert decision.predicted_saving_s == pytest.approx(0.7)
+        assert decision.predicted_cost_s == pytest.approx(0.9)
+
+    def test_latest_record_wins(self):
+        economics.record("cg.T", 10.0, 0.001, 1)
+        economics.record("cg.T", 0.01, 0.5, 20)
+        assert economics.should_analyze("cg.T").analyze
+
+    def test_clear_forgets(self):
+        economics.record("cg.T", 10.0, 0.001, 1)
+        economics.clear()
+        assert economics.should_analyze("cg.T").reason == "no-prior"
+
+
+class TestOptionsValidation:
+    def test_auto_is_accepted(self):
+        assert SearchOptions(analysis="auto").analysis == "auto"
+
+    def test_bogus_mode_rejected(self):
+        with pytest.raises(ValueError, match="analysis"):
+            SearchOptions(analysis="bogus")
+
+
+def _run(workload_name, klass, analysis, telemetry=None):
+    workload = make_workload(workload_name, klass)
+    return SearchEngine(
+        workload, SearchOptions(refine=True, analysis=analysis),
+        telemetry=telemetry,
+    ).run()
+
+
+class TestEngineAutoMode:
+    def test_first_auto_run_analyzes_and_records(self):
+        result = _run("cg", "T", "auto")
+        assert result.analysis_used
+        measured = economics.stats("cg.T")
+        assert measured is not None
+        assert measured.pruned == result.analysis_pruned
+        assert measured.analysis_wall_s > 0.0
+        assert measured.avg_eval_wall_s > 0.0
+
+    def test_auto_skips_after_unprofitable_record(self):
+        base = _run("cg", "T", False)
+        economics.record("cg.T", analysis_wall_s=100.0,
+                         avg_eval_wall_s=0.0001, pruned=1)
+        auto = _run("cg", "T", "auto")
+        assert not auto.analysis_used
+        assert auto.analysis_pruned == 0
+        # Skipping the analysis must reproduce the unguided search exactly.
+        assert auto.configs_tested == base.configs_tested
+        assert auto.final_config.flags == base.final_config.flags
+
+    def test_auto_analyzes_after_profitable_record(self):
+        guided = _run("cg", "T", True)
+        economics.record("cg.T", analysis_wall_s=0.0001,
+                         avg_eval_wall_s=1.0, pruned=10)
+        auto = _run("cg", "T", "auto")
+        assert auto.analysis_used
+        assert auto.configs_tested == guided.configs_tested
+        assert auto.final_config.flags == guided.final_config.flags
+
+    def test_analysis_true_ignores_the_registry(self):
+        # The fixed mode keeps its unconditional contract even when the
+        # registry says guidance is a losing trade.
+        economics.record("cg.T", analysis_wall_s=100.0,
+                         avg_eval_wall_s=0.0001, pruned=1)
+        guided = _run("cg", "T", True)
+        assert guided.analysis_used
+
+    def test_guidance_event_reports_the_decision(self):
+        economics.record("cg.T", analysis_wall_s=100.0,
+                         avg_eval_wall_s=0.0001, pruned=1)
+        sink = ListSink()
+        _run("cg", "T", "auto", telemetry=Telemetry(sinks=[sink]))
+        events = [e for e in sink.events if e["kind"] == "search.guidance"]
+        assert len(events) == 1
+        event = events[0]
+        assert event["workload"] == "cg.T"
+        assert event["analyze"] is False
+        assert event["reason"] == "unprofitable"
+        assert event["predicted_cost_s"] > event["predicted_saving_s"]
+
+    def test_fixed_modes_do_not_emit_guidance_events(self):
+        sink = ListSink()
+        _run("cg", "T", True, telemetry=Telemetry(sinks=[sink]))
+        assert not any(
+            e["kind"] == "search.guidance" for e in sink.events
+        )

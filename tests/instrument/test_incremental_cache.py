@@ -125,3 +125,43 @@ def test_cached_program_runs_without_cfg():
     run_program(result.program)
     result.program.ensure_cfg()
     assert any(fn.blocks for fn in result.program.functions)
+
+
+def test_replay_cache_is_byte_identical_and_stat_exact():
+    # The rewriter memoizes each instruction site's expansion and replays
+    # it on later rewrites of the same program (rewriter._REPLAY).  A
+    # replayed rewrite must be indistinguishable from a fresh one: same
+    # bytes, same debug info, same statistics to the last counter.
+    import dataclasses
+
+    from repro.instrument import rewriter
+
+    workload = make_nas("mg", "T")
+    program = workload.program
+    tree = build_tree(program)
+    rewriter._REPLAY.clear()
+    for config in _configs(tree):
+        fresh = instrument(program, config)     # populates the site cache
+        replayed = instrument(program, config)  # replays every site
+        assert replayed.program.text == fresh.program.text
+        assert replayed.program.entry == fresh.program.entry
+        assert replayed.program.debug_lines == fresh.program.debug_lines
+        assert dataclasses.asdict(replayed.stats) == dataclasses.asdict(
+            fresh.stats
+        )
+
+
+def test_replay_cache_evicts_fifo_and_pins_programs():
+    from repro.instrument import rewriter
+
+    rewriter._REPLAY.clear()
+    programs = [make_nas(bench, "T").program for bench in NAS] + [
+        make_nas(bench, "S").program for bench in ("cg", "ep")
+    ]
+    for program in programs:
+        instrument(program, Config.all_double(build_tree(program)))
+    assert len(rewriter._REPLAY) <= rewriter._REPLAY_MAX
+    # Each surviving entry holds a strong reference to its program, so
+    # the id() key cannot be recycled by a newly allocated program.
+    for key, (pinned, _sites) in rewriter._REPLAY.items():
+        assert id(pinned) == key
