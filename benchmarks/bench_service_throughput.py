@@ -1,0 +1,178 @@
+"""Job-service throughput: one campaign vs four concurrent campaigns.
+
+Hosts a :class:`~repro.service.server.PrecisionService` with an
+in-thread worker pool and measures end-to-end job throughput — submit
+over the registry, search on the shared coordinator, result written —
+for a single campaign and for four campaigns from four tenants running
+concurrently.  The concurrent phase submits the *same* policy four
+times — the multi-tenant story.  Identical campaigns running
+*simultaneously* race: the shared ResultStore only answers outcomes
+already decided, so concurrent twins still execute most of their own
+evaluations (single-flighting in-flight evaluations across channels is
+an open optimization) and the measured hit rate is reported honestly.
+The durable dedup property shows up in the **warm** leg: a fifth
+same-policy tenant submitted after the batch completes must replay
+everything and execute *nothing* on the pool.
+
+Results merge into ``results/BENCH_search.json`` under the
+``service`` section so future PRs have a trajectory to compare.
+
+Standalone usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+
+from conftest import emit, merge_json_rows
+
+from repro.cluster import run_worker
+from repro.service import PrecisionService
+from repro.service.jobs import COMPLETE
+
+
+def _phase_stats(jobs: list, wall: float) -> dict:
+    for job in jobs:
+        assert job.state == COMPLETE, (job.job_id, job.error)
+    tested = sum(job.tested for job in jobs)
+    replayed = sum(job.store_replays for job in jobs)
+    return {
+        "jobs": len(jobs),
+        "wall_s": round(wall, 4),
+        "jobs_per_s": round(len(jobs) / wall, 3),
+        "configs_per_s": round(tested / wall, 2),
+        "tested": tested,
+        "executed": sum(job.executions for job in jobs),
+        "store_replays": replayed,
+        "store_hit_rate": round(replayed / tested, 3) if tested else 0.0,
+    }
+
+
+def _run_phase(jobs: int, workers: int, bench: str, klass: str,
+               warm_job: bool = False) -> tuple[dict, dict | None]:
+    """One service lifetime: submit *jobs* campaigns at once and wait;
+    with ``warm_job`` submit one more same-policy tenant afterwards and
+    time it separately (the durable-dedup leg)."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as root:
+        service = PrecisionService(root, bind="127.0.0.1:0")
+        threads = [
+            threading.Thread(
+                target=run_worker, args=(service.address,), daemon=True
+            )
+            for _ in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            start = time.perf_counter()
+            submitted = [
+                service.submit(bench, klass, tenant=f"tenant{i}")
+                for i in range(jobs)
+            ]
+            assert service.wait_all(timeout=600), "jobs never finished"
+            stats = _phase_stats(submitted, time.perf_counter() - start)
+            warm = None
+            if warm_job:
+                start = time.perf_counter()
+                late = service.submit(bench, klass, tenant="warm")
+                assert service.wait_all(timeout=600)
+                warm = _phase_stats([late], time.perf_counter() - start)
+        finally:
+            service.close()
+            for thread in threads:
+                thread.join(timeout=30)
+    return stats, warm
+
+
+def measure(bench: str = "cg", klass: str = "T", workers: int = 4) -> dict:
+    solo, _ = _run_phase(1, workers, bench, klass)
+    concurrent, warm = _run_phase(4, workers, bench, klass, warm_job=True)
+    # The durable cross-tenant dedup property: a same-policy job
+    # submitted after the batch replays everything, executes nothing.
+    assert warm["executed"] == 0, warm
+    assert warm["store_hit_rate"] == 1.0, warm
+    return {
+        "benchmark": f"{bench}.{klass}",
+        "workers": workers,
+        "solo": solo,
+        "concurrent": concurrent,
+        "warm": warm,
+        "concurrency_speedup": round(
+            concurrent["jobs_per_s"] / solo["jobs_per_s"], 2
+        ),
+    }
+
+
+def _format(row: dict) -> str:
+    lines = [
+        "Job service — campaign throughput (1 vs 4 concurrent tenants)",
+        "",
+        f"{row['benchmark']}, {row['workers']} pool workers",
+        f"{'phase':<12} {'jobs':>5} {'wall s':>8} {'jobs/s':>7} "
+        f"{'cfg/s':>7} {'hit rate':>9}",
+    ]
+    for phase in ("solo", "concurrent", "warm"):
+        p = row[phase]
+        lines.append(
+            f"{phase:<12} {p['jobs']:>5} {p['wall_s']:>8.2f} "
+            f"{p['jobs_per_s']:>7.2f} {p['configs_per_s']:>7.1f} "
+            f"{p['store_hit_rate']:>8.1%}"
+        )
+    lines.append(
+        f"4-tenant job throughput {row['concurrency_speedup']}x the "
+        f"single-tenant rate; warm same-policy job executed "
+        f"{row['warm']['executed']} configs"
+    )
+    return "\n".join(lines)
+
+
+def run_benchmark() -> dict:
+    row = measure()
+    payload = {"rows": [row], "primary": row}
+    emit("service_throughput", _format(row))
+    path = merge_json_rows("BENCH_search", payload, section="service")
+    print(f"wrote {path}")
+    return payload
+
+
+def test_service_throughput(benchmark):
+    payload = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    primary = payload["primary"]
+    # Acceptance: concurrency must help, never hurt — four tenants on a
+    # shared pool with shared dedup finish jobs at a higher rate than
+    # one tenant alone.
+    assert primary["concurrency_speedup"] >= 1.0, primary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="cg", help="NAS benchmark name")
+    parser.add_argument("--class", dest="klass", default="T",
+                        help="problem class")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool workers (default 4)")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the payload to this path (besides results/)",
+    )
+    args = parser.parse_args(argv)
+
+    row = measure(args.bench, args.klass, args.workers)
+    payload = {"rows": [row], "primary": row}
+    emit("service_throughput", _format(row))
+    merge_json_rows("BENCH_search", payload, section="service")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

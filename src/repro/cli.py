@@ -15,7 +15,11 @@ view        render the configuration tree (paper Fig. 4, as text)
 analyze     shadow-value analysis of a built-in workload (JSON report)
 profile     per-site cycle census of a built-in workload (profile.json)
 search      automatic mixed-precision search on a built-in workload
-serve       run a search as a cluster coordinator (network workers)
+serve       run a search as a cluster coordinator (network workers),
+            or a multi-tenant job service with --service ROOT
+submit      submit a campaign to a job service (`repro serve --service`)
+jobs        list or cancel jobs on a job service
+result      fetch a finished job's row + best configuration
 worker      evaluation worker for a coordinator (`repro serve`)
 store       result-store maintenance (JSONL export/import)
 trace       trace toolkit: summary | compare | profile | flame
@@ -24,15 +28,18 @@ experiment  regenerate one of the paper's tables/figures
 Program images are plain pickles of :class:`repro.binary.model.Program`;
 anything ending in ``.mh`` (or any readable text) is compiled on the fly.
 
-Exit codes (documented in README.md): 0 success, 1 runtime failure,
-2 usage error (argparse), 130 interrupted search (resumable when run
-under ``--campaign``).
+Exit codes (documented in README.md and docs/CLUSTER.md): 0 success,
+1 runtime failure, 2 usage error (argparse), 3 missing input (a store
+database or JSONL file that does not exist), 4 unusable store (locked
+by another process, or an incompatible schema version), 130 interrupted
+search (resumable when run under ``--campaign``).
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import pickle
 import sys
 
@@ -460,9 +467,168 @@ def cmd_trace(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Thin alias: a cluster coordinator *is* a search with --cluster."""
+    """Single-job coordinator by default; --service hosts many."""
+    if args.service:
+        return _serve_service(args)
     args.cluster = args.address
     return cmd_search(args)
+
+
+def _serve_service(args) -> int:
+    import time
+
+    from repro.service import PrecisionService
+    from repro.service.jobs import TERMINAL_STATES
+    from repro.telemetry import JsonlSink, Telemetry
+
+    if args.workload:
+        print("serve: --service takes no workload (clients submit them)",
+              file=sys.stderr)
+        return 2
+    sink = None
+    telemetry = None
+    if args.trace:
+        sink = JsonlSink(args.trace)
+        telemetry = Telemetry(sinks=[sink])
+    service = PrecisionService(
+        args.service,
+        bind=args.address,
+        max_inflight=args.max_inflight,
+        max_queued=args.max_queued,
+        lease_timeout=args.lease_timeout,
+        telemetry=telemetry,
+    )
+    if not args.quiet:
+        print(f"service listening on {service.address} "
+              f"(root {args.service})", flush=True)
+    code = 0
+    try:
+        if args.run_jobs is not None:
+            # Exit once N jobs have finished — the harness the smoke
+            # tests and CI drive instead of signalling a daemon.
+            while True:
+                done = sum(
+                    1 for job in service.registry.jobs()
+                    if job.state in TERMINAL_STATES
+                )
+                if done >= args.run_jobs:
+                    break
+                time.sleep(0.1)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        if not args.quiet:
+            print("\nservice: interrupted", file=sys.stderr)
+        code = 130
+    finally:
+        service.close()
+        if sink is not None:
+            sink.close()
+    return code
+
+
+def _submit_options(args) -> dict:
+    """SearchOptions JSON carried on a submit frame (same defaults as
+    `repro search`)."""
+    return {
+        "stop_level": args.stop_level,
+        "workers": args.workers,
+        "refine": args.refine,
+        "incremental": not args.no_incremental,
+        "analysis": args.analysis,
+    }
+
+
+def _print_job_outcome(reply: dict, quiet: bool) -> None:
+    if quiet:
+        return
+    row = reply.get("row")
+    if row:
+        print(f"{reply['job']} {reply['state']}: {row['benchmark']} "
+              f"tested {row['tested']}, static {row['static_pct']}%, "
+              f"dynamic {row['dynamic_pct']}%, final {row['final']}")
+    else:
+        suffix = f" ({reply['error']})" if reply.get("error") else ""
+        print(f"{reply['job']} {reply['state']}{suffix}")
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    klass = args.klass_opt or args.klass
+    try:
+        with ServiceClient(args.address) as client:
+            job = client.submit(
+                args.workload, klass,
+                options=_submit_options(args),
+                tenant=args.tenant,
+                quantum=args.quantum,
+            )
+            if not args.wait:
+                print(job)
+                return 0
+            reply = client.wait(job, timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    _print_job_outcome(reply, args.quiet)
+    if args.output and reply.get("config"):
+        with open(args.output, "w") as handle:
+            handle.write(reply["config"])
+        if not args.quiet:
+            print(f"wrote configuration to {args.output}")
+    return 0 if reply["state"] == "complete" else 1
+
+
+def cmd_jobs(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.address) as client:
+            if args.cancel:
+                reply = client.cancel(args.cancel)
+                print(f"{reply['job']}: {reply['state']}")
+                return 0
+            jobs = client.jobs()
+    except ServiceError as exc:
+        print(f"jobs: {exc}", file=sys.stderr)
+        return 1
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"{'JOB':<6} {'TENANT':<12} {'WORKLOAD':<14} {'STATE':<10} "
+          f"{'TESTED':>7} {'EXEC':>7}")
+    for job in jobs:
+        print(f"{job['job']:<6} {job['tenant']:<12} "
+              f"{job['workload'] + '.' + job['klass']:<14} "
+              f"{job['state']:<10} {job['tested']:>7} {job['executions']:>7}")
+    return 0
+
+
+def cmd_result(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.address) as client:
+            if args.wait:
+                reply = client.wait(args.job, timeout=args.timeout)
+            else:
+                reply = client.result(args.job)
+    except ServiceError as exc:
+        print(f"result: {exc}", file=sys.stderr)
+        return 1
+    if reply["state"] in ("queued", "running"):
+        print(f"{args.job}: still {reply['state']} (use --wait)",
+              file=sys.stderr)
+        return 1
+    _print_job_outcome(reply, args.quiet)
+    if args.output and reply.get("config"):
+        with open(args.output, "w") as handle:
+            handle.write(reply["config"])
+        if not args.quiet:
+            print(f"wrote configuration to {args.output}")
+    return 0 if reply["state"] == "complete" else 1
 
 
 def cmd_worker(args) -> int:
@@ -486,20 +652,42 @@ def cmd_worker(args) -> int:
     return 0
 
 
-def cmd_store(args) -> int:
-    from repro.store import ResultStore, StoreCollisionError
+#: missing input: the store database (export) or JSONL file (import)
+EXIT_STORE_MISSING = 3
+#: store exists but can't be used: locked by another process, or an
+#: incompatible schema version
+EXIT_STORE_UNAVAILABLE = 4
 
-    with ResultStore(args.db) as store:
-        if args.store_command == "export":
-            count = store.export_jsonl(args.file, workload=args.workload)
-            print(f"exported {count} outcomes to {args.file}")
-        else:  # import
-            try:
-                count = store.import_jsonl(args.file)
-            except StoreCollisionError as exc:
-                print(f"store import: {exc}", file=sys.stderr)
-                return 1
-            print(f"imported {count} outcomes into {args.db}")
+
+def cmd_store(args) -> int:
+    import sqlite3
+
+    from repro.store import ResultStore, StoreCollisionError, StoreSchemaError
+
+    if args.store_command == "export" and not os.path.exists(args.db):
+        print(f"store export: no such store: {args.db}", file=sys.stderr)
+        return EXIT_STORE_MISSING
+    if args.store_command == "import" and not os.path.exists(args.file):
+        print(f"store import: no such file: {args.file}", file=sys.stderr)
+        return EXIT_STORE_MISSING
+    try:
+        with ResultStore(args.db, timeout=args.timeout) as store:
+            if args.store_command == "export":
+                count = store.export_jsonl(args.file, workload=args.workload)
+                print(f"exported {count} outcomes to {args.file}")
+            else:  # import
+                try:
+                    count = store.import_jsonl(args.file)
+                except StoreCollisionError as exc:
+                    print(f"store import: {exc}", file=sys.stderr)
+                    return 1
+                print(f"imported {count} outcomes into {args.db}")
+    except StoreSchemaError as exc:
+        print(f"store: {exc}", file=sys.stderr)
+        return EXIT_STORE_UNAVAILABLE
+    except sqlite3.OperationalError as exc:
+        print(f"store: {args.db}: {exc}", file=sys.stderr)
+        return EXIT_STORE_UNAVAILABLE
     return 0
 
 
@@ -761,8 +949,83 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suppress the one-line human summary")
     p.add_argument("--verbose", action="store_true",
                    help="print the full evaluation history")
+    p.add_argument("--service", metavar="ROOT", default=None,
+                   help="host a multi-tenant job service rooted at ROOT "
+                        "instead of one search: clients submit campaigns "
+                        "with `repro submit` (see docs/SERVICE.md)")
+    p.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                   help="service mode: per-tenant cap on concurrently "
+                        "leased configurations (default: unlimited)")
+    p.add_argument("--max-queued", type=int, default=None, metavar="N",
+                   help="service mode: per-tenant cap on active jobs; "
+                        "submits beyond it are rejected (default: "
+                        "unlimited)")
+    p.add_argument("--run-jobs", type=int, default=None, metavar="N",
+                   help="service mode: exit once N jobs have finished "
+                        "(default: serve forever)")
     _add_telemetry_flags(p, progress=True)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a campaign to a job service (`repro serve --service`)",
+    )
+    p.add_argument("address", metavar="HOST:PORT",
+                   help="service address (printed by `repro serve --service`)")
+    p.add_argument("workload", help="bt|cg|ep|ft|lu|mg|sp|amg|superlu")
+    p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
+    p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
+                   help="problem class (same as the positional argument)")
+    p.add_argument("--analysis", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="shadow-value analysis guidance (see `search`)")
+    p.add_argument("--stop-level", default="instruction",
+                   choices=("module", "function", "block", "instruction"))
+    p.add_argument("--workers", type=int, default=4,
+                   help="batch size: configurations leased concurrently "
+                        "(default 4)")
+    p.add_argument("--refine", action="store_true",
+                   help="second search phase when the union fails")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable the incremental evaluation caches")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for quotas and fair-share "
+                        "(default 'default')")
+    p.add_argument("--quantum", type=float, default=1.0,
+                   help="fair-share weight relative to other jobs "
+                        "(default 1.0)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes and print its result")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="SECONDS",
+                   help="give up on --wait after this long (default 300)")
+    p.add_argument("-o", "--output",
+                   help="with --wait: write the best configuration here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the one-line human summary")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "jobs", help="list or cancel jobs on a job service"
+    )
+    p.add_argument("address", metavar="HOST:PORT", help="service address")
+    p.add_argument("--cancel", metavar="JOB", default=None,
+                   help="cancel this job instead of listing")
+    p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser(
+        "result", help="fetch a finished job's row + best configuration"
+    )
+    p.add_argument("address", metavar="HOST:PORT", help="service address")
+    p.add_argument("job", help="job id (printed by `repro submit`)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job reaches a terminal state")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="SECONDS",
+                   help="give up on --wait after this long (default 300)")
+    p.add_argument("-o", "--output",
+                   help="write the job's best configuration here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the one-line human summary")
+    p.set_defaults(func=cmd_result)
 
     p = sub.add_parser(
         "worker",
@@ -790,12 +1053,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("file", help="JSONL output path")
     sp.add_argument("--workload", default=None, metavar="ID",
                     help="only rows of this workload id")
+    sp.add_argument("--timeout", type=float, default=5.0, metavar="SECONDS",
+                    help="give up on a locked store after this long "
+                         "(exit 4; default 5)")
     sp.set_defaults(func=cmd_store)
     sp = store_sub.add_parser(
         "import", help="merge an exported JSONL file into a store"
     )
     sp.add_argument("db", help="SQLite result store (created if missing)")
     sp.add_argument("file", help="JSONL input path")
+    sp.add_argument("--timeout", type=float, default=5.0, metavar="SECONDS",
+                    help="give up on a locked store after this long "
+                         "(exit 4; default 5)")
     sp.set_defaults(func=cmd_store)
 
     p = sub.add_parser(

@@ -15,15 +15,26 @@ search no matter how many workers join, leave, or crash along the way.
 See ``docs/CLUSTER.md`` for the protocol and failure matrix.
 """
 
-from repro.cluster.coordinator import ClusterError, ClusterEvaluator
-from repro.cluster.protocol import PROTOCOL_VERSION, ProtocolError, parse_address
+from repro.cluster.coordinator import (
+    ClusterError,
+    ClusterEvaluator,
+    JobCancelled,
+)
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    ProtocolError,
+    parse_address,
+)
 from repro.cluster.worker import EXIT_SENTINEL_VAR, WorkerError, run_worker
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "ClusterError",
     "ClusterEvaluator",
     "EXIT_SENTINEL_VAR",
+    "JobCancelled",
     "ProtocolError",
     "WorkerError",
     "parse_address",

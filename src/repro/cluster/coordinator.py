@@ -12,15 +12,31 @@ order, and every evaluation a worker runs goes through the shared
 :mod:`repro.search.execution` kernel, so the final configuration is
 byte-identical to a serial search (differential-tested).
 
+Multi-campaign dispatch (protocol v3)
+-------------------------------------
+The coordinator no longer assumes a single search: work is organised
+into *channels*, one per campaign (:class:`_Channel`), each with its own
+pending queue, backoff list, and in-flight batch.  A standalone
+``ClusterEvaluator`` registers exactly one channel; the
+:mod:`repro.service` job server registers one per submitted job and
+shares a single coordinator — and therefore one worker pool — across
+all of them.  Leases are multiplexed fairly with deficit round-robin:
+each ready channel accumulates ``quantum`` credit per scheduler pass
+and spends one credit per granted lease, so a large campaign cannot
+starve a small one, and per-tenant in-flight quotas (``max_inflight``)
+cap how much of the pool any one tenant can hold at once.
+
 Threading model
 ---------------
 The asyncio TCP server runs on one dedicated background thread; all
-coordinator state (workers, leases, the pending queue) lives on that
-loop and is never touched from the engine thread.  ``evaluate_batch``
+coordinator state (workers, channels, leases, queues) lives on that
+loop and is never touched from an engine thread.  ``evaluate_batch``
 submits a batch with ``run_coroutine_threadsafe`` and blocks, draining
-the coordinator's event queue into the telemetry hub while it waits —
-so traces keep a single writer (the engine thread) and ``--progress``
-still renders worker occupancy live.
+its channel's event queue into the telemetry hub while it waits — so
+traces keep a single writer (that engine's thread) and ``--progress``
+still renders worker occupancy live.  Under the service each job's
+engine thread does the same against its own channel, so per-job traces
+stay single-writer too.
 
 Fault tolerance
 ---------------
@@ -35,7 +51,10 @@ first-wins: if a presumed-dead worker resurfaces and reports a requeued
 task, the duplicate is ignored — evaluations are deterministic, so
 either copy is the same outcome — and re-connected workers never
 re-execute configs the store already decided, because decided configs
-are filtered out parent-side before tasks are ever created.
+are filtered out parent-side before tasks are ever created.  Cancelling
+a job aborts only its channel: its queued tasks are dropped, its leases
+are released from the quota ledger, and every other channel keeps
+running untouched.
 """
 
 from __future__ import annotations
@@ -49,23 +68,32 @@ from collections import deque
 
 from repro.cluster.protocol import (
     BYE,
+    CANCEL,
     ERROR,
     EVENTS,
     HEARTBEAT,
     HELLO,
     LEASE,
+    LIST,
     OK,
     PROTOCOL_VERSION,
     RESULT,
+    ROLE_CLIENT,
+    STATUS,
+    SUBMIT,
+    SUPPORTED_VERSIONS,
+    REJECTED,
     TASK,
     WAIT,
     WELCOME,
     ProtocolError,
+    negotiate_version,
     outcome_from_wire,
     pack_frame,
     parse_address,
     recv_frame_async,
     send_frame_async,
+    unsupported_frame,
 )
 from repro.config.model import Config
 from repro.search.batching import plan_batch, record_batch
@@ -78,25 +106,40 @@ from repro.telemetry import NULL_TELEMETRY
 #: (doubles as the heartbeat that keeps it alive while the queue is dry).
 POLL_DELAY = 0.02
 
+#: channel id used by a standalone (single-search) ClusterEvaluator.
+DEFAULT_CHANNEL = ""
+
 
 class ClusterError(RuntimeError):
     """Coordinator-side setup or dispatch failure."""
 
 
+class JobCancelled(RuntimeError):
+    """A campaign's channel was aborted while a batch was in flight.
+
+    Raised out of ``evaluate_batch`` on the engine thread of the
+    cancelled job (and only that job); the service turns it into a
+    ``cancelled`` job state.
+    """
+
+
 class _Task:
     """One leased unit of work: a deduplicated configuration."""
 
-    __slots__ = ("task_id", "index", "flags", "digest", "attempts",
-                 "not_before", "done")
+    __slots__ = ("task_id", "index", "flags", "digest", "job", "attempts",
+                 "not_before", "done", "inflight")
 
-    def __init__(self, task_id: int, index: int, flags: dict, digest: str):
+    def __init__(self, task_id: int, index: int, flags: dict, digest: str,
+                 job: str = DEFAULT_CHANNEL):
         self.task_id = task_id
-        self.index = index          # position in the current batch
+        self.index = index          # position in the owning batch
         self.flags = flags          # wire form: node id -> policy char
         self.digest = digest
+        self.job = job              # owning channel id ("" = standalone)
         self.attempts = 0           # crashes so far (not normal failures)
         self.not_before = 0.0       # backoff gate for requeued tasks
         self.done = False
+        self.inflight = False       # currently leased (quota accounting)
 
     def payload(self) -> dict:
         return {
@@ -127,16 +170,66 @@ class _Batch:
         if self.remaining == 0 and not self.done.done():
             self.done.set_result(None)
 
+    def abort(self, exc: BaseException) -> None:
+        if not self.done.done():
+            self.done.set_exception(exc)
+
+
+class _Channel:
+    """Loop-side state for one campaign sharing the worker pool."""
+
+    __slots__ = ("job_id", "tenant", "quantum", "deficit", "info", "events",
+                 "pending", "delayed", "batch", "leased")
+
+    def __init__(self, job_id: str, tenant: str, quantum: float,
+                 info: dict | None, events: deque) -> None:
+        self.job_id = job_id
+        self.tenant = tenant
+        self.quantum = quantum      # DRR credit earned per scheduler pass
+        self.deficit = 0.0          # unspent credit (reset while idle)
+        #: per-task workload fields merged into task payloads (service
+        #: mode; None = the welcome already pinned the workload).
+        self.info = info
+        self.events = events        # (kind, fields) — drained engine-side
+        self.pending: deque[_Task] = deque()
+        self.delayed: list[_Task] = []
+        self.batch: _Batch | None = None
+        self.leased = 0             # tasks of this channel currently leased
+
+    def promote(self, now: float) -> None:
+        """Move backoff-expired tasks back onto the pending queue."""
+        if not self.delayed:
+            return
+        still_delayed = []
+        for task in self.delayed:
+            if task.done:
+                continue
+            if task.not_before <= now:
+                self.pending.append(task)
+            else:
+                still_delayed.append(task)
+        self.delayed[:] = still_delayed
+
+    def pop_ready(self) -> _Task | None:
+        while self.pending:
+            task = self.pending.popleft()
+            if not task.done:
+                return task
+        return None
+
 
 class _WorkerConn:
     """Loop-side connection state for one network worker."""
 
-    __slots__ = ("wid", "name", "writer", "leases", "last_seen", "reaped")
+    __slots__ = ("wid", "name", "writer", "version", "leases", "last_seen",
+                 "reaped")
 
-    def __init__(self, wid: str, name: str, writer, now: float) -> None:
+    def __init__(self, wid: str, name: str, writer, version: int,
+                 now: float) -> None:
         self.wid = wid
         self.name = name
         self.writer = writer
+        self.version = version      # negotiated protocol version
         self.leases: dict[int, _Task] = {}
         self.last_seen = now
         self.reaped = False
@@ -151,16 +244,30 @@ class _Coordinator:
         retry: RetryPolicy,
         lease_timeout: float,
         events: deque,
+        versions=SUPPORTED_VERSIONS,
+        client_api=None,
+        max_inflight: int | None = None,
+        lease_log: bool = False,
     ) -> None:
         self.welcome = welcome
         self.retry = retry
         self.lease_timeout = lease_timeout
-        self.events = events        # (kind, fields) — drained engine-side
+        self.events = events        # global (kind, fields) queue
+        self.versions = tuple(versions)
+        #: service hook answering client job frames (None = worker-only)
+        self.client_api = client_api
+        #: per-tenant cap on simultaneously leased tasks (None = off;
+        #: channels with an empty tenant are never capped)
+        self.max_inflight = max_inflight
         self.workers: dict[str, _WorkerConn] = {}
-        self.pending: deque[_Task] = deque()
-        self.delayed: list[_Task] = []
+        self.channels: dict[str, _Channel] = {}
+        self._ring: deque[str] = deque()   # DRR visit order over channels
         self.tasks: dict[int, _Task] = {}
-        self.batch: _Batch | None = None
+        self.tenant_inflight: dict[str, int] = {}
+        #: (job_id, tenant, tenant_inflight_after_grant) per granted
+        #: lease, recorded only when requested — the fairness tests and
+        #: the service bench read interleaving straight off this.
+        self.lease_log: list | None = [] if lease_log else None
         self.closing = False
         self.server = None
         self.sweeper = None
@@ -175,6 +282,18 @@ class _Coordinator:
     def event(self, kind: str, **fields) -> None:
         self.events.append((kind, fields))
 
+    def job_event(self, job_id: str, kind: str, **fields) -> None:
+        """Route an event to the owning channel's queue (so it lands in
+        that job's trace); fall back to the global queue if the channel
+        is already gone."""
+        channel = self.channels.get(job_id)
+        if channel is not None:
+            if job_id:
+                fields.setdefault("job", job_id)
+            channel.events.append((kind, fields))
+        else:
+            self.events.append((kind, fields))
+
     # -- lifecycle (loop thread) --------------------------------------------
 
     async def start(self, host: str, port: int) -> tuple[str, int]:
@@ -187,6 +306,8 @@ class _Coordinator:
         self.closing = True
         if self.sweeper is not None:
             self.sweeper.cancel()
+        for job_id in list(self.channels):
+            self._abort_channel(job_id, "coordinator shutting down")
         for worker in list(self.workers.values()):
             worker.reaped = True  # a closed connection is not a lost worker
             with contextlib.suppress(Exception):
@@ -197,44 +318,135 @@ class _Coordinator:
             self.server.close()
             await self.server.wait_closed()
 
+    # -- channel registry (loop thread; sync core is also used before the
+    #    loop starts, when the owning evaluator wires its own channel) ----
+
+    def register_channel(
+        self,
+        job_id: str,
+        tenant: str = "",
+        quantum: float = 1.0,
+        info: dict | None = None,
+        events: deque | None = None,
+    ) -> _Channel:
+        if job_id in self.channels:
+            raise ClusterError(f"channel {job_id!r} already registered")
+        channel = _Channel(
+            job_id, tenant, max(0.05, float(quantum)),
+            info, events if events is not None else self.events,
+        )
+        self.channels[job_id] = channel
+        self._ring.append(job_id)
+        return channel
+
+    async def open_channel(self, job_id: str, tenant: str = "",
+                           quantum: float = 1.0, info: dict | None = None,
+                           events: deque | None = None) -> None:
+        self.register_channel(job_id, tenant, quantum, info, events)
+
+    async def close_channel(self, job_id: str) -> None:
+        self._abort_channel(job_id, "channel closed")
+        self.channels.pop(job_id, None)
+        with contextlib.suppress(ValueError):
+            self._ring.remove(job_id)
+
+    async def cancel_channel(self, job_id: str) -> bool:
+        """Abort a channel's queues and in-flight batch (the channel
+        stays registered until its owner closes it)."""
+        return self._abort_channel(job_id, "job cancelled")
+
+    def _abort_channel(self, job_id: str, why: str) -> bool:
+        channel = self.channels.get(job_id)
+        if channel is None:
+            return False
+        for task in list(self.tasks.values()):
+            if task.job != job_id:
+                continue
+            self._release(task)
+            task.done = True
+            del self.tasks[task.task_id]
+        channel.pending.clear()
+        channel.delayed.clear()
+        batch, channel.batch = channel.batch, None
+        if batch is not None:
+            batch.abort(JobCancelled(f"{job_id or 'search'}: {why}"))
+            return True
+        return False
+
     # -- batch dispatch (loop thread) ---------------------------------------
 
-    async def run_batch(self, payload: list) -> tuple[list, list]:
+    async def run_batch(self, job_id: str, payload: list) -> tuple[list, list]:
         """Queue *payload* (``(flags, digest)`` pairs) as leasable tasks
-        and wait until every one is decided."""
+        on *job_id*'s channel and wait until every one is decided."""
+        channel = self.channels.get(job_id)
+        if channel is None:
+            raise ClusterError(f"no channel {job_id!r}")
         loop = asyncio.get_running_loop()
         batch = _Batch(len(payload), loop)
-        self.batch = batch
+        channel.batch = batch
+        tasks = []
         for index, (flags, digest) in enumerate(payload):
             self._task_seq += 1
-            task = _Task(self._task_seq, index, flags, digest)
+            task = _Task(self._task_seq, index, flags, digest, job_id)
             self.tasks[task.task_id] = task
-            self.pending.append(task)
+            channel.pending.append(task)
+            tasks.append(task)
         try:
             await batch.done
         finally:
-            self.batch = None
-            self.tasks.clear()
-            self.pending.clear()
-            self.delayed.clear()
+            if channel.batch is batch:
+                channel.batch = None
+                channel.pending.clear()
+                channel.delayed.clear()
+            for task in tasks:
+                self._release(task)
+                task.done = True
+                self.tasks.pop(task.task_id, None)
         return batch.outcomes, batch.deltas
 
+    def _quota_blocked(self, channel: _Channel) -> bool:
+        if self.max_inflight is None or not channel.tenant:
+            return False
+        return (
+            self.tenant_inflight.get(channel.tenant, 0) >= self.max_inflight
+        )
+
     def _next_task(self) -> _Task | None:
+        """Deficit round-robin over every ready channel.
+
+        Each visited channel earns ``quantum`` credit and a lease costs
+        one credit, so with the default quantum of 1.0 ready channels
+        alternate strictly; fractional quanta throttle a channel to a
+        share of the pool.  Idle channels forfeit their credit (classic
+        DRR, so a long-idle campaign cannot burst later), and channels
+        whose tenant is at its in-flight quota are skipped without
+        earning credit.
+        """
+        ring = self._ring
+        if not ring:
+            return None
         now = asyncio.get_running_loop().time()
-        if self.delayed:
-            still_delayed = []
-            for task in self.delayed:
-                if task.done:
-                    continue
-                if task.not_before <= now:
-                    self.pending.append(task)
-                else:
-                    still_delayed.append(task)
-            self.delayed[:] = still_delayed
-        while self.pending:
-            task = self.pending.popleft()
-            if not task.done:
-                return task
+        for _ in range(2 * len(ring)):
+            job_id = ring[0]
+            ring.rotate(-1)
+            channel = self.channels.get(job_id)
+            if channel is None:
+                continue
+            channel.promote(now)
+            if not channel.pending:
+                channel.deficit = 0.0
+                continue
+            if self._quota_blocked(channel):
+                continue
+            channel.deficit += channel.quantum
+            if channel.deficit < 1.0:
+                continue
+            task = channel.pop_ready()
+            if task is None:
+                channel.deficit = 0.0
+                continue
+            channel.deficit -= 1.0
+            return task
         return None
 
     # -- connection handling (loop thread) ----------------------------------
@@ -242,10 +454,11 @@ class _Coordinator:
     async def _handle(self, reader, writer) -> None:
         worker = None
         try:
-            worker = await self._handshake(reader, writer)
-            if worker is None:
-                return
-            await self._serve(worker, reader, writer)
+            role, worker = await self._handshake(reader, writer)
+            if role == ROLE_CLIENT:
+                await self._serve_client(reader, writer)
+            elif worker is not None:
+                await self._serve(worker, reader, writer)
         except (ProtocolError, ConnectionError, asyncio.TimeoutError):
             pass
         finally:
@@ -254,27 +467,72 @@ class _Coordinator:
             with contextlib.suppress(Exception):
                 writer.close()
 
-    async def _handshake(self, reader, writer) -> _WorkerConn | None:
+    async def _handshake(self, reader, writer):
         hello = await recv_frame_async(reader)
         if hello is None or hello.get("type") != HELLO:
-            return None
-        if hello.get("version") != PROTOCOL_VERSION:
-            await send_frame_async(writer, {
-                "type": ERROR,
-                "message": f"protocol version {hello.get('version')!r}, "
-                           f"coordinator speaks {PROTOCOL_VERSION}",
-            })
-            return None
+            return None, None
+        version = negotiate_version(hello, self.versions)
+        if version is None:
+            # Structured refusal (v3 satellite): the peer learns exactly
+            # which versions would have been accepted, then we close
+            # cleanly instead of silently dropping the connection.
+            await send_frame_async(
+                writer, unsupported_frame(hello, self.versions)
+            )
+            return None, None
+        if hello.get("role") == ROLE_CLIENT:
+            if self.client_api is None:
+                await send_frame_async(writer, {
+                    "type": ERROR,
+                    "message": "this coordinator does not accept job "
+                               "submissions (start it with --service)",
+                })
+                return None, None
+            await send_frame_async(
+                writer,
+                {"type": WELCOME, "version": version, "service": True},
+            )
+            return ROLE_CLIENT, None
         self._worker_seq += 1
         wid = f"w{self._worker_seq}"
         name = f"{hello.get('host', '?')}:{hello.get('pid', '?')}"
         now = asyncio.get_running_loop().time()
-        worker = _WorkerConn(wid, name, writer, now)
+        worker = _WorkerConn(wid, name, writer, version, now)
         self.workers[wid] = worker
         self.workers_seen += 1
         self.event("cluster.worker_join", worker=wid, name=name)
-        await send_frame_async(writer, dict(self.welcome))
-        return worker
+        reply = dict(self.welcome)
+        reply["version"] = version
+        await send_frame_async(writer, reply)
+        return None, worker
+
+    async def _serve_client(self, reader, writer) -> None:
+        """Request/response loop for a job-submission client.
+
+        Handlers run on an executor thread, not the loop: they take the
+        registry lock, start job threads, and (for cancel) block on a
+        coroutine scheduled back onto this very loop — which would
+        deadlock if called inline.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            message = await recv_frame_async(reader)
+            if message is None or message.get("type") == BYE:
+                return
+            kind = message.get("type")
+            if kind not in (SUBMIT, STATUS, RESULT, CANCEL, LIST):
+                raise ProtocolError(f"unexpected client message {kind!r}")
+            try:
+                reply = await loop.run_in_executor(
+                    None, self.client_api.handle_client, message
+                )
+            except Exception as exc:  # service bug: report, keep serving
+                reply = {
+                    "type": REJECTED,
+                    "code": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            await send_frame_async(writer, reply)
 
     async def _serve(self, worker: _WorkerConn, reader, writer) -> None:
         while True:
@@ -295,14 +553,13 @@ class _Coordinator:
                         writer, {"type": WAIT, "delay": POLL_DELAY}
                     )
                 else:
-                    worker.leases[task.task_id] = task
-                    self.leases_granted += 1
-                    self.event(
-                        "cluster.lease",
-                        worker=worker.wid, task=task.task_id,
-                        busy=len(worker.leases),
-                    )
-                    await send_frame_async(writer, task.payload())
+                    self._grant(worker, task)
+                    payload = task.payload()
+                    channel = self.channels.get(task.job)
+                    if channel is not None and channel.info is not None:
+                        payload["job"] = task.job
+                        payload.update(channel.info)
+                    await send_frame_async(writer, payload)
             elif kind == RESULT:
                 self._complete(worker, message)
                 await send_frame_async(writer, {"type": OK})
@@ -320,11 +577,14 @@ class _Coordinator:
                 )
             elif kind == EVENTS:
                 # One-way telemetry forwarding (protocol v2): merge the
-                # worker's per-task events into the coordinator's queue,
-                # tagged with the worker id.  The worker's own clock is
-                # preserved as `worker_ts`; the engine-side drain stamps
-                # the merged trace's single monotonic `ts` on emission.
+                # worker's per-task events into the owning channel's
+                # queue, tagged with the worker id.  The worker's own
+                # clock is preserved as `worker_ts`; the engine-side
+                # drain stamps the merged trace's single monotonic `ts`
+                # on emission.
                 task_id = message.get("task")
+                task = self.tasks.get(task_id)
+                job_id = task.job if task is not None else DEFAULT_CHANNEL
                 for forwarded in message.get("events", ()):
                     if not isinstance(forwarded, dict) or "kind" not in forwarded:
                         continue
@@ -333,7 +593,7 @@ class _Coordinator:
                     fields["worker_ts"] = fields.pop("ts", 0.0)
                     fields["worker"] = worker.wid
                     fields.setdefault("task", task_id)
-                    self.event(event_kind, **fields)
+                    self.job_event(job_id, event_kind, **fields)
             elif kind == BYE:
                 worker.reaped = True
                 self.workers.pop(worker.wid, None)
@@ -344,15 +604,53 @@ class _Coordinator:
 
     # -- lease accounting (loop thread) --------------------------------------
 
+    def _grant(self, worker: _WorkerConn, task: _Task) -> None:
+        worker.leases[task.task_id] = task
+        task.inflight = True
+        channel = self.channels.get(task.job)
+        tenant = channel.tenant if channel is not None else ""
+        if channel is not None:
+            channel.leased += 1
+        if tenant:
+            self.tenant_inflight[tenant] = (
+                self.tenant_inflight.get(tenant, 0) + 1
+            )
+        self.leases_granted += 1
+        if self.lease_log is not None:
+            self.lease_log.append(
+                (task.job, tenant, self.tenant_inflight.get(tenant, 0))
+            )
+        self.job_event(
+            task.job, "cluster.lease",
+            worker=worker.wid, task=task.task_id, busy=len(worker.leases),
+        )
+
+    def _release(self, task: _Task) -> None:
+        """Return a task's lease to the quota ledger (idempotent)."""
+        if not task.inflight:
+            return
+        task.inflight = False
+        channel = self.channels.get(task.job)
+        if channel is not None:
+            channel.leased = max(0, channel.leased - 1)
+            if channel.tenant:
+                left = self.tenant_inflight.get(channel.tenant, 0) - 1
+                if left > 0:
+                    self.tenant_inflight[channel.tenant] = left
+                else:
+                    self.tenant_inflight.pop(channel.tenant, None)
+
     def _complete(self, worker: _WorkerConn, message: dict) -> None:
         task_id = message.get("task")
         worker.leases.pop(task_id, None)
         task = self.tasks.get(task_id)
         if task is None or task.done:
             return  # late duplicate from a presumed-dead worker: first wins
+        self._release(task)
         task.done = True
-        if self.batch is not None:
-            self.batch.finish_one(
+        channel = self.channels.get(task.job)
+        if channel is not None and channel.batch is not None:
+            channel.batch.finish_one(
                 task.index,
                 outcome_from_wire(message["outcome"]),
                 message.get("deltas"),
@@ -362,14 +660,16 @@ class _Coordinator:
         task = self.tasks.get(task_id)
         if task is None or task.done:
             return
+        self._release(task)
         task.attempts += 1
+        channel = self.channels.get(task.job)
         if self.retry.exhausted(task.attempts):
             # Kept killing (or losing) its executor: classify, descend.
             self.crashed_tasks += 1
-            self.event("eval.worker_crash", attempts=task.attempts)
+            self.job_event(task.job, "eval.worker_crash", attempts=task.attempts)
             task.done = True
-            if self.batch is not None:
-                self.batch.finish_one(
+            if channel is not None and channel.batch is not None:
+                channel.batch.finish_one(
                     task.index,
                     self.retry.crash_outcome(
                         task.attempts, what="cluster worker died"
@@ -379,9 +679,10 @@ class _Coordinator:
         self.requeues += 1
         now = asyncio.get_running_loop().time()
         task.not_before = now + self.retry.delay(task.attempts)
-        self.delayed.append(task)
-        self.event(
-            "cluster.requeue",
+        if channel is not None:
+            channel.delayed.append(task)
+        self.job_event(
+            task.job, "cluster.requeue",
             task=task.task_id, attempts=task.attempts, reason=reason,
         )
 
@@ -417,7 +718,141 @@ class _Coordinator:
                         worker.writer.close()
 
 
-class ClusterEvaluator:
+class BaseLeaseEvaluator:
+    """Engine-thread side of lease dispatch, shared by the standalone
+    :class:`ClusterEvaluator` and the service's per-job
+    :class:`~repro.service.evaluator.ServiceEvaluator`.
+
+    Subclasses own the wiring (who creates the loop/coordinator, which
+    channel the batches ride) and call :meth:`_init_lease_state` before
+    first use; everything here — caches, counters, batch planning,
+    telemetry draining — is identical across both, which is what keeps
+    a service job byte-identical to a standalone search.
+    """
+
+    #: channel this evaluator submits batches on.
+    job_id = DEFAULT_CHANNEL
+
+    def _init_lease_state(
+        self,
+        workload,
+        tree,
+        optimize_checks: bool,
+        telemetry,
+        incremental: bool,
+        store,
+        store_workload: str,
+        retry: RetryPolicy | None,
+    ) -> None:
+        self.workload = workload
+        self.tree = tree
+        self.optimize_checks = optimize_checks
+        self.incremental = incremental
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.cache: dict = {}
+        self.semantic_cache: dict = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+        self.store = store
+        self.store_workload = store_workload
+        self.store_hits = 0
+        #: configurations actually run on some worker (excludes replays)
+        self.executions = 0
+        #: policy digests counted toward ``evaluations`` (see Evaluator)
+        self.decided: set = set()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._drain_interval = 0.05
+        self._closed = False
+        # set by the subclass: the loop the coordinator runs on, the
+        # coordinator itself, and the deque its channel events land in.
+        self._loop: asyncio.AbstractEventLoop
+        self._coord: _Coordinator
+        self._events: deque
+
+    def _store_id(self) -> str:
+        if not self.store_workload:
+            from repro.store import workload_id
+
+            self.store_workload = workload_id(self.workload)
+        return self.store_workload
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClusterError("evaluator is closed")
+
+    # -- telemetry bridge ----------------------------------------------------
+
+    def _drain_events(self) -> None:
+        """Emit queued coordinator events from the engine thread (the
+        trace's single writer)."""
+        telemetry = self.telemetry
+        events = self._events
+        while events:
+            kind, fields = events.popleft()
+            if not telemetry.enabled:
+                continue
+            if kind == "eval.worker_crash":
+                telemetry.count("eval.worker_crashes")
+            elif kind == "cluster.requeue":
+                telemetry.count("cluster.requeues")
+            elif kind == "cluster.lease":
+                telemetry.count("cluster.leases")
+            telemetry.emit(kind, **fields)
+
+    # -- Evaluator protocol ---------------------------------------------------
+
+    def evaluate(self, config: Config) -> EvalOutcome:
+        return self.evaluate_batch([config])[0]
+
+    def evaluate_batch(self, configs: list[Config]) -> list[EvalOutcome]:
+        self._check_open()
+        # Parent-side dedup (shared with ParallelEvaluator): what remains
+        # in plan.jobs is exactly what a serial evaluator would execute —
+        # re-connected or duplicate workers can never re-run a decided
+        # config because decided configs never become tasks.
+        plan = plan_batch(self, configs)
+        outcomes: list = []
+        batch_wall = 0.0
+        if plan.jobs:
+            payload = [
+                (
+                    {nid: policy.value for nid, policy in job.config.flags.items()},
+                    job.digest,
+                )
+                for job in plan.jobs
+            ]
+            start = time.perf_counter()
+            future = asyncio.run_coroutine_threadsafe(
+                self._coord.run_batch(self.job_id, payload), self._loop
+            )
+            try:
+                while True:
+                    try:
+                        outcomes, deltas = future.result(self._drain_interval)
+                        break
+                    except concurrent.futures.TimeoutError:
+                        self._drain_events()  # keep progress/traces live
+            finally:
+                self._drain_events()
+            batch_wall = time.perf_counter() - start
+            # Cache counters arrive through the forwarded worker event
+            # stream (metric.count, protocol v2); the RESULT deltas stay
+            # on the wire as a cross-check but are not folded in twice.
+            del deltas
+        self._drain_events()
+        return record_batch(self, plan, outcomes, batch_wall)
+
+    def close(self) -> None:  # pragma: no cover - subclass responsibility
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ClusterEvaluator(BaseLeaseEvaluator):
     """Evaluator that dispatches batches to network workers.
 
     Parameters mirror :class:`~repro.search.parallel.ParallelEvaluator`
@@ -437,7 +872,9 @@ class ClusterEvaluator:
         merely busy — worker expires.
 
     Workers may connect at any time, including mid-search; a batch with
-    no connected workers simply waits for the first one to join.
+    no connected workers simply waits for the first one to join.  The
+    coordinator it embeds speaks protocol v2 and v3, so older workers
+    keep working for this single-job case.
     """
 
     def __init__(
@@ -455,25 +892,11 @@ class ClusterEvaluator:
     ) -> None:
         from repro.store import workload_id
 
-        self.workload = workload
-        self.tree = tree
-        self.optimize_checks = optimize_checks
-        self.incremental = incremental
-        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self.cache: dict = {}
-        self.semantic_cache: dict = {}
-        self.evaluations = 0
-        self.cache_hits = 0
-        self.store = store
-        self.store_workload = store_workload
-        self.store_hits = 0
-        #: configurations actually run on some worker (excludes replays)
-        self.executions = 0
-        #: policy digests counted toward ``evaluations`` (see Evaluator)
-        self.decided: set = set()
-        self.retry = retry if retry is not None else RetryPolicy()
+        self._init_lease_state(
+            workload, tree, optimize_checks, telemetry, incremental,
+            store, store_workload, retry,
+        )
         self.lease_timeout = lease_timeout
-        self._drain_interval = 0.05
 
         name = getattr(workload, "name", tree.program_name)
         klass = getattr(workload, "klass", "")
@@ -490,10 +913,13 @@ class ClusterEvaluator:
             "lease_timeout": lease_timeout,
         }
 
-        self._events: deque = deque()
+        self._events = deque()
         self._coord = _Coordinator(
             welcome, self.retry, lease_timeout, self._events
         )
+        # The one channel of a standalone search shares the global event
+        # queue, so draining stays exactly as it was pre-service.
+        self._coord.register_channel(DEFAULT_CHANNEL, events=self._events)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="repro-cluster", daemon=True
@@ -507,7 +933,6 @@ class ClusterEvaluator:
         except BaseException:
             self._stop_loop()
             raise
-        self._closed = False
 
     # -- coordinator stats ---------------------------------------------------
 
@@ -536,73 +961,6 @@ class ClusterEvaluator:
     def crashed_configs(self) -> int:
         return self._coord.crashed_tasks
 
-    def _store_id(self) -> str:
-        if not self.store_workload:
-            from repro.store import workload_id
-
-            self.store_workload = workload_id(self.workload)
-        return self.store_workload
-
-    # -- telemetry bridge ----------------------------------------------------
-
-    def _drain_events(self) -> None:
-        """Emit queued coordinator events from the engine thread (the
-        trace's single writer)."""
-        telemetry = self.telemetry
-        events = self._events
-        while events:
-            kind, fields = events.popleft()
-            if not telemetry.enabled:
-                continue
-            if kind == "eval.worker_crash":
-                telemetry.count("eval.worker_crashes")
-            elif kind == "cluster.requeue":
-                telemetry.count("cluster.requeues")
-            elif kind == "cluster.lease":
-                telemetry.count("cluster.leases")
-            telemetry.emit(kind, **fields)
-
-    # -- Evaluator protocol ---------------------------------------------------
-
-    def evaluate(self, config: Config) -> EvalOutcome:
-        return self.evaluate_batch([config])[0]
-
-    def evaluate_batch(self, configs: list[Config]) -> list[EvalOutcome]:
-        if self._closed:
-            raise ClusterError("evaluator is closed")
-        # Parent-side dedup (shared with ParallelEvaluator): what remains
-        # in plan.jobs is exactly what a serial evaluator would execute —
-        # re-connected or duplicate workers can never re-run a decided
-        # config because decided configs never become tasks.
-        plan = plan_batch(self, configs)
-        outcomes: list = []
-        batch_wall = 0.0
-        if plan.jobs:
-            payload = [
-                (
-                    {nid: policy.value for nid, policy in job.config.flags.items()},
-                    job.digest,
-                )
-                for job in plan.jobs
-            ]
-            start = time.perf_counter()
-            future = asyncio.run_coroutine_threadsafe(
-                self._coord.run_batch(payload), self._loop
-            )
-            while True:
-                try:
-                    outcomes, deltas = future.result(self._drain_interval)
-                    break
-                except concurrent.futures.TimeoutError:
-                    self._drain_events()  # keep progress/traces live
-            batch_wall = time.perf_counter() - start
-            # Cache counters arrive through the forwarded worker event
-            # stream (metric.count, protocol v2); the RESULT deltas stay
-            # on the wire as a cross-check but are not folded in twice.
-            del deltas
-        self._drain_events()
-        return record_batch(self, plan, outcomes, batch_wall)
-
     def close(self) -> None:
         if self._closed:
             return
@@ -622,9 +980,3 @@ class ClusterEvaluator:
         self._thread.join(timeout=5)
         if not self._loop.is_running():
             self._loop.close()
-
-    def __enter__(self) -> "ClusterEvaluator":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()

@@ -9,10 +9,19 @@ Message flow (worker-initiated request/response, except heartbeats)::
 
     worker                         coordinator
     ------                         -----------
-    hello {version, host, pid}  ->
-                                <- welcome {workload, klass, workload_id,
-                                            incremental, optimize_checks,
+    hello {version, versions,
+           role, host, pid}     ->
+                                <- welcome {version, workload, klass,
+                                            workload_id, incremental,
+                                            optimize_checks,
                                             lease_timeout}
+                                   | unsupported {supported, message}
+                                     (structured refusal + clean close;
+                                      `versions` lists everything the
+                                      worker speaks so both sides can
+                                      settle on the highest shared
+                                      version — a v2 worker still
+                                      serves a single-job coordinator)
     lease {}                    ->
                                 <- task {task, flags, digest}
                                    | wait {delay}   (no work right now)
@@ -33,6 +42,35 @@ Message flow (worker-initiated request/response, except heartbeats)::
                                        keep its leases alive during long
                                        evaluations)
     bye {}                      ->    (clean disconnect)
+
+Client flow (protocol v3, ``hello`` with ``role: "client"`` — spoken by
+:mod:`repro.service` against a ``repro serve --service`` coordinator)::
+
+    client                         service
+    ------                         -------
+    hello {version, versions,
+           role: "client"}      ->
+                                <- welcome {version, service: true}
+                                   | unsupported {supported, message}
+    submit {workload, klass,
+            tenant, options}    ->
+                                <- submitted {job}
+                                   | rejected {code, message}
+    status {job}                ->
+                                <- job {job, state, ...}
+                                   | rejected {code: "unknown_job"}
+    result {job}                ->
+                                <- job {job, state, row, config, ...}
+    cancel {job}                ->
+                                <- job {job, state}
+    list {}                     ->
+                                <- jobs {jobs: [...]}
+    bye {}                      ->    (clean disconnect)
+
+Worker and client frames share one framing layer and one handshake; the
+``role`` field routes the connection after ``welcome``.  A worker ``result``
+carries a ``task`` key, a client ``result`` carries a ``job`` key — they
+never travel on the same connection.
 
 Every worker→coordinator message refreshes the worker's liveness
 deadline; a worker silent for longer than the lease timeout — or whose
@@ -55,7 +93,16 @@ import struct
 #: and mismatches are refused at handshake time.
 #: v2: one-way ``events`` frames forward worker telemetry to the
 #: coordinator for merged-trace aggregation.
-PROTOCOL_VERSION = 2
+#: v3: version negotiation (hello ``versions`` list, ``unsupported``
+#: refusals), connection roles (worker/client), client job frames
+#: (submit/status/result/cancel/list), and per-task workload fields so
+#: one worker serves many concurrent campaigns.
+PROTOCOL_VERSION = 3
+
+#: every version this endpoint can speak; the handshake settles on the
+#: highest version both sides list (a peer that predates ``versions``
+#: implicitly offers only its single ``version``).
+SUPPORTED_VERSIONS = (2, 3)
 
 #: frames above this are a protocol violation (a config flag map for a
 #: huge program is ~100 KiB; 16 MiB is three orders of magnitude slack).
@@ -75,6 +122,21 @@ HEARTBEAT = "heartbeat"
 EVENTS = "events"
 OK = "ok"
 BYE = "bye"
+# handshake refusal (v3): structured "I don't speak your version"
+UNSUPPORTED = "unsupported"
+# client job frames (v3, role: "client")
+SUBMIT = "submit"
+SUBMITTED = "submitted"
+STATUS = "status"
+CANCEL = "cancel"
+LIST = "list"
+JOB = "job"
+JOBS = "jobs"
+REJECTED = "rejected"
+
+# connection roles carried in hello (v3); absent = worker (v2 peers)
+ROLE_WORKER = "worker"
+ROLE_CLIENT = "client"
 
 
 class ProtocolError(RuntimeError):
@@ -175,6 +237,38 @@ def parse_address(address: str) -> tuple[str, int]:
     if not sep or not host:
         raise ValueError(f"address {address!r} is not HOST:PORT")
     return host, int(port)
+
+
+def offered_versions(hello: dict) -> list[int]:
+    """Every protocol version a ``hello`` frame offers.
+
+    v3 peers send an explicit ``versions`` list; older peers only carry
+    the single ``version`` integer, which counts as a one-element offer
+    so negotiation covers them uniformly.
+    """
+    offered = hello.get("versions")
+    if not isinstance(offered, (list, tuple)):
+        offered = [hello.get("version")]
+    return sorted({int(v) for v in offered if isinstance(v, int)})
+
+
+def negotiate_version(hello: dict, supported=SUPPORTED_VERSIONS) -> int | None:
+    """Pick the highest version both sides speak, or None if disjoint."""
+    shared = set(offered_versions(hello)) & set(supported)
+    return max(shared) if shared else None
+
+
+def unsupported_frame(hello: dict, supported=SUPPORTED_VERSIONS) -> dict:
+    """The structured refusal sent when negotiation finds no overlap."""
+    offered = offered_versions(hello)
+    return {
+        "type": UNSUPPORTED,
+        "supported": sorted(supported),
+        "message": (
+            f"peer offers protocol version(s) {offered or '?'}, "
+            f"this coordinator speaks {sorted(supported)}"
+        ),
+    }
 
 
 def outcome_to_wire(outcome) -> list:

@@ -10,6 +10,17 @@ two hosts), then loops: lease a task, execute it through the shared
 state lives on the coordinator; a worker can be killed, restarted, or
 added mid-search without changing the result.
 
+Against a multi-campaign job service (protocol v3) the ``welcome``
+carries no workload at all — each ``task`` frame names its own
+``workload``/``klass``/``workload_id`` — so one worker serves every
+concurrent campaign.  Workloads (and their incremental VM state) are
+built lazily and cached per ``workload_id``, with the same skew check
+per task that the v2 handshake does once.  The handshake negotiates the
+protocol version: the worker offers everything it speaks and the
+coordinator picks the highest shared version, answering a structured
+``unsupported`` frame (instead of a silent disconnect) when there is no
+overlap.
+
 A heartbeat thread sends one-way ``heartbeat`` frames at a quarter of
 the coordinator's lease timeout so a long-running evaluation does not
 look like a dead worker.  Heartbeats are never answered — the main
@@ -40,7 +51,10 @@ from repro.cluster.protocol import (
     OK,
     PROTOCOL_VERSION,
     RESULT,
+    ROLE_WORKER,
+    SUPPORTED_VERSIONS,
     TASK,
+    UNSUPPORTED,
     WAIT,
     WELCOME,
     ProtocolError,
@@ -95,12 +109,19 @@ def _handshake(sock: socket.socket) -> dict:
     send_frame(sock, {
         "type": HELLO,
         "version": PROTOCOL_VERSION,
+        "versions": list(SUPPORTED_VERSIONS),
+        "role": ROLE_WORKER,
         "host": socket.gethostname(),
         "pid": os.getpid(),
     })
     welcome = recv_frame(sock)
     if welcome is None:
         raise WorkerError("coordinator closed the connection during handshake")
+    if welcome.get("type") == UNSUPPORTED:
+        raise WorkerError(
+            f"{welcome.get('message', 'protocol version refused')} "
+            f"(coordinator supports {welcome.get('supported')})"
+        )
     if welcome.get("type") == ERROR:
         raise WorkerError(welcome.get("message", "handshake refused"))
     if welcome.get("type") != WELCOME:
@@ -108,18 +129,43 @@ def _handshake(sock: socket.socket) -> dict:
     return welcome
 
 
-def _build_workload(welcome: dict):
-    from repro.store import workload_id
+class _WorkloadCache:
+    """Per-``workload_id`` build of (workload, tree, incremental state).
 
-    workload = make_workload(welcome["workload"], welcome["klass"] or "W")
-    local_id = workload_id(workload)
-    if local_id != welcome["workload_id"]:
-        raise WorkerError(
-            f"workload {welcome['workload']!r} class {welcome['klass']!r} "
-            f"builds to id {local_id[:12]} here but the coordinator expects "
-            f"{welcome['workload_id'][:12]} — version skew between hosts"
+    A v2 coordinator pins one workload in the welcome; a v3 job service
+    ships the workload per task instead.  Either way the build is
+    validated against the coordinator's content-addressed id, so version
+    skew between hosts surfaces as a refusal rather than wrong results.
+    """
+
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+        self._built: dict[str, tuple] = {}
+
+    def get(self, name: str, klass: str, expected_id: str,
+            incremental: bool) -> tuple:
+        entry = self._built.get(expected_id)
+        if entry is not None:
+            return entry
+        from repro.store import workload_id
+
+        workload = make_workload(name, klass or "W")
+        local_id = workload_id(workload)
+        if local_id != expected_id:
+            raise WorkerError(
+                f"workload {name!r} class {klass!r} builds to id "
+                f"{local_id[:12]} here but the coordinator expects "
+                f"{expected_id[:12]} — version skew between hosts"
+            )
+        tree = build_tree(workload.program)
+        state = (
+            IncrementalState(workload, telemetry=self.telemetry)
+            if incremental
+            else None
         )
-    return workload
+        entry = (workload, tree, state)
+        self._built[expected_id] = entry
+        return entry
 
 
 def _forward_events(sock, send_lock, task, events_sink) -> None:
@@ -175,8 +221,6 @@ def run_worker(
     welcome = {}
     try:
         welcome = _handshake(sock)
-        workload = _build_workload(welcome)
-        tree = build_tree(workload.program)
         # Local telemetry buffer: per-task events are flushed to the
         # coordinator as one-way `events` frames so the search's trace
         # covers worker-side activity too (protocol v2).  Cache counters
@@ -184,12 +228,18 @@ def run_worker(
         # deltas fold-in the coordinator used to do from RESULT frames.
         events_sink = ListSink()
         wtel = Telemetry(sinks=[events_sink])
-        state = (
-            IncrementalState(workload, telemetry=wtel)
-            if welcome.get("incremental")
-            else None
-        )
-        optimize_checks = bool(welcome.get("optimize_checks"))
+        builds = _WorkloadCache(wtel)
+        # Welcome-pinned workload (v2 single-search coordinators); a job
+        # service sends an empty workload and names one per task.
+        pinned = None
+        if welcome.get("workload"):
+            pinned = builds.get(
+                welcome["workload"],
+                welcome.get("klass", ""),
+                welcome["workload_id"],
+                bool(welcome.get("incremental")),
+            )
+        default_checks = bool(welcome.get("optimize_checks"))
         interval = max(0.005, float(welcome.get("lease_timeout", 30.0)) / 4)
         heartbeat = _Heartbeat(sock, send_lock, interval)
         heartbeat.start()
@@ -206,6 +256,24 @@ def run_worker(
             if kind != TASK:
                 raise ProtocolError(f"expected task/wait/bye, got {kind!r}")
             _maybe_crash()
+            if "workload_id" in reply:
+                # v3 multi-campaign task: the frame names its workload.
+                workload, tree, state = builds.get(
+                    reply["workload"],
+                    reply.get("klass", ""),
+                    reply["workload_id"],
+                    bool(reply.get("incremental")),
+                )
+                optimize_checks = bool(
+                    reply.get("optimize_checks", default_checks)
+                )
+            elif pinned is not None:
+                workload, tree, state = pinned
+                optimize_checks = default_checks
+            else:
+                raise WorkerError(
+                    "task names no workload and the welcome pinned none"
+                )
             flags = {
                 nid: Policy(policy) for nid, policy in reply["flags"].items()
             }

@@ -1,0 +1,91 @@
+"""Per-job evaluator riding the service's shared coordinator.
+
+:class:`ServiceEvaluator` is the fourth member of the evaluator family
+and the piece that inverts the ownership story: where a standalone
+:class:`~repro.cluster.ClusterEvaluator` *creates* an event loop, a
+coordinator, and a TCP server, a ServiceEvaluator *borrows* all three
+from the owning :class:`~repro.service.server.PrecisionService` and
+merely registers its own channel.  Everything engine-visible — caches,
+counters, batch planning, store replay — is the shared
+:class:`~repro.cluster.coordinator.BaseLeaseEvaluator` logic, which is
+why a job's search trajectory is byte-identical to a standalone run of
+the same options (differential-tested).
+
+Cancellation: the job's ``cancel_event`` is checked at every batch
+boundary, and the service aborts the job's coordinator channel for a
+batch already in flight; either path raises
+:class:`~repro.cluster.coordinator.JobCancelled` on this job's engine
+thread only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.cluster.coordinator import BaseLeaseEvaluator, JobCancelled
+from repro.search.retry import RetryPolicy
+
+
+class ServiceEvaluator(BaseLeaseEvaluator):
+    """Evaluator for one service job, multiplexed over the shared pool."""
+
+    def __init__(
+        self,
+        service,
+        job,
+        workload,
+        tree,
+        telemetry=None,
+        incremental: bool = True,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        from repro.store import workload_id
+
+        self._init_lease_state(
+            workload, tree, False, telemetry, incremental,
+            service.store, workload_id(workload), retry,
+        )
+        self._job = job
+        self.job_id = job.job_id
+        self._loop = service._loop
+        self._coord = service._coord
+        self._events = deque()
+        name = getattr(workload, "name", tree.program_name)
+        klass = getattr(workload, "klass", "")
+        if klass and name.endswith("." + klass):
+            name = name[: -(len(klass) + 1)]
+        # Per-task workload fields: v3 workers build (and cache) the
+        # workload named by each task, so one pool serves every
+        # campaign concurrently.
+        info = {
+            "workload": name,
+            "klass": klass,
+            "workload_id": self.store_workload,
+            "incremental": incremental,
+            "optimize_checks": False,
+        }
+        asyncio.run_coroutine_threadsafe(
+            self._coord.open_channel(
+                self.job_id, tenant=job.tenant, quantum=job.quantum,
+                info=info, events=self._events,
+            ),
+            self._loop,
+        ).result(timeout=10)
+
+    def _check_open(self) -> None:
+        super()._check_open()
+        if self._job.cancel_event.is_set():
+            raise JobCancelled(f"{self.job_id}: job cancelled")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self._coord.close_channel(self.job_id), self._loop
+            ).result(timeout=5)
+        except Exception:
+            pass  # service already shutting its loop down
+        self._drain_events()

@@ -37,6 +37,7 @@ import json
 import os
 import sqlite3
 import struct
+import threading
 import time
 from typing import Iterator, NamedTuple
 
@@ -112,14 +113,29 @@ class ResultStore:
     safe to call from ``finally`` blocks and interrupt handlers — every
     write is committed eagerly, so there is never buffered state to
     lose.
+
+    One store may be shared across threads (the job service hands a
+    single service-wide store to every concurrent campaign so outcomes
+    dedup across tenants): the connection is opened with
+    ``check_same_thread=False`` and every operation serialises on an
+    internal lock, which also keeps the get-compare-insert sequence in
+    :meth:`put` atomic against sibling threads.
+
+    ``timeout`` is SQLite's busy timeout in seconds — how long to wait
+    on a database locked by *another process* before giving up with
+    ``sqlite3.OperationalError`` (the CLI uses a short timeout so a
+    locked store is a prompt, documented exit code instead of a stall).
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(self, path: str = ":memory:", timeout: float = 30.0) -> None:
         self.path = str(path)
         if self.path != ":memory:":
             parent = os.path.dirname(os.path.abspath(self.path))
             os.makedirs(parent, exist_ok=True)
-        self._db = sqlite3.connect(self.path)
+        self._db = sqlite3.connect(
+            self.path, timeout=timeout, check_same_thread=False
+        )
+        self._lock = threading.RLock()
         self._closed = False
         self.hits = 0
         self.misses = 0
@@ -166,16 +182,17 @@ class ResultStore:
 
     def get(self, workload: str, key: str) -> EvalOutcome | None:
         """The decided outcome for (workload, key), or None."""
-        row = self._db.execute(
-            "SELECT passed, cycles, trap, reason FROM outcomes"
-            " WHERE workload = ? AND key = ?",
-            (workload, key),
-        ).fetchone()
-        if row is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return EvalOutcome(bool(row[0]), row[1], row[2], row[3])
+        with self._lock:
+            row = self._db.execute(
+                "SELECT passed, cycles, trap, reason FROM outcomes"
+                " WHERE workload = ? AND key = ?",
+                (workload, key),
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return EvalOutcome(bool(row[0]), row[1], row[2], row[3])
 
     def put(
         self,
@@ -193,46 +210,48 @@ class ResultStore:
         ``created`` defaults to now; :meth:`import_jsonl` passes the
         original timestamp through so merged rows keep their provenance.
         """
-        existing = self._db.execute(
-            "SELECT passed, cycles, trap, reason FROM outcomes"
-            " WHERE workload = ? AND key = ?",
-            (workload, key),
-        ).fetchone()
-        if existing is not None:
-            recorded = EvalOutcome(
-                bool(existing[0]), existing[1], existing[2], existing[3]
-            )
-            if recorded != outcome:
-                raise StoreCollisionError(
-                    f"{workload}/{key[:12]}: recorded {recorded} != new {outcome}"
+        with self._lock:
+            existing = self._db.execute(
+                "SELECT passed, cycles, trap, reason FROM outcomes"
+                " WHERE workload = ? AND key = ?",
+                (workload, key),
+            ).fetchone()
+            if existing is not None:
+                recorded = EvalOutcome(
+                    bool(existing[0]), existing[1], existing[2], existing[3]
                 )
-            return
-        self._db.execute(
-            "INSERT INTO outcomes"
-            " (workload, key, passed, cycles, trap, reason, wall_s, created)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                workload,
-                key,
-                int(outcome.passed),
-                int(outcome.cycles),
-                outcome.trap,
-                outcome.reason,
-                float(wall_s),
-                time.time() if created is None else float(created),
-            ),
-        )
-        self._db.commit()
-        self.puts += 1
+                if recorded != outcome:
+                    raise StoreCollisionError(
+                        f"{workload}/{key[:12]}: recorded {recorded} != new {outcome}"
+                    )
+                return
+            self._db.execute(
+                "INSERT INTO outcomes"
+                " (workload, key, passed, cycles, trap, reason, wall_s, created)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    workload,
+                    key,
+                    int(outcome.passed),
+                    int(outcome.cycles),
+                    outcome.trap,
+                    outcome.reason,
+                    float(wall_s),
+                    time.time() if created is None else float(created),
+                ),
+            )
+            self._db.commit()
+            self.puts += 1
 
     def count(self, workload: str | None = None) -> int:
-        if workload is None:
-            row = self._db.execute("SELECT COUNT(*) FROM outcomes").fetchone()
-        else:
-            row = self._db.execute(
-                "SELECT COUNT(*) FROM outcomes WHERE workload = ?", (workload,)
-            ).fetchone()
-        return int(row[0])
+        with self._lock:
+            if workload is None:
+                row = self._db.execute("SELECT COUNT(*) FROM outcomes").fetchone()
+            else:
+                row = self._db.execute(
+                    "SELECT COUNT(*) FROM outcomes WHERE workload = ?", (workload,)
+                ).fetchone()
+            return int(row[0])
 
     def rows(self, workload: str | None = None) -> Iterator[StoredOutcome]:
         """All rows in canonical (workload, key) order."""
@@ -245,7 +264,11 @@ class ResultStore:
             sql += " WHERE workload = ?"
             params = (workload,)
         sql += " ORDER BY workload, key"
-        for row in self._db.execute(sql, params):
+        # Materialise under the lock so iteration never interleaves with
+        # a sibling thread's writes on the shared connection.
+        with self._lock:
+            fetched = self._db.execute(sql, params).fetchall()
+        for row in fetched:
             yield StoredOutcome(
                 row[0],
                 row[1],
@@ -308,10 +331,11 @@ class ResultStore:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        if not self._closed:
-            self._db.commit()
-            self._db.close()
-            self._closed = True
+        with self._lock:
+            if not self._closed:
+                self._db.commit()
+                self._db.close()
+                self._closed = True
 
     def __enter__(self) -> "ResultStore":
         return self

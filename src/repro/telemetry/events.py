@@ -58,6 +58,16 @@ EVENT_FIELDS: dict[str, frozenset] = {
     # a lease whose worker died/errored, put back on the queue with
     # exponential backoff (exhausted retries become eval.worker_crash).
     "cluster.requeue": frozenset({"task", "attempts", "reason"}),
+    # -- multi-tenant job service (repro.service) ----------------------------
+    # Job lifecycle on the service's own trace: submit (accepted over
+    # the wire), begin (engine thread started), end (terminal state:
+    # complete/failed/cancelled), cancel (request received).  Per-job
+    # cluster.*/eval.* events land in that job's own trace instead,
+    # tagged with a `job` extra field.
+    "service.job.submit": frozenset({"job", "tenant", "workload"}),
+    "service.job.begin": frozenset({"job", "workload"}),
+    "service.job.end": frozenset({"job", "state"}),
+    "service.job.cancel": frozenset({"job"}),
     # -- instrumentation layer ---------------------------------------------
     "instr.stats": frozenset(
         {

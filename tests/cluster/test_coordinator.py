@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from repro.cluster import ClusterEvaluator, PROTOCOL_VERSION
+from repro.cluster import ClusterEvaluator, PROTOCOL_VERSION, SUPPORTED_VERSIONS
 from repro.cluster.protocol import parse_address, recv_frame, send_frame
 from repro.config.generator import build_tree
 from repro.config.model import Config, Policy
@@ -122,13 +122,29 @@ class TestHandshake:
         assert evaluator.workers_seen == 1
 
     def test_version_mismatch_refused(self, evaluator):
+        # v3 satellite: an unknown version gets a structured refusal
+        # naming every acceptable version, then a clean close.
         worker = FakeWorker(evaluator.address, version=PROTOCOL_VERSION + 1)
         try:
-            assert worker.welcome["type"] == "error"
+            assert worker.welcome["type"] == "unsupported"
+            assert worker.welcome["supported"] == sorted(SUPPORTED_VERSIONS)
             assert "version" in worker.welcome["message"]
+            # clean close: EOF at a frame boundary, not a reset
+            assert recv_frame(worker.sock) is None
         finally:
             worker.close()
         assert evaluator.workers_seen == 0
+
+    def test_v2_worker_still_served(self, evaluator):
+        # Version negotiation keeps plain-v2 workers usable against a
+        # single-job coordinator: hello carries only `version: 2`.
+        worker = FakeWorker(evaluator.address, version=2)
+        try:
+            assert worker.welcome["type"] == "welcome"
+            assert worker.welcome["version"] == 2
+        finally:
+            worker.close()
+        assert evaluator.workers_seen == 1
 
     def test_idle_lease_gets_wait(self, evaluator):
         worker = FakeWorker(evaluator.address)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the job-service test suite.
+
+The serial references mirror ``tests/cluster/conftest``: every
+differential test compares a service-hosted campaign against the same
+uninterrupted serial search.
+
+``service_running`` exists because worker lifetime differs from the
+single-job cluster: a service coordinator outlives its jobs, so idle
+workers are only dismissed when the *service* closes — the context
+manager closes the service first, then joins the worker threads.
+"""
+
+import contextlib
+import threading
+
+import pytest
+
+from repro.cluster import run_worker
+from repro.service import PrecisionService
+
+from tests.cluster.conftest import serial_reference
+
+
+@contextlib.contextmanager
+def service_running(tmp_path, workers: int = 0, **kwargs):
+    """A PrecisionService plus *workers* in-thread pool workers; closing
+    the service dismisses them."""
+    kwargs.setdefault("bind", "127.0.0.1:0")
+    service = PrecisionService(str(tmp_path / "svc"), **kwargs)
+    threads = [
+        threading.Thread(target=run_worker, args=(service.address,),
+                         daemon=True)
+        for _ in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        yield service
+    finally:
+        service.close()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(t.is_alive() for t in threads), "worker never dismissed"
+
+
+@pytest.fixture(scope="session")
+def serial_cg():
+    return serial_reference("cg", "T")
+
+
+@pytest.fixture(scope="session")
+def serial_mg():
+    return serial_reference("mg", "T")

@@ -1,0 +1,92 @@
+"""JobRegistry admission control and Job lifecycle bookkeeping."""
+
+import pytest
+
+from repro.service import QuotaError
+from repro.service.jobs import (
+    CANCELLED,
+    COMPLETE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobRegistry,
+)
+
+
+class TestAdmission:
+    def test_sequential_ids_in_submission_order(self):
+        registry = JobRegistry()
+        first = registry.admit("alice", "cg", "T", {})
+        second = registry.admit("bob", "mg", "T", {})
+        assert [job.job_id for job in registry.jobs()] == ["j1", "j2"]
+        assert registry.get("j1") is first
+        assert registry.get("j2") is second
+        assert registry.get("j99") is None
+
+    def test_quota_counts_active_jobs_per_tenant(self):
+        registry = JobRegistry(max_queued=1)
+        registry.admit("alice", "cg", "T", {})
+        with pytest.raises(QuotaError):
+            registry.admit("alice", "mg", "T", {})
+        # a different tenant has its own quota
+        registry.admit("bob", "mg", "T", {})
+
+    def test_terminal_jobs_free_the_quota(self):
+        registry = JobRegistry(max_queued=1)
+        job = registry.admit("alice", "cg", "T", {})
+        for state in sorted(TERMINAL_STATES):
+            job.state = state
+            registry.admit("alice", "cg", "T", {}).state = RUNNING
+            with pytest.raises(QuotaError):
+                registry.admit("alice", "cg", "T", {})
+            registry.jobs()[-1].state = CANCELLED
+
+    def test_no_quota_means_unbounded(self):
+        registry = JobRegistry()
+        for _ in range(10):
+            registry.admit("alice", "cg", "T", {})
+        assert len(registry.active()) == 10
+
+
+class TestJobViews:
+    def test_status_snapshot_is_json_safe(self):
+        registry = JobRegistry()
+        job = registry.admit("alice", "cg", "T", {"workers": 2}, quantum=2.0)
+        status = job.status()
+        assert status["job"] == "j1"
+        assert status["tenant"] == "alice"
+        assert status["workload"] == "cg"
+        assert status["klass"] == "T"
+        assert status["state"] == QUEUED
+        assert status["tested"] == 0
+        assert status["executions"] == 0
+        import json
+
+        json.dumps(status)  # every field must be wire-safe
+
+    def test_result_reply_carries_artifacts(self):
+        registry = JobRegistry()
+        job = registry.admit("alice", "cg", "T", {})
+        job.state = COMPLETE
+        job.result_row = {"benchmark": "cg.T"}
+        job.config_text = "# config\n"
+        job.tested = 7
+        reply = job.result_reply()
+        assert reply["row"] == {"benchmark": "cg.T"}
+        assert reply["config"] == "# config\n"
+        assert reply["tested"] == 7
+
+    def test_options_are_copied_at_admission(self):
+        registry = JobRegistry()
+        options = {"workers": 2}
+        job = registry.admit("alice", "cg", "T", options)
+        options["workers"] = 99
+        assert job.options["workers"] == 2
+
+    def test_failed_state_keeps_the_error(self):
+        registry = JobRegistry()
+        job = registry.admit("alice", "cg", "T", {})
+        job.state = FAILED
+        job.error = "ValueError: boom"
+        assert job.status()["error"] == "ValueError: boom"
