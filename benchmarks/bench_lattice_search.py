@@ -1,0 +1,215 @@
+"""Lattice descent search: the cost and yield of widths below f32.
+
+Runs the breadth-first search four times per workload:
+
+* **binary** — the paper's two-level search, no lattice configured;
+* **binary lattice** — ``SearchOptions(lattice="f64,f32")``, which must
+  be *byte-identical* to the binary run (same configs tested, same
+  serialized final configuration) — the subsystem's
+  backward-compatibility anchor;
+* **unseeded descent** — the full ``f64,f32,bf16,f16`` lattice with
+  analysis off: every settled f32 site is re-evaluated at each narrower
+  rung;
+* **seeded descent** — the same lattice with the shadow-value analysis
+  on, so observed magnitude ranges prune rungs a site provably cannot
+  fit (``SearchGuide.predict_unfit``, see docs/LATTICE.md).
+
+Seeding only steers where evaluations are spent, so seeded and unseeded
+descents must compose identical final configurations; the seeded run
+must never test more.  The table reports evaluation counts, wall times,
+and how many sites settled below f32 at each width.
+
+Besides the human-readable table this merges a machine-readable record
+into ``results/BENCH_search.json`` (under the ``"lattice"`` key, next
+to the incremental and guided records) so future PRs have a perf
+trajectory.
+
+Standalone usage (CI's lattice-smoke job asserts the same invariants
+inline)::
+
+    PYTHONPATH=src python benchmarks/bench_lattice_search.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from conftest import RESULTS_DIR, emit, full_scale, merge_json_rows
+
+from repro.config.fileformat import dump_config
+from repro.search import SearchEngine, SearchOptions
+from repro.workloads import make_workload
+
+FULL_SPEC = "f64,f32,bf16,f16"
+
+#: mg.W first — it is the workload known to settle a site below f32,
+#: so it carries the strict narrow-site and seeding acceptances.
+WORKLOADS = (("mg", "W"), ("cg", "T"))
+FULL_WORKLOADS = (("mg", "W"), ("cg", "T"), ("cg", "S"), ("ep", "T"))
+
+
+def _run(bench: str, klass: str, options: SearchOptions | None = None):
+    engine = SearchEngine(make_workload(bench, klass), options or SearchOptions())
+    start = time.perf_counter()
+    result = engine.run()
+    return result, time.perf_counter() - start
+
+
+def measure(bench: str, klass: str) -> dict:
+    name = f"{bench}.{klass}"
+    binary, binary_wall = _run(bench, klass)
+    twolevel, _ = _run(bench, klass, SearchOptions(lattice="f64,f32"))
+    unseeded, unseeded_wall = _run(
+        bench, klass, SearchOptions(lattice=FULL_SPEC, analysis=False)
+    )
+    seeded, seeded_wall = _run(
+        bench, klass, SearchOptions(lattice=FULL_SPEC, analysis=True)
+    )
+
+    # Backward-compatibility anchor: the explicit two-level lattice is
+    # the pre-lattice binary search, bit for bit.
+    assert twolevel.configs_tested == binary.configs_tested, (
+        f"{name}: binary lattice tested {twolevel.configs_tested} configs, "
+        f"binary search {binary.configs_tested}"
+    )
+    assert dump_config(twolevel.final_config) == dump_config(binary.final_config), (
+        f"{name}: binary lattice composed a different final config"
+    )
+
+    # Soundness: seeding steers evaluations only — both descents must
+    # compose the same final configuration, and descent never flips an
+    # f32-level verdict (narrowed sites were SINGLE in the binary run).
+    seeded_p = seeded.final_config.instruction_policies()
+    unseeded_p = unseeded.final_config.instruction_policies()
+    assert seeded_p == unseeded_p, (
+        f"{name}: seeded descent composed a different final config"
+    )
+    base_p = binary.final_config.instruction_policies()
+    widths = {"BF16": 0, "HALF": 0}
+    for addr, policy in seeded_p.items():
+        if policy.name in widths:
+            widths[policy.name] += 1
+            assert base_p[addr].name == "SINGLE", hex(addr)
+        else:
+            assert base_p[addr] is policy, hex(addr)
+    assert seeded.configs_tested <= unseeded.configs_tested, (
+        f"{name}: seeding added evaluations "
+        f"({seeded.configs_tested} vs {unseeded.configs_tested})"
+    )
+
+    descent_extra = unseeded.configs_tested - binary.configs_tested
+    saved = unseeded.configs_tested - seeded.configs_tested
+    return {
+        "benchmark": name,
+        "binary_configs": binary.configs_tested,
+        "unseeded_configs": unseeded.configs_tested,
+        "seeded_configs": seeded.configs_tested,
+        "descent_extra_configs": descent_extra,
+        "seeding_saved": saved,
+        "seeding_saved_pct": round(
+            100.0 * saved / max(1, descent_extra), 1
+        ),
+        "bf16_sites": widths["BF16"],
+        "f16_sites": widths["HALF"],
+        "binary_wall_s": round(binary_wall, 4),
+        "unseeded_wall_s": round(unseeded_wall, 4),
+        "seeded_wall_s": round(seeded_wall, 4),
+        "binary_identical": True,
+        "identical_final": True,
+    }
+
+
+def _format(rows: list[dict]) -> str:
+    lines = ["Lattice descent search — rungs below f32 (f64,f32,bf16,f16)", ""]
+    header = (
+        f"{'benchmark':<10} {'binary':>7} {'descent':>8} {'seeded':>7} "
+        f"{'saved':>12} {'bf16':>5} {'f16':>4} {'wall':>20}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<10} {row['binary_configs']:>7} "
+            f"{row['unseeded_configs']:>8} {row['seeded_configs']:>7} "
+            f"{row['seeding_saved']:>5} ({row['seeding_saved_pct']:>4.1f}%) "
+            f"{row['bf16_sites']:>5} {row['f16_sites']:>4} "
+            f"{row['unseeded_wall_s']:>8.2f}s -> {row['seeded_wall_s']:>7.2f}s"
+        )
+    return "\n".join(lines)
+
+
+def _assert_acceptance(rows: list[dict]) -> None:
+    for row in rows:
+        bench = row["benchmark"].split(".")[0]
+        if bench == "mg":
+            assert row["bf16_sites"] + row["f16_sites"] > 0, (
+                f"{row['benchmark']}: descent narrowed nothing below f32"
+            )
+            assert row["seeded_configs"] < row["unseeded_configs"], (
+                f"{row['benchmark']}: width seeding saved nothing "
+                f"({row['seeded_configs']} vs {row['unseeded_configs']})"
+            )
+
+
+def run_benchmark() -> dict:
+    workloads = FULL_WORKLOADS if full_scale() else WORKLOADS
+    rows = [measure(bench, klass) for bench, klass in workloads]
+    _assert_acceptance(rows)
+    payload = {"rows": rows, "primary": rows[0]}
+    emit("lattice_search", _format(rows))
+    merge_json_rows("BENCH_search", payload, section="lattice")
+    print(f"merged into {RESULTS_DIR / 'BENCH_search.json'}")
+    return payload
+
+
+def test_lattice_search(benchmark):
+    payload = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    primary = payload["primary"]
+    # Acceptance: mg.W settles at least one site below f32 and the
+    # analysis-seeded descent tests strictly fewer configurations.
+    assert primary["bf16_sites"] + primary["f16_sites"] > 0
+    assert primary["seeded_configs"] < primary["unseeded_configs"], primary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the payload to this path (besides results/)",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a baseline json; exit 1 if seeding stops saving",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        saved = payload["primary"]["seeding_saved"]
+        floor = baseline["seeding_saved"] / 2.0
+        print(
+            f"seeding saved {saved} configs vs baseline "
+            f"{baseline['seeding_saved']} (floor {floor:.1f})"
+        )
+        if saved < floor:
+            print(
+                "PERF REGRESSION: width seeding saves less than half "
+                "the baseline evaluations",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

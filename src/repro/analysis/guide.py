@@ -81,3 +81,28 @@ class SearchGuide:
             return False
         ia = self.report.get(addrs[0])
         return ia is not None and ia.verdict == VERDICT_FAIL
+
+    # -- lattice width seeding ---------------------------------------------
+
+    def predict_unfit(self, addrs, width) -> bool:
+        """True when some observed instruction's value range cannot be
+        represented at lattice *width* (a :class:`repro.lattice.Width`).
+
+        This is the width-seeding predicate of the lattice descent: the
+        shadow run records the smallest and largest magnitudes flowing
+        through every candidate, and a site whose values overflow
+        ``width.max_finite`` (or all land below ``width.min_normal``)
+        would round to infinity/zero when narrowed — the descent skips
+        the evaluation and descends structurally instead, exactly like
+        a channel-predicted failure.  Unlike :meth:`predict_fail` this
+        *is* a range heuristic (it fires on groups too); it only steers
+        which lattice evaluations are spent, never whether an item
+        enters the final configuration at the width it already
+        verified.
+        """
+        from repro.lattice import fits_width
+
+        for ia in self.report.for_addrs(addrs):
+            if not fits_width(width, ia.min_abs, ia.max_abs):
+                return True
+        return False

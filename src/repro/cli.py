@@ -272,15 +272,19 @@ def cmd_search(args) -> int:
             )
         klass = args.klass_opt if args.klass_opt is not None else args.klass
         workload = make_workload(args.workload, klass)
-        options = SearchOptions(
-            stop_level=args.stop_level,
-            workers=args.workers,
-            refine=args.refine,
-            incremental=not args.no_incremental,
-            analysis=args.analysis,
-            cluster=args.cluster or "",
-            lease_timeout=args.lease_timeout,
-        )
+        try:
+            options = SearchOptions(
+                stop_level=args.stop_level,
+                workers=args.workers,
+                refine=args.refine,
+                incremental=not args.no_incremental,
+                analysis=args.analysis,
+                cluster=args.cluster or "",
+                lease_timeout=args.lease_timeout,
+                lattice=args.lattice,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"search: {exc}")
         if args.campaign:
             from repro.campaign import Campaign
 
@@ -390,7 +394,7 @@ def cmd_search(args) -> int:
             else result.final_config
         )
         with open(args.output, "w") as handle:
-            handle.write(dump_config(best))
+            handle.write(dump_config(best, lattice=options.lattice))
         print(f"wrote configuration to {args.output}")
     return 0
 
@@ -537,6 +541,7 @@ def _submit_options(args) -> dict:
         "refine": args.refine,
         "incremental": not args.no_incremental,
         "analysis": args.analysis,
+        "lattice": args.lattice,
     }
 
 
@@ -860,6 +865,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "is identical either way)")
     p.add_argument("--stop-level", default="instruction",
                    choices=("module", "function", "block", "instruction"))
+    p.add_argument("--lattice", default="f64,f32", metavar="SPEC",
+                   help="precision lattice to search down, e.g. "
+                        "f64,f32,bf16,f16 (default f64,f32 — the paper's "
+                        "binary double/single search); extra widths add a "
+                        "lattice-descent phase that re-tests passing items "
+                        "one width narrower at a time")
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--refine", action="store_true",
                    help="second search phase when the union fails")
@@ -922,6 +933,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shadow-value analysis guidance (see `search`)")
     p.add_argument("--stop-level", default="instruction",
                    choices=("module", "function", "block", "instruction"))
+    p.add_argument("--lattice", default="f64,f32", metavar="SPEC",
+                   help="precision lattice to search down (see `search`)")
     p.add_argument("--workers", type=int, default=4,
                    help="batch size: configurations leased concurrently "
                         "(default 4)")
@@ -981,6 +994,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shadow-value analysis guidance (see `search`)")
     p.add_argument("--stop-level", default="instruction",
                    choices=("module", "function", "block", "instruction"))
+    p.add_argument("--lattice", default="f64,f32", metavar="SPEC",
+                   help="precision lattice to search down (see `search`)")
     p.add_argument("--workers", type=int, default=4,
                    help="batch size: configurations leased concurrently "
                         "(default 4)")

@@ -743,6 +743,7 @@ class BaseLeaseEvaluator:
         store,
         store_workload: str,
         retry: RetryPolicy | None,
+        lattice=None,
     ) -> None:
         self.workload = workload
         self.tree = tree
@@ -756,6 +757,8 @@ class BaseLeaseEvaluator:
         self.store = store
         self.store_workload = store_workload
         self.store_hits = 0
+        #: lattice spec salting the store's policy digests (see Evaluator)
+        self.lattice = lattice
         #: configurations actually run on some worker (excludes replays)
         self.executions = 0
         #: policy digests counted toward ``evaluations`` (see Evaluator)
@@ -889,12 +892,13 @@ class ClusterEvaluator(BaseLeaseEvaluator):
         store_workload: str = "",
         retry: RetryPolicy | None = None,
         lease_timeout: float = 30.0,
+        lattice=None,
     ) -> None:
         from repro.store import workload_id
 
         self._init_lease_state(
             workload, tree, optimize_checks, telemetry, incremental,
-            store, store_workload, retry,
+            store, store_workload, retry, lattice=lattice,
         )
         self.lease_timeout = lease_timeout
 

@@ -12,16 +12,19 @@ from repro.config.model import (
     ConfigNode,
     ProgramTree,
     Config,
+    narrowest,
 )
 from repro.config.generator import build_tree
-from repro.config.fileformat import dump_config, load_config
+from repro.config.fileformat import dump_config, load_config, read_lattice_header
 
 __all__ = [
     "Policy",
+    "narrowest",
     "ConfigNode",
     "ProgramTree",
     "Config",
     "build_tree",
     "dump_config",
     "load_config",
+    "read_lattice_header",
 ]

@@ -13,9 +13,16 @@ Example::
             INSN03: 0x0054 "addsd %x0, %x1"
 
 The first column holds the precision flag — ``s`` (single), ``d``
-(double), ``i`` (ignore) — or a space when the entry has no explicit
-flag.  Indentation shows containment; an aggregate's flag overrides its
+(double), ``i`` (ignore), or the lattice widths ``b`` (bfloat16) and
+``h`` (binary16) — or a space when the entry has no explicit flag.
+Indentation shows containment; an aggregate's flag overrides its
 children's flags.  Lines beginning with ``#`` are comments.
+
+**Format v2 (lattice-aware):** configs searched over a non-binary
+precision lattice carry a ``# lattice: <spec>`` header comment recording
+the width chain the flags refer to.  Legacy binary (f64->f32) configs
+omit the header entirely, so every v1 file is a valid v2 file and
+re-serializes byte-identically — the version bump is purely additive.
 """
 
 from __future__ import annotations
@@ -48,18 +55,42 @@ def _render_node(node: ConfigNode, config: Config, depth: int, lines: list[str])
         _render_node(child, config, depth + 1, lines)
 
 
-def dump_config(config: Config, header: str | None = None) -> str:
-    """Serialize *config* to the exchange text format."""
+def dump_config(
+    config: Config, header: str | None = None, lattice=None
+) -> str:
+    """Serialize *config* to the exchange text format.
+
+    *lattice* (a :class:`repro.lattice.Lattice` or spec string) adds the
+    v2 ``# lattice:`` header; the binary f64->f32 lattice — and None —
+    emit no header, keeping legacy output byte-identical.
+    """
     tree = config.tree
     lines = [
         f"# program: {tree.program_name}   candidates: {tree.candidate_count}"
     ]
+    if lattice is not None:
+        from repro.lattice import parse_lattice
+
+        lattice = parse_lattice(lattice)
+        if not lattice.is_binary:
+            lines.append(f"# lattice: {lattice.spec()}")
     if header:
         for extra in header.splitlines():
             lines.append(f"# {extra}")
     for root in tree.roots:
         _render_node(root, config, 0, lines)
     return "\n".join(lines) + "\n"
+
+
+def read_lattice_header(text: str) -> str | None:
+    """The ``# lattice:`` spec of a v2 config file, or None (v1/binary)."""
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if stripped.startswith("# lattice:"):
+            return stripped[len("# lattice:"):].strip()
+        if stripped and not stripped.startswith("#"):
+            break  # headers precede the first structure line
+    return None
 
 
 def load_config(tree: ProgramTree, text: str) -> Config:
@@ -86,6 +117,6 @@ def load_config(tree: ProgramTree, text: str) -> Config:
             flags[node_id] = Policy(col)
         except ValueError as exc:
             raise ConfigFormatError(
-                f"line {lineno}: bad flag {col!r} (expected s/d/i or space)"
+                f"line {lineno}: bad flag {col!r} (expected s/d/i/b/h or space)"
             ) from exc
     return Config(tree, flags)

@@ -19,15 +19,45 @@ from enum import Enum
 
 
 class Policy(str, Enum):
-    """Per-structure precision decision."""
+    """Per-structure precision decision.
+
+    The paper's model is binary (single/double/ignore); the precision
+    lattice (:mod:`repro.lattice`) adds two narrower rungs below single.
+    Policies are ordered by *narrowness*: ``d < s < b < h`` — see
+    :meth:`rank` and :func:`narrowest`.
+    """
 
     SINGLE = "s"
     DOUBLE = "d"
     IGNORE = "i"
+    BF16 = "b"
+    HALF = "h"
 
     @classmethod
     def from_flag(cls, flag: str) -> "Policy":
         return cls(flag)
+
+    @property
+    def is_narrow(self) -> bool:
+        """True for any replacement policy (anything below double)."""
+        return self in _NARROW_RANK
+
+    def rank(self) -> int:
+        """Narrowness rank: DOUBLE=0, SINGLE=1, BF16=2, HALF=3.
+
+        IGNORE has no rank (it is not a precision level).
+        """
+        if self is Policy.DOUBLE:
+            return 0
+        return _NARROW_RANK[self]
+
+
+_NARROW_RANK = {Policy.SINGLE: 1, Policy.BF16: 2, Policy.HALF: 3}
+
+
+def narrowest(a: Policy, b: Policy) -> Policy:
+    """The narrower of two non-IGNORE policies (lattice meet)."""
+    return a if a.rank() >= b.rank() else b
 
 
 LEVEL_MODULE = "module"
@@ -140,11 +170,13 @@ class Config:
         return cfg
 
     def union(self, other: "Config") -> "Config":
-        """Compose two configs: any node marked SINGLE in either is SINGLE.
+        """Compose two configs: each node takes the narrowest flag of either.
 
         This implements the paper's "final configuration": the union of all
-        individually passing replacements.  IGNORE flags are preserved;
-        conflicting SINGLE/IGNORE resolves to IGNORE (safety).
+        individually passing replacements.  With only SINGLE flags in play
+        this is exactly the paper's "any SINGLE wins" rule; lattice flags
+        generalize it to narrowest-wins.  IGNORE flags are preserved;
+        conflicting narrow/IGNORE resolves to IGNORE (safety).
         """
         if other.tree is not self.tree:
             raise ValueError("configs must share a ProgramTree")
@@ -153,10 +185,10 @@ class Config:
             current = merged.get(node_id)
             if current is Policy.IGNORE or policy is Policy.IGNORE:
                 merged[node_id] = Policy.IGNORE
-            elif current is Policy.SINGLE or policy is Policy.SINGLE:
-                merged[node_id] = Policy.SINGLE
-            else:
+            elif current is None:
                 merged[node_id] = policy
+            else:
+                merged[node_id] = narrowest(current, policy)
         return Config(self.tree, merged)
 
     # -- resolution -------------------------------------------------------------
@@ -194,28 +226,29 @@ class Config:
     # -- metrics ------------------------------------------------------------------
 
     def has_any_single(self) -> bool:
-        return any(p is Policy.SINGLE for p in self.instruction_policies().values())
+        """True if any candidate resolves to a narrow (replaced) policy."""
+        return any(p.is_narrow for p in self.instruction_policies().values())
 
     def static_replaced_fraction(self) -> float:
-        """Fraction of candidate instructions resolved to SINGLE (static %)."""
+        """Fraction of candidate instructions resolved narrow (static %)."""
         policies = self.instruction_policies()
         if not policies:
             return 0.0
-        singles = sum(1 for p in policies.values() if p is Policy.SINGLE)
-        return singles / len(policies)
+        narrowed = sum(1 for p in policies.values() if p.is_narrow)
+        return narrowed / len(policies)
 
     def dynamic_replaced_fraction(self, exec_counts: dict[int, int]) -> float:
-        """Fraction of candidate instruction *executions* resolved to SINGLE,
+        """Fraction of candidate instruction *executions* resolved narrow,
         weighted by a profile of the original program."""
         policies = self.instruction_policies()
         total = 0
-        singles = 0
+        narrowed = 0
         for addr, policy in policies.items():
             count = exec_counts.get(addr, 0)
             total += count
-            if policy is Policy.SINGLE:
-                singles += count
-        return singles / total if total else 0.0
+            if policy.is_narrow:
+                narrowed += count
+        return narrowed / total if total else 0.0
 
     def __eq__(self, other) -> bool:
         return (

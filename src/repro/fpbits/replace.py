@@ -12,6 +12,14 @@ The sentinel was chosen by the authors so that
 Note the sentinel sits in the *signalling* NaN range of binary64 (quiet
 bit 51 clear, payload non-zero); the paper calls it non-signalling in the
 practical sense that x86 SSE does not trap on it by default.
+
+The precision lattice (:mod:`repro.lattice`) extends the scheme below
+binary32 with one **distinct sentinel per width** — ``0x7FF4BEEF`` for
+bfloat16 and ``0x7FF4FEED`` for binary16, both sharing the ``0x7FF4``
+NaN prefix — so a slot always records *which* width it was narrowed to
+and un-instrumented consumers of any narrowed slot still fail loudly as
+NaNs.  16-bit patterns occupy the low 16 bits of the slot, zero-extended
+through the low word.
 """
 
 from __future__ import annotations
@@ -23,15 +31,37 @@ from repro.fpbits.ieee import (
     double_to_bits,
     single_to_bits,
 )
+from repro.fpbits.narrow import (
+    bf16_to_bits,
+    bits_to_bf16,
+    bits_to_f16,
+    f16_to_bits,
+)
 
 #: High-word sentinel marking a replaced (single-in-double-slot) value.
 REPLACED_FLAG = 0x7FF4DEAD
+
+#: High-word sentinel marking a bfloat16-narrowed slot.
+REPLACED_FLAG_BF16 = 0x7FF4BEEF
+
+#: High-word sentinel marking a binary16-narrowed slot.
+REPLACED_FLAG_F16 = 0x7FF4FEED
 
 #: The sentinel positioned in the high word of a 64-bit slot.
 REPLACED_FLAG_SHIFTED = REPLACED_FLAG << 32
 
 HIGH_WORD_MASK = 0xFFFFFFFF00000000
 LOW_WORD_MASK = 0x00000000FFFFFFFF
+
+#: Narrow width name -> (high-word sentinel, encode from float, decode to
+#: float).  The keys are the :mod:`repro.lattice` width names below f64.
+WIDTH_CODECS = {
+    "f32": (REPLACED_FLAG, single_to_bits, bits_to_single),
+    "bf16": (REPLACED_FLAG_BF16, bf16_to_bits, bits_to_bf16),
+    "f16": (REPLACED_FLAG_F16, f16_to_bits, bits_to_f16),
+}
+
+_SENTINEL_TO_WIDTH = {codec[0]: name for name, codec in WIDTH_CODECS.items()}
 
 
 def is_replaced(bits: int) -> bool:
@@ -83,3 +113,52 @@ def read_operand_as_single(bits: int) -> int:
     if is_replaced(bits):
         return bits & LOW_WORD_MASK
     return single_to_bits(bits_to_double(bits))
+
+
+# ---------------------------------------------------------------------------
+# Width-generic variants (the lattice's per-width sentinels).
+# ---------------------------------------------------------------------------
+
+
+def replaced_width(bits: int) -> str | None:
+    """Width name a slot was narrowed to, or None for a plain binary64."""
+    return _SENTINEL_TO_WIDTH.get((bits >> 32) & 0xFFFFFFFF)
+
+
+def is_replaced_at(bits: int, width: str) -> bool:
+    """True if the slot carries *width*'s sentinel in its high word."""
+    return ((bits >> 32) & 0xFFFFFFFF) == WIDTH_CODECS[width][0]
+
+
+def make_replaced_at(width: str, narrow_bits: int) -> int:
+    """Build a narrowed slot from *width*'s native bit pattern."""
+    return (WIDTH_CODECS[width][0] << 32) | (narrow_bits & LOW_WORD_MASK)
+
+
+def downcast_in_place_at(bits: int, width: str) -> int:
+    """Narrow a slot to *width* (the generalized Figure-5 downcast).
+
+    A slot already narrowed to *any* lattice width is first widened back
+    through its own codec, so re-narrowing never stacks sentinels.
+    Idempotent on slots already at *width*.
+    """
+    if is_replaced_at(bits, width):
+        return bits
+    sentinel, encode, _ = WIDTH_CODECS[width]
+    return (sentinel << 32) | (encode(read_operand_as_double_any(bits)) & LOW_WORD_MASK)
+
+
+def upcast_in_place_any(bits: int) -> int:
+    """Widen any narrowed slot back to a plain binary64 slot."""
+    width = replaced_width(bits)
+    if width is None:
+        return bits & BITS64_MASK
+    return double_to_bits(WIDTH_CODECS[width][2](bits & LOW_WORD_MASK))
+
+
+def read_operand_as_double_any(bits: int) -> float:
+    """Value of a slot for a double consumer, decoding any width's sentinel."""
+    width = replaced_width(bits)
+    if width is None:
+        return bits_to_double(bits)
+    return WIDTH_CODECS[width][2](bits & LOW_WORD_MASK)

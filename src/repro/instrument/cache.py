@@ -18,7 +18,9 @@ A block's emitted code is a pure function of
 * the policies of the block's own candidates (``rewrite`` resolves every
   candidate with ``policies.get(addr, Policy.DOUBLE)``),
 * the mode switches ``(snippet_all, wrap_moves, streamline,
-  optimize_checks)``,
+  optimize_checks)`` plus the configuration's live narrow width tuple
+  (a program-global fact: guard chains in *every* block test one
+  sentinel per live width, so it keys templates like a mode switch),
 
 because the redundant-check analysis (`compute_precleaned`) is strictly
 intra-block — its clean set is empty at block entry.  Label *names* never
@@ -46,7 +48,7 @@ from repro.binary.model import BasicBlock, FunctionInfo, Program
 from repro.config.model import Policy
 from repro.instrument.dataflow import block_precleaned
 from repro.instrument.rewriter import _addr_label, _emit_instruction
-from repro.instrument.snippets import SnippetStats
+from repro.instrument.snippets import DEFAULT_WIDTHS, SnippetStats
 from repro.isa.encode import encode_instruction
 from repro.isa.instruction import Instruction
 from repro.isa.operands import Imm, KIND_IMM, KIND_MEM, KIND_REG, KIND_XMM
@@ -120,6 +122,7 @@ def build_block_template(
     wrap_moves: bool,
     streamline: bool,
     optimize_checks: bool,
+    widths: tuple = DEFAULT_WIDTHS,
 ) -> BlockTemplate:
     """Instrument one block into a relocatable template (the cold path of
     the cache; byte-compatible with the AsmBuilder-based rewriter)."""
@@ -134,6 +137,7 @@ def build_block_template(
         _emit_instruction(
             builder, instr, entry_names, policies, snippet_all, stats,
             precleaned.get(instr.addr, frozenset()), wrap_moves, streamline,
+            widths,
         )
     if stats.replaced_single + stats.wrapped_double:
         stats.blocks_split = 1
@@ -272,9 +276,10 @@ class InstrumentCache:
         wrap_moves: bool,
         streamline: bool,
         optimize_checks: bool,
+        widths: tuple = DEFAULT_WIDTHS,
     ) -> CachedRewrite:
         """Assemble the executable implementing *policies* (see class doc)."""
-        variant = (snippet_all, wrap_moves, streamline, optimize_checks)
+        variant = (snippet_all, wrap_moves, streamline, optimize_checks, widths)
         templates = self._templates
         hits = misses = 0
 
@@ -298,7 +303,7 @@ class InstrumentCache:
                     misses += 1
                     template = build_block_template(
                         block, self.entry_names, policies, snippet_all,
-                        wrap_moves, streamline, optimize_checks,
+                        wrap_moves, streamline, optimize_checks, widths,
                     )
                     if len(templates) >= self.max_templates:
                         templates.clear()  # crude epoch flush; see docs

@@ -13,7 +13,8 @@ The analysis is deliberately conservative:
 * a call kills everything (callees are free to clobber XMM state);
 * any write whose provenance we do not model (memory loads, bit moves,
   pops, MPI results) kills the written register;
-* a single-policy candidate marks all registers it touches as flagged.
+* a narrow-policy candidate (single, bfloat16, binary16) marks all
+  registers it touches as flagged.
 """
 
 from __future__ import annotations
@@ -57,7 +58,7 @@ def block_precleaned(
             if policy is Policy.DOUBLE:
                 out[instr.addr] = frozenset(clean)
                 _apply_double(instr, clean)
-            elif policy is Policy.SINGLE:
+            elif policy.is_narrow:
                 _apply_single(instr, clean)
             else:  # IGNORE: untouched instruction, unknown effects
                 _kill_writes(instr, clean)

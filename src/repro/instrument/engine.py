@@ -13,7 +13,8 @@ Modes
 -----
 ``auto``
     Snippet everything iff the configuration marks at least one
-    instruction single (the paper's rule).
+    instruction narrow — single or a 16-bit lattice width (the paper's
+    rule, generalized down the lattice).
 ``all``
     Snippet everything regardless, *including floating-point moves*,
     which get a check-only guard — the paper's base-case overhead
@@ -31,7 +32,7 @@ from repro.binary.model import Program
 from repro.config.model import Config, Policy
 from repro.instrument.dataflow import compute_precleaned
 from repro.instrument.rewriter import rewrite
-from repro.instrument.snippets import SnippetError, SnippetStats
+from repro.instrument.snippets import SnippetError, SnippetStats, live_widths
 from repro.telemetry import NULL_TELEMETRY
 
 
@@ -119,8 +120,9 @@ def instrument(
             )
     if policies is None:
         policies = config.instruction_policies()
-    has_single = any(p is Policy.SINGLE for p in policies.values())
-    snippet_all = mode == "all" or (mode == "auto" and has_single)
+    has_narrow = any(p.is_narrow for p in policies.values())
+    snippet_all = mode == "all" or (mode == "auto" and has_narrow)
+    widths = live_widths(policies)
 
     telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     segments = None
@@ -129,7 +131,7 @@ def instrument(
             cached = cache.instrument(
                 policies, snippet_all,
                 wrap_moves=(mode == "all"), streamline=streamline,
-                optimize_checks=optimize_checks,
+                optimize_checks=optimize_checks, widths=widths,
             )
         except SnippetError as exc:
             raise InstrumentError(str(exc)) from exc
@@ -148,6 +150,7 @@ def instrument(
             new_program = rewrite(
                 program, policies, snippet_all, stats, precleaned,
                 wrap_moves=(mode == "all"), streamline=streamline,
+                widths=widths,
             )
         except SnippetError as exc:
             raise InstrumentError(str(exc)) from exc

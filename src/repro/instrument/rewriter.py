@@ -21,6 +21,8 @@ from repro.asm.builder import AsmBuilder, LabelRef
 from repro.binary.model import Program
 from repro.config.model import Config, Policy
 from repro.instrument.snippets import (
+    DEFAULT_WIDTHS,
+    POLICY_WIDTHS,
     SnippetStats,
     emit_double_snippet,
     emit_move_guard,
@@ -68,15 +70,18 @@ def rewrite(
     precleaned: dict[int, frozenset[int]] | None = None,
     wrap_moves: bool = False,
     streamline: bool = False,
+    widths: tuple = DEFAULT_WIDTHS,
 ) -> Program:
     """Produce a new executable implementing *policies* over *program*.
 
     ``policies`` maps candidate addresses to their resolved precision.
     When *snippet_all* is true, every candidate not marked IGNORE gets a
-    snippet (SINGLE -> replacement snippet, DOUBLE -> guard snippet); when
-    false, the program is copied verbatim (used to round-trip layout).
-    ``precleaned`` optionally maps an instruction address to XMM registers
-    proven clean there (redundant-check elimination).
+    snippet (narrow policy -> replacement snippet at that width, DOUBLE ->
+    guard snippet); when false, the program is copied verbatim (used to
+    round-trip layout).  ``precleaned`` optionally maps an instruction
+    address to XMM registers proven clean there (redundant-check
+    elimination).  ``widths`` is the configuration's live narrow width
+    tuple (see :func:`repro.instrument.snippets.live_widths`).
     """
     builder = AsmBuilder(program.name + "+instr")
 
@@ -94,7 +99,7 @@ def rewrite(
     precleaned = precleaned or {}
 
     sites = _replay_sites(program)
-    variant = (snippet_all, wrap_moves, streamline)
+    variant = (snippet_all, wrap_moves, streamline, widths)
     for fn in program.functions:
         builder.module(fn.module)
         builder.func(fn.name)
@@ -131,7 +136,7 @@ def rewrite(
                 _emit_instruction(
                     builder, instr, entry_names, policies, snippet_all, stats,
                     precleaned.get(addr, frozenset()), wrap_moves,
-                    streamline,
+                    streamline, widths,
                 )
                 d_rs = stats.replaced_single - b_rs
                 # by_opcode moves in lockstep with replaced_single (only
@@ -170,6 +175,7 @@ def _emit_instruction(
     precleaned: frozenset[int],
     wrap_moves: bool,
     streamline: bool,
+    widths: tuple = DEFAULT_WIDTHS,
 ) -> None:
     info = OPCODE_INFO[instr.opcode]
 
@@ -194,11 +200,17 @@ def _emit_instruction(
 
     if instr.is_candidate and snippet_all:
         policy = policies.get(instr.addr, Policy.DOUBLE)
-        if policy is Policy.SINGLE:
-            emit_single_snippet(builder, instr, stats, streamline=streamline)
+        width = POLICY_WIDTHS.get(policy)
+        if width is not None:
+            emit_single_snippet(
+                builder, instr, stats, streamline=streamline,
+                width=width, widths=widths,
+            )
             return
         if policy is Policy.DOUBLE:
-            emit_double_snippet(builder, instr, stats, precleaned, streamline)
+            emit_double_snippet(
+                builder, instr, stats, precleaned, streamline, widths
+            )
             return
         stats.ignored += 1  # IGNORE: fall through to verbatim copy
 

@@ -7,8 +7,8 @@ For every replaced instruction the engine splices in a short sequence of
    paper does the same "to avoid hard-to-find synchronization bugs or
    writing to unwritable memory");
 2. for each floating-point input register: tests the high word against
-   the ``0x7FF4DEAD`` sentinel and, depending on the target precision,
-   downcasts (single) or upcasts (double) the value **in place**;
+   the replacement sentinels and, depending on the target precision,
+   downcasts (narrow) or upcasts (double) the value **in place**;
 3. runs the original instruction with its opcode switched to the
    configured precision;
 4. re-establishes the sentinel in the result's high word where the
@@ -22,6 +22,17 @@ prologue.  Snippets clobber the condition flags; this is safe for
 compiler-generated code, which never keeps flags live across a
 floating-point instruction (the same assumption Dyninst-based tools make
 unless asked to save EFLAGS).
+
+Lattice widths
+--------------
+Every emitter takes the tuple of *live* narrow widths — the distinct
+narrow precisions the configuration actually uses, in lattice order.
+Each width carries its own sentinel (``f32`` ``0x7FF4DEAD``, ``bf16``
+``0x7FF4BEEF``, ``f16`` ``0x7FF4FEED``), so guard chains compare the
+high word against one sentinel per live width.  With a single live width
+the chain degenerates to exactly the one-compare sequence the binary
+f64->f32 pipeline has always emitted — byte for byte — which is what
+keeps the 2-level lattice differential tests trivially green.
 """
 
 from __future__ import annotations
@@ -29,13 +40,42 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.asm.builder import AsmBuilder, LabelRef
-from repro.fpbits.replace import REPLACED_FLAG, REPLACED_FLAG_SHIFTED
+from repro.config.model import Policy
+from repro.fpbits.replace import REPLACED_FLAG, REPLACED_FLAG_SHIFTED, WIDTH_CODECS
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import Op, OPCODE_INFO
+from repro.isa.opcodes import NARROW_FAMILIES, Op, OPCODE_INFO
 from repro.isa.operands import Imm, Mem, Reg, Xmm
 from repro.isa.registers import SNIPPET_GPRS, SNIPPET_XMMS
 
 _LOW_MASK = 0xFFFFFFFF
+
+#: width name -> (sentinel, sentinel << 32, CVTSD2<w>, CVT<w>2SD).
+_WIDTH_OPS = {
+    name: (WIDTH_CODECS[name][0], WIDTH_CODECS[name][0] << 32, down, up)
+    for name, (_equiv, down, up) in NARROW_FAMILIES.items()
+}
+
+#: narrow policy flag -> width name, in lattice (descending-width) order.
+POLICY_WIDTHS = {Policy.SINGLE: "f32", Policy.BF16: "bf16", Policy.HALF: "f16"}
+
+#: the live-widths value of every binary (f64->f32) configuration.
+DEFAULT_WIDTHS = ("f32",)
+
+
+def live_widths(policies: dict) -> tuple[str, ...]:
+    """The distinct narrow widths *policies* uses, in lattice order.
+
+    Guard chains test one sentinel per live width, so a configuration
+    that only ever narrows to f32 pays exactly the historical single
+    compare.  Falls back to ``("f32",)`` when nothing is narrowed (the
+    mode="all" overhead experiment still guards moves against the
+    classic sentinel).
+    """
+    present = set(policies.values())
+    found = tuple(
+        width for policy, width in POLICY_WIDTHS.items() if policy in present
+    )
+    return found or DEFAULT_WIDTHS
 
 _SCRATCH_GPR = SNIPPET_GPRS[0]       # R12
 _SCRATCH_GPR2 = SNIPPET_GPRS[1]      # R13
@@ -180,49 +220,84 @@ def _mem_fp_input(instr: Instruction) -> Mem | None:
     return None
 
 
-def _emit_scalar_check_downcast(e: _Emitter, reg: int, line: int) -> None:
-    """Flag-test *reg*'s low lane; downcast in place if not yet replaced."""
+def _emit_scalar_check_downcast(
+    e: _Emitter, reg: int, line: int,
+    width: str = "f32", widths: tuple = DEFAULT_WIDTHS,
+) -> None:
+    """Flag-test *reg*'s low lane; downcast in place if not yet at *width*.
+
+    A slot already replaced at a *different* live width is first upcast
+    back to double (through the f64 hub) before narrowing to *width*, so
+    mixed-width data flow re-rounds exactly once per site.
+    """
     skip = e.fresh("sk")
     x = Xmm(reg)
     r12 = Reg(_SCRATCH_GPR)
+    flag, flag_shifted, down, _up = _WIDTH_OPS[width]
     e.emit(Op.MOVQRX, r12, x, line=line)
     e.emit(Op.SHR, r12, Imm(32), line=line)
-    e.emit(Op.CMP, r12, Imm(REPLACED_FLAG), line=line)
+    e.emit(Op.CMP, r12, Imm(flag), line=line)
     e.emit(Op.JE, LabelRef(skip), line=line)
-    e.emit(Op.CVTSD2SS, x, x, line=line)
+    for other in widths:
+        if other == width:
+            continue
+        o_flag, _o_shifted, _o_down, o_up = _WIDTH_OPS[other]
+        plain = e.fresh("sk")
+        e.emit(Op.CMP, r12, Imm(o_flag), line=line)
+        e.emit(Op.JNE, LabelRef(plain), line=line)
+        e.emit(o_up, x, x, line=line)
+        e.mark(plain)
+    e.emit(down, x, x, line=line)
     e.emit(Op.MOVQRX, r12, x, line=line)
     e.emit(Op.AND, r12, Imm(_LOW_MASK), line=line)
-    e.emit(Op.OR, r12, Imm(REPLACED_FLAG_SHIFTED), line=line)
+    e.emit(Op.OR, r12, Imm(flag_shifted), line=line)
     e.emit(Op.MOVQXR, x, r12, line=line)
     e.mark(skip)
     e.stats.checks_emitted += 1
 
 
-def _emit_scalar_check_upcast(e: _Emitter, reg: int, line: int) -> None:
+def _emit_scalar_check_upcast(
+    e: _Emitter, reg: int, line: int, widths: tuple = DEFAULT_WIDTHS
+) -> None:
     """Flag-test *reg*'s low lane; upcast in place if it was replaced."""
     skip = e.fresh("sk")
     x = Xmm(reg)
     r12 = Reg(_SCRATCH_GPR)
     e.emit(Op.MOVQRX, r12, x, line=line)
     e.emit(Op.SHR, r12, Imm(32), line=line)
-    e.emit(Op.CMP, r12, Imm(REPLACED_FLAG), line=line)
-    e.emit(Op.JNE, LabelRef(skip), line=line)
-    e.emit(Op.CVTSS2SD, x, x, line=line)
+    for pos, width in enumerate(widths):
+        flag, _shifted, _down, up = _WIDTH_OPS[width]
+        last = pos == len(widths) - 1
+        miss = skip if last else e.fresh("sk")
+        e.emit(Op.CMP, r12, Imm(flag), line=line)
+        e.emit(Op.JNE, LabelRef(miss), line=line)
+        e.emit(up, x, x, line=line)
+        if not last:
+            e.emit(Op.JMP, LabelRef(skip), line=line)
+            e.mark(miss)
     e.mark(skip)
     e.stats.checks_emitted += 1
 
 
-def _emit_scalar_flag_set(e: _Emitter, reg: int, line: int) -> None:
+def _emit_scalar_flag_set(
+    e: _Emitter, reg: int, line: int, width: str = "f32"
+) -> None:
     """Force the sentinel into *reg*'s low lane high word (fresh results)."""
     x = Xmm(reg)
     r12 = Reg(_SCRATCH_GPR)
     e.emit(Op.MOVQRX, r12, x, line=line)
     e.emit(Op.AND, r12, Imm(_LOW_MASK), line=line)
-    e.emit(Op.OR, r12, Imm(REPLACED_FLAG_SHIFTED), line=line)
+    e.emit(Op.OR, r12, Imm(_WIDTH_OPS[width][1]), line=line)
     e.emit(Op.MOVQXR, x, r12, line=line)
 
 
-def _emit_packed_check_downcast(e: _Emitter, reg: int, lane: int, line: int) -> None:
+def _emit_packed_check_downcast(
+    e: _Emitter, reg: int, lane: int, line: int,
+    widths: tuple = DEFAULT_WIDTHS,
+) -> None:
+    # Packed candidates only narrow to f32 (the 16-bit families have no
+    # packed members), but a lane may still *hold* a 16-bit-replaced
+    # value left by an earlier scalar site — rehydrate it first.
     skip = e.fresh("pk")
     x = Xmm(reg)
     x14 = Xmm(_SCRATCH_XMM2)
@@ -233,6 +308,17 @@ def _emit_packed_check_downcast(e: _Emitter, reg: int, lane: int, line: int) -> 
     e.emit(Op.SHR, r13, Imm(32), line=line)
     e.emit(Op.CMP, r13, Imm(REPLACED_FLAG), line=line)
     e.emit(Op.JE, LabelRef(skip), line=line)
+    for other in widths:
+        if other == "f32":
+            continue
+        o_flag, _o_shifted, _o_down, o_up = _WIDTH_OPS[other]
+        plain = e.fresh("pk")
+        e.emit(Op.CMP, r13, Imm(o_flag), line=line)
+        e.emit(Op.JNE, LabelRef(plain), line=line)
+        e.emit(Op.MOVQXR, x14, r12, line=line)
+        e.emit(o_up, x14, x14, line=line)
+        e.emit(Op.MOVQRX, r12, x14, line=line)
+        e.mark(plain)
     e.emit(Op.MOVQXR, x14, r12, line=line)
     e.emit(Op.CVTSD2SS, x14, x14, line=line)
     e.emit(Op.MOVQRX, r12, x14, line=line)
@@ -243,7 +329,10 @@ def _emit_packed_check_downcast(e: _Emitter, reg: int, lane: int, line: int) -> 
     e.stats.checks_emitted += 1
 
 
-def _emit_packed_check_upcast(e: _Emitter, reg: int, lane: int, line: int) -> None:
+def _emit_packed_check_upcast(
+    e: _Emitter, reg: int, lane: int, line: int,
+    widths: tuple = DEFAULT_WIDTHS,
+) -> None:
     skip = e.fresh("pk")
     x = Xmm(reg)
     x14 = Xmm(_SCRATCH_XMM2)
@@ -252,12 +341,19 @@ def _emit_packed_check_upcast(e: _Emitter, reg: int, lane: int, line: int) -> No
     e.emit(Op.PEXTR, r12, x, Imm(lane), line=line)
     e.emit(Op.MOV, r13, r12, line=line)
     e.emit(Op.SHR, r13, Imm(32), line=line)
-    e.emit(Op.CMP, r13, Imm(REPLACED_FLAG), line=line)
-    e.emit(Op.JNE, LabelRef(skip), line=line)
-    e.emit(Op.MOVQXR, x14, r12, line=line)
-    e.emit(Op.CVTSS2SD, x14, x14, line=line)
-    e.emit(Op.MOVQRX, r12, x14, line=line)
-    e.emit(Op.PINSR, x, r12, Imm(lane), line=line)
+    for pos, width in enumerate(widths):
+        flag, _shifted, _down, up = _WIDTH_OPS[width]
+        last = pos == len(widths) - 1
+        miss = skip if last else e.fresh("pk")
+        e.emit(Op.CMP, r13, Imm(flag), line=line)
+        e.emit(Op.JNE, LabelRef(miss), line=line)
+        e.emit(Op.MOVQXR, x14, r12, line=line)
+        e.emit(up, x14, x14, line=line)
+        e.emit(Op.MOVQRX, r12, x14, line=line)
+        e.emit(Op.PINSR, x, r12, Imm(lane), line=line)
+        if not last:
+            e.emit(Op.JMP, LabelRef(skip), line=line)
+            e.mark(miss)
     e.mark(skip)
     e.stats.checks_emitted += 1
 
@@ -279,14 +375,29 @@ def emit_single_snippet(
     stats: SnippetStats,
     precleaned: frozenset[int] = frozenset(),
     streamline: bool = False,
+    width: str = "f32",
+    widths: tuple = DEFAULT_WIDTHS,
 ) -> None:
-    """Emit the single-precision replacement of *instr* (paper Figure 6)."""
+    """Emit the narrow replacement of *instr* at *width* (paper Figure 6).
+
+    ``width="f32"`` is the paper's single-precision snippet; ``bf16`` /
+    ``f16`` swap in that family's equivalent opcode and sentinel.
+    *widths* lists every narrow width live in the configuration so the
+    input guards can rehydrate values replaced at sibling widths.
+    """
     _check_conflicts(instr)
     e = _Emitter(builder, stats, streamline, instr.addr)
     info = OPCODE_INFO[instr.opcode]
     line = instr.line
     packed = info.packed
     mem = _mem_fp_input(instr)
+
+    narrow_equiv = NARROW_FAMILIES[width][0].get(instr.opcode)
+    if narrow_equiv is None:
+        raise SnippetError(
+            f"instruction at {instr.addr:#x} ({info.mnemonic}) has no "
+            f"{width} equivalent"
+        )
 
     if mem is not None:
         e.save(Op.PUSHX, Xmm(_SCRATCH_XMM), line)
@@ -300,14 +411,13 @@ def emit_single_snippet(
     checked = _fp_input_regs(instr, mem_to_scratch=True)
     for reg in checked:
         if packed:
-            _emit_packed_check_downcast(e, reg, 0, line)
-            _emit_packed_check_downcast(e, reg, 1, line)
+            _emit_packed_check_downcast(e, reg, 0, line, widths)
+            _emit_packed_check_downcast(e, reg, 1, line, widths)
         else:
-            _emit_scalar_check_downcast(e, reg, line)
+            _emit_scalar_check_downcast(e, reg, line, width, widths)
 
     new_operands = _rewrite_mem_operands(instr)
-    assert info.single_equiv is not None
-    e.emit(info.single_equiv, *new_operands, line=line)
+    e.emit(narrow_equiv, *new_operands, line=line)
 
     # Fix result flags where the hardware does not preserve the sentinel.
     if info.fp_out:
@@ -316,7 +426,7 @@ def emit_single_snippet(
         if packed:
             _emit_packed_flag_fix(e, dst.index, line)
         elif dst.index not in checked:
-            _emit_scalar_flag_set(e, dst.index, line)
+            _emit_scalar_flag_set(e, dst.index, line, width)
 
     if packed:
         e.save(Op.POPX, Xmm(_SCRATCH_XMM2), line)
@@ -376,6 +486,7 @@ def emit_double_snippet(
     stats: SnippetStats,
     precleaned: frozenset[int] = frozenset(),
     streamline: bool = False,
+    widths: tuple = DEFAULT_WIDTHS,
 ) -> None:
     """Emit the double-precision guard around *instr*.
 
@@ -414,10 +525,10 @@ def emit_double_snippet(
 
     for reg in to_check:
         if packed:
-            _emit_packed_check_upcast(e, reg, 0, line)
-            _emit_packed_check_upcast(e, reg, 1, line)
+            _emit_packed_check_upcast(e, reg, 0, line, widths)
+            _emit_packed_check_upcast(e, reg, 1, line, widths)
         else:
-            _emit_scalar_check_upcast(e, reg, line)
+            _emit_scalar_check_upcast(e, reg, line, widths)
 
     e.emit(instr.opcode, *_rewrite_mem_operands(instr), line=line)
 

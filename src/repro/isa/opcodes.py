@@ -135,6 +135,45 @@ class Op(IntEnum):
     ALLREDVSS = auto()
     BARRIER = auto()
     BCASTSD = auto()
+    # --- scalar bfloat16 (lattice widths append below; opcode numbers of
+    # --- everything above are frozen — existing encodings must not move)
+    ADDBF = auto()
+    SUBBF = auto()
+    MULBF = auto()
+    DIVBF = auto()
+    SQRTBF = auto()
+    MINBF = auto()
+    MAXBF = auto()
+    ABSBF = auto()
+    NEGBF = auto()
+    UCOMIBF = auto()
+    CVTSI2BF = auto()
+    CVTTBF2SI = auto()
+    SINBF = auto()
+    COSBF = auto()
+    EXPBF = auto()
+    LOGBF = auto()
+    CVTSD2BF = auto()
+    CVTBF2SD = auto()
+    # --- scalar binary16 ---------------------------------------------------
+    ADDHF = auto()
+    SUBHF = auto()
+    MULHF = auto()
+    DIVHF = auto()
+    SQRTHF = auto()
+    MINHF = auto()
+    MAXHF = auto()
+    ABSHF = auto()
+    NEGHF = auto()
+    UCOMIHF = auto()
+    CVTSI2HF = auto()
+    CVTTHF2SI = auto()
+    SINHF = auto()
+    COSHF = auto()
+    EXPHF = auto()
+    LOGHF = auto()
+    CVTSD2HF = auto()
+    CVTHF2SD = auto()
 
 
 #: ALLRED / ALLREDSS reduction selectors (immediate operand values).
@@ -359,12 +398,108 @@ OPCODE_INFO: dict[Op, OpInfo] = {
     Op.ALLREDVSS: _ctl("allredvss", (("M", "I", "R"),), reads=(0, 1, 2), writes=(0,), comm=True, cost=16),
     Op.BARRIER: _ctl("barrier", ((),), comm=True, cost=4),
     Op.BCASTSD: _ctl("bcastsd", (("X", "I"),), reads=(0, 1), writes=(0,), comm=True, cost=8),
+    # scalar bfloat16 (lattice rung below single; same slot discipline as
+    # the SS family — write the low bits, preserve the rest of the lane)
+    Op.ADDBF: _ctl("addbf", (_XXM,), reads=(0, 1), writes=(0,), cost=2, mem_width=2),
+    Op.SUBBF: _ctl("subbf", (_XXM,), reads=(0, 1), writes=(0,), cost=2, mem_width=2),
+    Op.MULBF: _ctl("mulbf", (_XXM,), reads=(0, 1), writes=(0,), cost=2, mem_width=2),
+    Op.DIVBF: _ctl("divbf", (_XXM,), reads=(0, 1), writes=(0,), cost=8, mem_width=2),
+    Op.SQRTBF: _ctl("sqrtbf", (_XXM,), reads=(1,), writes=(0,), cost=8, mem_width=2),
+    Op.MINBF: _ctl("minbf", (_XXM,), reads=(0, 1), writes=(0,), cost=2, mem_width=2),
+    Op.MAXBF: _ctl("maxbf", (_XXM,), reads=(0, 1), writes=(0,), cost=2, mem_width=2),
+    Op.ABSBF: _ctl("absbf", (("X", "X"),), reads=(1,), writes=(0,), cost=1),
+    Op.NEGBF: _ctl("negbf", (("X", "X"),), reads=(1,), writes=(0,), cost=1),
+    Op.UCOMIBF: _ctl(
+        "ucomibf", (_XXM,), reads=(0, 1), writes_flags=True, cost=2, mem_width=2
+    ),
+    Op.CVTSI2BF: _ctl("cvtsi2bf", (("X", "R"),), reads=(1,), writes=(0,), cost=2),
+    Op.CVTTBF2SI: _ctl("cvttbf2si", (("R", "X"),), reads=(1,), writes=(0,), cost=2),
+    Op.SINBF: _ctl("sinbf", (("X", "X"),), reads=(1,), writes=(0,), cost=16),
+    Op.COSBF: _ctl("cosbf", (("X", "X"),), reads=(1,), writes=(0,), cost=16),
+    Op.EXPBF: _ctl("expbf", (("X", "X"),), reads=(1,), writes=(0,), cost=16),
+    Op.LOGBF: _ctl("logbf", (("X", "X"),), reads=(1,), writes=(0,), cost=16),
+    Op.CVTSD2BF: _ctl("cvtsd2bf", (("X", "X"),), reads=(1,), writes=(0,), cost=2),
+    Op.CVTBF2SD: _ctl("cvtbf2sd", (("X", "X"),), reads=(1,), writes=(0,), cost=2),
+    # scalar binary16
+    Op.ADDHF: _ctl("addhf", (_XXM,), reads=(0, 1), writes=(0,), cost=2, mem_width=2),
+    Op.SUBHF: _ctl("subhf", (_XXM,), reads=(0, 1), writes=(0,), cost=2, mem_width=2),
+    Op.MULHF: _ctl("mulhf", (_XXM,), reads=(0, 1), writes=(0,), cost=2, mem_width=2),
+    Op.DIVHF: _ctl("divhf", (_XXM,), reads=(0, 1), writes=(0,), cost=8, mem_width=2),
+    Op.SQRTHF: _ctl("sqrthf", (_XXM,), reads=(1,), writes=(0,), cost=8, mem_width=2),
+    Op.MINHF: _ctl("minhf", (_XXM,), reads=(0, 1), writes=(0,), cost=2, mem_width=2),
+    Op.MAXHF: _ctl("maxhf", (_XXM,), reads=(0, 1), writes=(0,), cost=2, mem_width=2),
+    Op.ABSHF: _ctl("abshf", (("X", "X"),), reads=(1,), writes=(0,), cost=1),
+    Op.NEGHF: _ctl("neghf", (("X", "X"),), reads=(1,), writes=(0,), cost=1),
+    Op.UCOMIHF: _ctl(
+        "ucomihf", (_XXM,), reads=(0, 1), writes_flags=True, cost=2, mem_width=2
+    ),
+    Op.CVTSI2HF: _ctl("cvtsi2hf", (("X", "R"),), reads=(1,), writes=(0,), cost=2),
+    Op.CVTTHF2SI: _ctl("cvtthf2si", (("R", "X"),), reads=(1,), writes=(0,), cost=2),
+    Op.SINHF: _ctl("sinhf", (("X", "X"),), reads=(1,), writes=(0,), cost=16),
+    Op.COSHF: _ctl("coshf", (("X", "X"),), reads=(1,), writes=(0,), cost=16),
+    Op.EXPHF: _ctl("exphf", (("X", "X"),), reads=(1,), writes=(0,), cost=16),
+    Op.LOGHF: _ctl("loghf", (("X", "X"),), reads=(1,), writes=(0,), cost=16),
+    Op.CVTSD2HF: _ctl("cvtsd2hf", (("X", "X"),), reads=(1,), writes=(0,), cost=2),
+    Op.CVTHF2SD: _ctl("cvthf2sd", (("X", "X"),), reads=(1,), writes=(0,), cost=2),
 }
 
 MNEMONIC_TO_OP = {info.mnemonic: op for op, info in OPCODE_INFO.items()}
 
 #: Opcodes whose instructions are replacement candidates.
 CANDIDATE_OPS = frozenset(op for op, info in OPCODE_INFO.items() if info.is_candidate)
+
+#: Scalar-double op -> its bfloat16 / binary16 equivalent.  Parallels
+#: ``single_equiv`` for the lattice rungs below f32; packed ops have no
+#: entry (packed sites floor at f32 — there are no packed narrow ops).
+BF16_EQUIV = {
+    Op.ADDSD: Op.ADDBF,
+    Op.SUBSD: Op.SUBBF,
+    Op.MULSD: Op.MULBF,
+    Op.DIVSD: Op.DIVBF,
+    Op.SQRTSD: Op.SQRTBF,
+    Op.MINSD: Op.MINBF,
+    Op.MAXSD: Op.MAXBF,
+    Op.ABSSD: Op.ABSBF,
+    Op.NEGSD: Op.NEGBF,
+    Op.UCOMISD: Op.UCOMIBF,
+    Op.CVTSI2SD: Op.CVTSI2BF,
+    Op.CVTTSD2SI: Op.CVTTBF2SI,
+    Op.SINSD: Op.SINBF,
+    Op.COSSD: Op.COSBF,
+    Op.EXPSD: Op.EXPBF,
+    Op.LOGSD: Op.LOGBF,
+}
+
+HALF_EQUIV = {
+    Op.ADDSD: Op.ADDHF,
+    Op.SUBSD: Op.SUBHF,
+    Op.MULSD: Op.MULHF,
+    Op.DIVSD: Op.DIVHF,
+    Op.SQRTSD: Op.SQRTHF,
+    Op.MINSD: Op.MINHF,
+    Op.MAXSD: Op.MAXHF,
+    Op.ABSSD: Op.ABSHF,
+    Op.NEGSD: Op.NEGHF,
+    Op.UCOMISD: Op.UCOMIHF,
+    Op.CVTSI2SD: Op.CVTSI2HF,
+    Op.CVTTSD2SI: Op.CVTTHF2SI,
+    Op.SINSD: Op.SINHF,
+    Op.COSSD: Op.COSHF,
+    Op.EXPSD: Op.EXPHF,
+    Op.LOGSD: Op.LOGHF,
+}
+
+#: Lattice width name -> (narrow equivalents, downcast op, upcast op).
+#: f32 reuses the original single_equiv mapping and cvt pair.
+NARROW_FAMILIES = {
+    "f32": (
+        {op: inf.single_equiv for op, inf in OPCODE_INFO.items() if inf.single_equiv},
+        Op.CVTSD2SS,
+        Op.CVTSS2SD,
+    ),
+    "bf16": (BF16_EQUIV, Op.CVTSD2BF, Op.CVTBF2SD),
+    "f16": (HALF_EQUIV, Op.CVTSD2HF, Op.CVTHF2SD),
+}
 
 
 def info(op: Op) -> OpInfo:

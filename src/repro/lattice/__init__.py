@@ -1,0 +1,38 @@
+"""The precision-lattice subsystem: ordered width chains below binary64.
+
+See :mod:`repro.lattice.model` for the data model.  Everything the rest
+of the system needs — spec parsing, the canonical BINARY/FULL lattices,
+per-width sentinels and range bounds — is re-exported here.
+"""
+
+from repro.lattice.model import (
+    BF16,
+    BINARY_LATTICE,
+    BINARY_SPEC,
+    F16,
+    F32,
+    F64,
+    FULL_LATTICE,
+    Lattice,
+    LatticeError,
+    WIDTHS,
+    Width,
+    fits_width,
+    parse_lattice,
+)
+
+__all__ = [
+    "BF16",
+    "BINARY_LATTICE",
+    "BINARY_SPEC",
+    "F16",
+    "F32",
+    "F64",
+    "FULL_LATTICE",
+    "Lattice",
+    "LatticeError",
+    "WIDTHS",
+    "Width",
+    "fits_width",
+    "parse_lattice",
+]

@@ -1,0 +1,204 @@
+"""The ordered precision lattice: which widths the search may descend to.
+
+The paper's configuration space is binary — every candidate is either
+double or replaced-single.  This module generalizes it to an ordered
+chain of widths, widest first::
+
+    f64  ->  f32  ->  bf16  ->  f16
+
+Each rung below the top is a :class:`Width`: a (name, exponent bits,
+mantissa bits) descriptor plus the high-word sentinel and config flag
+character that make it concrete in the VM and the exchange format.  A
+:class:`Lattice` is an ordered tuple of such rungs; the search refines
+*downward* through it (a site that passes at f32 becomes a bf16/f16
+candidate).
+
+Two canonical instances matter everywhere:
+
+* :data:`BINARY_LATTICE` — ``f64,f32``, the paper's original space.  A
+  search over it is differential-tested byte-identical to the
+  pre-lattice binary search, and its policy digests are byte-identical
+  to schema-v1 stores.
+* :data:`FULL_LATTICE` — ``f64,f32,bf16,f16``, the default descent
+  chain for lattice-aware searches.
+
+Lattices are named by *spec strings* (``"f64,f32,bf16,f16"``) so they
+ride through JSON-serialized :class:`~repro.search.bfs.SearchOptions`
+unchanged, and by *canonical descriptors*
+(``"f64(11,52)>f32(8,23)>..."``) that enter
+:func:`repro.store.policy_digest` so results from different lattices can
+never dedup against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.model import Policy
+from repro.fpbits.replace import REPLACED_FLAG, REPLACED_FLAG_BF16, REPLACED_FLAG_F16
+
+
+@dataclass(frozen=True)
+class Width:
+    """One rung of the lattice.
+
+    ``exp_bits``/``man_bits`` parameterize the format (mantissa bits
+    exclude the hidden bit), so range bounds for custom widths derive
+    from the descriptor alone.  ``flag`` is the config-file flag
+    character (:class:`~repro.config.model.Policy` value); ``sentinel``
+    is the high-word replacement marker, None only for the f64 top.
+    """
+
+    name: str
+    exp_bits: int
+    man_bits: int
+    flag: str
+    sentinel: int | None
+
+    @property
+    def bits(self) -> int:
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def precision(self) -> int:
+        """Significand precision including the hidden bit."""
+        return self.man_bits + 1
+
+    @property
+    def max_finite(self) -> float:
+        """Largest finite value: (2 - 2^-man) * 2^emax."""
+        emax = (1 << (self.exp_bits - 1)) - 1
+        return (2.0 - 2.0 ** -self.man_bits) * 2.0**emax
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal value: 2^(1 - emax)."""
+        emax = (1 << (self.exp_bits - 1)) - 1
+        return 2.0 ** (1 - emax)
+
+    @property
+    def policy(self) -> Policy:
+        return Policy(self.flag)
+
+    def descriptor(self) -> str:
+        return f"{self.name}({self.exp_bits},{self.man_bits})"
+
+
+#: The widths the VM, snippets, and exchange format know how to execute.
+#: Custom (exp, man) descriptors can be *described* and range-checked,
+#: but only these names are searchable.
+F64 = Width("f64", 11, 52, Policy.DOUBLE.value, None)
+F32 = Width("f32", 8, 23, Policy.SINGLE.value, REPLACED_FLAG)
+BF16 = Width("bf16", 8, 7, Policy.BF16.value, REPLACED_FLAG_BF16)
+F16 = Width("f16", 5, 10, Policy.HALF.value, REPLACED_FLAG_F16)
+
+WIDTHS = {w.name: w for w in (F64, F32, BF16, F16)}
+_BY_POLICY = {w.policy: w for w in (F64, F32, BF16, F16)}
+
+
+class LatticeError(ValueError):
+    """A lattice spec names unknown widths or breaks the ordering rules."""
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """An ordered chain of widths, widest first, anchored at f64."""
+
+    widths: tuple[Width, ...]
+
+    def __post_init__(self):
+        if not self.widths or self.widths[0] is not F64:
+            raise LatticeError("a lattice must start at f64")
+        if len(self.widths) < 2:
+            raise LatticeError("a lattice needs at least one narrow width")
+        names = [w.name for w in self.widths]
+        if len(set(names)) != len(names):
+            raise LatticeError(f"duplicate widths in lattice: {names}")
+        if self.widths[1] is not F32:
+            raise LatticeError("the first narrow width must be f32")
+        for wide, narrow in zip(self.widths[1:], self.widths[2:]):
+            if narrow.policy.rank() <= wide.policy.rank():
+                raise LatticeError(
+                    f"lattice must descend: {wide.name} -> {narrow.name}"
+                )
+
+    # -- identity -------------------------------------------------------------
+
+    def spec(self) -> str:
+        """The comma-joined spec string; parse_lattice round-trips it."""
+        return ",".join(w.name for w in self.widths)
+
+    def descriptor(self) -> str:
+        """Canonical descriptor for digests: names plus (exp, man) bits."""
+        return ">".join(w.descriptor() for w in self.widths)
+
+    @property
+    def is_binary(self) -> bool:
+        """True for the paper's original f64->f32 space."""
+        return len(self.widths) == 2
+
+    # -- navigation -----------------------------------------------------------
+
+    @property
+    def narrow_widths(self) -> tuple[Width, ...]:
+        """Every rung below f64, widest first."""
+        return self.widths[1:]
+
+    def width_for(self, policy: Policy) -> Width:
+        """The Width a policy flag denotes (KeyError if not in lattice)."""
+        width = _BY_POLICY.get(policy)
+        if width is None or width not in self.widths:
+            raise KeyError(f"policy {policy!r} not in lattice {self.spec()}")
+        return width
+
+    def below(self, width: Width) -> Width | None:
+        """The next-narrower rung, or None at the bottom."""
+        idx = self.widths.index(width)
+        return self.widths[idx + 1] if idx + 1 < len(self.widths) else None
+
+    def __iter__(self):
+        return iter(self.widths)
+
+    def __len__(self) -> int:
+        return len(self.widths)
+
+
+def parse_lattice(spec: "str | Lattice") -> Lattice:
+    """Parse a spec string (``"f64,f32,bf16,f16"``) into a Lattice.
+
+    Identity on Lattice instances, so call sites accept either form.
+    """
+    if isinstance(spec, Lattice):
+        return spec
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = [name for name in names if name not in WIDTHS]
+    if unknown:
+        raise LatticeError(
+            f"unknown width(s) {unknown} (known: {sorted(WIDTHS)})"
+        )
+    return Lattice(tuple(WIDTHS[name] for name in names))
+
+
+#: The paper's original two-level space; the default everywhere.
+BINARY_LATTICE = parse_lattice("f64,f32")
+
+#: The full default descent chain.
+FULL_LATTICE = parse_lattice("f64,f32,bf16,f16")
+
+#: Spec string of the default lattice (SearchOptions' default value).
+BINARY_SPEC = BINARY_LATTICE.spec()
+
+
+def fits_width(width: Width, min_abs: float, max_abs: float) -> bool:
+    """Can every observed magnitude in [min_abs, max_abs] be represented
+    at *width* without overflowing to infinity or flushing to subnormal?
+
+    The bounds come from the shadow observer's per-instruction value
+    ranges (zero magnitudes are ignored by passing ``min_abs == 0``).
+    Used to predict the lowest safe width and prune descent candidates.
+    """
+    if max_abs > width.max_finite:
+        return False
+    if 0.0 < min_abs < width.min_normal:
+        return False
+    return True

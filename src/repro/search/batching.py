@@ -86,7 +86,7 @@ def plan_batch(ev, configs: list[Config]) -> BatchPlan:
 
             if policies is None:
                 policies = config.instruction_policies()
-            digest = policy_digest(policies)
+            digest = policy_digest(policies, getattr(ev, "lattice", None))
             stored = ev.store.get(ev._store_id(), digest)
             if stored is not None:
                 # Decided in a previous run: replay, don't execute.

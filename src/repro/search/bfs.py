@@ -117,6 +117,18 @@ class SearchOptions:
     lease_timeout:
         Cluster only: seconds of worker silence before its leases are
         requeued (workers heartbeat at a quarter of this).
+    lattice:
+        Precision lattice spec (:func:`repro.lattice.parse_lattice`),
+        e.g. ``"f64,f32,bf16,f16"``.  The main BFS always searches the
+        first narrow rung (f32, the paper's binary double/single
+        search); any further rungs add a *lattice descent* phase that
+        re-tests every passing item one width narrower, descending
+        structurally on failure, until the bottom of the lattice.  The
+        default binary lattice runs zero descent evaluations and is
+        byte-identical to the historical two-level search.  With
+        ``analysis`` on, descent candidates whose observed value ranges
+        cannot be represented at the next width are pruned like
+        predicted failures (the tentpole's width seeding).
     """
 
     stop_level: str = LEVEL_INSN
@@ -133,6 +145,7 @@ class SearchOptions:
     retry_backoff: float = 0.05
     cluster: str = ""
     lease_timeout: float = 30.0
+    lattice: str = "f64,f32"
 
     def __post_init__(self) -> None:
         if self.stop_level not in _LEVEL_RANK:
@@ -142,6 +155,9 @@ class SearchOptions:
                 f"analysis must be True, False or 'auto', "
                 f"not {self.analysis!r}"
             )
+        from repro.lattice import parse_lattice
+
+        parse_lattice(self.lattice)  # raises LatticeError on a bad spec
 
 
 class _Item:
@@ -159,8 +175,8 @@ class _Item:
         first, last = self.nodes[0].node_id, self.nodes[-1].node_id
         return f"[{first}..{last}]({len(self.nodes)})"
 
-    def flags(self) -> dict[str, Policy]:
-        return {n.node_id: Policy.SINGLE for n in self.nodes}
+    def flags(self, policy: Policy = Policy.SINGLE) -> dict[str, Policy]:
+        return {n.node_id: policy for n in self.nodes}
 
 
 class SearchEngine:
@@ -232,6 +248,13 @@ class SearchEngine:
         self._owns_evaluator = evaluator is None
         if evaluator is not None:
             self.evaluator = evaluator
+            if getattr(evaluator, "lattice", None) is None:
+                # Store digests must be salted with the lattice the
+                # policies refer to (cross-lattice dedup is never sound).
+                try:
+                    evaluator.lattice = self.options.lattice
+                except AttributeError:
+                    pass
         elif self.options.cluster:
             from repro.search.retry import RetryPolicy
             from repro.cluster import ClusterEvaluator
@@ -244,6 +267,7 @@ class SearchEngine:
                     self.options.retry_limit, self.options.retry_backoff
                 ),
                 lease_timeout=self.options.lease_timeout,
+                lattice=self.options.lattice,
                 **store_kwargs,
             )
         elif self.options.workers > 1:
@@ -255,12 +279,14 @@ class SearchEngine:
                 incremental=self.options.incremental,
                 retry_limit=self.options.retry_limit,
                 retry_backoff=self.options.retry_backoff,
+                lattice=self.options.lattice,
                 **store_kwargs,
             )
         else:
             self.evaluator = Evaluator(
                 workload, telemetry=self.telemetry,
                 incremental=self.options.incremental,
+                lattice=self.options.lattice,
                 **store_kwargs,
             )
         self.base_config = base_config or Config.all_double(self.tree)
@@ -359,6 +385,139 @@ class SearchEngine:
                 tel.emit("search.descend", label=item.label(), action="expand")
             for child in children:
                 self._push(_Item([child], False))
+
+    # -- lattice descent ----------------------------------------------------------
+
+    def _lattice_split(self, item: _Item) -> list[_Item] | None:
+        """The sub-items a failed descent candidate breaks into, or None
+        when *item* cannot be subdivided (single instruction, stop_level
+        cap) and must stay at its current width.  Mirrors :meth:`_descend`
+        structurally — groups halve, aggregates partition or expand."""
+        opts = self.options
+        if item.is_group and len(item.nodes) > 1:
+            mid = len(item.nodes) // 2
+            return [_Item(item.nodes[:mid], True), _Item(item.nodes[mid:], True)]
+        node = item.nodes[0]
+        if node.level == LEVEL_INSN:
+            return None
+        if _LEVEL_RANK[node.level] >= _LEVEL_RANK[opts.stop_level]:
+            return None
+        children = node.children
+        if opts.partition and len(children) > opts.partition_threshold:
+            mid = len(children) // 2
+            return [_Item(children[:mid], True), _Item(children[mid:], True)]
+        return [_Item([child], False) for child in children]
+
+    def _lattice_descend(self, passing: list, history: list) -> list:
+        """Third search phase (the precision-lattice tentpole): walk every
+        passing item down the remaining lattice rungs.
+
+        Returns ``[(item, policy), ...]`` — the disjoint passing items,
+        each at the narrowest width that verified for it.  For each rung
+        below f32 the candidates (items settled at the previous rung) are
+        evaluated individually, exactly like the main loop's phase-1
+        items: the item's nodes at the rung's policy, everything else
+        double.  A failing candidate splits structurally and its pieces
+        re-enter the same rung at the previous width; unsplittable items
+        keep the width they already verified at.  With a binary lattice
+        the rung list below f32 is empty and this method is a no-op —
+        no evaluations, no history records, `levels` == `passing`.
+        """
+        from repro.lattice import parse_lattice
+
+        lattice = parse_lattice(self.options.lattice)
+        levels = [[item, Policy.SINGLE] for item in passing]
+        narrow = lattice.narrow_widths
+        if len(narrow) < 2 or not passing:
+            return [(item, policy) for item, policy in levels]
+
+        tel = self.telemetry
+        guide = self._guide
+        batch_size = max(1, self.options.workers)
+
+        for rung in range(1, len(narrow)):
+            width = narrow[rung]
+            prev_policy = narrow[rung - 1].policy
+            policy = width.policy
+            phase = f"lattice:{width.name}"
+            queue = deque(e for e in levels if e[1] is prev_policy)
+            while queue:
+                if self.evaluator.evaluations >= self.options.max_configs:
+                    return [(item, p) for item, p in levels]
+
+                def split(entry) -> None:
+                    pieces = self._lattice_split(entry[0])
+                    if pieces is None:
+                        return  # keeps the width it verified at
+                    pos = levels.index(entry)
+                    replacements = [[piece, prev_policy] for piece in pieces]
+                    levels[pos : pos + 1] = replacements
+                    queue.extend(replacements)
+
+                batch: list = []
+                while queue and len(batch) < batch_size:
+                    entry = queue.popleft()
+                    if guide is not None and guide.predict_unfit(
+                        self._addrs(entry[0]), width
+                    ):
+                        # Width seeding: the shadow run saw magnitudes
+                        # this width cannot represent, so skip the
+                        # evaluation and treat it as a failure.
+                        self._pruned += 1
+                        history.append(
+                            EvalRecord(
+                                entry[0].label(), False,
+                                phase=phase, reason=REASON_PRUNED,
+                            )
+                        )
+                        if tel.enabled:
+                            tel.count("analysis.pruned")
+                            tel.emit(
+                                "search.prune",
+                                label=entry[0].label(),
+                                level=entry[0].nodes[0].level,
+                                width=width.name,
+                            )
+                        split(entry)
+                        continue
+                    batch.append(entry)
+                if not batch:
+                    continue
+                configs = []
+                for entry in batch:
+                    config = self.base_config.copy()
+                    config.flags.update(entry[0].flags(policy))
+                    configs.append(config)
+                batch_start = time.perf_counter()
+                outcomes = self._evaluate_ordered(
+                    [entry[0] for entry in batch], configs
+                )
+                per_eval = (time.perf_counter() - batch_start) / len(batch)
+                for entry, outcome in zip(batch, outcomes):
+                    passed, cycles, trap, reason = outcome
+                    history.append(
+                        EvalRecord(
+                            entry[0].label(), passed, cycles, trap,
+                            wall_s=per_eval, phase=phase, reason=reason,
+                        )
+                    )
+                    if tel.enabled:
+                        tel.emit(
+                            "search.eval",
+                            label=entry[0].label(),
+                            level=entry[0].nodes[0].level,
+                            passed=passed,
+                            cycles=cycles,
+                            trap=trap,
+                            reason=reason,
+                            wall_s=round(per_eval, 6),
+                            phase=phase,
+                        )
+                    if passed:
+                        entry[1] = policy
+                    else:
+                        split(entry)
+        return [(item, p) for item, p in levels]
 
     # -- main loop --------------------------------------------------------------------
 
@@ -686,10 +845,16 @@ class SearchEngine:
                         tested=self.evaluator.evaluations,
                     )
 
-        # Compose the final configuration: union of everything that passed.
+        # Lattice descent: re-test passing items one width narrower at a
+        # time.  The binary lattice has no rungs below f32 — zero extra
+        # evaluations, and `levels` degenerates to `passing` at SINGLE.
+        levels = self._lattice_descend(passing, history)
+
+        # Compose the final configuration: union of everything that
+        # passed, each item at the narrowest width it settled on.
         final = self.base_config.copy()
-        for item in passing:
-            final.flags.update(item.flags())
+        for item, policy in levels:
+            final.flags.update(item.flags(policy))
 
         final_verified = False
         if passing:

@@ -128,6 +128,11 @@ class Evaluator:
     store_workload:
         The :func:`repro.store.workload_id` the store rows are keyed by;
         computed from ``workload`` on first use when left empty.
+    lattice:
+        Precision lattice spec (or :class:`repro.lattice.Lattice`) the
+        evaluated configurations refer to; salts the store's policy
+        digests so outcomes never dedup across lattices.  ``None`` and
+        the binary ``"f64,f32"`` lattice produce the legacy digests.
     """
 
     workload: object
@@ -141,6 +146,7 @@ class Evaluator:
     store: object = None
     store_workload: str = ""
     store_hits: int = 0
+    lattice: object = None
     #: configurations actually run (excludes every kind of replay)
     executions: int = 0
     #: policy digests this campaign has counted toward ``evaluations``.
@@ -169,7 +175,7 @@ class Evaluator:
             return "", None
         from repro.store import policy_digest
 
-        digest = policy_digest(policies)
+        digest = policy_digest(policies, self.lattice)
         return digest, self.store.get(self._store_id(), digest)
 
     def _persist(self, digest: str, outcome: EvalOutcome, wall_s: float) -> None:

@@ -143,6 +143,7 @@ class ParallelEvaluator:
         store_workload: str = "",
         retry_limit: int = 3,
         retry_backoff: float = 0.05,
+        lattice=None,
     ):
         if workers < 2:
             raise ValueError("ParallelEvaluator needs workers >= 2")
@@ -159,6 +160,8 @@ class ParallelEvaluator:
         self.store = store
         self.store_workload = store_workload
         self.store_hits = 0
+        #: lattice spec salting the store's policy digests (see Evaluator)
+        self.lattice = lattice
         #: configurations actually run (excludes every kind of replay)
         self.executions = 0
         #: policy digests counted toward ``evaluations`` — journaled and

@@ -381,7 +381,7 @@ class PrecisionService:
                     and result.refined_verified
                     else result.final_config
                 )
-                job.config_text = dump_config(best)
+                job.config_text = dump_config(best, lattice=options.lattice)
                 with open(os.path.join(jobdir, "config.txt"), "w") as handle:
                     handle.write(job.config_text)
             with open(os.path.join(jobdir, "result.json"), "w") as handle:

@@ -43,10 +43,14 @@ from typing import Iterator, NamedTuple
 
 from repro.search.results import EvalOutcome
 
-#: bump when the ``outcomes`` table shape changes; opening a store
-#: written by a different version raises StoreSchemaError rather than
-#: guessing at a migration.
-SCHEMA_VERSION = 1
+#: bump when the key semantics or table shape change.  v2 (the precision
+#: lattice) extended ``policy_digest`` keys: flag characters now include
+#: the narrow widths ``b``/``h``, and non-binary lattices salt the digest
+#: with a canonical lattice descriptor.  Every v1 row is a valid v2 row
+#: (binary-lattice digests are bit-identical to v1), so opening a v1
+#: store migrates it in place; any *other* version mismatch raises
+#: StoreSchemaError rather than guessing.
+SCHEMA_VERSION = 2
 
 
 class StoreSchemaError(RuntimeError):
@@ -89,7 +93,7 @@ def workload_id(workload) -> str:
     return f"{name}.{klass}@{digest.hexdigest()[:16]}"
 
 
-def policy_digest(policies: dict) -> str:
+def policy_digest(policies: dict, lattice=None) -> str:
     """Content address of a resolved per-instruction policy map.
 
     The input is :meth:`repro.config.model.Config.instruction_policies`
@@ -97,8 +101,21 @@ def policy_digest(policies: dict) -> str:
     flag maps differ but whose resolved maps coincide produce the same
     digest (they denote the same executable), mirroring the evaluators'
     semantic cache.
+
+    *lattice* (a :class:`repro.lattice.Lattice` or spec string) names the
+    precision lattice the policies refer to.  The binary f64->f32 lattice
+    — and None — produce exactly the legacy (schema v1) digest, so old
+    store rows stay addressable; any other lattice salts the digest with
+    its canonical descriptor, so the same flag map searched over two
+    different width chains can never dedup to one row.
     """
     digest = hashlib.sha256()
+    if lattice is not None:
+        from repro.lattice import parse_lattice
+
+        lattice = parse_lattice(lattice)
+        if not lattice.is_binary:
+            digest.update(b"lattice:" + lattice.descriptor().encode() + b"\n")
     for addr in sorted(policies):
         digest.update(struct.pack("<q", addr))
         digest.update(policies[addr].value.encode())
@@ -167,6 +184,14 @@ class ResultStore:
         if row is None:
             db.execute(
                 "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            db.commit()
+        elif int(row[0]) == 1:
+            # v1 -> v2 is a pure key-space extension (see SCHEMA_VERSION):
+            # every stored row keeps its meaning, so migrate in place.
+            db.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
                 (str(SCHEMA_VERSION),),
             )
             db.commit()

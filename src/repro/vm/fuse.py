@@ -43,7 +43,7 @@ program, configuration and Machine in the process.
 
 from __future__ import annotations
 
-from repro.fpbits import ieee
+from repro.fpbits import ieee, narrow
 from repro.isa.opcodes import Op, OPCODE_INFO, RED_MAX, RED_MIN, RED_SUM
 from repro.isa.operands import Imm, Mem, Reg, Xmm
 from repro.vm.errors import VmTrap
@@ -103,6 +103,15 @@ for _name in (
     "single_cos", "single_exp", "single_log",
 ):
     _EXEC_GLOBALS[_name] = getattr(ieee, _name)
+for _name in (
+    "bf16_add", "bf16_sub", "bf16_mul", "bf16_div", "bf16_min", "bf16_max",
+    "bf16_sqrt", "bf16_abs", "bf16_neg", "bf16_sin", "bf16_cos", "bf16_exp",
+    "bf16_log", "bits_to_bf16", "bf16_to_bits",
+    "f16_add", "f16_sub", "f16_mul", "f16_div", "f16_min", "f16_max",
+    "f16_sqrt", "f16_abs", "f16_neg", "f16_sin", "f16_cos", "f16_exp",
+    "f16_log", "bits_to_f16", "f16_to_bits",
+):
+    _EXEC_GLOBALS[_name] = getattr(narrow, _name)
 
 _FPD_BIN = {
     Op.ADDSD: "double_add", Op.SUBSD: "double_sub", Op.MULSD: "double_mul",
@@ -121,6 +130,33 @@ _FPS_UN = {
     Op.SQRTSS: "single_sqrt", Op.ABSSS: "single_abs", Op.NEGSS: "single_neg",
     Op.SINSS: "single_sin", Op.COSSS: "single_cos", Op.EXPSS: "single_exp",
     Op.LOGSS: "single_log",
+}
+_FPN_BIN = {
+    Op.ADDBF: "bf16_add", Op.SUBBF: "bf16_sub", Op.MULBF: "bf16_mul",
+    Op.DIVBF: "bf16_div", Op.MINBF: "bf16_min", Op.MAXBF: "bf16_max",
+    Op.ADDHF: "f16_add", Op.SUBHF: "f16_sub", Op.MULHF: "f16_mul",
+    Op.DIVHF: "f16_div", Op.MINHF: "f16_min", Op.MAXHF: "f16_max",
+}
+_FPN_UN = {
+    Op.SQRTBF: "bf16_sqrt", Op.ABSBF: "bf16_abs", Op.NEGBF: "bf16_neg",
+    Op.SINBF: "bf16_sin", Op.COSBF: "bf16_cos", Op.EXPBF: "bf16_exp",
+    Op.LOGBF: "bf16_log",
+    Op.SQRTHF: "f16_sqrt", Op.ABSHF: "f16_abs", Op.NEGHF: "f16_neg",
+    Op.SINHF: "f16_sin", Op.COSHF: "f16_cos", Op.EXPHF: "f16_exp",
+    Op.LOGHF: "f16_log",
+}
+#: opcode -> (decode name, encode name) for narrow compare/convert.
+_FPN_CODEC_OPS = {
+    Op.UCOMIBF: ("bits_to_bf16", "bf16_to_bits"),
+    Op.CVTSI2BF: ("bits_to_bf16", "bf16_to_bits"),
+    Op.CVTTBF2SI: ("bits_to_bf16", "bf16_to_bits"),
+    Op.CVTSD2BF: ("bits_to_bf16", "bf16_to_bits"),
+    Op.CVTBF2SD: ("bits_to_bf16", "bf16_to_bits"),
+    Op.UCOMIHF: ("bits_to_f16", "f16_to_bits"),
+    Op.CVTSI2HF: ("bits_to_f16", "f16_to_bits"),
+    Op.CVTTHF2SI: ("bits_to_f16", "f16_to_bits"),
+    Op.CVTSD2HF: ("bits_to_f16", "f16_to_bits"),
+    Op.CVTHF2SD: ("bits_to_f16", "f16_to_bits"),
 }
 _PD_BIN = {
     Op.ADDPD: "double_add", Op.SUBPD: "double_sub",
@@ -506,6 +542,58 @@ class _RunEmitter:
             d, s = ops[0].index, ops[1].index
             e(f"xl[{d}] = double_to_bits(bits_to_single(xl[{s}] & _M32))")
 
+        elif op in _FPN_BIN:
+            fn = _FPN_BIN[op]
+            d = ops[0].index
+            sv = self.xsrc64(ops[1])
+            e(f"v{j}n = xl[{d}]",
+              f"xl[{d}] = (v{j}n & _HI32) | {fn}(v{j}n & 0xFFFF, ({sv}) & 0xFFFF)")
+
+        elif op in _FPN_UN:
+            fn = _FPN_UN[op]
+            d = ops[0].index
+            sv = self.xsrc64(ops[1])
+            e(f"xl[{d}] = (xl[{d}] & _HI32) | {fn}(({sv}) & 0xFFFF)")
+
+        elif op is Op.UCOMIBF or op is Op.UCOMIHF:
+            dec = _FPN_CODEC_OPS[op][0]
+            d = ops[0].index
+            sv = self.xsrc64(ops[1])
+            e(f"fa{j} = {dec}(xl[{d}] & 0xFFFF)",
+              f"fb{j} = {dec}(({sv}) & 0xFFFF)",
+              f"if fa{j} != fa{j} or fb{j} != fb{j}:",
+              "    flags[0] = 1",
+              "    flags[1] = 0",
+              "    flags[2] = 1",
+              "else:",
+              f"    flags[0] = 1 if fa{j} == fb{j} else 0",
+              f"    flags[1] = 1 if fa{j} < fb{j} else 0",
+              "    flags[2] = 0")
+
+        elif op is Op.CVTSI2BF or op is Op.CVTSI2HF:
+            enc = _FPN_CODEC_OPS[op][1]
+            d, s = ops[0].index, ops[1].index
+            e(f"xl[{d}] = (xl[{d}] & _HI32) | {enc}(float(_s64(gpr[{s}])))")
+
+        elif op is Op.CVTTBF2SI or op is Op.CVTTHF2SI:
+            dec = _FPN_CODEC_OPS[op][0]
+            d, s = ops[0].index, ops[1].index
+            e(f"f{j} = {dec}(xl[{s}] & 0xFFFF)",
+              f"if f{j} != f{j} or f{j} >= 9.223372036854776e18 or f{j} < -9.223372036854776e18:",
+              f"    gpr[{d}] = _INT_INDEFINITE",
+              "else:",
+              f"    gpr[{d}] = int(f{j}) & _M64")
+
+        elif op is Op.CVTSD2BF or op is Op.CVTSD2HF:
+            enc = _FPN_CODEC_OPS[op][1]
+            d, s = ops[0].index, ops[1].index
+            e(f"xl[{d}] = (xl[{d}] & _HI32) | {enc}(bits_to_double(xl[{s}]))")
+
+        elif op is Op.CVTBF2SD or op is Op.CVTHF2SD:
+            dec = _FPN_CODEC_OPS[op][0]
+            d, s = ops[0].index, ops[1].index
+            e(f"xl[{d}] = double_to_bits({dec}(xl[{s}] & 0xFFFF))")
+
         elif op is Op.MOVQXR:
             e(f"xl[{ops[0].index}] = gpr[{ops[1].index}]")
         elif op is Op.MOVQRX:
@@ -797,6 +885,9 @@ _MEMBER_OPS = (
     | frozenset(_FPD_UN)
     | frozenset(_FPS_BIN)
     | frozenset(_FPS_UN)
+    | frozenset(_FPN_BIN)
+    | frozenset(_FPN_UN)
+    | frozenset(_FPN_CODEC_OPS)
     | frozenset(_PD_BIN)
     | frozenset(_PS_BIN)
     | _MPI_MEMBERS

@@ -19,7 +19,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.binary.model import Program
-from repro.fpbits import ieee
+from repro.fpbits import ieee, narrow
 from repro.fpbits.ieee import (
     bits_to_double,
     bits_to_single,
@@ -139,6 +139,46 @@ _FPS_UN = {
     Op.COSSS: ieee.single_cos,
     Op.EXPSS: ieee.single_exp,
     Op.LOGSS: ieee.single_log,
+}
+# Scalar narrow (bfloat16 / binary16) binary ops on 16-bit patterns.
+# Same slot discipline as the SS family: the result is written into the
+# low 32 bits (16-bit pattern zero-extended) and the upper 32 bits are
+# preserved, which is what keeps the per-width replacement sentinels
+# alive in the high word.
+_FPN_BIN = {
+    Op.ADDBF: narrow.bf16_add,
+    Op.SUBBF: narrow.bf16_sub,
+    Op.MULBF: narrow.bf16_mul,
+    Op.DIVBF: narrow.bf16_div,
+    Op.MINBF: narrow.bf16_min,
+    Op.MAXBF: narrow.bf16_max,
+    Op.ADDHF: narrow.f16_add,
+    Op.SUBHF: narrow.f16_sub,
+    Op.MULHF: narrow.f16_mul,
+    Op.DIVHF: narrow.f16_div,
+    Op.MINHF: narrow.f16_min,
+    Op.MAXHF: narrow.f16_max,
+}
+_FPN_UN = {
+    Op.SQRTBF: narrow.bf16_sqrt,
+    Op.ABSBF: narrow.bf16_abs,
+    Op.NEGBF: narrow.bf16_neg,
+    Op.SINBF: narrow.bf16_sin,
+    Op.COSBF: narrow.bf16_cos,
+    Op.EXPBF: narrow.bf16_exp,
+    Op.LOGBF: narrow.bf16_log,
+    Op.SQRTHF: narrow.f16_sqrt,
+    Op.ABSHF: narrow.f16_abs,
+    Op.NEGHF: narrow.f16_neg,
+    Op.SINHF: narrow.f16_sin,
+    Op.COSHF: narrow.f16_cos,
+    Op.EXPHF: narrow.f16_exp,
+    Op.LOGHF: narrow.f16_log,
+}
+# Narrow decode/encode pairs for the compare and convert handlers.
+_FPN_CODEC = {
+    "bf": (narrow.bits_to_bf16, narrow.bf16_to_bits),
+    "hf": (narrow.bits_to_f16, narrow.f16_to_bits),
 }
 # Packed double: applied to each 64-bit lane.
 _PD_BIN = {
@@ -1480,6 +1520,90 @@ class VM:
                 cyc[0] += cost
                 return idx + 1
             return h_cvttss2si
+
+        # ---- scalar narrow (bfloat16 / binary16) -------------------------------
+        if op in _FPN_BIN:
+            fn = _FPN_BIN[op]
+            d = ops[0].index
+            srcf = self._xsrc64(ops[1], iaddr)
+            def h_fpn(idx, cyc=cyc, cost=cost, xl=xl, d=d, srcf=srcf, fn=fn):
+                v = xl[d]
+                xl[d] = (v & _HI32) | fn(v & 0xFFFF, srcf() & 0xFFFF)
+                cyc[0] += cost
+                return idx + 1
+            return h_fpn
+
+        if op in _FPN_UN:
+            fn = _FPN_UN[op]
+            d = ops[0].index
+            srcf = self._xsrc64(ops[1], iaddr)
+            def h_fpnun(idx, cyc=cyc, cost=cost, xl=xl, d=d, srcf=srcf, fn=fn):
+                xl[d] = (xl[d] & _HI32) | fn(srcf() & 0xFFFF)
+                cyc[0] += cost
+                return idx + 1
+            return h_fpnun
+
+        if op is Op.UCOMIBF or op is Op.UCOMIHF:
+            dec = _FPN_CODEC["bf" if op is Op.UCOMIBF else "hf"][0]
+            d = ops[0].index
+            srcf = self._xsrc64(ops[1], iaddr)
+            def h_ucomin(idx, cyc=cyc, cost=cost, xl=xl, flags=flags, d=d,
+                         srcf=srcf, dec=dec):
+                a = dec(xl[d] & 0xFFFF)
+                b = dec(srcf() & 0xFFFF)
+                if a != a or b != b:
+                    flags[0], flags[1], flags[2] = 1, 0, 1
+                else:
+                    flags[0] = 1 if a == b else 0
+                    flags[1] = 1 if a < b else 0
+                    flags[2] = 0
+                cyc[0] += cost
+                return idx + 1
+            return h_ucomin
+
+        if op is Op.CVTSI2BF or op is Op.CVTSI2HF:
+            enc = _FPN_CODEC["bf" if op is Op.CVTSI2BF else "hf"][1]
+            d = ops[0].index
+            s = ops[1].index
+            def h_cvtsi2n(idx, cyc=cyc, cost=cost, xl=xl, gpr=gpr, d=d, s=s, enc=enc):
+                xl[d] = (xl[d] & _HI32) | enc(float(_s64(gpr[s])))
+                cyc[0] += cost
+                return idx + 1
+            return h_cvtsi2n
+
+        if op is Op.CVTTBF2SI or op is Op.CVTTHF2SI:
+            dec = _FPN_CODEC["bf" if op is Op.CVTTBF2SI else "hf"][0]
+            d = ops[0].index
+            s = ops[1].index
+            def h_cvttn2si(idx, cyc=cyc, cost=cost, xl=xl, gpr=gpr, d=d, s=s, dec=dec):
+                v = dec(xl[s] & 0xFFFF)
+                if v != v or v >= 9.223372036854776e18 or v < -9.223372036854776e18:
+                    gpr[d] = _INT_INDEFINITE
+                else:
+                    gpr[d] = int(v) & _M64
+                cyc[0] += cost
+                return idx + 1
+            return h_cvttn2si
+
+        if op is Op.CVTSD2BF or op is Op.CVTSD2HF:
+            enc = _FPN_CODEC["bf" if op is Op.CVTSD2BF else "hf"][1]
+            d = ops[0].index
+            s = ops[1].index
+            def h_cvtsd2n(idx, cyc=cyc, cost=cost, xl=xl, d=d, s=s, enc=enc):
+                xl[d] = (xl[d] & _HI32) | enc(bits_to_double(xl[s]))
+                cyc[0] += cost
+                return idx + 1
+            return h_cvtsd2n
+
+        if op is Op.CVTBF2SD or op is Op.CVTHF2SD:
+            dec = _FPN_CODEC["bf" if op is Op.CVTBF2SD else "hf"][0]
+            d = ops[0].index
+            s = ops[1].index
+            def h_cvtn2sd(idx, cyc=cyc, cost=cost, xl=xl, d=d, s=s, dec=dec):
+                xl[d] = double_to_bits(dec(xl[s] & 0xFFFF))
+                cyc[0] += cost
+                return idx + 1
+            return h_cvtn2sd
 
         # ---- packed single -----------------------------------------------------
         if op in _PS_BIN:

@@ -2,11 +2,12 @@
 
 Programs emit raw records: ``("i", bits)`` from ``outi``, ``("d", bits)``
 from ``outsd`` and ``("s", bits)`` from ``outss``.  Decoding is
-*flag-transparent*: a double output that carries the ``0x7FF4DEAD``
-replacement sentinel decodes to the single-precision value stored in its
-low word.  This mirrors how the paper compares the output of an
-instrumented run with that of a manually converted single-precision
-build.
+*flag-transparent* for every lattice width: a double output whose high
+word carries a replacement sentinel (``0x7FF4DEAD`` for binary32,
+``0x7FF4BEEF``/``0x7FF4FEED`` for the 16-bit rungs) decodes to the
+narrow value stored in its low word.  This mirrors how the paper
+compares the output of an instrumented run with that of a manually
+converted single-precision build.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from __future__ import annotations
 import math
 
 from repro.fpbits.ieee import bits_to_double, bits_to_single
-from repro.fpbits.replace import is_replaced, replaced_single_bits
+from repro.fpbits.replace import LOW_WORD_MASK, WIDTH_CODECS, replaced_width
 
 
 def decode_output(record: tuple) -> float | int:
@@ -23,8 +24,9 @@ def decode_output(record: tuple) -> float | int:
     if kind == "i":
         return bits - 0x10000000000000000 if bits >= 0x8000000000000000 else bits
     if kind == "d":
-        if is_replaced(bits):
-            return bits_to_single(replaced_single_bits(bits))
+        width = replaced_width(bits)
+        if width is not None:
+            return WIDTH_CODECS[width][2](bits & LOW_WORD_MASK)
         return bits_to_double(bits)
     if kind == "s":
         return bits_to_single(bits)

@@ -124,3 +124,52 @@ class TestSearchGuide:
     def test_verification_bound_from_tolerances(self):
         guide = SearchGuide(_report([]), _W())
         assert guide.bound == 1e-9
+
+
+class TestPredictUnfit:
+    """The lattice width-seeding predicate (range-based, fires on groups)."""
+
+    def _guide(self, entries):
+        return SearchGuide(_report(entries), _W())
+
+    def test_overflowing_range_is_unfit(self):
+        from repro.lattice import F16
+
+        guide = self._guide([_ia(0x10, min_abs=1.0, max_abs=1e6)])
+        assert guide.predict_unfit([0x10], F16)
+
+    def test_underflowing_range_is_unfit(self):
+        from repro.lattice import F16
+
+        guide = self._guide([_ia(0x10, min_abs=1e-9, max_abs=1.0)])
+        assert guide.predict_unfit([0x10], F16)
+
+    def test_fitting_range_is_not_pruned(self):
+        from repro.lattice import BF16, F16
+
+        guide = self._guide([_ia(0x10, min_abs=1e-3, max_abs=100.0)])
+        assert not guide.predict_unfit([0x10], F16)
+        assert not guide.predict_unfit([0x10], BF16)
+
+    def test_one_unfit_member_prunes_the_group(self):
+        from repro.lattice import F16
+
+        guide = self._guide([
+            _ia(0x10, min_abs=1.0, max_abs=2.0),
+            _ia(0x20, min_abs=1.0, max_abs=1e6),
+        ])
+        assert guide.predict_unfit([0x10, 0x20], F16)
+        assert not guide.predict_unfit([0x10], F16)
+
+    def test_unobserved_addrs_must_evaluate(self):
+        from repro.lattice import F16
+
+        guide = self._guide([_ia(0x10)])
+        assert not guide.predict_unfit([0x999], F16)
+
+    def test_wider_rung_tolerates_what_f16_cannot(self):
+        from repro.lattice import BF16, F16
+
+        guide = self._guide([_ia(0x10, min_abs=2.0, max_abs=262144.0)])
+        assert guide.predict_unfit([0x10], F16)
+        assert not guide.predict_unfit([0x10], BF16)

@@ -1,0 +1,123 @@
+"""Exchange format v2: the additive ``# lattice:`` header.
+
+The compatibility contract: every v1 (binary-lattice) file is a valid
+v2 file, serializes byte-identically whether or not the writer is
+lattice-aware, and the narrow flags ``b``/``h`` round-trip exactly like
+the original ``s``/``d``/``i``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Config, Policy, build_tree, dump_config, load_config
+from repro.config.fileformat import ConfigFormatError, read_lattice_header
+from repro.lattice import BINARY_LATTICE, FULL_LATTICE
+from tests.conftest import compile_src
+
+SRC = """
+module vtwo;
+fn scale(x: real) -> real {
+    return x * 0.5 + 1.0;
+}
+fn main() {
+    var s: real = 0.0;
+    for i in 0 .. 4 {
+        s = s + scale(real(i));
+    }
+    out(s);
+}
+"""
+
+
+@pytest.fixture
+def tree():
+    return build_tree(compile_src(SRC))
+
+
+def _mixed_config(tree):
+    """One node at each policy the lattice knows about."""
+    config = Config(tree)
+    insns = list(tree.instructions())
+    assert len(insns) >= 4
+    config.set(insns[0].node_id, Policy.SINGLE)
+    config.set(insns[1].node_id, Policy.BF16)
+    config.set(insns[2].node_id, Policy.HALF)
+    config.set(insns[3].node_id, Policy.DOUBLE)
+    return config
+
+
+class TestBinaryStaysV1:
+    def test_no_lattice_matches_legacy_bytes(self, tree):
+        config = Config.all_single(tree)
+        legacy = dump_config(config)
+        assert dump_config(config, lattice=None) == legacy
+        assert dump_config(config, lattice="f64,f32") == legacy
+        assert dump_config(config, lattice=BINARY_LATTICE) == legacy
+        assert "# lattice:" not in legacy
+
+    def test_legacy_text_roundtrips_byte_identically(self, tree):
+        config = Config.all_single(tree)
+        text = dump_config(config)
+        back = load_config(tree, text)
+        assert back.flags == config.flags
+        assert dump_config(back) == text
+
+    def test_v1_reader_result_has_no_header(self, tree):
+        text = dump_config(Config.all_single(tree))
+        assert read_lattice_header(text) is None
+
+
+class TestLatticeHeader:
+    def test_nonbinary_lattice_adds_header(self, tree):
+        text = dump_config(Config(tree), lattice=FULL_LATTICE)
+        assert "# lattice: f64,f32,bf16,f16\n" in text
+        assert read_lattice_header(text) == "f64,f32,bf16,f16"
+
+    def test_spec_string_accepted(self, tree):
+        text = dump_config(Config(tree), lattice="f64,f32,f16")
+        assert read_lattice_header(text) == "f64,f32,f16"
+
+    def test_header_precedes_structure_and_survives_load(self, tree):
+        config = _mixed_config(tree)
+        text = dump_config(config, header="extra note", lattice=FULL_LATTICE)
+        lines = text.splitlines()
+        first_structure = next(
+            i for i, line in enumerate(lines)
+            if line.strip() and not line.strip().startswith("#")
+        )
+        assert any("# lattice:" in line for line in lines[:first_structure])
+        # The header is a comment: v2 text loads through the v1 parser.
+        assert load_config(tree, text).flags == config.flags
+
+    def test_header_after_structure_is_ignored(self, tree):
+        text = dump_config(Config(tree)) + "# lattice: f64,f32,f16\n"
+        assert read_lattice_header(text) is None
+
+
+class TestNarrowFlags:
+    def test_narrow_flags_render_in_first_column(self, tree):
+        text = dump_config(_mixed_config(tree), lattice=FULL_LATTICE)
+        cols = {line[0] for line in text.splitlines() if line and line[0] != "#"}
+        assert {"s", "b", "h", "d"} <= cols
+
+    def test_narrow_flags_roundtrip(self, tree):
+        config = _mixed_config(tree)
+        text = dump_config(config, lattice=FULL_LATTICE)
+        back = load_config(tree, text)
+        assert back.flags == config.flags
+        assert dump_config(back, lattice=FULL_LATTICE) == text
+
+    def test_narrow_flags_resolve_in_policy_map(self, tree):
+        config = _mixed_config(tree)
+        policies = load_config(
+            tree, dump_config(config, lattice=FULL_LATTICE)
+        ).instruction_policies()
+        assert Policy.BF16 in policies.values()
+        assert Policy.HALF in policies.values()
+
+    def test_bad_flag_message_names_all_five(self, tree):
+        text = dump_config(Config(tree)).splitlines()
+        structure = next(l for l in text if l and not l.startswith("#"))
+        with pytest.raises(ConfigFormatError, match="s/d/i/b/h"):
+            load_config(tree, "x" + structure[1:])

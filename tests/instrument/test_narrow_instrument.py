@@ -1,0 +1,125 @@
+"""Instrumentation of bfloat16/binary16 policies (the lattice widths).
+
+The guard chains generalize the paper's single-in-double scheme: each
+narrow width has its own high-word sentinel, every upcast check tests
+all live sentinels, and a program whose policies stay within f64/f32
+compiles byte-identically to the pre-lattice instrumenter (covered by
+the incremental-cache differential suite; here we exercise the new
+widths end to end).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble_text
+from repro.config import Config, Policy, build_tree
+from repro.fpbits.narrow import bits_to_bf16, bits_to_f16
+from repro.fpbits.replace import replaced_width
+from repro.instrument import instrument
+from repro.instrument.engine import InstrumentError
+from repro.instrument.snippets import DEFAULT_WIDTHS, live_widths
+from repro.vm import run_program
+from tests.conftest import compile_src
+
+# Arithmetic that is exact even in binary16: 1.5 and 2.0 are
+# representable at every lattice width, and the loop returns to 1.0.
+SRC = """
+module narrowp;
+fn main() {
+    var p: real = 1.0;
+    for i in 0 .. 8 {
+        p = p * 1.5;
+        p = p / 1.5;
+    }
+    out(p + 2.0);
+}
+"""
+
+PACKED = """
+.global vec 4 0x3ff0000000000000 0x4000000000000000 0x4008000000000000 0x4010000000000000
+.func _start
+    movapd %x0, [vec]
+    movapd %x1, [vec+2]
+    addpd %x0, %x1
+    outsd %x0
+    halt
+.endfunc
+"""
+
+
+def _all_at(tree, policy):
+    config = Config(tree)
+    for root in tree.roots:
+        config.set(root.node_id, policy)
+    return config
+
+
+class TestLiveWidths:
+    def test_empty_and_all_double_default_to_f32(self):
+        assert live_widths({}) == DEFAULT_WIDTHS == ("f32",)
+        assert live_widths({0x10: Policy.DOUBLE}) == ("f32",)
+        assert live_widths({0x10: Policy.IGNORE}) == ("f32",)
+
+    def test_widths_listed_in_lattice_order(self):
+        policies = {0x10: Policy.HALF, 0x20: Policy.SINGLE,
+                    0x30: Policy.BF16}
+        assert live_widths(policies) == ("f32", "bf16", "f16")
+
+    def test_single_narrow_width(self):
+        assert live_widths({0x10: Policy.BF16}) == ("bf16",)
+        assert live_widths({0x10: Policy.HALF}) == ("f16",)
+
+
+class TestNarrowExecution:
+    @pytest.mark.parametrize("policy,width,decode", [
+        (Policy.BF16, "bf16", bits_to_bf16),
+        (Policy.HALF, "f16", bits_to_f16),
+    ])
+    def test_exact_arithmetic_survives_at_width(self, policy, width, decode):
+        program = compile_src(SRC)
+        tree = build_tree(program)
+        instrumented = instrument(program, _all_at(tree, policy))
+        run = run_program(instrumented.program, max_steps=2_000_000)
+        bits = run.outputs[0][1]
+        assert replaced_width(bits) == width
+        assert decode(bits & 0xFFFF) == 3.0
+
+    def test_narrow_matches_double_on_exact_values(self):
+        program = compile_src(SRC)
+        base = run_program(program)
+        tree = build_tree(program)
+        instrumented = instrument(program, _all_at(tree, Policy.HALF))
+        run = run_program(instrumented.program, max_steps=2_000_000)
+        from repro.fpbits.replace import read_operand_as_double_any
+
+        got = [read_operand_as_double_any(bits) for _, bits in run.outputs]
+        want = [read_operand_as_double_any(bits) for _, bits in base.outputs]
+        assert got == want
+
+    def test_mixed_widths_coexist(self):
+        # Half the program at f16, the rest at f32: downcast guards must
+        # rehydrate each other's sentinels before re-narrowing.
+        program = compile_src(SRC)
+        tree = build_tree(program)
+        config = Config.all_single(tree)
+        insns = list(tree.instructions())
+        for insn in insns[: len(insns) // 2]:
+            config.set(insn.node_id, Policy.HALF)
+        instrumented = instrument(program, config)
+        run = run_program(instrumented.program, max_steps=2_000_000)
+        bits = run.outputs[0][1]
+        assert replaced_width(bits) in ("f32", "f16")
+        from repro.fpbits.replace import read_operand_as_double_any
+
+        assert read_operand_as_double_any(bits) == 3.0
+
+
+class TestPackedNarrowRejected:
+    def test_packed_site_at_narrow_width_is_an_instrument_error(self):
+        # The 16-bit families carry no packed equivalents: narrowing a
+        # packed site must fail loudly, never emit a wrong snippet.
+        program = assemble_text(PACKED)
+        tree = build_tree(program)
+        with pytest.raises(InstrumentError, match="no bf16 equivalent"):
+            instrument(program, _all_at(tree, Policy.BF16))
