@@ -1,0 +1,146 @@
+"""A workload plugin: register a new program with zero edits to repro.
+
+The SDK makes external workloads first-class search tenants.  This file
+never touches ``repro.workloads`` — it defines a leapfrog wave-equation
+kernel in the MH mini-language, wraps it in a :class:`WorkloadSpec`, and
+exports the spec as ``WORKLOADS``, which is all the plugin protocol
+asks.  Point any workload-taking command at it:
+
+    repro workloads --check --plugin examples/plugin_workload.py
+    repro search wave --class T --plugin examples/plugin_workload.py
+    repro submit HOST:PORT wave --plugin examples/plugin_workload.py
+
+(for ``submit``, the serving side and its workers need the same flag so
+they can validate and build the workload:
+``repro serve ... --service ROOT --plugin examples/plugin_workload.py``
+and ``repro worker ... --plugin examples/plugin_workload.py``).
+
+A package would ship the same spec on the ``repro.workloads`` entry
+point group instead of a ``--plugin`` flag:
+
+    [project.entry-points."repro.workloads"]
+    wave = "mypkg.wave:WORKLOADS"
+
+Run directly for a self-test:  python examples/plugin_workload.py
+"""
+
+from string import Template
+
+from repro.sdk import WorkloadSpec, assert_conformant
+from repro.workloads.base import Workload
+
+# The second-order wave equation u_tt = c^2 u_xx, marched with the
+# classic leapfrog scheme (fixed Dirichlet ends).  Deliberately distinct
+# from the built-in stencil family: leapfrog is non-dissipative, so
+# rounding errors are carried, not damped — a harder mixed-precision
+# target than the heat solver.
+_WAVE = Template("""
+module wave;
+
+const N: i64 = $n;
+const NSTEP: i64 = $nstep;
+
+var up: real[$n];
+var uc: real[$n];
+var un: real[$n];
+
+fn setup(dx: real, c2: real) {
+    for i in 0 .. N {
+        var x: real = real(i) * dx;
+        uc[i] = sin(3.141592653589793 * x) + 0.3 * sin(9.42477796076938 * x);
+    }
+    uc[0] = 0.0;
+    uc[N - 1] = 0.0;
+    # First step from rest (u_t = 0): Taylor start.
+    up[0] = 0.0;
+    up[N - 1] = 0.0;
+    for i in 1 .. N - 1 {
+        var lap: real = uc[i + 1] - 2.0 * uc[i] + uc[i - 1];
+        up[i] = uc[i] + 0.5 * c2 * lap;
+    }
+}
+
+fn step(c2: real) {
+    un[0] = 0.0;
+    un[N - 1] = 0.0;
+    for i in 1 .. N - 1 {
+        var lap: real = uc[i + 1] - 2.0 * uc[i] + uc[i - 1];
+        un[i] = 2.0 * uc[i] - up[i] + c2 * lap;
+    }
+    for i in 0 .. N {
+        up[i] = uc[i];
+        uc[i] = un[i];
+    }
+}
+
+fn main() {
+    var dx: real = 1.0 / real(N - 1);
+    # Courant number 0.5: stable, and rounding (not truncation)
+    # dominates the double/single difference.
+    var c2: real = 0.25;
+
+    setup(dx, c2);
+    for s in 0 .. NSTEP {
+        step(c2);
+    }
+
+    var norm: real = 0.0;
+    var csum: real = 0.0;
+    for i in 0 .. N {
+        norm = norm + uc[i] * uc[i];
+        csum = csum + uc[i] * cos(real(i) * 0.13);
+    }
+    out(sqrt(norm * dx));
+    out(csum);
+    out(uc[N / 2]);
+}
+""")
+
+CLASSES = {
+    "T": dict(n=16, nstep=8),
+    "S": dict(n=32, nstep=16),
+    "W": dict(n=64, nstep=32),
+    "A": dict(n=128, nstep=64),
+}
+
+
+def make(klass: str = "W") -> Workload:
+    params = CLASSES[klass]
+    return Workload(
+        name=f"wave.{klass}",
+        sources=[_WAVE.substitute(**params)],
+        klass=klass,
+        verify_mode="baseline",
+        # Leapfrog conserves (discrete) energy, so the norm must match
+        # tightly; the pointwise probe and phase checksum a bit looser.
+        tolerances=[(1e-6, 1e-7), (1e-4, 1e-5), (1e-4, 1e-5)],
+    )
+
+
+#: what the plugin loader (and the entry-point group) looks for.
+WORKLOADS = [
+    WorkloadSpec(
+        name="wave",
+        factory=make,
+        classes=tuple(CLASSES),
+        description="leapfrog wave equation (plugin example)",
+    ),
+]
+
+
+def main() -> None:
+    spec = WORKLOADS[0]
+    report = assert_conformant(spec)
+    print(report.summary())
+
+    from repro import SearchEngine
+
+    result = SearchEngine(spec.make("T")).run()
+    row = result.row()
+    print(f"\nsearch wave.T: {row['tested']} configurations over "
+          f"{row['candidates']} candidates -> static {row['static_pct']}%, "
+          f"dynamic {row['dynamic_pct']}%, final {row['final']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,12 +11,21 @@ Kahan-style correction) that never existed as MH source.  We disassemble
 it, generate its configuration template, and search it for replaceable
 instructions, all from the binary alone.
 
+The workload registers through the SDK (:mod:`repro.sdk`) like any
+built-in: a :class:`WorkloadSpec` with ``single_build=False`` (a binary
+has no "manually converted" f32 twin), checked by the conformance
+harness before the search touches it.  Because the spec is exported as
+``WORKLOADS``, the same file doubles as a CLI plugin:
+
+    repro search vendor-kernel --plugin examples/third_party_binary.py
+
 Run:  python examples/third_party_binary.py
 """
 
 from repro import SearchEngine, assemble_text, run_program
 from repro.asm import disassemble_program
 from repro.config import dump_config
+from repro.sdk import WorkloadSpec, assert_conformant
 from repro.vm import outputs_close
 
 # The "vendor binary": assembled once; imagine only the bytes survive.
@@ -76,6 +85,8 @@ class BinaryWorkload:
     """A workload defined over a binary alone — no source, no compiler."""
 
     name = "vendor-kernel"
+    klass = "W"
+    verify_mode = "baseline"
 
     def __init__(self) -> None:
         self.program = assemble_text(VENDOR_ASM, name="libvendor")
@@ -96,8 +107,26 @@ class BinaryWorkload:
         return self._profile
 
 
+#: SDK registration: picked up by ``repro --plugin examples/third_party_binary.py``
+#: and by the explicit ``REGISTRY.register`` below.  A binary-only workload
+#: declares ``single_build=False``; everything else is checked as usual.
+WORKLOADS = [
+    WorkloadSpec(
+        name="vendor-kernel",
+        factory=lambda klass: BinaryWorkload(),
+        classes=("W",),
+        description="vendor-shipped Kahan dot-product binary (no source)",
+        single_build=False,
+    ),
+]
+
+
 def main() -> None:
-    workload = BinaryWorkload()
+    spec = WORKLOADS[0]
+    report = assert_conformant(spec)
+    print(f"{report.summary()}\n")
+
+    workload = spec.make()
     print("vendor binary (no source available):")
     print(f"  {workload.program.stats()}")
     print(f"  result: {workload.run().values()[0]!r}\n")

@@ -71,7 +71,7 @@ def analyze(workload, telemetry=None, tree=None) -> AnalysisReport:
             result = run_program(
                 workload.program,
                 observer=ChainedObserver(observer, channels),
-                **workload.vm_params(),
+                **getattr(workload, "vm_params", dict)(),
             )
         except VmTrap:
             # The original program should not trap; if it does the

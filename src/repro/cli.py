@@ -12,9 +12,10 @@ disasm      disassemble a program
 config      emit the initial configuration exchange file (paper Fig. 3)
 instrument  rewrite a program under a configuration file
 view        render the configuration tree (paper Fig. 4, as text)
-analyze     shadow-value analysis of a built-in workload (JSON report)
-profile     per-site cycle census of a built-in workload (profile.json)
-search      automatic mixed-precision search on a built-in workload
+workloads   list registered workloads (and check their conformance)
+analyze     shadow-value analysis of a registered workload (JSON report)
+profile     per-site cycle census of a registered workload (profile.json)
+search      automatic mixed-precision search on a registered workload
 serve       run a search as a cluster coordinator (network workers),
             or a multi-tenant job service with --service ROOT
 submit      submit a campaign to a job service (`repro serve --service`)
@@ -27,6 +28,11 @@ experiment  regenerate one of the paper's tables/figures
 
 Program images are plain pickles of :class:`repro.binary.model.Program`;
 anything ending in ``.mh`` (or any readable text) is compiled on the fly.
+
+Workload names resolve through the SDK registry (:mod:`repro.sdk`):
+built-ins plus anything loaded with ``--plugin module[:attr]`` (or
+``--plugin path/to/file.py``) or published on the ``repro.workloads``
+entry-point group.  ``repro workloads`` prints the live catalogue.
 
 Exit codes (documented in README.md and docs/CLUSTER.md): 0 success,
 1 runtime failure, 2 usage error (argparse), 3 missing input (a store
@@ -63,6 +69,17 @@ from repro.telemetry import (
 from repro.viewer.tree import render_config_tree, render_search_summary
 from repro.vm.machine import run_program
 from repro.workloads import make_workload
+
+
+def _load_plugins(args) -> None:
+    """Register every workload named by ``--plugin`` before lookups."""
+    from repro.sdk import PluginError, load_plugin
+
+    for ref in getattr(args, "plugin", None) or ():
+        try:
+            load_plugin(ref)
+        except PluginError as exc:
+            raise SystemExit(f"--plugin: {exc}")
 
 
 def _build_telemetry(args) -> tuple[Telemetry, MetricsRegistry | None]:
@@ -219,9 +236,46 @@ def cmd_view(args) -> int:
     return 0
 
 
+def cmd_workloads(args) -> int:
+    """List the registry; with --check, run conformance over it."""
+    from repro.sdk import REGISTRY, run_conformance
+
+    _load_plugins(args)
+    specs = REGISTRY.specs()
+    for name, error in REGISTRY.plugin_errors:
+        print(f"workloads: entry point {name!r} failed to load: {error}",
+              file=sys.stderr)
+    name_w = max([len(s.name) for s in specs] + [8])
+    cls_w = max([len(",".join(s.classes)) for s in specs] + [7])
+    origin_w = max([len(s.origin) for s in specs] + [6])
+    print(f"{'NAME':<{name_w}} {'CLASSES':<{cls_w}} {'VERIFY':<8} "
+          f"{'MPI':<3} {'ORIGIN':<{origin_w}} DESCRIPTION")
+    for spec in specs:
+        print(f"{spec.name:<{name_w}} {','.join(spec.classes):<{cls_w}} "
+              f"{spec.verify:<8} {'yes' if spec.mpi else 'no':<3} "
+              f"{spec.origin:<{origin_w}} {spec.description}")
+    if not args.check:
+        return 0
+    failed = 0
+    for spec in specs:
+        report = run_conformance(spec)
+        if report.passed:
+            print(f"conformance {report.workload}.{report.klass}: "
+                  f"PASS ({len(report.checks)} checks)")
+        else:
+            failed += 1
+            print(report.summary(), file=sys.stderr)
+    if failed:
+        print(f"workloads: {failed} of {len(specs)} specs failed "
+              f"conformance", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_analyze(args) -> int:
     from repro.analysis import analyze
 
+    _load_plugins(args)
     klass = args.klass_opt if args.klass_opt is not None else args.klass
     workload = make_workload(args.workload, klass)
     telemetry, metrics = _build_telemetry(args)
@@ -244,6 +298,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_search(args) -> int:
+    _load_plugins(args)
     campaign = None
     store = None
     if args.resume:
@@ -402,6 +457,7 @@ def cmd_search(args) -> int:
 def cmd_profile(args) -> int:
     from repro.profile import collect_profile, dumps
 
+    _load_plugins(args)
     klass = args.klass_opt if args.klass_opt is not None else args.klass
     workload = make_workload(args.workload, klass)
     telemetry, metrics = _build_telemetry(args)
@@ -485,6 +541,7 @@ def _serve_service(args) -> int:
     from repro.service.jobs import TERMINAL_STATES
     from repro.telemetry import JsonlSink, Telemetry
 
+    _load_plugins(args)
     if args.workload:
         print("serve: --service takes no workload (clients submit them)",
               file=sys.stderr)
@@ -561,6 +618,7 @@ def _print_job_outcome(reply: dict, quiet: bool) -> None:
 def cmd_submit(args) -> int:
     from repro.service import ServiceClient, ServiceError
 
+    _load_plugins(args)
     klass = args.klass_opt or args.klass
     try:
         with ServiceClient(args.address) as client:
@@ -639,6 +697,7 @@ def cmd_result(args) -> int:
 def cmd_worker(args) -> int:
     from repro.cluster import WorkerError, run_worker
 
+    _load_plugins(args)
     try:
         stats = run_worker(
             args.address,
@@ -735,6 +794,21 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+#: help text for workload-name arguments; the authoritative list is the
+#: registry (`repro workloads`), which plugins extend at run time.
+_WORKLOAD_HELP = ("a registered workload: bt|cg|ep|ft|lu|mg|sp|amg|superlu|"
+                  "heat|nekcg, or one added by --plugin "
+                  "(see `repro workloads`)")
+
+
+def _add_plugin_flag(parser) -> None:
+    parser.add_argument("--plugin", action="append", metavar="MODULE[:ATTR]",
+                        default=[],
+                        help="register workloads from a plugin module "
+                             "(dotted name or path/to/file.py) before "
+                             "resolving names; repeatable")
+
+
 def _add_telemetry_flags(parser, progress: bool) -> None:
     parser.add_argument("--trace", metavar="FILE",
                         help="write a replayable JSONL event trace here")
@@ -817,16 +891,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_view)
 
     p = sub.add_parser(
+        "workloads",
+        help="list registered workloads (built-ins and plugins)",
+    )
+    p.add_argument("--check", action="store_true",
+                   help="run the conformance harness over every registered "
+                        "spec (smallest class) and exit non-zero on failure")
+    _add_plugin_flag(p)
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser(
         "analyze",
         help="shadow-value analysis: one observed run, JSON report",
     )
-    p.add_argument("workload", help="bt|cg|ep|ft|lu|mg|sp|amg|superlu")
+    p.add_argument("workload", help=_WORKLOAD_HELP)
     p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
     p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
                    help="problem class (same as the positional argument)")
     p.add_argument("-o", "--output",
                    help="write the JSON report here instead of stdout")
     _add_telemetry_flags(p, progress=False)
+    _add_plugin_flag(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
@@ -834,7 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-site cycle census: one profiled run, schema-versioned "
              "profile.json",
     )
-    p.add_argument("workload", help="bt|cg|ep|ft|lu|mg|sp|amg|superlu")
+    p.add_argument("workload", help=_WORKLOAD_HELP)
     p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
     p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
                    help="problem class (same as the positional argument)")
@@ -847,12 +932,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10, metavar="N",
                    help="candidate sites in the human summary (default 10)")
     _add_telemetry_flags(p, progress=False)
+    _add_plugin_flag(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("search", help="automatic search on a built-in workload")
     p.add_argument("workload", nargs="?",
-                   help="bt|cg|ep|ft|lu|mg|sp|amg|superlu "
-                        "(omitted with --resume)")
+                   help=_WORKLOAD_HELP + " (omitted with --resume)")
     p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
     p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
                    help="problem class (same as the positional argument)")
@@ -913,6 +998,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print the full evaluation history")
     _add_telemetry_flags(p, progress=True)
+    _add_plugin_flag(p)
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser(
@@ -923,8 +1009,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("address", metavar="HOST:PORT",
                    help="address to serve on (port 0 picks a free port)")
     p.add_argument("workload", nargs="?",
-                   help="bt|cg|ep|ft|lu|mg|sp|amg|superlu "
-                        "(omitted with --resume)")
+                   help=_WORKLOAD_HELP + " (omitted with --resume)")
     p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
     p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
                    help="problem class (same as the positional argument)")
@@ -977,6 +1062,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="service mode: exit once N jobs have finished "
                         "(default: serve forever)")
     _add_telemetry_flags(p, progress=True)
+    _add_plugin_flag(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -985,7 +1071,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("address", metavar="HOST:PORT",
                    help="service address (printed by `repro serve --service`)")
-    p.add_argument("workload", help="bt|cg|ep|ft|lu|mg|sp|amg|superlu")
+    p.add_argument("workload", help=_WORKLOAD_HELP)
     p.add_argument("klass", nargs="?", default="W", help="problem class (S/W/A/C)")
     p.add_argument("--class", dest="klass_opt", default=None, metavar="KLASS",
                    help="problem class (same as the positional argument)")
@@ -1017,6 +1103,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --wait: write the best configuration here")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the one-line human summary")
+    _add_plugin_flag(p)
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
@@ -1057,6 +1144,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 50)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the end-of-run summary line")
+    _add_plugin_flag(p)
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("store", help="result-store maintenance")

@@ -51,11 +51,11 @@ def collect_profile(
         tree = build_tree(program)
     if use_observer:
         observer = CycleObserver()
-        vm = VM(program, observer=observer, **workload.vm_params())
+        vm = VM(program, observer=observer, **getattr(workload, "vm_params", dict)())
         result = vm.run()
         stats = vm.instruction_stats(counts=observer.counts())
     else:
-        vm = VM(program, profile=True, **workload.vm_params())
+        vm = VM(program, profile=True, **getattr(workload, "vm_params", dict)())
         result = vm.run()
         stats = vm.instruction_stats()
     profile = build_profile(workload, tree, stats, result)

@@ -1,0 +1,60 @@
+"""The workload SDK: plugins as first-class search tenants.
+
+The implicit contract every workload satisfied by convention
+(build / run / verify / classes, cf. :mod:`repro.workloads.base`) is
+made explicit here:
+
+* :class:`WorkloadSpec` declares one workload family — name, factory,
+  classes, verification style, MPI-ness, accepted kwargs;
+* :data:`REGISTRY` (a :class:`WorkloadRegistry`) maps names to specs.
+  The built-ins register through it on ``import repro.workloads``;
+  external packages register via the ``repro.workloads`` entry-point
+  group or an explicit ``--plugin module:attr`` argument
+  (:func:`load_plugin`);
+* :func:`run_conformance` machine-checks any spec's product against
+  the behavioural contract (deterministic runs, f64/f32 structural
+  agreement, verification styles, class enumeration, MPI rank
+  consistency, stable content addressing).
+
+Everything downstream — ``make_workload``, ``repro search/analyze/
+profile/serve/submit``, the job service's per-task workload fields, the
+result store's ``workload_id`` keys — resolves workloads through the
+registry, so a plugin workload travels every path a built-in does.
+See docs/WORKLOADS.md for the full guide.
+"""
+
+from repro.sdk.registry import (
+    CLASS_ORDER,
+    ENTRY_POINT_GROUP,
+    PluginError,
+    REGISTRY,
+    RegistryError,
+    UnknownWorkloadError,
+    WorkloadRegistry,
+    WorkloadSpec,
+    load_plugin,
+)
+from repro.sdk.conformance import (
+    CheckOutcome,
+    ConformanceError,
+    ConformanceReport,
+    assert_conformant,
+    run_conformance,
+)
+
+__all__ = [
+    "CLASS_ORDER",
+    "ENTRY_POINT_GROUP",
+    "PluginError",
+    "REGISTRY",
+    "RegistryError",
+    "UnknownWorkloadError",
+    "WorkloadRegistry",
+    "WorkloadSpec",
+    "load_plugin",
+    "CheckOutcome",
+    "ConformanceError",
+    "ConformanceReport",
+    "assert_conformant",
+    "run_conformance",
+]

@@ -1,0 +1,282 @@
+"""Machine-checking the workload contract.
+
+:func:`run_conformance` takes a :class:`~repro.sdk.registry.WorkloadSpec`
+and exercises its factory's product against the behavioural half of the
+contract — the properties every consumer of a workload silently relies
+on:
+
+``classes-enumerate``
+    The declared classes are non-empty and the default is among them.
+``build``
+    The factory builds at the checked class; the product carries
+    ``program`` / ``run`` / ``verify``; the program has replacement
+    candidates for the search to act on.
+``deterministic``
+    Two runs produce bit-identical outputs and cycle counts — the
+    foundation of content-addressed result reuse.
+``baseline-verifies``
+    The double-precision run passes the workload's own verification
+    (otherwise the search root fails and nothing can be explored).
+``verify-style``
+    ``verify`` returns a bool and, where the workload declares a style,
+    it matches the spec's (``baseline`` vs ``self``).
+``single-build`` (skipped when ``spec.single_build`` is False)
+    The "manually converted" f32 build exists, shares the f64 build's
+    module/function/global structure, and runs to completion without
+    NaNs — so per-site configurations of one build are meaningful
+    against the other.
+``workload-id``
+    Two independent factory builds content-address to the same
+    :func:`repro.store.workload_id` — the key the result store, the
+    cluster skew check, and the service dedup all hang off.
+``mpi-ranks`` (only when ``spec.mpi``)
+    The one-rank SPMD run is bit-identical to the serial run, and a
+    multi-rank run completes cleanly with finite outputs.
+
+Each check is isolated: an exception inside one is recorded as that
+check's failure and the rest still run.  The harness is deliberately
+cheap — it uses the spec's smallest class — so CI can afford to run it
+over every registered workload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class ConformanceError(AssertionError):
+    """Raised by :func:`assert_conformant` when any check fails."""
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One check's verdict."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok" if self.passed else "FAIL"
+        tail = f" — {self.detail}" if self.detail else ""
+        return f"{self.name:<18} {mark}{tail}"
+
+
+@dataclass
+class ConformanceReport:
+    """All check outcomes for one (spec, class) pairing."""
+
+    workload: str
+    klass: str
+    checks: list = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list:
+        return [check for check in self.checks if not check.passed]
+
+    def summary(self) -> str:
+        head = (
+            f"conformance {self.workload}.{self.klass}: "
+            f"{'PASS' if self.passed else 'FAIL'} "
+            f"({len(self.checks) - len(self.failures)}/{len(self.checks)})"
+        )
+        return "\n".join([head] + [f"  {check}" for check in self.checks])
+
+
+def _finite(values) -> bool:
+    for v in values:
+        v = float(v)
+        if math.isnan(v) or math.isinf(v):
+            return False
+    return True
+
+
+class _Runner:
+    """Executes checks, capturing exceptions as failures."""
+
+    def __init__(self, report: ConformanceReport) -> None:
+        self.report = report
+
+    def check(self, name: str, func) -> bool:
+        try:
+            detail = func()
+        except Exception as exc:
+            self.report.checks.append(
+                CheckOutcome(name, False, f"{type(exc).__name__}: {exc}")
+            )
+            return False
+        self.report.checks.append(CheckOutcome(name, True, detail or ""))
+        return True
+
+    def fail(self, name: str, detail: str) -> None:
+        self.report.checks.append(CheckOutcome(name, False, detail))
+
+    def skip_dependents(self, names, reason: str) -> None:
+        for name in names:
+            self.report.checks.append(
+                CheckOutcome(name, False, f"not run: {reason}")
+            )
+
+
+def run_conformance(spec, klass: str | None = None, *,
+                    mpi_ranks: int = 2) -> ConformanceReport:
+    """Check *spec*'s product against the workload contract.
+
+    *klass* defaults to the spec's smallest declared class;
+    *mpi_ranks* sets the width of the multi-rank leg for SPMD specs.
+    """
+    klass = klass or spec.smallest_class
+    report = ConformanceReport(spec.name, klass)
+    run = _Runner(report)
+
+    def classes_enumerate():
+        if not spec.classes:
+            raise ValueError("spec declares no classes")
+        if spec.default_class not in spec.classes:
+            raise ValueError(
+                f"default class {spec.default_class!r} not declared"
+            )
+        if klass not in spec.classes:
+            raise ValueError(f"checked class {klass!r} not declared")
+        return f"classes {', '.join(spec.classes)}"
+
+    run.check("classes-enumerate", classes_enumerate)
+
+    state: dict = {}
+
+    def build():
+        workload = spec.make(klass)
+        for attr in ("program", "run", "verify"):
+            if not hasattr(workload, attr):
+                raise TypeError(f"workload has no {attr!r}")
+        stats = workload.program.stats()
+        if stats["candidates"] < 1:
+            raise ValueError("program has no replacement candidates")
+        state["workload"] = workload
+        return (f"{stats['instructions']} instructions, "
+                f"{stats['candidates']} candidates")
+
+    if not run.check("build", build):
+        run.skip_dependents(
+            ("deterministic", "baseline-verifies", "verify-style",
+             "single-build", "workload-id")
+            + (("mpi-ranks",) if spec.mpi else ()),
+            "build failed",
+        )
+        return report
+    workload = state["workload"]
+
+    def deterministic():
+        first = workload.run()
+        second = workload.run()
+        if list(first.values()) != list(second.values()):
+            raise ValueError("two runs produced different outputs")
+        cycles_a = getattr(first, "cycles", None)
+        cycles_b = getattr(second, "cycles", None)
+        if cycles_a != cycles_b:
+            raise ValueError(
+                f"two runs took {cycles_a} vs {cycles_b} cycles"
+            )
+        state["baseline"] = first
+        return f"{len(first.values())} outputs, {cycles_a} cycles"
+
+    run.check("deterministic", deterministic)
+
+    def baseline_verifies():
+        result = state.get("baseline") or workload.run()
+        verdict = workload.verify(result)
+        if not verdict:
+            raise ValueError(
+                "the double-precision run fails its own verification"
+            )
+        return None
+
+    run.check("baseline-verifies", baseline_verifies)
+
+    def verify_style():
+        result = state.get("baseline") or workload.run()
+        verdict = workload.verify(result)
+        if not isinstance(verdict, bool):
+            raise TypeError(
+                f"verify returned {type(verdict).__name__}, not bool"
+            )
+        declared = getattr(workload, "verify_mode", None)
+        if declared is not None and declared != spec.verify:
+            raise ValueError(
+                f"spec declares verify={spec.verify!r} but the workload "
+                f"says {declared!r}"
+            )
+        if declared == "self" and getattr(workload, "self_check", None) is None:
+            raise ValueError("self-verifying workload has no self_check")
+        return f"style {spec.verify}"
+
+    run.check("verify-style", verify_style)
+
+    def single_build():
+        if not spec.single_build:
+            return "skipped (spec declares no f32 build)"
+        single = workload.program_single
+        double = workload.program
+        if list(single.modules) != list(double.modules):
+            raise ValueError(
+                f"module lists differ: {single.modules} vs {double.modules}"
+            )
+        if sorted(fn.name for fn in single.functions) != sorted(
+            fn.name for fn in double.functions
+        ):
+            raise ValueError("function tables differ between builds")
+        if sorted(single.globals) != sorted(double.globals):
+            raise ValueError("global symbol tables differ between builds")
+        result = workload.run(single)
+        if not _finite(result.values()):
+            raise ValueError("the f32 build produced NaN/inf outputs")
+        return f"{len(double.functions)} functions agree"
+
+    run.check("single-build", single_build)
+
+    def workload_id_stable():
+        from repro.store import workload_id
+
+        first = workload_id(workload)
+        second = workload_id(spec.make(klass))
+        if first != second:
+            raise ValueError(
+                f"two builds content-address differently: "
+                f"{first} vs {second} — the factory is not deterministic"
+            )
+        return first
+
+    run.check("workload-id", workload_id_stable)
+
+    if spec.mpi:
+
+        def mpi_ranks_consistent():
+            serial = state.get("baseline") or workload.run()
+            one = workload.run_mpi(1)
+            if list(one.values()) != list(serial.values()):
+                raise ValueError("1-rank SPMD run differs from serial run")
+            wide = workload.run_mpi(mpi_ranks)
+            if not _finite(wide.values()):
+                raise ValueError(
+                    f"{mpi_ranks}-rank run produced NaN/inf outputs"
+                )
+            return f"1 rank == serial; {mpi_ranks} ranks clean"
+
+        run.check("mpi-ranks", mpi_ranks_consistent)
+
+    return report
+
+
+def assert_conformant(spec, klass: str | None = None, *,
+                      mpi_ranks: int = 2) -> ConformanceReport:
+    """:func:`run_conformance`, raising :class:`ConformanceError` with
+    the full summary when any check fails.  Returns the report."""
+    report = run_conformance(spec, klass, mpi_ranks=mpi_ranks)
+    if not report.passed:
+        raise ConformanceError(report.summary())
+    return report

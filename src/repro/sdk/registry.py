@@ -1,0 +1,356 @@
+"""The workload registry: specs, registration, and plugin loading.
+
+A :class:`WorkloadSpec` is the *declared* half of the workload contract
+(the behavioural half is machine-checked by
+:mod:`repro.sdk.conformance`): a name, a factory, the problem classes it
+enumerates, its verification style, whether it is SPMD, and which extra
+keyword arguments the factory accepts.  Everything that consumes
+workloads — ``make_workload``, the CLI, the job service, the cluster
+workers — resolves names through one :class:`WorkloadRegistry`, so a
+workload registered by an external package is indistinguishable from a
+built-in.
+
+External packages register in one of two ways:
+
+* an entry point in the ``repro.workloads`` group whose target is a
+  spec, an iterable of specs, or a callable over the registry (loaded
+  lazily the first time an unknown name is looked up);
+* an explicit ``--plugin module:attr`` / ``--plugin path/to/file.py``
+  argument on the CLI, resolved by :func:`load_plugin`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable
+
+#: the importlib.metadata entry-point group external packages use.
+ENTRY_POINT_GROUP = "repro.workloads"
+
+#: canonical smallest-to-largest ordering of the built-in class letters;
+#: classes outside this table sort after it, in declaration order.
+CLASS_ORDER = ("T", "S", "W", "A", "B", "C", "D")
+
+
+class RegistryError(RuntimeError):
+    """Invalid registration: bad spec, or a name collision."""
+
+
+class PluginError(RuntimeError):
+    """A plugin module could not be loaded or registered."""
+
+
+class UnknownWorkloadError(KeyError):
+    """Lookup of a name no spec was registered under.
+
+    A ``KeyError`` so long-standing callers of ``make_workload`` keep
+    working; the message lists every registered name.
+    """
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        known = sorted(known)
+        message = (
+            f"unknown workload {name!r}; registered workloads: "
+            f"{', '.join(known) if known else '(none)'}"
+        )
+        super().__init__(message)
+        self.workload = name
+        self.known = known
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declaration of one workload family.
+
+    Parameters
+    ----------
+    name:
+        The lookup key (``repro search <name>``); one word, no ``/``.
+    factory:
+        ``factory(klass, **kwargs) -> workload`` building one instance.
+        The result must satisfy the workload contract documented in
+        docs/WORKLOADS.md (``program``/``run``/``verify`` at minimum);
+        :func:`repro.sdk.run_conformance` checks it mechanically.
+    classes:
+        Problem classes the factory accepts, smallest first (the
+        conformance harness exercises ``classes[0]``).
+    default_class:
+        Class used when the caller names none; defaults to ``"W"`` when
+        present, else ``classes[0]``.
+    description:
+        One line for ``repro workloads``.
+    origin:
+        Provenance label: ``"built-in"``, ``"plugin:<spec>"``, or
+        ``"entry-point:<name>"``.  Informational only.
+    mpi:
+        True for SPMD workloads with a meaningful ``run_mpi``.
+    verify:
+        Declared verification style: ``"baseline"`` (outputs match the
+        f64 run within tolerances) or ``"self"`` (a predicate over the
+        outputs, e.g. a convergence check).
+    kwargs:
+        Extra keyword arguments the factory accepts (e.g. SuperLU's
+        ``threshold``).  Anything else is rejected at ``make`` time.
+    single_build:
+        True when the factory's product carries the "manually
+        converted" f32 build (``program_single``); binary-only
+        workloads set this False and skip the structure check.
+    """
+
+    name: str
+    factory: Callable
+    classes: tuple = ("W",)
+    default_class: str = ""
+    description: str = ""
+    origin: str = "built-in"
+    mpi: bool = False
+    verify: str = "baseline"
+    kwargs: tuple = ()
+    single_build: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() or c == "/" for c in self.name):
+            raise RegistryError(f"invalid workload name {self.name!r}")
+        if not callable(self.factory):
+            raise RegistryError(f"{self.name}: factory is not callable")
+        if not self.classes:
+            raise RegistryError(f"{self.name}: declares no problem classes")
+        object.__setattr__(self, "classes", tuple(self.classes))
+        object.__setattr__(self, "kwargs", tuple(self.kwargs))
+        if not self.default_class:
+            default = "W" if "W" in self.classes else self.classes[0]
+            object.__setattr__(self, "default_class", default)
+        if self.default_class not in self.classes:
+            raise RegistryError(
+                f"{self.name}: default class {self.default_class!r} not in "
+                f"classes {self.classes}"
+            )
+        if self.verify not in ("baseline", "self"):
+            raise RegistryError(
+                f"{self.name}: verify must be 'baseline' or 'self', "
+                f"not {self.verify!r}"
+            )
+
+    @property
+    def smallest_class(self) -> str:
+        """The cheapest declared class (conformance and smoke tests)."""
+        order = {k: i for i, k in enumerate(CLASS_ORDER)}
+        return min(
+            self.classes,
+            key=lambda k: (order.get(k, len(CLASS_ORDER)),
+                           self.classes.index(k)),
+        )
+
+    def make(self, klass: str | None = None, **kwargs):
+        """Build one workload instance, validating class and kwargs."""
+        klass = klass or self.default_class
+        if klass not in self.classes:
+            raise KeyError(
+                f"workload {self.name!r} has no class {klass!r}; "
+                f"classes: {', '.join(self.classes)}"
+            )
+        unknown = sorted(set(kwargs) - set(self.kwargs))
+        if unknown:
+            accepts = ", ".join(self.kwargs) if self.kwargs else "none"
+            raise TypeError(
+                f"workload {self.name!r} got unexpected keyword argument(s) "
+                f"{', '.join(unknown)} (accepts: {accepts})"
+            )
+        return self.factory(klass, **kwargs)
+
+
+@dataclass
+class WorkloadRegistry:
+    """Name -> :class:`WorkloadSpec`, with lazy entry-point discovery."""
+
+    _specs: dict = field(default_factory=dict)
+    #: load the ``repro.workloads`` entry-point group on the first miss
+    #: (set False for the isolated registries tests build).
+    discover_entry_points: bool = True
+    _entry_points_loaded: bool = field(default=False, repr=False)
+    #: (entry point name, error string) pairs from the last discovery —
+    #: surfaced by ``repro workloads`` instead of aborting the CLI.
+    plugin_errors: list = field(default_factory=list, repr=False)
+
+    def register(self, spec: WorkloadSpec, *, override: bool = False
+                 ) -> WorkloadSpec:
+        """Add *spec*; a second spec under the same name must say
+        ``override=True`` or the registration is refused."""
+        if not isinstance(spec, WorkloadSpec):
+            raise RegistryError(
+                f"expected a WorkloadSpec, got {type(spec).__name__}"
+            )
+        existing = self._specs.get(spec.name)
+        if existing is not None and not override:
+            raise RegistryError(
+                f"workload {spec.name!r} is already registered "
+                f"(origin {existing.origin}); pass override=True to replace"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        self._specs.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        if name not in self._specs:
+            self._load_entry_points_once()
+        return name in self._specs
+
+    def get(self, name: str) -> WorkloadSpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            self._load_entry_points_once()
+            spec = self._specs.get(name)
+        if spec is None:
+            raise UnknownWorkloadError(name, self._specs)
+        return spec
+
+    def names(self) -> list:
+        self._load_entry_points_once()
+        return sorted(self._specs)
+
+    def specs(self) -> list:
+        return [self._specs[name] for name in self.names()]
+
+    def make(self, name: str, klass: str | None = None, **kwargs):
+        return self.get(name).make(klass, **kwargs)
+
+    # -- discovery -------------------------------------------------------------
+
+    def _load_entry_points_once(self) -> None:
+        if self._entry_points_loaded or not self.discover_entry_points:
+            return
+        self._entry_points_loaded = True
+        self.load_entry_points()
+
+    def load_entry_points(self, group: str = ENTRY_POINT_GROUP) -> list:
+        """Register every entry point in *group*; import/registration
+        failures are recorded in :attr:`plugin_errors`, never raised —
+        one broken package must not take the CLI down."""
+        from importlib import metadata
+
+        registered = []
+        try:
+            points = metadata.entry_points(group=group)
+        except TypeError:  # pragma: no cover - pre-3.10 selection API
+            points = metadata.entry_points().get(group, ())
+        for point in points:
+            try:
+                target = point.load()
+                registered.extend(
+                    _register_target(
+                        self, target, origin=f"entry-point:{point.name}"
+                    )
+                )
+            except Exception as exc:
+                self.plugin_errors.append((point.name, f"{exc}"))
+        return registered
+
+
+def _register_target(registry: WorkloadRegistry, target, *, origin: str,
+                     override: bool = False) -> list:
+    """Register whatever a plugin exposes: one spec, an iterable of
+    specs, or a callable over the registry."""
+    if isinstance(target, WorkloadSpec):
+        specs = [target]
+    elif callable(target):
+        result = target(registry)
+        if result is None:
+            return []  # the callable registered directly
+        specs = [result] if isinstance(result, WorkloadSpec) else list(result)
+    elif isinstance(target, Iterable):
+        specs = list(target)
+    else:
+        raise PluginError(
+            f"{origin}: expected a WorkloadSpec, an iterable of specs, or "
+            f"a callable, got {type(target).__name__}"
+        )
+    out = []
+    for spec in specs:
+        if not isinstance(spec, WorkloadSpec):
+            raise PluginError(
+                f"{origin}: expected WorkloadSpec entries, got "
+                f"{type(spec).__name__}"
+            )
+        if spec.origin == "built-in":
+            spec = replace(spec, origin=origin)
+        out.append(registry.register(spec, override=override))
+    return out
+
+
+def _import_plugin_module(module_ref: str):
+    """Import a plugin module by dotted name or by file path."""
+    import importlib
+
+    if module_ref.endswith(".py") or os.sep in module_ref:
+        import importlib.util
+
+        if not os.path.exists(module_ref):
+            raise PluginError(f"plugin file not found: {module_ref}")
+        mod_name = "repro_plugin_" + (
+            os.path.splitext(os.path.basename(module_ref))[0]
+        )
+        spec = importlib.util.spec_from_file_location(mod_name, module_ref)
+        if spec is None or spec.loader is None:  # pragma: no cover
+            raise PluginError(f"cannot load plugin file {module_ref!r}")
+        module = importlib.util.module_from_spec(spec)
+        try:
+            spec.loader.exec_module(module)
+        except Exception as exc:
+            raise PluginError(f"plugin {module_ref!r} failed to load: {exc}")
+        return module
+    try:
+        return importlib.import_module(module_ref)
+    except ImportError as exc:
+        raise PluginError(f"cannot import plugin module {module_ref!r}: {exc}")
+
+
+def load_plugin(ref: str, registry: WorkloadRegistry | None = None, *,
+                override: bool = False) -> list:
+    """Load ``module[:attr]`` (or ``path/to/file.py[:attr]``) and register
+    the workloads it exposes; returns the registered specs.
+
+    Without ``:attr`` the module is searched for ``WORKLOADS`` (a spec or
+    iterable of specs) then ``register`` (a callable over the registry).
+    """
+    if registry is None:
+        registry = REGISTRY
+    module_ref, _, attr = ref.partition(":")
+    if not module_ref:
+        raise PluginError(f"empty plugin reference {ref!r}")
+    module = _import_plugin_module(module_ref)
+    if attr:
+        try:
+            target = getattr(module, attr)
+        except AttributeError:
+            raise PluginError(
+                f"plugin module {module_ref!r} has no attribute {attr!r}"
+            )
+    else:
+        target = getattr(module, "WORKLOADS", None)
+        if target is None:
+            target = getattr(module, "register", None)
+        if target is None:
+            raise PluginError(
+                f"plugin module {module_ref!r} exposes neither WORKLOADS "
+                f"nor register(); name an attribute with "
+                f"{module_ref}:<attr>"
+            )
+    specs = _register_target(
+        registry, target, origin=f"plugin:{ref}", override=override
+    )
+    if not specs:
+        # A register() callable may have registered directly; that is
+        # fine — but a plugin that registered *nothing* is a user error.
+        return specs
+    return specs
+
+
+#: The process-wide registry every consumer resolves names through.
+#: Built-ins are registered when :mod:`repro.workloads` is imported.
+REGISTRY = WorkloadRegistry()

@@ -75,11 +75,7 @@ from repro.service.jobs import (
 )
 from repro.store import ResultStore
 from repro.telemetry import JsonlSink, MetricsRegistry, Telemetry
-from repro.workloads import BENCHMARKS
-
-#: names `submit` accepts without building anything (cheap validation
-#: on the loop thread; the real build happens on the job thread).
-_KNOWN_WORKLOADS = frozenset(BENCHMARKS) | {"amg", "superlu"}
+from repro.workloads import REGISTRY
 
 #: service protocol: workers must speak v3 (tasks name their workload);
 #: v2 workers remain usable against single-job ``repro serve``.
@@ -228,11 +224,13 @@ class PrecisionService:
 
     def _client_submit(self, message: dict) -> dict:
         workload = str(message.get("workload", ""))
-        if workload not in _KNOWN_WORKLOADS:
+        if workload not in REGISTRY:
+            names = ", ".join(REGISTRY.names())
             return {
                 "type": REJECTED,
                 "code": "unknown_workload",
-                "message": f"unknown workload {workload!r}",
+                "message": f"unknown workload {workload!r}; "
+                           f"registered workloads: {names}",
             }
         try:
             job = self.submit(

@@ -1,11 +1,20 @@
-"""Benchmark workloads: NAS analogues, the AMG microkernel, SuperLU.
+"""Benchmark workloads: NAS analogues, AMG, SuperLU, and the stencil/CFD
+family — all registered through the workload SDK.
 
-All workloads are written in the MH mini-language and compiled for the
-virtual ISA in both double ("original") and single ("manually converted")
-precision; see :mod:`repro.workloads.base` for the runner/verifier
-infrastructure and the per-benchmark modules for algorithmic notes.
+All built-in workloads are written in the MH mini-language and compiled
+for the virtual ISA in both double ("original") and single ("manually
+converted") precision; see :mod:`repro.workloads.base` for the
+runner/verifier infrastructure and the per-benchmark modules for
+algorithmic notes.
+
+Registration goes through :mod:`repro.sdk`: every built-in is a
+:class:`~repro.sdk.WorkloadSpec` in the same :data:`~repro.sdk.REGISTRY`
+external plugins register into, so :func:`make_workload`, the CLI, the
+cluster workers, and the job service treat the two identically.  Run
+``repro workloads`` for the live catalogue.
 """
 
+from repro.sdk import REGISTRY, WorkloadSpec
 from repro.workloads.base import (
     Workload,
     poke_f32,
@@ -15,17 +24,86 @@ from repro.workloads.base import (
 )
 from repro.workloads.nas import BENCHMARKS, MPI_BENCHMARKS, make_nas
 from repro.workloads import amg, superlu
+from repro.workloads.stencil import heat, nekcg
+
+_NAS_DESCRIPTIONS = {
+    "bt": "block-tridiagonal solver with dense 3x3 blocks",
+    "cg": "conjugate gradient on a sparse SPD matrix (CSR)",
+    "ep": "embarrassingly parallel Gaussian deviates",
+    "ft": "complex FFT evolve: forward, phase evolution, inverse",
+    "lu": "SSOR sweeps on a banded system",
+    "mg": "multigrid V-cycles on a 1-D Poisson problem",
+    "sp": "scalar pentadiagonal line solves",
+}
 
 
-def make_workload(name: str, klass: str = "W", **kwargs) -> Workload:
-    """Build any workload by name: a NAS benchmark, ``amg``, or ``superlu``."""
-    if name in BENCHMARKS:
-        return make_nas(name, klass)
-    if name == "amg":
-        return amg.make(klass)
-    if name == "superlu":
-        return superlu.make(klass, **kwargs)
-    raise KeyError(f"unknown workload {name!r}")
+def _register_builtins() -> None:
+    """Register every built-in spec (idempotent under re-import)."""
+    from repro.workloads.nas import bt, cg, ep, ft, lu, mg, sp
+
+    nas_classes = {"bt": bt, "cg": cg, "ep": ep, "ft": ft,
+                   "lu": lu, "mg": mg, "sp": sp}
+    specs = [
+        WorkloadSpec(
+            name=bench,
+            factory=BENCHMARKS[bench],
+            classes=tuple(nas_classes[bench].CLASSES),
+            description=f"NAS analogue: {_NAS_DESCRIPTIONS[bench]}",
+            mpi=bench in MPI_BENCHMARKS,
+        )
+        for bench in sorted(BENCHMARKS)
+    ]
+    specs += [
+        WorkloadSpec(
+            name="amg",
+            factory=amg.make,
+            classes=tuple(amg.CLASSES),
+            description="adaptive multigrid microkernel (convergence-"
+                        "verified, paper Section 3.2)",
+            verify="self",
+        ),
+        WorkloadSpec(
+            name="superlu",
+            factory=superlu.make,
+            classes=tuple(superlu.CLASSES),
+            description="dense LU with partial pivoting on a memplus-like "
+                        "matrix (threshold-verified, Section 3.3)",
+            verify="self",
+            kwargs=("threshold",),
+        ),
+        WorkloadSpec(
+            name="heat",
+            factory=heat.make,
+            classes=tuple(heat.CLASSES),
+            description="explicit finite-difference advection-diffusion "
+                        "solver (stencil/CFD family)",
+        ),
+        WorkloadSpec(
+            name="nekcg",
+            factory=nekcg.make,
+            classes=tuple(nekcg.CLASSES),
+            description="Nekbone-style CG with a matrix-free stencil "
+                        "operator (stencil/CFD family)",
+            mpi=True,
+        ),
+    ]
+    for spec in specs:
+        REGISTRY.register(spec, override=True)
+
+
+_register_builtins()
+
+
+def make_workload(name: str, klass: str | None = None, **kwargs) -> Workload:
+    """Build any registered workload by name — a built-in (NAS, ``amg``,
+    ``superlu``, ``heat``, ``nekcg``) or a plugin.
+
+    Raises a ``KeyError`` listing the registered names for an unknown
+    *name*, a ``KeyError`` listing the declared classes for an unknown
+    *klass*, and a ``TypeError`` for keyword arguments the workload's
+    spec does not accept (only ``superlu`` takes ``threshold``).
+    """
+    return REGISTRY.make(name, klass, **kwargs)
 
 
 __all__ = [
@@ -36,8 +114,11 @@ __all__ = [
     "poke_real",
     "BENCHMARKS",
     "MPI_BENCHMARKS",
+    "REGISTRY",
     "make_nas",
     "make_workload",
     "amg",
     "superlu",
+    "heat",
+    "nekcg",
 ]

@@ -1,0 +1,28 @@
+"""Stencil / CFD workload family.
+
+The first workload family added after the seed set, and the first
+registered through :mod:`repro.sdk` itself.  Both members are the
+finite-difference kernels the mixed-precision literature converges on
+(the Nekbone case study and the explicit finite-difference
+turbulent-flow papers in PAPERS.md):
+
+``heat``
+    An explicit finite-difference advection–diffusion solver (upwind
+    advection, central diffusion, Dirichlet boundaries) — the canonical
+    time-marching stencil loop.  Serial.
+``nekcg``
+    A Nekbone-style conjugate-gradient solve with a matrix-free stencil
+    operator, written around Nekbone's own kernel vocabulary (``ax``,
+    ``glsc3``, ``add2s1``, ``add2s2``).  SPMD like the NAS CG analogue:
+    row-partitioned matvec assembled by a vector all-reduce, dot
+    products by scalar all-reduces.
+
+Verification follows the CFD papers' practice: solution statistics
+(norms, conserved integrals, extrema) compared against the
+double-precision run under per-output thresholds, strict on residual
+quantities and loose on bulk checksums.
+"""
+
+from repro.workloads.stencil import heat, nekcg
+
+__all__ = ["heat", "nekcg"]

@@ -1,0 +1,154 @@
+"""Explicit finite-difference heat/advection solver.
+
+The model problem of the explicit-FD CFD papers: the 1-D
+advection–diffusion equation
+
+    u_t + a u_x = nu u_xx,    u(0) = u(1) = 0,
+
+marched with first-order upwind advection and second-order central
+diffusion under a stable time step (the tighter of the CFL and
+diffusion limits, computed in-program).  The initial condition is a
+Gaussian pulse with a superposed ripple, built with ``exp``/``sin`` so
+the setup is ordinary candidate arithmetic, like the NAS analogues.
+
+The finite-difference operators live in a separate ``fdops`` module so
+the search has a multi-module structure to descend; the time loop calls
+one fused update sweep per step plus a buffer swap.
+
+Verification is NAS-style (baseline): the reported solution statistics
+— the L2 norm, the conserved total mass (advection–diffusion with
+homogeneous Dirichlet boundaries only loses mass through the boundary
+fluxes, which the double and single builds must agree on), the peak
+value, and a phase-weighted checksum — must match the double run under
+per-output thresholds.  The thresholds come from the explicit-FD
+turbulent-flow study (PAPERS.md): a dissipative scheme damps rounding,
+so statistic errors around 1e-7 relative are accepted and the whole
+stencil survives single precision — the tolerant end of the family,
+opposite nekcg's CG recurrence.
+"""
+
+from __future__ import annotations
+
+from string import Template
+
+from repro.workloads.base import Workload
+
+_FDOPS = Template("""
+module fdops;
+
+# One explicit update sweep: first-order upwind advection (a > 0) plus
+# central diffusion.  cfl = a*dt/dx, dif = nu*dt/dx^2.
+fn sweep(u: real[], un: real[], n: i64, cfl: real, dif: real) {
+    un[0] = 0.0;
+    un[n - 1] = 0.0;
+    for i in 1 .. n - 1 {
+        var adv: real = cfl * (u[i] - u[i - 1]);
+        var lap: real = u[i + 1] - 2.0 * u[i] + u[i - 1];
+        un[i] = u[i] - adv + dif * lap;
+    }
+}
+
+fn copyv(dst: real[], src: real[], n: i64) {
+    for i in 0 .. n {
+        dst[i] = src[i];
+    }
+}
+
+fn l2norm(u: real[], n: i64, dx: real) -> real {
+    var s: real = 0.0;
+    for i in 0 .. n {
+        s = s + u[i] * u[i];
+    }
+    return sqrt(s * dx);
+}
+
+fn mass(u: real[], n: i64, dx: real) -> real {
+    var s: real = 0.0;
+    for i in 0 .. n {
+        s = s + u[i];
+    }
+    return s * dx;
+}
+
+fn vmax(u: real[], n: i64) -> real {
+    var m: real = u[0];
+    for i in 1 .. n {
+        m = max(m, u[i]);
+    }
+    return m;
+}
+""")
+
+_MAIN = Template("""
+module heat;
+
+const N: i64 = $n;
+const NSTEP: i64 = $nstep;
+
+var uu: real[$n];
+var un: real[$n];
+var avel: real = 1.0;
+var nu: real = 0.02;
+
+fn setup(dx: real) {
+    uu[0] = 0.0;
+    uu[N - 1] = 0.0;
+    for i in 1 .. N - 1 {
+        var x: real = real(i) * dx;
+        var d: real = x - 0.3;
+        var pulse: real = exp(-(d * d) / 0.005);
+        var ripple: real = 0.05 * sin(12.566370614359172 * x);
+        uu[i] = pulse + ripple * pulse;
+    }
+}
+
+fn main() {
+    var dx: real = 1.0 / real(N - 1);
+    # Stable step: the tighter of the advective CFL and diffusion limits.
+    var dt: real = min(0.5 * dx / avel, 0.25 * dx * dx / nu);
+    var cfl: real = avel * dt / dx;
+    var dif: real = nu * dt / (dx * dx);
+
+    setup(dx);
+    for s in 0 .. NSTEP {
+        sweep(uu, un, N, cfl, dif);
+        copyv(uu, un, N);
+    }
+
+    out(l2norm(uu, N, dx));
+    out(mass(uu, N, dx));
+    out(vmax(uu, N));
+    var csum: real = 0.0;
+    for i in 0 .. N {
+        csum = csum + uu[i] * sin(real(i) * 0.17);
+    }
+    out(csum);
+}
+""")
+
+CLASSES = {
+    # T exists for CI smoke and the end-to-end SDK tests: a full
+    # instruction-level search finishes in seconds.
+    "T": dict(n=16, nstep=6),
+    "S": dict(n=32, nstep=12),
+    "W": dict(n=64, nstep=24),
+    "A": dict(n=128, nstep=48),
+    "C": dict(n=256, nstep=96),
+}
+
+
+def make(klass: str = "W") -> Workload:
+    params = CLASSES[klass]
+    return Workload(
+        name=f"heat.{klass}",
+        sources=[_MAIN.substitute(**params), _FDOPS.substitute()],
+        klass=klass,
+        verify_mode="baseline",
+        # Per-output (rel, abs) thresholds, following the explicit-FD
+        # turbulent-flow paper: the dissipative scheme damps rounding, so
+        # a fully single-precision march stays well inside them (measured
+        # worst case ~6e-8 on the norm, >3x margin) — the stencil family's
+        # counterpoint to nekcg's CG sensitivity — while any narrower
+        # width, or a perturbed scheme, lands far outside.
+        tolerances=[(1e-6, 2e-7), (1e-6, 2e-7), (1e-6, 1e-9), (1e-4, 1e-4)],
+    )

@@ -1,0 +1,170 @@
+"""Nekbone-style CG with a matrix-free stencil operator.
+
+Nekbone distils Nek5000 to its computational core: conjugate-gradient
+iterations whose matrix-vector product is applied element-locally (never
+assembled) and whose reductions are global sums.  The mixed-precision
+case study on Nekbone shows exactly the split this analogue reproduces:
+the one-shot setup and the preconditioner-ish vector updates tolerate
+single precision while the CG recurrence is sensitive.
+
+This analogue keeps Nekbone's kernel vocabulary — ``ax`` (matrix-free
+operator application), ``glsc3`` (weighted global dot product),
+``add2s1``/``add2s2`` (scaled vector updates) — in a separate ``nekops``
+module, applying the 1-D Poisson stencil ``(Au)_i = 2u_i - u_{i-1} -
+u_{i+1}`` plus a mass-like diagonal shift, with homogeneous Dirichlet
+boundaries.
+
+SPMD structure mirrors the NAS CG analogue (and Nekbone's gather–
+scatter): rows are partitioned across ranks, ``ax`` fills only the local
+rows and a vector all-reduce assembles the product; ``glsc3`` combines
+per-rank partial sums with a scalar all-reduce.  At one rank every
+collective is the identity.
+
+Verification reports the true residual ``||b - A x||`` (recomputed from
+scratch), the recurrence residual, and a solution checksum, judged like
+CG: residuals near double accuracy — the recurrence stalls visibly when
+its arithmetic is single — and the checksum loosely.
+"""
+
+from __future__ import annotations
+
+from string import Template
+
+from repro.workloads.base import Workload
+
+_NEKOPS = Template("""
+module nekops;
+
+# Nekbone's glsc3: weighted inner product with a global sum.  The
+# weight array plays the role of the spectral-element mass/multiplicity
+# vector; partial sums over the local row range combine in one scalar
+# all-reduce.
+fn glsc3(a: real[], b: real[], w: real[], lo: i64, hi: i64) -> real {
+    var s: real = 0.0;
+    for i in lo .. hi {
+        s = s + a[i] * b[i] * w[i];
+    }
+    return allreduce_sum(s);
+}
+
+# add2s1: a = c1*a + b  (Nekbone's naming)
+fn add2s1(a: real[], b: real[], c1: real, n: i64) {
+    for i in 0 .. n {
+        a[i] = c1 * a[i] + b[i];
+    }
+}
+
+# add2s2: a = a + c1*b
+fn add2s2(a: real[], b: real[], c1: real, n: i64) {
+    for i in 0 .. n {
+        a[i] = a[i] + c1 * b[i];
+    }
+}
+
+fn vsum(a: real[], n: i64) -> real {
+    var s: real = 0.0;
+    for i in 0 .. n {
+        s = s + a[i];
+    }
+    return s;
+}
+""")
+
+_MAIN = Template("""
+module nekcg;
+
+const N: i64 = $n;
+const NITER: i64 = $niter;
+
+var ww: real[$n];
+var bb: real[$n];
+var xx: real[$n];
+var rr: real[$n];
+var pp: real[$n];
+var qq: real[$n];
+
+# Matrix-free operator: 1-D Poisson stencil plus a mass-like diagonal
+# shift, homogeneous Dirichlet rows at the ends.  Each rank fills its
+# own rows; the vector all-reduce assembles the product (Nekbone's
+# gather-scatter analogue).
+fn ax(u: real[], w: real[], lo: i64, hi: i64) {
+    for i in 0 .. N {
+        w[i] = 0.0;
+    }
+    for i in lo .. hi {
+        if i == 0 or i == N - 1 {
+            w[i] = u[i];
+        } else {
+            w[i] = 2.1 * u[i] - u[i - 1] - u[i + 1];
+        }
+    }
+    allreduce_sum_vec(w, N);
+}
+
+fn setup() {
+    for i in 0 .. N {
+        ww[i] = 1.0;
+        xx[i] = 0.0;
+        bb[i] = sin(real(i) * 0.23) + 0.4 * cos(real(i) * 0.071);
+    }
+    bb[0] = 0.0;
+    bb[N - 1] = 0.0;
+}
+
+fn main() {
+    var rank: i64 = mpi_rank();
+    var size: i64 = mpi_size();
+    var lo: i64 = (rank * N) / size;
+    var hi: i64 = ((rank + 1) * N) / size;
+
+    setup();
+    for i in 0 .. N {
+        rr[i] = bb[i];
+        pp[i] = bb[i];
+    }
+    var rho: real = glsc3(rr, rr, ww, lo, hi);
+    for it in 0 .. NITER {
+        ax(pp, qq, lo, hi);
+        var alpha: real = rho / glsc3(pp, qq, ww, lo, hi);
+        add2s2(xx, pp, alpha, N);
+        add2s2(rr, qq, -alpha, N);
+        var rho2: real = glsc3(rr, rr, ww, lo, hi);
+        var beta: real = rho2 / rho;
+        rho = rho2;
+        add2s1(pp, rr, beta, N);
+    }
+    # True residual ||b - A x|| recomputed from scratch, the recurrence
+    # residual, and a solution checksum (NAS-style verification values).
+    ax(xx, qq, lo, hi);
+    var tr: real = 0.0;
+    for i in 0 .. N {
+        var d: real = bb[i] - qq[i];
+        tr = tr + d * d;
+    }
+    out(sqrt(tr));
+    out(sqrt(rho));
+    out(vsum(xx, N));
+}
+""")
+
+CLASSES = {
+    # T: full instruction-level search in seconds (CI smoke, SDK tests).
+    "T": dict(n=12, niter=2),
+    "S": dict(n=24, niter=8),
+    "W": dict(n=48, niter=16),
+    "A": dict(n=96, niter=24),
+    "C": dict(n=192, niter=32),
+}
+
+
+def make(klass: str = "W") -> Workload:
+    params = CLASSES[klass]
+    return Workload(
+        name=f"nekcg.{klass}",
+        sources=[_MAIN.substitute(**params), _NEKOPS.substitute()],
+        klass=klass,
+        verify_mode="baseline",
+        # Like CG: residuals judged near double accuracy (the recurrence
+        # is the sensitive region), checksum loose so setup passes.
+        tolerances=[(0.0, 1e-9), (0.0, 1e-8), (1e-5, 1e-4)],
+    )

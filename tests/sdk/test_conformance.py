@@ -1,0 +1,220 @@
+"""The conformance harness: every built-in passes; broken workloads fail
+the right check (not a later, more confusing one)."""
+
+import pytest
+
+from repro.sdk import (
+    ConformanceError,
+    WorkloadSpec,
+    assert_conformant,
+    run_conformance,
+)
+from repro.workloads import REGISTRY
+from repro.workloads.base import Workload
+
+
+def _names(report):
+    return {c.name: c.passed for c in report.checks}
+
+
+class TestBuiltinsConform:
+    @pytest.mark.parametrize("name", sorted(
+        "bt cg ep ft lu mg sp amg superlu heat nekcg".split()
+    ))
+    def test_builtin_passes(self, name):
+        report = assert_conformant(REGISTRY.get(name))
+        assert report.passed
+        # every spec faces the core checks...
+        for check in ("classes-enumerate", "build", "deterministic",
+                      "baseline-verifies", "verify-style", "single-build",
+                      "workload-id"):
+            assert check in _names(report)
+        # ...and SPMD specs additionally face the rank check
+        assert ("mpi-ranks" in _names(report)) == REGISTRY.get(name).mpi
+
+    def test_uses_smallest_class_by_default(self):
+        report = run_conformance(REGISTRY.get("superlu"))
+        assert report.klass == "S"  # superlu has no T
+        report = run_conformance(REGISTRY.get("heat"))
+        assert report.klass == "T"
+
+
+def _simple(klass, source="fn main() { out(1.0 + 1.0); }", **kw):
+    return Workload(name=f"t.{klass}", sources=[source], klass=klass, **kw)
+
+
+class TestFailureModes:
+    def test_factory_raises_skips_dependents(self):
+        def broken(klass):
+            raise RuntimeError("cannot build")
+
+        spec = WorkloadSpec(name="broken", factory=broken, classes=("W",))
+        report = run_conformance(spec)
+        names = _names(report)
+        assert not names["build"]
+        # dependents are reported as not-run failures, not crashes
+        assert not names["deterministic"]
+        assert not names["workload-id"]
+        assert "not run" in next(
+            c.detail for c in report.checks if c.name == "deterministic"
+        )
+
+    def test_missing_contract_attribute_fails_build(self):
+        class NotAWorkload:
+            pass
+
+        spec = WorkloadSpec(
+            name="attrless", factory=lambda k: NotAWorkload(), classes=("W",)
+        )
+        report = run_conformance(spec)
+        build = next(c for c in report.checks if c.name == "build")
+        assert not build.passed
+        assert "program" in build.detail
+
+    def test_nondeterministic_run_fails(self):
+        class Flaky:
+            def __init__(self, inner):
+                self._inner = inner
+                self._count = 0
+
+            def __getattr__(self, attr):
+                return getattr(self._inner, attr)
+
+            def run(self, program=None):
+                self._count += 1
+                result = self._inner.run(program)
+                if self._count > 1:
+                    class _Skewed:
+                        cycles = result.cycles
+
+                        def values(self):
+                            return list(result.values()) + [1.0]
+
+                    return _Skewed()
+                return result
+
+        spec = WorkloadSpec(
+            name="flaky", factory=lambda k: Flaky(_simple(k)), classes=("W",)
+        )
+        report = run_conformance(spec)
+        det = next(c for c in report.checks if c.name == "deterministic")
+        assert not det.passed
+        assert "different outputs" in det.detail
+
+    def test_failing_baseline_fails(self):
+        class NeverVerifies:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, attr):
+                return getattr(self._inner, attr)
+
+            def verify(self, result):
+                return False
+
+        spec = WorkloadSpec(
+            name="never",
+            factory=lambda k: NeverVerifies(_simple(k)),
+            classes=("W",),
+        )
+        report = run_conformance(spec)
+        base = next(c for c in report.checks if c.name == "baseline-verifies")
+        assert not base.passed
+
+    def test_non_bool_verify_fails_style(self):
+        class Sloppy:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, attr):
+                return getattr(self._inner, attr)
+
+            def verify(self, result):
+                return 1  # truthy but not bool
+
+        spec = WorkloadSpec(
+            name="sloppy", factory=lambda k: Sloppy(_simple(k)), classes=("W",)
+        )
+        report = run_conformance(spec)
+        style = next(c for c in report.checks if c.name == "verify-style")
+        assert not style.passed
+        assert "not bool" in style.detail
+
+    def test_declared_style_mismatch_fails(self):
+        spec = WorkloadSpec(
+            name="mismatch",
+            factory=lambda k: _simple(k),  # verify_mode defaults to baseline
+            classes=("W",),
+            verify="self",
+        )
+        report = run_conformance(spec)
+        style = next(c for c in report.checks if c.name == "verify-style")
+        assert not style.passed
+
+    def test_single_build_skipped_when_declared_absent(self):
+        class BinaryOnly:
+            def __init__(self, inner):
+                self.program = inner.program
+                self._inner = inner
+
+            def run(self, program=None):
+                return self._inner.run(program)
+
+            def verify(self, result):
+                return self._inner.verify(result)
+
+        spec = WorkloadSpec(
+            name="binonly",
+            factory=lambda k: BinaryOnly(_simple(k)),
+            classes=("W",),
+            single_build=False,
+        )
+        report = run_conformance(spec)
+        single = next(c for c in report.checks if c.name == "single-build")
+        assert single.passed
+        assert "skipped" in single.detail
+
+    def test_unstable_factory_fails_workload_id(self):
+        counter = {"n": 0}
+
+        def factory(klass):
+            counter["n"] += 1
+            return _simple(klass, source=(
+                f"fn main() {{ out(1.0 + {counter['n']}.0); }}"
+            ))
+
+        spec = WorkloadSpec(name="unstable", factory=factory, classes=("W",))
+        report = run_conformance(spec)
+        wid = next(c for c in report.checks if c.name == "workload-id")
+        assert not wid.passed
+        assert "not deterministic" in wid.detail
+
+    def test_undeclared_class_fails_enumeration(self):
+        spec = WorkloadSpec(
+            name="classy", factory=lambda k: _simple(k), classes=("W",)
+        )
+        report = run_conformance(spec, klass="C")
+        first = next(c for c in report.checks if c.name == "classes-enumerate")
+        assert not first.passed
+
+    def test_assert_conformant_raises_with_summary(self):
+        spec = WorkloadSpec(
+            name="broken2",
+            factory=lambda k: (_ for _ in ()).throw(RuntimeError("no")),
+            classes=("W",),
+        )
+        with pytest.raises(ConformanceError, match="broken2.W: FAIL"):
+            assert_conformant(spec)
+
+
+class TestReportFormat:
+    def test_summary_shape(self):
+        report = run_conformance(REGISTRY.get("heat"))
+        text = report.summary()
+        assert text.startswith("conformance heat.T: PASS")
+        assert "workload-id" in text
+
+    def test_outcome_str(self):
+        report = run_conformance(REGISTRY.get("heat"))
+        line = str(report.checks[0])
+        assert "classes-enumerate" in line and "ok" in line

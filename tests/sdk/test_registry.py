@@ -1,0 +1,306 @@
+"""The workload registry: spec validation, collisions, plugin loading."""
+
+import textwrap
+
+import pytest
+
+from repro.sdk import (
+    PluginError,
+    RegistryError,
+    UnknownWorkloadError,
+    WorkloadRegistry,
+    WorkloadSpec,
+    load_plugin,
+)
+from repro.workloads import REGISTRY, make_workload
+from repro.workloads.base import Workload
+
+
+def _dummy_factory(klass, **kwargs):
+    return Workload(
+        name=f"dummy.{klass}",
+        sources=["fn main() { out(1.0 + 2.0); }"],
+        klass=klass,
+    )
+
+
+def _spec(name="dummy", **over):
+    fields = dict(name=name, factory=_dummy_factory, classes=("T", "W"))
+    fields.update(over)
+    return WorkloadSpec(**fields)
+
+
+def _registry():
+    return WorkloadRegistry(discover_entry_points=False)
+
+
+class TestWorkloadSpec:
+    def test_defaults(self):
+        spec = _spec()
+        assert spec.default_class == "W"  # "W" preferred when present
+        assert spec.smallest_class == "T"
+        assert spec.verify == "baseline"
+        assert spec.single_build
+
+    def test_default_class_falls_back_to_first(self):
+        assert _spec(classes=("S", "A")).default_class == "S"
+
+    def test_smallest_class_uses_canonical_order(self):
+        assert _spec(classes=("C", "A", "S")).smallest_class == "S"
+        # unknown letters sort after the canonical table
+        assert _spec(classes=("Z", "W")).smallest_class == "W"
+
+    @pytest.mark.parametrize("name", ["", "has space", "a/b"])
+    def test_bad_names_rejected(self, name):
+        with pytest.raises(RegistryError):
+            _spec(name=name)
+
+    def test_bad_factory_rejected(self):
+        with pytest.raises(RegistryError):
+            _spec(factory="not callable")
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(RegistryError):
+            _spec(classes=())
+
+    def test_undeclared_default_class_rejected(self):
+        with pytest.raises(RegistryError):
+            _spec(default_class="C")
+
+    def test_bad_verify_style_rejected(self):
+        with pytest.raises(RegistryError):
+            _spec(verify="vibes")
+
+    def test_make_default_class(self):
+        assert _spec().make().klass == "W"
+
+    def test_make_unknown_class_lists_classes(self):
+        with pytest.raises(KeyError, match=r"no class 'C'.*T, W"):
+            _spec().make("C")
+
+    def test_make_unknown_kwarg_lists_accepted(self):
+        with pytest.raises(TypeError, match=r"thresold.*accepts: threshold"):
+            _spec(kwargs=("threshold",)).make("T", thresold=1e-6)
+
+    def test_make_unknown_kwarg_no_kwargs_spec(self):
+        with pytest.raises(TypeError, match=r"accepts: none"):
+            _spec().make("T", tolerance=0.1)
+
+
+class TestRegistry:
+    def test_register_and_make(self):
+        reg = _registry()
+        reg.register(_spec())
+        assert "dummy" in reg
+        assert reg.make("dummy", "T").name == "dummy.T"
+
+    def test_collision_refused_without_override(self):
+        reg = _registry()
+        reg.register(_spec())
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register(_spec(description="second"))
+
+    def test_collision_allowed_with_override(self):
+        reg = _registry()
+        reg.register(_spec())
+        reg.register(_spec(description="second"), override=True)
+        assert reg.get("dummy").description == "second"
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(RegistryError, match="expected a WorkloadSpec"):
+            _registry().register(object())
+
+    def test_unknown_name_lists_registered(self):
+        reg = _registry()
+        reg.register(_spec("aaa"))
+        reg.register(_spec("bbb"))
+        with pytest.raises(UnknownWorkloadError) as info:
+            reg.get("nonesuch")
+        assert "aaa, bbb" in str(info.value)
+        assert isinstance(info.value, KeyError)
+
+    def test_unregister(self):
+        reg = _registry()
+        reg.register(_spec())
+        reg.unregister("dummy")
+        assert "dummy" not in reg
+        reg.unregister("dummy")  # idempotent
+
+    def test_names_sorted(self):
+        reg = _registry()
+        reg.register(_spec("zzz"))
+        reg.register(_spec("aaa"))
+        assert reg.names() == ["aaa", "zzz"]
+        assert [s.name for s in reg.specs()] == ["aaa", "zzz"]
+
+
+class TestBuiltinRegistrations:
+    def test_builtins_present(self):
+        names = REGISTRY.names()
+        for name in ("bt", "cg", "ep", "ft", "lu", "mg", "sp",
+                     "amg", "superlu", "heat", "nekcg"):
+            assert name in names
+
+    def test_make_workload_unknown_name(self):
+        with pytest.raises(KeyError, match="registered workloads"):
+            make_workload("nonesuch")
+
+    def test_make_workload_unknown_kwarg(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            make_workload("cg", "S", threshold=1e-6)
+
+    def test_make_workload_known_kwarg(self):
+        assert make_workload("superlu", "S", threshold=1e-3).name == "superlu.S"
+
+    def test_make_workload_unknown_class(self):
+        with pytest.raises(KeyError, match="no class"):
+            make_workload("superlu", "T")  # superlu starts at S
+
+
+PLUGIN_OK = textwrap.dedent(
+    """
+    from repro.sdk import WorkloadSpec
+    from repro.workloads.base import Workload
+
+    def make(klass):
+        return Workload(name=f"plug.{klass}",
+                        sources=["fn main() { out(2.0 * 3.0); }"],
+                        klass=klass)
+
+    WORKLOADS = [WorkloadSpec(name="plug", factory=make, classes=("T",))]
+    """
+)
+
+PLUGIN_REGISTER_FN = textwrap.dedent(
+    """
+    from repro.sdk import WorkloadSpec
+    from repro.workloads.base import Workload
+
+    def make(klass):
+        return Workload(name=f"fnplug.{klass}",
+                        sources=["fn main() { out(1.0); }"], klass=klass)
+
+    def register(registry):
+        registry.register(WorkloadSpec(name="fnplug", factory=make,
+                                       classes=("T",)))
+    """
+)
+
+
+class TestPluginLoading:
+    def test_load_from_file_path(self, tmp_path):
+        path = tmp_path / "myplug.py"
+        path.write_text(PLUGIN_OK)
+        reg = _registry()
+        specs = load_plugin(str(path), reg)
+        assert [s.name for s in specs] == ["plug"]
+        assert reg.get("plug").origin == f"plugin:{path}"
+        assert reg.make("plug", "T").run().values() == [6.0]
+
+    def test_load_register_callable(self, tmp_path):
+        path = tmp_path / "fnplug.py"
+        path.write_text(PLUGIN_REGISTER_FN)
+        reg = _registry()
+        load_plugin(str(path), reg)
+        assert "fnplug" in reg
+
+    def test_load_named_attribute(self, tmp_path):
+        path = tmp_path / "attrplug.py"
+        path.write_text(PLUGIN_OK)
+        reg = _registry()
+        load_plugin(f"{path}:WORKLOADS", reg)
+        assert "plug" in reg
+
+    def test_missing_file(self):
+        with pytest.raises(PluginError, match="not found"):
+            load_plugin("no/such/file.py", _registry())
+
+    def test_missing_module(self):
+        with pytest.raises(PluginError, match="cannot import"):
+            load_plugin("no_such_module_xyz", _registry())
+
+    def test_module_with_no_exports(self, tmp_path):
+        path = tmp_path / "empty.py"
+        path.write_text("x = 1\n")
+        with pytest.raises(PluginError, match="neither WORKLOADS nor register"):
+            load_plugin(str(path), _registry())
+
+    def test_missing_attribute(self, tmp_path):
+        path = tmp_path / "noattr.py"
+        path.write_text(PLUGIN_OK)
+        with pytest.raises(PluginError, match="no attribute 'NOPE'"):
+            load_plugin(f"{path}:NOPE", _registry())
+
+    def test_wrong_export_type(self, tmp_path):
+        path = tmp_path / "wrong.py"
+        path.write_text("WORKLOADS = [42]\n")
+        with pytest.raises(PluginError, match="expected WorkloadSpec"):
+            load_plugin(str(path), _registry())
+
+    def test_broken_module(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("raise RuntimeError('boom')\n")
+        with pytest.raises(PluginError, match="failed to load"):
+            load_plugin(str(path), _registry())
+
+    def test_empty_reference(self):
+        with pytest.raises(PluginError, match="empty plugin reference"):
+            load_plugin("", _registry())
+
+    def test_collision_with_builtin_refused(self, tmp_path):
+        path = tmp_path / "clash.py"
+        path.write_text(PLUGIN_OK.replace('name="plug"', 'name="clash"'))
+        reg = _registry()
+        reg.register(_spec("clash"))
+        with pytest.raises(RegistryError, match="already registered"):
+            load_plugin(str(path), reg)
+
+
+class TestEntryPoints:
+    def test_discovery_collects_failures(self, monkeypatch):
+        class _Point:
+            name = "badplug"
+
+            def load(self):
+                raise ImportError("nope")
+
+        import importlib.metadata as metadata
+
+        monkeypatch.setattr(
+            metadata, "entry_points", lambda group=None: [_Point()]
+        )
+        reg = WorkloadRegistry()
+        assert "anything" not in reg  # triggers discovery; must not raise
+        assert reg.plugin_errors == [("badplug", "nope")]
+
+    def test_discovery_registers_specs(self, monkeypatch):
+        spec = _spec("eptest")
+
+        class _Point:
+            name = "eptest"
+
+            def load(self):
+                return [spec]
+
+        import importlib.metadata as metadata
+
+        monkeypatch.setattr(
+            metadata, "entry_points", lambda group=None: [_Point()]
+        )
+        reg = WorkloadRegistry()
+        assert "eptest" in reg
+        assert reg.get("eptest").origin == "entry-point:eptest"
+
+    def test_discovery_runs_once(self, monkeypatch):
+        calls = []
+
+        import importlib.metadata as metadata
+
+        monkeypatch.setattr(
+            metadata, "entry_points",
+            lambda group=None: calls.append(group) or [],
+        )
+        reg = WorkloadRegistry()
+        assert "x" not in reg
+        assert "y" not in reg
+        assert len(calls) == 1

@@ -68,6 +68,9 @@ class TestRejections:
             with pytest.raises(ServiceError) as excinfo:
                 client.submit("nosuch", "T")
             assert excinfo.value.code == "unknown_workload"
+            # the message names the live catalogue, not a baked-in list
+            assert "registered workloads" in excinfo.value.args[0]
+            assert "heat" in excinfo.value.args[0]
             # the connection survives a rejection
             assert client.jobs() == []
 
@@ -129,3 +132,34 @@ class TestNegotiation:
             assert recv_frame(sock) is None
         finally:
             sock.close()
+
+
+class TestPluginTenant:
+    def test_sdk_registered_workload_is_a_tenant(self, tmp_path):
+        # A workload registered through the SDK at runtime — no edits to
+        # repro.workloads — is accepted at the front door and runs to
+        # completion like any built-in.
+        from repro.sdk import WorkloadSpec
+        from repro.workloads import REGISTRY
+        from repro.workloads.base import Workload
+
+        def make(klass):
+            return Workload(
+                name=f"svcplug.{klass}",
+                sources=["fn main() { out(3.0 * 7.0); }"],
+                klass=klass,
+            )
+
+        REGISTRY.register(
+            WorkloadSpec(name="svcplug", factory=make, classes=("T",),
+                         origin="plugin:test")
+        )
+        try:
+            with service_running(tmp_path, workers=1) as svc:
+                with ServiceClient(svc.address) as client:
+                    job_id = client.submit("svcplug", "T", tenant="plug")
+                    reply = client.wait(job_id, timeout=300)
+                assert reply["state"] == COMPLETE
+                assert reply["row"]["benchmark"] == "svcplug.T"
+        finally:
+            REGISTRY.unregister("svcplug")

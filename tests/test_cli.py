@@ -278,3 +278,68 @@ class TestTelemetryFlags:
         assert "## Telemetry metrics" in text
         assert "## Search history" in text
         assert "| # | configuration | phase | outcome | wall |" in text
+
+
+PLUGIN_SOURCE = '''
+from repro.sdk import WorkloadSpec
+from repro.workloads.base import Workload
+
+def make(klass):
+    return Workload(name=f"cliplug.{klass}",
+                    sources=["fn main() { out(2.0 + 2.0); }"], klass=klass)
+
+WORKLOADS = [WorkloadSpec(name="cliplug", factory=make, classes=("T",),
+                          description="cli plugin test workload")]
+'''
+
+
+class TestWorkloadsCommand:
+    def test_lists_builtins(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bt", "cg", "heat", "nekcg", "superlu"):
+            assert name in out
+        assert "built-in" in out
+        assert "NAME" in out and "VERIFY" in out and "ORIGIN" in out
+
+    def test_check_runs_conformance(self, capsys):
+        assert main(["workloads", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance heat.T: PASS" in out
+        assert "conformance superlu.S: PASS" in out
+
+    def test_plugin_listed_with_origin(self, tmp_path, capsys):
+        path = tmp_path / "cliplug.py"
+        path.write_text(PLUGIN_SOURCE)
+        try:
+            assert main(["workloads", "--plugin", str(path)]) == 0
+            out = capsys.readouterr().out
+            assert "cliplug" in out
+            assert f"plugin:{path}" in out
+        finally:
+            from repro.workloads import REGISTRY
+
+            REGISTRY.unregister("cliplug")
+
+    def test_plugin_searchable(self, tmp_path, capsys):
+        path = tmp_path / "cliplug.py"
+        path.write_text(PLUGIN_SOURCE)
+        try:
+            assert main(["search", "cliplug", "--class", "T",
+                         "--plugin", str(path)]) == 0
+            out = capsys.readouterr().out
+            assert "search cliplug" in out and "final pass" in out
+        finally:
+            from repro.workloads import REGISTRY
+
+            REGISTRY.unregister("cliplug")
+
+    def test_broken_plugin_exits_cleanly(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("raise RuntimeError('boom')\n")
+        with pytest.raises(SystemExit, match="--plugin"):
+            main(["workloads", "--plugin", str(path)])
+
+    def test_unknown_workload_message_lists_names(self):
+        with pytest.raises(KeyError, match="registered workloads"):
+            main(["search", "nonesuch"])

@@ -22,8 +22,14 @@ class TestExamples:
 
     def test_third_party_binary(self, capsys):
         out = _run_example("third_party_binary", capsys)
+        assert "conformance vendor-kernel.W: PASS" in out
         assert "vendor binary" in out
         assert "recommended configuration" in out
+        assert "final pass" in out
+
+    def test_plugin_workload(self, capsys):
+        out = _run_example("plugin_workload", capsys)
+        assert "conformance wave.T: PASS" in out
         assert "final pass" in out
 
     def test_resume_search(self, capsys):

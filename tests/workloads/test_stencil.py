@@ -1,0 +1,137 @@
+"""The stencil/CFD family: heat (tolerant) and nekcg (sensitive).
+
+The property tests drive the verification thresholds with a values-shim
+— an object exposing only ``values()`` — so they exercise exactly what
+the search's evaluators hand to ``verify``.
+"""
+
+import functools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import make_workload
+from repro.workloads.stencil import heat, nekcg
+
+
+@functools.lru_cache(maxsize=None)
+def _workload(name, klass="T"):
+    return make_workload(name, klass)
+
+
+class _Shim:
+    """A result carrying only decoded output values."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def values(self):
+        return self._values
+
+
+def _tolerances(workload):
+    return workload.tolerances
+
+
+class TestStructure:
+    @pytest.mark.parametrize("mod", [heat, nekcg])
+    def test_classes_smallest_first(self, mod):
+        assert list(mod.CLASSES)[0] == "T"
+        sizes = [params["n"] for params in mod.CLASSES.values()]
+        assert sizes == sorted(sizes)  # strictly growing problem sizes
+        assert len(set(sizes)) == len(sizes)
+
+    def test_heat_is_multi_module(self):
+        program = _workload("heat").program
+        assert set(program.modules) == {"heat", "fdops"}
+        assert program.stats()["candidates"] > 0
+
+    def test_nekcg_keeps_nekbone_vocabulary(self):
+        program = _workload("nekcg").program
+        assert set(program.modules) == {"nekcg", "nekops"}
+        names = {fn.name for fn in program.functions}
+        assert {"ax", "glsc3", "add2s1", "add2s2"} <= names
+
+    def test_output_counts_match_tolerances(self):
+        for name in ("heat", "nekcg"):
+            workload = _workload(name)
+            assert len(workload.baseline().values()) == len(
+                _tolerances(workload)
+            )
+
+
+class TestPrecisionSplit:
+    def test_heat_survives_single_precision(self):
+        # The CFD-paper finding: the dissipative explicit stencil damps
+        # rounding, so the fully single build passes verification.
+        workload = _workload("heat")
+        assert workload.verify(workload.run(workload.program_single))
+
+    def test_nekcg_rejects_single_precision(self):
+        # ...while the CG recurrence stalls visibly in single.
+        workload = _workload("nekcg")
+        assert not workload.verify(workload.run(workload.program_single))
+
+    def test_nekcg_mpi_ranks_verify(self):
+        workload = _workload("nekcg")
+        assert list(workload.run_mpi(1).values()) == list(
+            workload.baseline().values()
+        )
+        assert workload.verify(workload.run_mpi(2))
+
+
+@st.composite
+def _output_index(draw, workload_name):
+    n = len(_tolerances(_workload(workload_name)))
+    return draw(st.integers(min_value=0, max_value=n - 1))
+
+
+class TestThresholdProperties:
+    @pytest.mark.parametrize("name", ["heat", "nekcg"])
+    def test_baseline_accepts(self, name):
+        workload = _workload(name)
+        assert workload.verify(_Shim(workload.baseline().values()))
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), scale=st.floats(min_value=3.0, max_value=1e6))
+    @pytest.mark.parametrize("name", ["heat", "nekcg"])
+    def test_perturbation_beyond_threshold_rejects(self, name, data, scale):
+        workload = _workload(name)
+        reference = list(workload.baseline().values())
+        k = data.draw(_output_index(name), label="output index")
+        rel, abs_ = _tolerances(workload)[k]
+        # anything clearly past the (rel, abs) envelope must fail
+        margin = scale * (abs_ + rel * abs(reference[k]))
+        perturbed = list(reference)
+        perturbed[k] = reference[k] + margin
+        assert not workload.verify(_Shim(perturbed))
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), frac=st.floats(min_value=0.0, max_value=0.4))
+    @pytest.mark.parametrize("name", ["heat", "nekcg"])
+    def test_perturbation_within_threshold_accepts(self, name, data, frac):
+        workload = _workload(name)
+        reference = list(workload.baseline().values())
+        k = data.draw(_output_index(name), label="output index")
+        rel, abs_ = _tolerances(workload)[k]
+        inside = frac * max(abs_, rel * abs(reference[k]))
+        perturbed = list(reference)
+        perturbed[k] = reference[k] + inside
+        assert workload.verify(_Shim(perturbed))
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    @pytest.mark.parametrize("name", ["heat", "nekcg"])
+    def test_nan_always_rejects(self, name, data):
+        workload = _workload(name)
+        values = list(workload.baseline().values())
+        k = data.draw(_output_index(name), label="output index")
+        values[k] = math.nan
+        assert not workload.verify(_Shim(values))
+
+    @pytest.mark.parametrize("name", ["heat", "nekcg"])
+    def test_truncated_outputs_reject(self, name):
+        workload = _workload(name)
+        values = list(workload.baseline().values())
+        assert not workload.verify(_Shim(values[:-1]))
